@@ -1,0 +1,98 @@
+// Figure 5: the five AGG queries (Q1–Q5) on the factorised materialised
+// view R1 at a fixed scale, comparing FDB with factorised output (f/o),
+// FDB with flat output, and the relational baselines. The paper's claim:
+// f/o wins big on queries with large factorisable results (Q1), and the
+// enumeration cost dominates only when the result itself is large.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace fdb {
+namespace bench {
+namespace {
+
+constexpr int kScale = 8;
+
+void FdbFlat(benchmark::State& state) {
+  int q = static_cast<int>(state.range(0));
+  BenchDb& b = GetBenchDb(kScale);
+  FdbEngine engine(b.db.get());
+  BoundQuery query = Bind(ParseSql(AggSql(q, "R1")), b.db.get());
+  int64_t rows = 0;
+  for (auto _ : state) {
+    FdbResult r = engine.Execute(query);
+    rows = r.flat.size();
+    benchmark::DoNotOptimize(r.flat);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void FdbFactorisedOutput(benchmark::State& state) {
+  int q = static_cast<int>(state.range(0));
+  BenchDb& b = GetBenchDb(kScale);
+  FdbEngine engine(b.db.get());
+  FdbOptions opt;
+  opt.factorised_output = true;
+  BoundQuery query = Bind(ParseSql(AggSql(q, "R1")), b.db.get());
+  int64_t singletons = 0;
+  for (auto _ : state) {
+    FdbResult r = engine.Execute(query, opt);
+    singletons = r.result_singletons;
+    benchmark::DoNotOptimize(r.factorised);
+  }
+  state.counters["result_singletons"] = static_cast<double>(singletons);
+}
+
+void Rdb(benchmark::State& state, RdbOptions::Grouping grouping) {
+  int q = static_cast<int>(state.range(0));
+  BenchDb& b = GetBenchDb(kScale);
+  RdbEngine engine(b.db.get());
+  RdbOptions opt;
+  opt.grouping = grouping;
+  BoundQuery query = Bind(ParseSql(AggSql(q, "R1flat")), b.db.get());
+  for (auto _ : state) {
+    RdbResult r = engine.Execute(query, opt);
+    benchmark::DoNotOptimize(r.flat);
+  }
+}
+
+void RdbSort(benchmark::State& state) {
+  Rdb(state, RdbOptions::Grouping::kSort);
+}
+void RdbHash(benchmark::State& state) {
+  Rdb(state, RdbOptions::Grouping::kHash);
+}
+
+void RegisterAll() {
+  for (int q = 1; q <= 5; ++q) {
+    std::string suffix = "/Q" + std::to_string(q);
+    benchmark::RegisterBenchmark(("fig5/FDB-f_o" + suffix).c_str(),
+                                 FdbFactorisedOutput)
+        ->Args({q})
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(("fig5/FDB" + suffix).c_str(), FdbFlat)
+        ->Args({q})
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(("fig5/SQLite-like" + suffix).c_str(),
+                                 RdbSort)
+        ->Args({q})
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(("fig5/PSQL-like" + suffix).c_str(),
+                                 RdbHash)
+        ->Args({q})
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace fdb
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  fdb::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ordered enumeration and top-k over factorised data (Experiment 4 in
+// miniature): shows that a factorised view supports several sort orders at
+// once, that a new order needs only a partial restructuring (one swap),
+// and that LIMIT k costs k constant-delay steps after the restructuring.
+//
+// Usage: topk_orders [scale] [k]        (defaults: scale 4, k 10)
+
+#include <cstdlib>
+#include <iostream>
+
+#include "fdb/core/build.h"
+#include "fdb/engine/fdb_engine.h"
+#include "fdb/workload/generator.h"
+
+using namespace fdb;
+
+namespace {
+
+void Run(FdbEngine& engine, const AttributeRegistry& reg,
+         const std::string& sql) {
+  FdbResult r = engine.ExecuteSql(sql);
+  int swaps = 0;
+  for (const FOp& op : r.plan) swaps += op.kind == FOpKind::kSwap;
+  std::cout << sql << "\n  swaps needed: " << swaps << ", rows: "
+            << r.flat.size() << ", time: "
+            << (r.plan_seconds + r.exec_seconds + r.enum_seconds) * 1e3
+            << " ms\n";
+  std::cout << r.flat.ToString(reg, 5) << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int scale = argc > 1 ? std::atoi(argv[1]) : 4;
+  int k = argc > 2 ? std::atoi(argv[2]) : 10;
+
+  Database db;
+  InstallWorkload(&db, SmallParams(scale), "R1");
+  AttributeRegistry& reg = db.registry();
+
+  // A sorted materialised view: R2 = R1 ordered by (package, date, item).
+  Relation flat = db.view("R1")->Flatten();
+  db.AddView("R2",
+             FactoriseRelation(flat, {*reg.Find("package"),
+                                      *reg.Find("date"), *reg.Find("item"),
+                                      *reg.Find("customer"),
+                                      *reg.Find("price")}));
+  std::cout << "R2: " << flat.size() << " tuples, "
+            << db.view("R2")->CountSingletons()
+            << " singletons as a factorised trie\n\n";
+
+  FdbEngine engine(&db);
+  std::string lim = " LIMIT " + std::to_string(k);
+
+  // The stored order: no restructuring at all.
+  Run(engine, reg, "SELECT * FROM R2 ORDER BY package, date, item" + lim);
+  // A second order supported by the same view (swap within the stored trie).
+  Run(engine, reg, "SELECT * FROM R2 ORDER BY package, item, date" + lim);
+  // A different leading attribute: one swap, still no full re-sort.
+  Run(engine, reg, "SELECT * FROM R2 ORDER BY date, package, item" + lim);
+  // Descending keys come free from the sorted unions.
+  Run(engine, reg,
+      "SELECT * FROM R2 ORDER BY package DESC, date DESC" + lim);
+  // Top-k by an aggregate: restructures only the aggregated result.
+  Run(engine, reg,
+      "SELECT customer, sum(price) AS revenue FROM R1 GROUP BY customer "
+      "ORDER BY revenue DESC" +
+          lim);
+  return 0;
+}

@@ -1,0 +1,274 @@
+#include "fdb/core/build.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fdb {
+namespace {
+
+// A base relation prepared for trie construction.
+struct PreparedRel {
+  std::vector<Tuple> rows;  // sorted by the concatenated path columns
+  std::vector<int> node_path;             // f-tree nodes in root-to-leaf order
+  std::vector<std::vector<int>> node_cols;  // column positions per path node
+};
+
+// Per-branch cursor into one prepared relation.
+struct RelState {
+  int rel;   // index into prepared relations
+  int step;  // next entry of node_path to consume
+  int lo, hi;  // active row range [lo, hi)
+};
+
+class TrieBuilder {
+ public:
+  TrieBuilder(const FTree& tree,
+              const std::vector<const Relation*>& relations)
+      : tree_(tree) {
+    depth_.assign(tree.num_nodes(), 0);
+    for (int n : tree.TopologicalOrder()) {
+      depth_[n] = tree.parent(n) < 0 ? 0 : depth_[tree.parent(n)] + 1;
+    }
+    Prepare(relations);
+  }
+
+  Factorisation Build() {
+    std::vector<RelState> states;
+    for (size_t r = 0; r < rels_.size(); ++r) {
+      states.push_back({static_cast<int>(r), 0, 0,
+                        static_cast<int>(rels_[r].rows.size())});
+    }
+    std::vector<FactPtr> roots;
+    bool empty = false;
+    for (int root : tree_.roots()) {
+      std::vector<RelState> routed;
+      for (const RelState& s : states) {
+        if (NextNodeIn(s, root)) routed.push_back(s);
+      }
+      FactPtr f = BuildNode(root, routed);
+      if (f->values.empty()) empty = true;
+      roots.push_back(std::move(f));
+    }
+    if (empty) {
+      // Normalise: the empty relation is represented by empty root unions.
+      for (FactPtr& r : roots) r = MakeLeaf({});
+    }
+    return Factorisation(tree_, std::move(roots));
+  }
+
+ private:
+  void Prepare(const std::vector<const Relation*>& relations) {
+    for (const Relation* rel : relations) {
+      PreparedRel p;
+      // Map each attribute to its f-tree node; collect per-node columns.
+      std::vector<std::pair<int, int>> node_col;  // (node, column position)
+      for (int i = 0; i < rel->schema().arity(); ++i) {
+        int n = tree_.NodeOfAttr(rel->schema().attr(i));
+        if (n < 0) {
+          throw std::invalid_argument(
+              "FactoriseJoin: relation attribute missing from f-tree");
+        }
+        node_col.emplace_back(n, i);
+      }
+      std::stable_sort(node_col.begin(), node_col.end(),
+                       [this](const auto& a, const auto& b) {
+                         return depth_[a.first] < depth_[b.first];
+                       });
+      for (const auto& [n, col] : node_col) {
+        if (p.node_path.empty() || p.node_path.back() != n) {
+          p.node_path.push_back(n);
+          p.node_cols.emplace_back();
+        }
+        p.node_cols.back().push_back(col);
+      }
+      // The nodes must form a chain (path constraint).
+      for (size_t i = 1; i < p.node_path.size(); ++i) {
+        if (!tree_.IsAncestor(p.node_path[i - 1], p.node_path[i])) {
+          throw std::invalid_argument(
+              "FactoriseJoin: relation attributes not on one root-to-leaf "
+              "path of the f-tree");
+        }
+      }
+      // Keep only rows whose columns agree within each equivalence class,
+      // then sort by the concatenated path order.
+      for (const Tuple& row : rel->rows()) {
+        bool ok = true;
+        for (const auto& cols : p.node_cols) {
+          for (size_t i = 1; i < cols.size() && ok; ++i) {
+            ok = row[cols[0]] == row[cols[i]];
+          }
+        }
+        if (ok) p.rows.push_back(row);
+      }
+      std::vector<int> order;
+      for (const auto& cols : p.node_cols) order.push_back(cols[0]);
+      std::sort(p.rows.begin(), p.rows.end(),
+                [&order](const Tuple& a, const Tuple& b) {
+                  for (int c : order) {
+                    auto cmp = a[c] <=> b[c];
+                    if (cmp != std::strong_ordering::equal) {
+                      return cmp == std::strong_ordering::less;
+                    }
+                  }
+                  return false;
+                });
+      rels_.push_back(std::move(p));
+    }
+  }
+
+  // True if the state's next unconsumed node lies in the subtree rooted at u.
+  bool NextNodeIn(const RelState& s, int u) const {
+    const PreparedRel& p = rels_[s.rel];
+    if (s.step >= static_cast<int>(p.node_path.size())) return false;
+    int n = p.node_path[s.step];
+    return n == u || tree_.IsAncestor(u, n);
+  }
+
+  const Value& ValueAt(const RelState& s, int row) const {
+    const PreparedRel& p = rels_[s.rel];
+    return p.rows[row][p.node_cols[s.step][0]];
+  }
+
+  // Advances s.lo to the first row in [lo, hi) with column value >= v.
+  int LowerBound(const RelState& s, const Value& v) const {
+    const PreparedRel& p = rels_[s.rel];
+    int col = p.node_cols[s.step][0];
+    int lo = s.lo, hi = s.hi;
+    while (lo < hi) {
+      int mid = lo + (hi - lo) / 2;
+      if (p.rows[mid][col] < v) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  int UpperBound(const RelState& s, const Value& v) const {
+    const PreparedRel& p = rels_[s.rel];
+    int col = p.node_cols[s.step][0];
+    int lo = s.lo, hi = s.hi;
+    while (lo < hi) {
+      int mid = lo + (hi - lo) / 2;
+      if (v < p.rows[mid][col]) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return lo;
+  }
+
+  // Builds the union at node u constrained by `states` (all of which have
+  // their next node in u's subtree). Returns a (possibly empty) FactNode.
+  FactPtr BuildNode(int u, const std::vector<RelState>& states) {
+    // Split the states into those constraining u itself and the waiters.
+    std::vector<RelState> here, waiting;
+    for (const RelState& s : states) {
+      if (rels_[s.rel].node_path[s.step] == u) {
+        here.push_back(s);
+      } else {
+        waiting.push_back(s);
+      }
+    }
+    if (here.empty()) {
+      throw std::invalid_argument(
+          "FactoriseJoin: f-tree node not covered by any relation");
+    }
+    const std::vector<int>& kids = tree_.children(u);
+    int k = static_cast<int>(kids.size());
+
+    auto out = std::make_shared<FactNode>();
+    // Leapfrog-style sorted intersection over the participants.
+    while (true) {
+      bool exhausted = false;
+      for (RelState& s : here) {
+        if (s.lo >= s.hi) {
+          exhausted = true;
+          break;
+        }
+      }
+      if (exhausted) break;
+      // Candidate: the maximum of the current heads.
+      Value cand = ValueAt(here[0], here[0].lo);
+      for (size_t i = 1; i < here.size(); ++i) {
+        Value v = ValueAt(here[i], here[i].lo);
+        if (cand < v) cand = v;
+      }
+      // Advance everyone to >= cand; restart if someone jumps past it.
+      bool agreed = true;
+      for (RelState& s : here) {
+        s.lo = LowerBound(s, cand);
+        if (s.lo >= s.hi || !(ValueAt(s, s.lo) == cand)) agreed = false;
+      }
+      if (!agreed) continue;
+
+      // Matched value `cand`: recurse into children with narrowed ranges.
+      std::vector<FactPtr> kid_nodes(k);
+      bool all_ok = true;
+      for (int c = 0; c < k && all_ok; ++c) {
+        std::vector<RelState> routed;
+        for (RelState s : here) {
+          RelState t = s;
+          t.step++;
+          t.hi = UpperBound(s, cand);
+          // t.lo == s.lo (rows with value == cand start here).
+          if (NextNodeIn(t, kids[c])) routed.push_back(t);
+        }
+        for (const RelState& s : waiting) {
+          if (NextNodeIn(s, kids[c])) routed.push_back(s);
+        }
+        FactPtr f = BuildNode(kids[c], routed);
+        if (f->values.empty()) {
+          all_ok = false;
+        } else {
+          kid_nodes[c] = std::move(f);
+        }
+      }
+      if (all_ok) {
+        out->values.push_back(cand);
+        for (int c = 0; c < k; ++c) {
+          out->children.push_back(std::move(kid_nodes[c]));
+        }
+      }
+      // Move past `cand` in all participants.
+      for (RelState& s : here) s.lo = UpperBound(s, cand);
+    }
+    return out;
+  }
+
+  const FTree& tree_;
+  std::vector<int> depth_;
+  std::vector<PreparedRel> rels_;
+};
+
+}  // namespace
+
+Factorisation FactoriseJoin(const FTree& tree,
+                            const std::vector<const Relation*>& relations) {
+  TrieBuilder b(tree, relations);
+  return b.Build();
+}
+
+Factorisation FactoriseRelation(const Relation& rel,
+                                const std::vector<AttrId>& attr_order) {
+  if (attr_order.size() != static_cast<size_t>(rel.schema().arity())) {
+    throw std::invalid_argument(
+        "FactoriseRelation: order must cover all attributes");
+  }
+  FTree tree;
+  int parent = -1;
+  for (AttrId a : attr_order) {
+    parent = tree.AddNode({a}, parent);
+  }
+  Hyperedge e;
+  e.attrs = attr_order;
+  std::sort(e.attrs.begin(), e.attrs.end());
+  e.weight = static_cast<double>(rel.size());
+  e.name = "R";
+  tree.AddEdge(std::move(e));
+  return FactoriseJoin(tree, {&rel});
+}
+
+}  // namespace fdb

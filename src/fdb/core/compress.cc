@@ -1,0 +1,79 @@
+#include "fdb/core/compress.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fdb {
+namespace {
+
+class Compressor {
+ public:
+  FactPtr Compress(const FactPtr& node) {
+    auto done = done_.find(node.get());
+    if (done != done_.end()) return done->second;
+
+    // Compress children first, then canonicalise this node by key.
+    auto out = std::make_shared<FactNode>();
+    out->values = node->values;
+    out->children.reserve(node->children.size());
+    for (const FactPtr& c : node->children) {
+      out->children.push_back(Compress(c));
+    }
+    std::string key = KeyOf(*out);
+    auto canon = canon_.find(key);
+    FactPtr result;
+    if (canon != canon_.end()) {
+      result = canon->second;
+    } else {
+      result = out;
+      canon_.emplace(std::move(key), result);
+    }
+    done_.emplace(node.get(), result);
+    return result;
+  }
+
+ private:
+  // Children are canonical by construction, so their addresses identify
+  // them; together with the value list this keys structural equality.
+  static std::string KeyOf(const FactNode& n) {
+    std::ostringstream os;
+    for (const Value& v : n.values) os << v << '\x1f';
+    os << '\x1e';
+    for (const FactPtr& c : n.children) os << c.get() << '\x1f';
+    return os.str();
+  }
+
+  std::unordered_map<const FactNode*, FactPtr> done_;
+  std::unordered_map<std::string, FactPtr> canon_;
+};
+
+int64_t CountStoredRec(const FactNode* n,
+                       std::unordered_set<const FactNode*>* seen) {
+  if (!seen->insert(n).second) return 0;
+  int64_t total = static_cast<int64_t>(n->values.size());
+  for (const FactPtr& c : n->children) {
+    total += CountStoredRec(c.get(), seen);
+  }
+  return total;
+}
+
+}  // namespace
+
+void CompressInPlace(Factorisation* f) {
+  Compressor c;
+  for (FactPtr& root : f->mutable_roots()) {
+    if (root != nullptr) root = c.Compress(root);
+  }
+}
+
+int64_t CountStoredSingletons(const Factorisation& f) {
+  std::unordered_set<const FactNode*> seen;
+  int64_t total = 0;
+  for (const FactPtr& r : f.roots()) {
+    if (r != nullptr) total += CountStoredRec(r.get(), &seen);
+  }
+  return total;
+}
+
+}  // namespace fdb

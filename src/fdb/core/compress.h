@@ -1,0 +1,30 @@
+#ifndef FDB_CORE_COMPRESS_H_
+#define FDB_CORE_COMPRESS_H_
+
+#include <cstdint>
+
+#include "fdb/core/factorisation.h"
+
+namespace fdb {
+
+/// Shares structurally identical subexpressions bottom-up, turning the
+/// factorisation tree into a DAG — a lightweight step toward the
+/// representations "more succinct than f-trees" the paper's conclusion
+/// points at (§8; the line of work that became d-representations).
+///
+/// The represented relation is unchanged and every read-only algorithm
+/// (enumeration, aggregation, flattening) works as before, since they treat
+/// child pointers as values. Restructuring operators also remain correct —
+/// they may simply re-duplicate shared nodes they rewrite. Only memory and
+/// cache footprint shrink: repeated subexpressions (e.g. identical price
+/// lists under many packages) are stored once.
+void CompressInPlace(Factorisation* f);
+
+/// The number of singletons physically stored, counting each shared
+/// subexpression once. CountSingletons() counts the logical tree; after
+/// CompressInPlace the stored count can be much smaller.
+int64_t CountStoredSingletons(const Factorisation& f);
+
+}  // namespace fdb
+
+#endif  // FDB_CORE_COMPRESS_H_

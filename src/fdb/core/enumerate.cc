@@ -1,0 +1,192 @@
+#include "fdb/core/enumerate.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fdb {
+
+Enumerator::Enumerator(const Factorisation& f, std::vector<int> visit_order,
+                       std::vector<SortDir> dirs)
+    : f_(&f) {
+  if (visit_order.size() != dirs.size()) {
+    throw std::invalid_argument("Enumerator: order/dirs size mismatch");
+  }
+  const FTree& tree = f.tree();
+  std::unordered_map<int, int> pos_of;
+  std::vector<AttrId> cols;
+  for (size_t p = 0; p < visit_order.size(); ++p) {
+    Pos pos;
+    pos.node = visit_order[p];
+    pos.dir = dirs[p];
+    pos.k = static_cast<int>(tree.children(pos.node).size());
+    int parent = tree.parent(pos.node);
+    if (parent < 0) {
+      pos.parent_pos = -1;
+      pos.slot = tree.SlotOf(pos.node);
+    } else {
+      auto it = pos_of.find(parent);
+      if (it == pos_of.end()) {
+        throw std::invalid_argument(
+            "Enumerator: visit order lists a child before its parent");
+      }
+      pos.parent_pos = it->second;
+      pos.slot = tree.SlotOf(pos.node);
+    }
+    pos.first_col = static_cast<int>(cols.size());
+    const FTreeNode& nd = tree.node(pos.node);
+    if (nd.is_aggregate()) {
+      cols.push_back(nd.agg->id);
+    } else {
+      cols.insert(cols.end(), nd.attrs.begin(), nd.attrs.end());
+    }
+    pos.ncols = static_cast<int>(cols.size()) - pos.first_col;
+    pos_of[pos.node] = static_cast<int>(p);
+    order_.push_back(pos);
+  }
+  schema_ = RelSchema(std::move(cols));
+  done_ = f.empty();
+}
+
+Enumerator::Enumerator(const Factorisation& f)
+    : Enumerator(f, f.tree().TopologicalOrder(),
+                 std::vector<SortDir>(f.tree().TopologicalOrder().size(),
+                                      SortDir::kAsc)) {}
+
+void Enumerator::Reset(int p) {
+  Pos& pos = order_[p];
+  if (pos.parent_pos < 0) {
+    pos.cur = f_->roots()[pos.slot].get();
+  } else {
+    const Pos& par = order_[pos.parent_pos];
+    pos.cur = par.cur->child(par.idx, par.k, pos.slot).get();
+  }
+  pos.idx = pos.dir == SortDir::kAsc ? 0 : pos.cur->size() - 1;
+}
+
+bool Enumerator::Next() {
+  if (done_) return false;
+  if (!started_) {
+    started_ = true;
+    for (size_t p = 0; p < order_.size(); ++p) {
+      Reset(static_cast<int>(p));
+      if (order_[p].cur->values.empty()) {
+        // Only possible for an empty root union; f.empty() caught the
+        // single-root case, but stay defensive.
+        done_ = true;
+        return false;
+      }
+    }
+    return true;
+  }
+  int p = static_cast<int>(order_.size()) - 1;
+  while (p >= 0) {
+    Pos& pos = order_[p];
+    int next = pos.idx + (pos.dir == SortDir::kAsc ? 1 : -1);
+    if (next >= 0 && next < pos.cur->size()) {
+      pos.idx = next;
+      for (size_t q = p + 1; q < order_.size(); ++q) {
+        Reset(static_cast<int>(q));
+      }
+      return true;
+    }
+    --p;
+  }
+  done_ = true;
+  return false;
+}
+
+void Enumerator::Fill(Tuple* out) const {
+  for (const Pos& pos : order_) {
+    const Value& v = pos.cur->values[pos.idx];
+    for (int c = 0; c < pos.ncols; ++c) {
+      (*out)[pos.first_col + c] = v;
+    }
+  }
+}
+
+GroupAggEnumerator::GroupAggEnumerator(const Factorisation& f,
+                                       std::vector<int> visit_order,
+                                       std::vector<SortDir> dirs,
+                                       std::vector<AggTask> tasks,
+                                       std::vector<AttrId> task_ids)
+    : inner_(f, visit_order, dirs), tasks_(std::move(tasks)) {
+  if (tasks_.size() != task_ids.size()) {
+    throw std::invalid_argument("GroupAggEnumerator: task/ids mismatch");
+  }
+  const FTree& tree = f.tree();
+  std::unordered_set<int> group(visit_order.begin(), visit_order.end());
+  // Validate the Theorem 1 condition and locate the frontier.
+  for (size_t p = 0; p < visit_order.size(); ++p) {
+    int n = visit_order[p];
+    int par = tree.parent(n);
+    if (par >= 0 && !group.count(par)) {
+      throw std::invalid_argument(
+          "GroupAggEnumerator: grouping nodes do not form a top fragment "
+          "(Theorem 1)");
+    }
+    const std::vector<int>& kids = tree.children(n);
+    for (size_t c = 0; c < kids.size(); ++c) {
+      if (!group.count(kids[c])) {
+        frontier_slots_.emplace_back(static_cast<int>(p),
+                                     static_cast<int>(c));
+      }
+    }
+  }
+  for (size_t r = 0; r < tree.roots().size(); ++r) {
+    int root = tree.roots()[r];
+    bool has_group = false;
+    for (int n : tree.SubtreeNodes(root)) {
+      if (group.count(n)) has_group = true;
+    }
+    if (!has_group) {
+      fixed_parts_.emplace_back(root, f.roots()[r].get());
+    } else if (!group.count(root)) {
+      throw std::invalid_argument(
+          "GroupAggEnumerator: grouping node below a non-grouping root");
+    }
+  }
+  std::vector<AttrId> cols = inner_.schema().attrs();
+  cols.insert(cols.end(), task_ids.begin(), task_ids.end());
+  schema_ = RelSchema(std::move(cols));
+}
+
+bool GroupAggEnumerator::Next() { return inner_.Next(); }
+
+void GroupAggEnumerator::Fill(Tuple* out) const {
+  inner_.Fill(out);
+  // Collect the frontier: the non-grouping subtrees under the current
+  // grouping binding, plus the grouping-free root trees.
+  std::vector<std::pair<int, const FactNode*>> parts = fixed_parts_;
+  const FTree& tree = inner_.f_->tree();
+  for (const auto& [p, slot] : frontier_slots_) {
+    const Enumerator::Pos& pos = inner_.order_[p];
+    parts.emplace_back(tree.children(pos.node)[slot],
+                       pos.cur->child(pos.idx, pos.k, slot).get());
+  }
+  int base = inner_.schema().arity();
+  for (size_t t = 0; t < tasks_.size(); ++t) {
+    (*out)[base + static_cast<int>(t)] =
+        EvalAggregateProduct(tree, parts, tasks_[t]);
+  }
+}
+
+Relation EnumerateToRelation(const Factorisation& f,
+                             const std::vector<int>& visit_order,
+                             const std::vector<SortDir>& dirs,
+                             std::optional<int64_t> limit) {
+  Enumerator e(f, visit_order, dirs);
+  Relation out(e.schema());
+  Tuple row(e.schema().arity());
+  int64_t n = 0;
+  while (e.Next()) {
+    if (limit.has_value() && n >= *limit) break;
+    e.Fill(&row);
+    out.Add(row);
+    ++n;
+  }
+  return out;
+}
+
+}  // namespace fdb

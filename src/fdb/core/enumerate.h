@@ -1,0 +1,107 @@
+#ifndef FDB_CORE_ENUMERATE_H_
+#define FDB_CORE_ENUMERATE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fdb/core/factorisation.h"
+#include "fdb/core/ops/aggregate.h"
+
+namespace fdb {
+
+/// Constant-delay tuple enumerator over a factorisation (paper §4.1).
+///
+/// The enumerator maintains one iterator per f-tree node (a "hierarchy of
+/// iterators in the parse tree"), visited in a fixed order in which parents
+/// precede children. Successive tuples differ only in a suffix of that
+/// order, so the delay between tuples is O(#nodes · branching) — constant in
+/// data size. Because unions are kept sorted, tuples are emitted in
+/// lexicographic order of the visit sequence, honouring the per-node
+/// direction (ascending or descending); by Theorem 2 this realises any
+/// order-by list whose attributes sit suitably high in the f-tree.
+class Enumerator {
+ public:
+  /// `visit_order` must contain every live node exactly once, parents before
+  /// children; `dirs` is parallel to it.
+  Enumerator(const Factorisation& f, std::vector<int> visit_order,
+             std::vector<SortDir> dirs);
+
+  /// Convenience: topological order, all ascending.
+  explicit Enumerator(const Factorisation& f);
+
+  /// Output columns: the attributes of the visited nodes, in visit order
+  /// (an atomic class contributes all of its attributes).
+  const RelSchema& schema() const { return schema_; }
+
+  /// Advances to the next tuple; the first call positions on the first one.
+  /// Returns false when exhausted.
+  bool Next();
+
+  /// Writes the current tuple; `out` must have schema().arity() slots.
+  void Fill(Tuple* out) const;
+
+ private:
+  friend class GroupAggEnumerator;
+
+  struct Pos {
+    int node = -1;
+    int parent_pos = -1;  ///< index into order_, or -1 for roots
+    int slot = 0;         ///< child slot in the parent node / root slot
+    int k = 0;            ///< number of f-tree children of `node`
+    int first_col = 0;    ///< first output column of this node
+    int ncols = 0;
+    SortDir dir = SortDir::kAsc;
+    const FactNode* cur = nullptr;
+    int idx = 0;
+  };
+
+  // Re-resolves position p from its parent's state and resets its index.
+  void Reset(int p);
+
+  const Factorisation* f_;
+  std::vector<Pos> order_;
+  RelSchema schema_;
+  bool started_ = false;
+  bool done_ = false;
+};
+
+/// Enumerates the distinct bindings of a set of *grouping* nodes that form a
+/// top fragment of the f-tree (each grouping node is a root or the child of
+/// another grouping node — the Theorem 1 condition), while evaluating
+/// aggregation tasks over the non-grouping subtrees on the fly (§1,
+/// scenario 3). This is how FDB produces flat output for group-by aggregate
+/// queries without materialising the aggregated factorisation.
+class GroupAggEnumerator {
+ public:
+  /// `visit_order`/`dirs` cover exactly the grouping nodes (parents first).
+  /// `task_ids` provides the output attribute of each task's column.
+  GroupAggEnumerator(const Factorisation& f, std::vector<int> visit_order,
+                     std::vector<SortDir> dirs, std::vector<AggTask> tasks,
+                     std::vector<AttrId> task_ids);
+
+  const RelSchema& schema() const { return schema_; }
+  bool Next();
+  void Fill(Tuple* out) const;
+
+ private:
+  Enumerator inner_;  // over the grouping nodes only
+  std::vector<AggTask> tasks_;
+  // Root trees containing no grouping node: constant frontier parts.
+  std::vector<std::pair<int, const FactNode*>> fixed_parts_;
+  // Child slots of grouping nodes that lead outside the grouping set:
+  // (position in inner_.order_, slot).
+  std::vector<std::pair<int, int>> frontier_slots_;
+  RelSchema schema_;
+};
+
+/// Enumerates `f` into a flat relation using the given visit order and
+/// directions, stopping after `limit` tuples if provided (operator λ_k).
+Relation EnumerateToRelation(const Factorisation& f,
+                             const std::vector<int>& visit_order,
+                             const std::vector<SortDir>& dirs,
+                             std::optional<int64_t> limit = std::nullopt);
+
+}  // namespace fdb
+
+#endif  // FDB_CORE_ENUMERATE_H_

@@ -1,0 +1,95 @@
+#ifndef FDB_CORE_FACTORISATION_H_
+#define FDB_CORE_FACTORISATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fdb/core/ftree.h"
+#include "fdb/relational/relation.h"
+
+namespace fdb {
+
+struct FactNode;
+/// Factorised data is immutable and shared: operators build new trees and
+/// share untouched subexpressions (persistent / copy-on-write structure).
+using FactPtr = std::shared_ptr<const FactNode>;
+
+/// The factorised data attached to one f-tree node instance: the union
+/// ⋃_i ⟨A:vᵢ⟩ × E_{i,0} × … × E_{i,k-1}, where k is the number of f-tree
+/// children of the node and E_{i,c} is the child union for value vᵢ and
+/// f-tree child slot c.
+///
+/// Invariants: `values` is sorted ascending with no duplicates (paper §4.1);
+/// `children.size() == values.size() * k`; no child pointer is null or
+/// empty (empty branches are pruned by the operators; only whole roots of a
+/// Factorisation may be empty, representing ∅).
+struct FactNode {
+  std::vector<Value> values;
+  /// Flattened child matrix: child of entry i at slot c is
+  /// children[i * k + c]. Empty for leaves (k == 0).
+  std::vector<FactPtr> children;
+
+  int size() const { return static_cast<int>(values.size()); }
+  const FactPtr& child(int i, int k, int c) const {
+    return children[static_cast<size_t>(i) * k + c];
+  }
+};
+
+/// Builds a shared leaf union from sorted distinct values.
+FactPtr MakeLeaf(std::vector<Value> values);
+
+/// Builds a shared union with children; `k` children per value, flattened.
+FactPtr MakeNode(std::vector<Value> values, std::vector<FactPtr> children);
+
+/// A factorised representation of a relation: an f-tree plus one union per
+/// f-tree root (their product). A factorisation with `empty() == true`
+/// represents the empty relation; one with zero roots represents the
+/// relation {()} containing just the nullary tuple.
+class Factorisation {
+ public:
+  Factorisation() = default;
+  Factorisation(FTree tree, std::vector<FactPtr> roots)
+      : tree_(std::move(tree)), roots_(std::move(roots)) {}
+
+  const FTree& tree() const { return tree_; }
+  FTree& mutable_tree() { return tree_; }
+  const std::vector<FactPtr>& roots() const { return roots_; }
+  std::vector<FactPtr>& mutable_roots() { return roots_; }
+
+  /// True if this factorisation represents the empty relation.
+  bool empty() const;
+
+  /// Number of singletons (values) in the representation — the paper's
+  /// measure of factorisation size.
+  int64_t CountSingletons() const;
+
+  /// Number of tuples in the represented relation (via the count algorithm,
+  /// ignoring aggregate-node interpretations: each entry counts 1).
+  int64_t CountTuples() const;
+
+  /// The output schema: all attributes of all live nodes in topological
+  /// order (each atomic class contributes all of its attributes; aggregate
+  /// nodes contribute their result attribute).
+  RelSchema OutputSchema() const;
+
+  /// Flattens into a relation over OutputSchema() by enumeration.
+  Relation Flatten() const;
+
+  /// Structural validation against the f-tree: shape, sortedness, pruning
+  /// invariants. Returns false (and fills *why) on violation.
+  bool Validate(std::string* why = nullptr) const;
+
+  /// Renders the factorised expression, e.g.
+  /// "(<1>x(<2>u<3>) u <4>x(<5>))" for debugging small instances.
+  std::string ToString(const AttributeRegistry& reg) const;
+
+ private:
+  FTree tree_;
+  std::vector<FactPtr> roots_;
+};
+
+}  // namespace fdb
+
+#endif  // FDB_CORE_FACTORISATION_H_

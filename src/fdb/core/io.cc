@@ -1,0 +1,350 @@
+#include "fdb/core/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace fdb {
+namespace {
+
+constexpr char kMagic[] = "FDB-FACT 1";
+
+[[noreturn]] void Corrupt(const std::string& what) {
+  throw std::invalid_argument("ReadFactorisation: " + what);
+}
+
+// --- value encoding: n | i<int> | d<double> | s<len>:<bytes> -------------
+
+void WriteValue(const Value& v, std::ostream& out) {
+  if (v.is_null()) {
+    out << "n";
+  } else if (v.is_int()) {
+    out << "i" << v.as_int();
+  } else if (v.is_double()) {
+    out << "d" << std::setprecision(std::numeric_limits<double>::max_digits10)
+        << v.as_double();
+  } else {
+    const std::string& s = v.as_string();
+    out << "s" << s.size() << ":" << s;
+  }
+}
+
+// Cursor-based parsing within one line (strings may contain spaces).
+// Owns the line: callers routinely pass temporaries.
+class Cursor {
+ public:
+  explicit Cursor(std::string line) : s_(std::move(line)) {}
+
+  void SkipSpace() {
+    while (i_ < s_.size() && s_[i_] == ' ') ++i_;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return i_ >= s_.size();
+  }
+
+  std::string Token() {
+    SkipSpace();
+    size_t start = i_;
+    while (i_ < s_.size() && s_[i_] != ' ') ++i_;
+    if (start == i_) Corrupt("unexpected end of line");
+    return s_.substr(start, i_ - start);
+  }
+
+  int64_t Int() {
+    std::string t = Token();
+    try {
+      return std::stoll(t);
+    } catch (...) {
+      Corrupt("expected integer, got '" + t + "'");
+    }
+  }
+
+  Value ReadValue() {
+    SkipSpace();
+    if (i_ >= s_.size()) Corrupt("expected value");
+    char kind = s_[i_++];
+    switch (kind) {
+      case 'n':
+        return Value();
+      case 'i': {
+        size_t start = i_;
+        while (i_ < s_.size() && s_[i_] != ' ') ++i_;
+        return Value(
+            static_cast<int64_t>(std::stoll(s_.substr(start, i_ - start))));
+      }
+      case 'd': {
+        size_t start = i_;
+        while (i_ < s_.size() && s_[i_] != ' ') ++i_;
+        return Value(std::stod(s_.substr(start, i_ - start)));
+      }
+      case 's': {
+        size_t start = i_;
+        while (i_ < s_.size() && s_[i_] != ':') ++i_;
+        if (i_ >= s_.size()) Corrupt("unterminated string length");
+        size_t len = std::stoull(s_.substr(start, i_ - start));
+        ++i_;  // ':'
+        if (i_ + len > s_.size()) Corrupt("string runs past end of line");
+        std::string payload = s_.substr(i_, len);
+        i_ += len;
+        return Value(std::move(payload));
+      }
+      default:
+        Corrupt(std::string("unknown value kind '") + kind + "'");
+    }
+  }
+
+ private:
+  std::string s_;
+  size_t i_ = 0;
+};
+
+std::string NextLine(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) Corrupt("unexpected end of stream");
+  return line;
+}
+
+}  // namespace
+
+void WriteFactorisation(const Factorisation& f, const AttributeRegistry& reg,
+                        std::ostream& out) {
+  const FTree& tree = f.tree();
+  out << kMagic << "\n";
+
+  // --- f-tree nodes (by id, preserving child order) -----------------------
+  out << "nodes " << tree.num_nodes() << "\n";
+  for (int i = 0; i < tree.num_nodes(); ++i) {
+    const FTreeNode& n = tree.node(i);
+    out << "node " << (n.alive ? 1 : 0) << " " << n.parent << " ";
+    if (n.is_aggregate()) {
+      out << "agg " << static_cast<int>(n.agg->fn) << " "
+          << (n.agg->source == kInvalidAttr ? "-" : reg.Name(n.agg->source))
+          << " " << reg.Name(n.agg->id) << " " << n.agg->over.size();
+      for (AttrId a : n.agg->over) out << " " << reg.Name(a);
+    } else {
+      out << "atomic " << n.attrs.size();
+      for (AttrId a : n.attrs) out << " " << reg.Name(a);
+    }
+    out << "\n";
+    out << "children " << n.children.size();
+    for (int c : n.children) out << " " << c;
+    out << "\n";
+  }
+  out << "roots " << tree.roots().size();
+  for (int r : tree.roots()) out << " " << r;
+  out << "\n";
+
+  out << "edges " << tree.edges().size() << "\n";
+  for (const Hyperedge& e : tree.edges()) {
+    out << "edge " << std::setprecision(17) << e.weight << " "
+        << e.attrs.size();
+    for (AttrId a : e.attrs) out << " " << reg.Name(a);
+    out << " " << e.name << "\n";
+  }
+
+  // --- data: post-order, shared nodes written once ------------------------
+  std::unordered_map<const FactNode*, int64_t> index;
+  std::ostringstream body;
+  int64_t count = 0;
+  auto emit = [&](const FactNode* n, auto&& self) -> int64_t {
+    auto it = index.find(n);
+    if (it != index.end()) return it->second;
+    std::vector<int64_t> kids;
+    kids.reserve(n->children.size());
+    for (const FactPtr& c : n->children) kids.push_back(self(c.get(), self));
+    int64_t id = count++;
+    index.emplace(n, id);
+    body << "f " << n->values.size();
+    for (const Value& v : n->values) {
+      body << " ";
+      WriteValue(v, body);
+    }
+    body << " " << kids.size();
+    for (int64_t k : kids) body << " " << k;
+    body << "\n";
+    return id;
+  };
+  std::vector<int64_t> root_ids;
+  for (const FactPtr& r : f.roots()) {
+    root_ids.push_back(r ? emit(r.get(), emit) : -1);
+  }
+  out << "facts " << count << "\n" << body.str();
+  out << "rootdata " << root_ids.size();
+  for (int64_t r : root_ids) out << " " << r;
+  out << "\n";
+}
+
+Factorisation ReadFactorisation(std::istream& in, AttributeRegistry* reg) {
+  if (NextLine(in) != kMagic) Corrupt("bad magic line");
+
+  Cursor header(NextLine(in));
+  if (header.Token() != "nodes") Corrupt("expected 'nodes'");
+  int64_t num_nodes = header.Int();
+
+  // Rebuild the tree through its public API in two passes: create the
+  // nodes in id order (AddNode assigns sequential ids), then fix parents
+  // and child order, liveness, roots and edges via a fresh construction.
+  struct RawNode {
+    bool alive;
+    int parent;
+    bool is_agg;
+    AggregateLabel agg;
+    std::vector<AttrId> attrs;
+    std::vector<int> children;
+  };
+  std::vector<RawNode> raw(static_cast<size_t>(num_nodes));
+  for (int64_t i = 0; i < num_nodes; ++i) {
+    Cursor c(NextLine(in));
+    if (c.Token() != "node") Corrupt("expected 'node'");
+    RawNode& n = raw[i];
+    n.alive = c.Int() != 0;
+    n.parent = static_cast<int>(c.Int());
+    std::string kind = c.Token();
+    if (kind == "agg") {
+      n.is_agg = true;
+      n.agg.fn = static_cast<AggFn>(c.Int());
+      std::string src = c.Token();
+      n.agg.source = src == "-" ? kInvalidAttr : reg->Intern(src);
+      n.agg.id = reg->Intern(c.Token());
+      int64_t over = c.Int();
+      for (int64_t k = 0; k < over; ++k) {
+        n.agg.over.push_back(reg->Intern(c.Token()));
+      }
+      std::sort(n.agg.over.begin(), n.agg.over.end());
+    } else if (kind == "atomic") {
+      n.is_agg = false;
+      int64_t na = c.Int();
+      for (int64_t k = 0; k < na; ++k) {
+        n.attrs.push_back(reg->Intern(c.Token()));
+      }
+    } else {
+      Corrupt("unknown node kind '" + kind + "'");
+    }
+    Cursor cc(NextLine(in));
+    if (cc.Token() != "children") Corrupt("expected 'children'");
+    int64_t nc = cc.Int();
+    for (int64_t k = 0; k < nc; ++k) {
+      n.children.push_back(static_cast<int>(cc.Int()));
+    }
+  }
+  Cursor roots_line(NextLine(in));
+  if (roots_line.Token() != "roots") Corrupt("expected 'roots'");
+  int64_t nroots = roots_line.Int();
+  std::vector<int> root_nodes;
+  for (int64_t k = 0; k < nroots; ++k) {
+    root_nodes.push_back(static_cast<int>(roots_line.Int()));
+  }
+
+  // Create all nodes with their final ids. Tombstoned or reparented nodes
+  // are created as roots first, then wired below via the raw description.
+  FTree tree;
+  for (int64_t i = 0; i < num_nodes; ++i) {
+    if (raw[i].is_agg) {
+      tree.AddAggregateNode(raw[i].agg, -1);
+    } else {
+      // Tombstoned atomic nodes may have lost their attrs; give them a
+      // placeholder class (never observed through the public API).
+      std::vector<AttrId> attrs = raw[i].attrs;
+      if (attrs.empty()) attrs.push_back(reg->Intern("__tombstone"));
+      tree.AddNode(attrs, -1);
+    }
+  }
+  {
+    std::vector<bool> alive;
+    std::vector<int> parents;
+    std::vector<std::vector<int>> children;
+    for (const RawNode& n : raw) {
+      alive.push_back(n.alive);
+      parents.push_back(n.parent);
+      children.push_back(n.children);
+    }
+    tree.RestoreWiring(alive, parents, children, root_nodes);
+  }
+
+  Cursor edges_line(NextLine(in));
+  if (edges_line.Token() != "edges") Corrupt("expected 'edges'");
+  int64_t nedges = edges_line.Int();
+  for (int64_t e = 0; e < nedges; ++e) {
+    std::string line = NextLine(in);
+    Cursor c(line);
+    if (c.Token() != "edge") Corrupt("expected 'edge'");
+    Hyperedge edge;
+    edge.weight = std::stod(c.Token());
+    int64_t na = c.Int();
+    for (int64_t k = 0; k < na; ++k) {
+      edge.attrs.push_back(reg->Intern(c.Token()));
+    }
+    while (!c.AtEnd()) {
+      if (!edge.name.empty()) edge.name += " ";
+      edge.name += c.Token();
+    }
+    tree.AddEdge(std::move(edge));
+  }
+
+  Cursor facts_line(NextLine(in));
+  if (facts_line.Token() != "facts") Corrupt("expected 'facts'");
+  int64_t nfacts = facts_line.Int();
+  std::vector<FactPtr> facts;
+  facts.reserve(static_cast<size_t>(nfacts));
+  for (int64_t i = 0; i < nfacts; ++i) {
+    Cursor c(NextLine(in));
+    if (c.Token() != "f") Corrupt("expected 'f'");
+    auto node = std::make_shared<FactNode>();
+    int64_t nv = c.Int();
+    for (int64_t k = 0; k < nv; ++k) node->values.push_back(c.ReadValue());
+    int64_t nc = c.Int();
+    for (int64_t k = 0; k < nc; ++k) {
+      int64_t ref = c.Int();
+      if (ref < 0 || ref >= static_cast<int64_t>(facts.size())) {
+        Corrupt("fact reference out of range");
+      }
+      node->children.push_back(facts[ref]);
+    }
+    facts.push_back(std::move(node));
+  }
+  Cursor rd(NextLine(in));
+  if (rd.Token() != "rootdata") Corrupt("expected 'rootdata'");
+  int64_t nrd = rd.Int();
+  std::vector<FactPtr> roots;
+  for (int64_t k = 0; k < nrd; ++k) {
+    int64_t ref = rd.Int();
+    if (ref < 0) {
+      roots.push_back(MakeLeaf({}));
+    } else if (ref >= static_cast<int64_t>(facts.size())) {
+      Corrupt("root reference out of range");
+    } else {
+      roots.push_back(facts[ref]);
+    }
+  }
+
+  Factorisation f(std::move(tree), std::move(roots));
+  std::string why;
+  if (!f.Validate(&why)) Corrupt("inconsistent factorisation: " + why);
+  return f;
+}
+
+void SaveFactorisation(const Factorisation& f, const AttributeRegistry& reg,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::invalid_argument("SaveFactorisation: cannot open " + path);
+  }
+  WriteFactorisation(f, reg, out);
+}
+
+Factorisation LoadFactorisation(const std::string& path,
+                                AttributeRegistry* reg) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("LoadFactorisation: cannot open " + path);
+  }
+  return ReadFactorisation(in, reg);
+}
+
+}  // namespace fdb

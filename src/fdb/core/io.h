@@ -1,0 +1,31 @@
+#ifndef FDB_CORE_IO_H_
+#define FDB_CORE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "fdb/core/factorisation.h"
+
+namespace fdb {
+
+/// Serialises a factorisation (f-tree, dependency hyperedges and data) to a
+/// line-oriented text format. Attributes are written by *name*, so the
+/// stream is portable across databases; the reader re-interns them. Shared
+/// subexpressions are written once and referenced by index, so compressed
+/// (DAG) factorisations round-trip without blow-up.
+void WriteFactorisation(const Factorisation& f, const AttributeRegistry& reg,
+                        std::ostream& out);
+
+/// Reads a factorisation written by WriteFactorisation, interning attribute
+/// names into `reg`. Throws std::invalid_argument on malformed input.
+Factorisation ReadFactorisation(std::istream& in, AttributeRegistry* reg);
+
+/// File convenience wrappers.
+void SaveFactorisation(const Factorisation& f, const AttributeRegistry& reg,
+                       const std::string& path);
+Factorisation LoadFactorisation(const std::string& path,
+                                AttributeRegistry* reg);
+
+}  // namespace fdb
+
+#endif  // FDB_CORE_IO_H_

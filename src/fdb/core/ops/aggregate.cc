@@ -1,0 +1,434 @@
+#include "fdb/core/ops/aggregate.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "fdb/core/ops/restructure.h"
+
+namespace fdb {
+namespace {
+
+[[noreturn]] void BadComposition(const std::string& what) {
+  throw std::invalid_argument("aggregation: invalid composition: " + what);
+}
+
+bool IsCarrierNode(const FTreeNode& nd, const AggTask& task) {
+  if (task.fn == AggFn::kCount) return false;
+  if (nd.is_aggregate()) {
+    return nd.agg->fn == task.fn && nd.agg->source == task.source;
+  }
+  return std::binary_search(nd.attrs.begin(), nd.attrs.end(), task.source);
+}
+
+// How one subtree node contributes to the multiplicity product during the
+// count/sum recursions (the composition rules of Prop. 2, generalised to the
+// sibling representation of composite aggregates, where leaves created by
+// the same operator share an identical `over` set: the count leaf carries
+// the multiplicity of that set and its siblings contribute factor 1).
+enum class Factor {
+  kOne,    // atomic node, or an aggregate whose multiplicity is owned
+           // elsewhere (a count sibling with equal `over`, or the carrier)
+  kValue,  // count node: multiply by the stored count
+};
+
+// The validated evaluation plan for one task over one subtree.
+struct Analysis {
+  int carrier = -1;  // node id for sum/min/max; -1 for count
+  std::unordered_map<int, Factor> factor;  // per aggregate node id
+};
+
+// Validates `task` over the subtree at `u` and computes the factor map.
+// Throws std::invalid_argument on compositions outside Prop. 2.
+// Validates `task` over the disjoint union of the subtrees at `roots` (a
+// product of independent fragments) and computes the factor map. Composite
+// sibling leaves may be spread across different roots, so the carrier/count
+// ownership rules must be applied globally, not per root.
+Analysis Analyze(const FTree& tree, const std::vector<int>& roots,
+                 const AggTask& task) {
+  Analysis a;
+  std::vector<int> nodes;
+  for (int r : roots) {
+    std::vector<int> sub = tree.SubtreeNodes(r);
+    nodes.insert(nodes.end(), sub.begin(), sub.end());
+  }
+
+  if (task.fn != AggFn::kCount) {
+    for (int n : nodes) {
+      if (IsCarrierNode(tree.node(n), task)) {
+        if (a.carrier >= 0) BadComposition("multiple carrier nodes");
+        a.carrier = n;
+      }
+    }
+    if (a.carrier < 0) {
+      BadComposition(AggFnName(task.fn) + ": source attribute not in subtree");
+    }
+  }
+  if (task.fn == AggFn::kMin || task.fn == AggFn::kMax) {
+    // Min/max ignore multiplicities entirely; all other nodes are ignored.
+    for (int n : nodes) a.factor[n] = Factor::kOne;
+    return a;
+  }
+
+  // For count and sum, every original attribute's multiplicity must be
+  // accounted for exactly once: by its atomic node, by a count node's
+  // `over` set, or (for sum) by the carrier itself.
+  const std::vector<AttrId> carrier_over =
+      a.carrier >= 0 && tree.node(a.carrier).is_aggregate()
+          ? tree.node(a.carrier).agg->over
+          : std::vector<AttrId>{};
+  std::vector<AttrId> covered;
+  std::vector<std::vector<AttrId>> count_overs;
+  for (int n : nodes) {
+    const FTreeNode& nd = tree.node(n);
+    if (!nd.is_aggregate()) {
+      a.factor[n] = Factor::kOne;
+      covered.insert(covered.end(), nd.attrs.begin(), nd.attrs.end());
+      continue;
+    }
+    if (n == a.carrier) {
+      covered.insert(covered.end(), nd.agg->over.begin(), nd.agg->over.end());
+      continue;
+    }
+    if (nd.agg->fn == AggFn::kCount) {
+      // A count node whose range equals the carrier's is a composite
+      // sibling: the carrier already owns that multiplicity.
+      if (!carrier_over.empty() && nd.agg->over == carrier_over) {
+        a.factor[n] = Factor::kOne;
+      } else {
+        a.factor[n] = Factor::kValue;
+        covered.insert(covered.end(), nd.agg->over.begin(),
+                       nd.agg->over.end());
+        count_overs.push_back(nd.agg->over);
+      }
+      continue;
+    }
+    // A non-count aggregate node that is not the carrier: its multiplicity
+    // must be owned by a count sibling with an identical range or by the
+    // carrier; otherwise the composition loses multiplicities (Prop. 2).
+    a.factor[n] = Factor::kOne;
+    bool owned = !carrier_over.empty() && nd.agg->over == carrier_over;
+    for (int m : nodes) {
+      const FTreeNode& md = tree.node(m);
+      if (m != n && md.is_aggregate() && md.agg->fn == AggFn::kCount &&
+          md.agg->over == nd.agg->over) {
+        owned = true;
+      }
+    }
+    if (!owned) {
+      BadComposition(AggFnName(task.fn) + " over a " +
+                     AggFnName(nd.agg->fn) + " node with uncounted range");
+    }
+  }
+  // Coverage must be exact and disjoint.
+  std::sort(covered.begin(), covered.end());
+  if (std::adjacent_find(covered.begin(), covered.end()) != covered.end()) {
+    BadComposition("attribute multiplicity counted twice");
+  }
+  std::vector<AttrId> original;
+  for (int r : roots) {
+    std::vector<AttrId> sub = tree.SubtreeOriginalAttrs(r);
+    original.insert(original.end(), sub.begin(), sub.end());
+  }
+  std::sort(original.begin(), original.end());
+  original.erase(std::unique(original.begin(), original.end()),
+                 original.end());
+  if (covered != original) {
+    BadComposition("attribute multiplicities not fully covered");
+  }
+  return a;
+}
+
+int64_t CountRec(const FTree& tree, int node, const FactNode& n,
+                 const Analysis& a) {
+  const FTreeNode& nd = tree.node(node);
+  const std::vector<int>& kids = tree.children(node);
+  int k = static_cast<int>(kids.size());
+  bool use_value =
+      nd.is_aggregate() && a.factor.at(node) == Factor::kValue;
+  int64_t total = 0;
+  for (int i = 0; i < n.size(); ++i) {
+    int64_t prod = use_value ? n.values[i].as_int() : 1;
+    for (int c = 0; c < k && prod != 0; ++c) {
+      prod *= CountRec(tree, kids[c], *n.child(i, k, c), a);
+    }
+    total += prod;
+  }
+  return total;
+}
+
+Value SumRec(const FTree& tree, int node, const FactNode& n,
+             const Analysis& a) {
+  const FTreeNode& nd = tree.node(node);
+  const std::vector<int>& kids = tree.children(node);
+  int k = static_cast<int>(kids.size());
+
+  if (node == a.carrier) {
+    // Σᵢ vᵢ · Π_c count(child); the children never contain the source.
+    Value total(static_cast<int64_t>(0));
+    for (int i = 0; i < n.size(); ++i) {
+      int64_t cnt = 1;
+      for (int c = 0; c < k; ++c) {
+        cnt *= CountRec(tree, kids[c], *n.child(i, k, c), a);
+      }
+      total = AddValues(total, MulByCount(n.values[i], cnt));
+    }
+    return total;
+  }
+
+  // Exactly one child subtree contains the carrier.
+  int cstar = -1;
+  for (int c = 0; c < k; ++c) {
+    if (kids[c] == a.carrier || tree.IsAncestor(kids[c], a.carrier)) {
+      cstar = c;
+    }
+  }
+  if (cstar < 0) BadComposition("sum: carrier not below node");
+
+  bool use_value =
+      nd.is_aggregate() && a.factor.at(node) == Factor::kValue;
+  Value total(static_cast<int64_t>(0));
+  for (int i = 0; i < n.size(); ++i) {
+    int64_t w = use_value ? n.values[i].as_int() : 1;
+    for (int c = 0; c < k; ++c) {
+      if (c != cstar) w *= CountRec(tree, kids[c], *n.child(i, k, c), a);
+    }
+    Value s = SumRec(tree, kids[cstar], *n.child(i, k, cstar), a);
+    total = AddValues(total, MulByCount(s, w));
+  }
+  return total;
+}
+
+Value MinMaxRec(const FTree& tree, int node, const FactNode& n,
+                const Analysis& a, bool is_min) {
+  const std::vector<int>& kids = tree.children(node);
+  int k = static_cast<int>(kids.size());
+  if (node == a.carrier) {
+    // Unions are sorted, so the extremum is at an end (§4.1 invariant).
+    return is_min ? n.values.front() : n.values.back();
+  }
+  int cstar = -1;
+  for (int c = 0; c < k; ++c) {
+    if (kids[c] == a.carrier || tree.IsAncestor(kids[c], a.carrier)) {
+      cstar = c;
+    }
+  }
+  if (cstar < 0) BadComposition("min/max: carrier not below node");
+  Value best;
+  for (int i = 0; i < n.size(); ++i) {
+    Value v = MinMaxRec(tree, kids[cstar], *n.child(i, k, cstar), a, is_min);
+    if (i == 0) {
+      best = v;
+    } else {
+      best = is_min ? MinValue(best, v) : MaxValue(best, v);
+    }
+  }
+  return best;
+}
+
+Value Eval(const FTree& tree, int node, const FactNode& n, const AggTask& task,
+           const Analysis& a) {
+  switch (task.fn) {
+    case AggFn::kCount:
+      return Value(CountRec(tree, node, n, a));
+    case AggFn::kSum:
+      return SumRec(tree, node, n, a);
+    case AggFn::kMin:
+    case AggFn::kMax:
+      return MinMaxRec(tree, node, n, a, task.fn == AggFn::kMin);
+  }
+  throw std::logic_error("EvalAggregate: unreachable");
+}
+
+}  // namespace
+
+int FindCarrierNode(const FTree& tree, int u, const AggTask& task) {
+  int found = -1;
+  for (int n : tree.SubtreeNodes(u)) {
+    if (IsCarrierNode(tree.node(n), task)) {
+      if (found >= 0) BadComposition("multiple carrier nodes");
+      found = n;
+    }
+  }
+  return found;
+}
+
+void CheckComposable(const FTree& tree, int u, const AggTask& task) {
+  Analyze(tree, {u}, task);
+}
+
+int64_t EvalCount(const FTree& tree, int node, const FactNode& n) {
+  Analysis a = Analyze(tree, {node}, {AggFn::kCount, kInvalidAttr});
+  return CountRec(tree, node, n, a);
+}
+
+Value EvalAggregate(const FTree& tree, int node, const FactNode& n,
+                    const AggTask& task) {
+  Analysis a = Analyze(tree, {node}, task);
+  return Eval(tree, node, n, task, a);
+}
+
+Value EvalAggregateProduct(
+    const FTree& tree,
+    const std::vector<std::pair<int, const FactNode*>>& parts,
+    const AggTask& task) {
+  if (parts.empty()) {
+    // Aggregate over the empty product {()}: one nullary tuple.
+    if (task.fn == AggFn::kCount) return Value(static_cast<int64_t>(1));
+    BadComposition("sum/min/max over no attributes");
+  }
+  // The parts form a product of independent fragments, but composite
+  // sibling leaves (e.g. a sum and its count twin) may be spread across
+  // parts, so the ownership analysis must span all of them.
+  std::vector<int> roots;
+  for (const auto& [node, n] : parts) roots.push_back(node);
+  Analysis a = Analyze(tree, roots, task);
+  switch (task.fn) {
+    case AggFn::kCount: {
+      int64_t prod = 1;
+      for (const auto& [node, n] : parts) {
+        prod *= CountRec(tree, node, *n, a);
+      }
+      return Value(prod);
+    }
+    case AggFn::kSum: {
+      // Exactly one part carries the source; the rest contribute counts.
+      int carrier_part = -1;
+      for (size_t p = 0; p < parts.size(); ++p) {
+        if (parts[p].first == a.carrier ||
+            tree.IsAncestor(parts[p].first, a.carrier)) {
+          carrier_part = static_cast<int>(p);
+        }
+      }
+      if (carrier_part < 0) BadComposition("sum: source not found");
+      Value s = SumRec(tree, parts[carrier_part].first,
+                       *parts[carrier_part].second, a);
+      int64_t cnt = 1;
+      for (size_t p = 0; p < parts.size(); ++p) {
+        if (static_cast<int>(p) == carrier_part) continue;
+        cnt *= CountRec(tree, parts[p].first, *parts[p].second, a);
+      }
+      return MulByCount(s, cnt);
+    }
+    case AggFn::kMin:
+    case AggFn::kMax: {
+      for (const auto& [node, n] : parts) {
+        if (node == a.carrier || tree.IsAncestor(node, a.carrier)) {
+          return MinMaxRec(tree, node, *n, a, task.fn == AggFn::kMin);
+        }
+      }
+      BadComposition("min/max: source not found");
+    }
+  }
+  throw std::logic_error("EvalAggregateProduct: unreachable");
+}
+
+namespace {
+
+std::string AggName(const AttributeRegistry& reg, const AggTask& task,
+                    const std::vector<AttrId>& over) {
+  std::string s = AggFnName(task.fn);
+  if (task.source != kInvalidAttr) s += "_" + reg.Name(task.source);
+  s += "(";
+  for (size_t i = 0; i < over.size(); ++i) {
+    if (i) s += ",";
+    s += reg.Name(over[i]);
+  }
+  s += ")";
+  return s;
+}
+
+AttrId FreshAttr(AttributeRegistry* reg, const std::string& base) {
+  if (!reg->Find(base).has_value()) return reg->Intern(base);
+  for (int i = 2;; ++i) {
+    std::string name = base + "#" + std::to_string(i);
+    if (!reg->Find(name).has_value()) return reg->Intern(name);
+  }
+}
+
+}  // namespace
+
+std::vector<int> ApplyAggregate(Factorisation* f, AttributeRegistry* reg,
+                                int u, const std::vector<AggTask>& tasks) {
+  if (tasks.empty()) {
+    throw std::invalid_argument("ApplyAggregate: no aggregation tasks");
+  }
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    for (size_t j = i + 1; j < tasks.size(); ++j) {
+      if (tasks[i] == tasks[j]) {
+        throw std::invalid_argument("ApplyAggregate: duplicate task");
+      }
+    }
+  }
+  const FTree& tree = f->tree();
+  std::vector<Analysis> analyses;
+  for (const AggTask& t : tasks) analyses.push_back(Analyze(tree, {u}, t));
+
+  std::vector<AttrId> over = tree.SubtreeOriginalAttrs(u);
+  std::vector<AggregateLabel> labels;
+  for (const AggTask& t : tasks) {
+    AggregateLabel l;
+    l.fn = t.fn;
+    l.source = t.source;
+    l.over = over;
+    l.id = FreshAttr(reg, AggName(*reg, t, over));
+    labels.push_back(std::move(l));
+  }
+
+  bool was_empty = f->empty();
+  int parent = tree.parent(u);
+  if (was_empty) {
+    // Normalise the empty relation: all roots become empty unions so the
+    // data stays shape-consistent with the mutated tree below.
+    for (FactPtr& r : f->mutable_roots()) r = MakeLeaf({});
+  } else {
+    auto eval_all = [&](const FactNode& sub) {
+      std::vector<FactPtr> leaves;
+      for (size_t t = 0; t < tasks.size(); ++t) {
+        leaves.push_back(
+            MakeLeaf({Eval(tree, u, sub, tasks[t], analyses[t])}));
+      }
+      return leaves;
+    };
+    if (parent < 0) {
+      // Aggregating a whole root tree: one value per task.
+      int slot = tree.SlotOf(u);
+      std::vector<FactPtr> leaves = eval_all(*f->roots()[slot]);
+      auto& roots = f->mutable_roots();
+      roots[slot] = std::move(leaves[0]);
+      for (size_t i = 1; i < leaves.size(); ++i) {
+        roots.push_back(std::move(leaves[i]));
+      }
+    } else {
+      int kp = static_cast<int>(tree.children(parent).size());
+      int slot = tree.SlotOf(u);
+      RewriteInFactorisation(f, parent, [&](const FactNode& np) {
+        auto out = std::make_shared<FactNode>();
+        out->values = np.values;
+        for (int i = 0; i < np.size(); ++i) {
+          std::vector<FactPtr> leaves = eval_all(*np.child(i, kp, slot));
+          // First task takes u's slot; the rest are appended at the end,
+          // mirroring FTree::ReplaceSubtreeWithAggregates.
+          for (int c = 0; c < kp; ++c) {
+            out->children.push_back(c == slot ? leaves[0]
+                                              : np.child(i, kp, c));
+          }
+          for (size_t t = 1; t < leaves.size(); ++t) {
+            out->children.push_back(leaves[t]);
+          }
+        }
+        return out;
+      });
+    }
+  }
+
+  std::vector<int> ids =
+      f->mutable_tree().ReplaceSubtreeWithAggregates(u, std::move(labels));
+  if (was_empty) {
+    // Keep roots aligned with the tree on the empty relation.
+    f->mutable_roots().resize(f->tree().roots().size(), MakeLeaf({}));
+  }
+  return ids;
+}
+
+}  // namespace fdb

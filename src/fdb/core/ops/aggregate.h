@@ -1,0 +1,52 @@
+#ifndef FDB_CORE_OPS_AGGREGATE_H_
+#define FDB_CORE_OPS_AGGREGATE_H_
+
+#include <utility>
+#include <vector>
+
+#include "fdb/core/factorisation.h"
+
+namespace fdb {
+
+/// Verifies that evaluating `task` over the subtree rooted at `u` is a valid
+/// composition per Proposition 2 — i.e. every aggregate node already inside
+/// the subtree can be interpreted (count within count/sum; a unique carrier
+/// for sum/min/max). Throws std::invalid_argument otherwise.
+void CheckComposable(const FTree& tree, int u, const AggTask& task);
+
+/// The node inside the subtree at `u` that carries `source`: either the
+/// atomic class containing it, or a compatible aggregate node whose function
+/// matches `task.fn` with the same source. Returns -1 if absent.
+int FindCarrierNode(const FTree& tree, int u, const AggTask& task);
+
+/// Linear-time cardinality of the relation represented by the union `n` at
+/// f-tree node `node` (§3.2.1), interpreting count-aggregate singletons as
+/// pre-computed counts. Throws on non-count aggregate nodes.
+int64_t EvalCount(const FTree& tree, int node, const FactNode& n);
+
+/// Linear-time evaluation of `task` over the union `n` at f-tree node `node`
+/// (§3.2.1–§3.2.3). For sum, uses sum(E_j) · Π count(E_i); for min/max,
+/// exploits sorted unions. The caller must have checked composability.
+Value EvalAggregate(const FTree& tree, int node, const FactNode& n,
+                    const AggTask& task);
+
+/// Evaluates `task` over the *product* of several subtree instances — used
+/// for on-the-fly aggregation during enumeration (§1 scenario 3), where the
+/// non-grouping subtrees hanging below the current group binding are
+/// combined without materialising anything.
+Value EvalAggregateProduct(
+    const FTree& tree,
+    const std::vector<std::pair<int, const FactNode*>>& parts,
+    const AggTask& task);
+
+/// The aggregation operator γ_F(U) of §3, for a composite list of tasks:
+/// replaces the subtree rooted at `u` by one aggregate leaf per task, in
+/// every branch of the factorisation, and updates the f-tree and its
+/// dependency hypergraph. Fresh aggregate attribute names are interned in
+/// `reg`. Returns the new aggregate node ids (aligned with `tasks`).
+std::vector<int> ApplyAggregate(Factorisation* f, AttributeRegistry* reg,
+                                int u, const std::vector<AggTask>& tasks);
+
+}  // namespace fdb
+
+#endif  // FDB_CORE_OPS_AGGREGATE_H_

@@ -1,0 +1,117 @@
+#include "fdb/core/ops/project.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fdb {
+namespace {
+
+FactPtr CopyFragment(const FTree& tree, int node, const FactNode& n,
+                     const std::unordered_set<int>& keep,
+                     const std::vector<int>& kept_child_slots) {
+  int k = static_cast<int>(tree.children(node).size());
+  auto out = std::make_shared<FactNode>();
+  out->values = n.values;
+  for (int i = 0; i < n.size(); ++i) {
+    for (int slot : kept_child_slots) {
+      int child = tree.children(node)[slot];
+      // Recompute the kept slots of the child lazily below.
+      std::vector<int> child_slots;
+      const std::vector<int>& cc = tree.children(child);
+      for (size_t c = 0; c < cc.size(); ++c) {
+        if (keep.count(cc[c])) child_slots.push_back(static_cast<int>(c));
+      }
+      out->children.push_back(CopyFragment(tree, child, *n.child(i, k, slot),
+                                           keep, child_slots));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Factorisation ProjectToTopFragment(const Factorisation& f,
+                                   const std::vector<int>& keep_nodes) {
+  const FTree& tree = f.tree();
+  std::unordered_set<int> keep(keep_nodes.begin(), keep_nodes.end());
+  for (int n : keep_nodes) {
+    int p = tree.parent(n);
+    if (p >= 0 && !keep.count(p)) {
+      throw std::invalid_argument(
+          "ProjectToTopFragment: kept nodes must form a top fragment "
+          "(Theorem 1); restructure first");
+    }
+  }
+
+  // Rebuild the f-tree restricted to the kept nodes (fresh ids).
+  FTree out_tree;
+  std::unordered_map<int, int> remap;
+  for (int n : tree.TopologicalOrder()) {
+    if (!keep.count(n)) continue;
+    const FTreeNode& nd = tree.node(n);
+    int parent = tree.parent(n) >= 0 ? remap.at(tree.parent(n)) : -1;
+    remap[n] = nd.is_aggregate()
+                   ? out_tree.AddAggregateNode(*nd.agg, parent)
+                   : out_tree.AddNode(nd.attrs, parent);
+  }
+
+  // Kept attribute ids, for restricting the dependency hypergraph.
+  std::vector<AttrId> kept_attrs;
+  for (int n : keep_nodes) {
+    auto ids = tree.node(n).AllAttrIds();
+    kept_attrs.insert(kept_attrs.end(), ids.begin(), ids.end());
+  }
+  std::sort(kept_attrs.begin(), kept_attrs.end());
+
+  // Edges fully inside the kept attributes survive; all others merge into
+  // one (their removed attributes made the rest mutually dependent).
+  Hyperedge merged;
+  merged.weight = 1.0;
+  bool any_merged = false;
+  for (const Hyperedge& e : tree.edges()) {
+    bool inside = true;
+    for (AttrId a : e.attrs) {
+      if (!std::binary_search(kept_attrs.begin(), kept_attrs.end(), a)) {
+        inside = false;
+      }
+    }
+    if (inside) {
+      out_tree.AddEdge(e);
+      continue;
+    }
+    any_merged = true;
+    for (AttrId a : e.attrs) {
+      if (std::binary_search(kept_attrs.begin(), kept_attrs.end(), a)) {
+        merged.attrs.push_back(a);
+      }
+    }
+    merged.weight *= e.weight;
+    if (!merged.name.empty()) merged.name += "*";
+    merged.name += e.name.empty() ? "?" : e.name;
+  }
+  if (any_merged && !merged.attrs.empty()) {
+    out_tree.AddEdge(std::move(merged));
+  }
+
+  // Copy the data fragment.
+  std::vector<FactPtr> roots;
+  for (size_t r = 0; r < tree.roots().size(); ++r) {
+    int root = tree.roots()[r];
+    if (!keep.count(root)) continue;  // whole tree projected away
+    std::vector<int> child_slots;
+    const std::vector<int>& cc = tree.children(root);
+    for (size_t c = 0; c < cc.size(); ++c) {
+      if (keep.count(cc[c])) child_slots.push_back(static_cast<int>(c));
+    }
+    roots.push_back(
+        CopyFragment(tree, root, *f.roots()[r], keep, child_slots));
+  }
+  if (f.empty()) {
+    for (FactPtr& r : roots) r = MakeLeaf({});
+  }
+  return Factorisation(std::move(out_tree), std::move(roots));
+}
+
+}  // namespace fdb

@@ -1,0 +1,27 @@
+#ifndef FDB_CORE_OPS_PROJECT_H_
+#define FDB_CORE_OPS_PROJECT_H_
+
+#include <vector>
+
+#include "fdb/core/factorisation.h"
+
+namespace fdb {
+
+/// Materialised projection on a factorisation with set semantics (the π of
+/// select-project-join queries): keeps exactly the nodes in `keep_nodes`,
+/// which must form a top fragment of the f-tree (every kept node is a root
+/// or the child of a kept node — push them up with PlanRestructure /
+/// ApplySwap first, exactly as for grouping, Theorem 1).
+///
+/// Every retained binding of the kept nodes had at least one tuple below it
+/// (empty branches are pruned by invariant), so discarding the subtrees
+/// below the fragment yields precisely the distinct projection. Hyperedges
+/// touching removed attributes are merged (projection makes the attributes
+/// they connected mutually dependent, as in §3). Node ids are remapped;
+/// the result is a fresh factorisation sharing no structure with the input.
+Factorisation ProjectToTopFragment(const Factorisation& f,
+                                   const std::vector<int>& keep_nodes);
+
+}  // namespace fdb
+
+#endif  // FDB_CORE_OPS_PROJECT_H_

@@ -1,0 +1,103 @@
+#include "fdb/core/ops/restructure.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace fdb {
+namespace {
+
+// The chain of child-slot indices leading from `root_node` down to `target`.
+std::vector<int> SlotChain(const FTree& tree, int root_node, int target) {
+  std::vector<int> nodes;
+  for (int n = target; n != root_node; n = tree.parent(n)) {
+    if (n < 0) {
+      throw std::invalid_argument("SlotChain: target not under root");
+    }
+    nodes.push_back(n);
+  }
+  std::reverse(nodes.begin(), nodes.end());
+  std::vector<int> slots;
+  for (int n : nodes) slots.push_back(tree.SlotOf(n));
+  return slots;
+}
+
+FactPtr RewriteRec(const FTree& tree, int node, const FactNode& n,
+                   const std::vector<int>& slots, size_t depth,
+                   const std::function<FactPtr(const FactNode&)>& fn) {
+  if (depth == slots.size()) return fn(n);
+  int k = static_cast<int>(tree.children(node).size());
+  int slot = slots[depth];
+  int next = tree.children(node)[slot];
+  auto out = std::make_shared<FactNode>();
+  for (int i = 0; i < n.size(); ++i) {
+    FactPtr rewritten =
+        RewriteRec(tree, next, *n.child(i, k, slot), slots, depth + 1, fn);
+    if (rewritten == nullptr || rewritten->values.empty()) continue;  // prune
+    out->values.push_back(n.values[i]);
+    for (int c = 0; c < k; ++c) {
+      out->children.push_back(c == slot ? rewritten : n.child(i, k, c));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+FactPtr RewriteAtNode(const FTree& tree, int root_node, const FactPtr& root,
+                      int target,
+                      const std::function<FactPtr(const FactNode&)>& fn) {
+  std::vector<int> slots = SlotChain(tree, root_node, target);
+  return RewriteRec(tree, root_node, *root, slots, 0, fn);
+}
+
+void RewriteInFactorisation(
+    Factorisation* f, int target,
+    const std::function<FactPtr(const FactNode&)>& fn) {
+  const FTree& tree = f->tree();
+  int root_node = tree.RootOf(target);
+  int slot = -1;
+  for (size_t r = 0; r < tree.roots().size(); ++r) {
+    if (tree.roots()[r] == root_node) slot = static_cast<int>(r);
+  }
+  if (slot < 0) throw std::logic_error("RewriteInFactorisation: root missing");
+  FactPtr nr = RewriteAtNode(tree, root_node, f->roots()[slot], target, fn);
+  if (nr == nullptr) nr = MakeLeaf({});
+  f->mutable_roots()[slot] = std::move(nr);
+}
+
+void ApplyRemoveLeaf(Factorisation* f, int leaf) {
+  const FTree& tree = f->tree();
+  if (!tree.children(leaf).empty()) {
+    throw std::invalid_argument("ApplyRemoveLeaf: node is not a leaf");
+  }
+  int parent = tree.parent(leaf);
+  if (parent < 0) {
+    // A root leaf: drop the whole (single-node) tree from the forest. This
+    // changes the represented relation only by projecting the column away.
+    int slot = tree.SlotOf(leaf);
+    f->mutable_roots().erase(f->mutable_roots().begin() + slot);
+  } else {
+    int k = static_cast<int>(tree.children(parent).size());
+    int slot = tree.SlotOf(leaf);
+    RewriteInFactorisation(f, parent, [&](const FactNode& n) {
+      auto out = std::make_shared<FactNode>();
+      out->values = n.values;
+      for (int i = 0; i < n.size(); ++i) {
+        for (int c = 0; c < k; ++c) {
+          if (c != slot) out->children.push_back(n.child(i, k, c));
+        }
+      }
+      return out;
+    });
+  }
+  f->mutable_tree().RemoveLeaf(leaf);
+}
+
+void ApplyRename(Factorisation* f, AttributeRegistry* reg, int u,
+                 const std::string& name) {
+  AttrId id = reg->Intern(name);
+  f->mutable_tree().RenameAggregate(u, id);
+}
+
+}  // namespace fdb

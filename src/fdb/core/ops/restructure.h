@@ -1,0 +1,35 @@
+#ifndef FDB_CORE_OPS_RESTRUCTURE_H_
+#define FDB_CORE_OPS_RESTRUCTURE_H_
+
+#include <functional>
+
+#include "fdb/core/factorisation.h"
+
+namespace fdb {
+
+/// Rewrites the union at f-tree node `target` in every instance reachable
+/// from `root_node`/`root`. `fn` maps each old union to its replacement; a
+/// replacement with no values prunes the enclosing entry, and pruning
+/// propagates upwards (an emptied root signals the empty relation).
+/// Untouched subtrees are shared, not copied.
+FactPtr RewriteAtNode(const FTree& tree, int root_node, const FactPtr& root,
+                      int target,
+                      const std::function<FactPtr(const FactNode&)>& fn);
+
+/// Applies RewriteAtNode within the factorisation containing `target`,
+/// updating the appropriate root in place. Call *before* mutating the tree.
+void RewriteInFactorisation(
+    Factorisation* f, int target,
+    const std::function<FactPtr(const FactNode&)>& fn);
+
+/// Removes a leaf node from both tree and data (projection; set semantics
+/// is preserved because sibling values within a union are distinct).
+void ApplyRemoveLeaf(Factorisation* f, int leaf);
+
+/// Renames the aggregate attribute of node `u` to `name` (interned fresh).
+void ApplyRename(Factorisation* f, AttributeRegistry* reg, int u,
+                 const std::string& name);
+
+}  // namespace fdb
+
+#endif  // FDB_CORE_OPS_RESTRUCTURE_H_

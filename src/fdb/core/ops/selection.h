@@ -1,0 +1,25 @@
+#ifndef FDB_CORE_OPS_SELECTION_H_
+#define FDB_CORE_OPS_SELECTION_H_
+
+#include "fdb/core/factorisation.h"
+
+namespace fdb {
+
+/// The merge selection operator: equates the attribute classes of sibling
+/// nodes `a` and `b` (children of the same parent, or both roots), merging
+/// `b` into `a`. Implemented as a sorted-list intersection of the two
+/// unions; entries whose intersection is empty are pruned.
+void ApplyMerge(Factorisation* f, int a, int b);
+
+/// The absorb selection operator: equates the class of node `b` with that of
+/// its ancestor `a`; within each branch, `b`'s union is restricted to the
+/// value bound at `a` and `b`'s children are spliced into `b`'s parent.
+void ApplyAbsorb(Factorisation* f, int a, int b);
+
+/// Selection with a constant, σ_{A θ c}: filters the union at the node of
+/// attribute `A` (`node`), pruning emptied branches.
+void ApplySelectConst(Factorisation* f, int node, CmpOp op, const Value& c);
+
+}  // namespace fdb
+
+#endif  // FDB_CORE_OPS_SELECTION_H_

@@ -1,0 +1,91 @@
+#include "fdb/core/ops/swap.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fdb/core/ops/restructure.h"
+
+namespace fdb {
+
+void ApplySwap(Factorisation* f, int b) {
+  const FTree& tree = f->tree();
+  int a = tree.parent(b);
+  if (a < 0) throw std::invalid_argument("ApplySwap: node is a root");
+
+  const int ka = static_cast<int>(tree.children(a).size());
+  const int kb = static_cast<int>(tree.children(b).size());
+  const int slot_b = tree.SlotOf(b);
+
+  // Partition b's child slots exactly as FTree::SwapUp will: slots whose
+  // subtree depends on a move under a (TAB), the rest stay under b (TB).
+  std::vector<int> stay_slots, move_slots;
+  for (int c = 0; c < kb; ++c) {
+    if (tree.SubtreeDependsOn(tree.children(b)[c], a)) {
+      move_slots.push_back(c);
+    } else {
+      stay_slots.push_back(c);
+    }
+  }
+
+  // Data transformation, per instance of the union at A:
+  //   ⋃_a ⟨a⟩ × E_a × ⋃_b ⟨b⟩ × F_b × G_ab
+  //     ↦ ⋃_b ⟨b⟩ × F_b × ⋃_a ⟨a⟩ × E_a × G_ab .
+  auto rewriter = [&](const FactNode& ua) -> FactPtr {
+    // Collect (b_value, a_entry, b_entry) triples and sort by (value, a).
+    struct Occ {
+      const Value* v;
+      int ai, bi;
+    };
+    std::vector<Occ> occs;
+    for (int i = 0; i < ua.size(); ++i) {
+      const FactNode& ub = *ua.child(i, ka, slot_b);
+      for (int j = 0; j < ub.size(); ++j) {
+        occs.push_back({&ub.values[j], i, j});
+      }
+    }
+    std::stable_sort(occs.begin(), occs.end(), [](const Occ& x, const Occ& y) {
+      auto c = *x.v <=> *y.v;
+      if (c != std::strong_ordering::equal) {
+        return c == std::strong_ordering::less;
+      }
+      return x.ai < y.ai;
+    });
+
+    // New union at B: for each distinct b-value, F_b kids from the first
+    // occurrence, then an inner union at A over the matching a-entries.
+    auto out = std::make_shared<FactNode>();
+    size_t g = 0;
+    while (g < occs.size()) {
+      size_t h = g;
+      while (h < occs.size() && *occs[h].v == *occs[g].v) ++h;
+
+      auto inner = std::make_shared<FactNode>();
+      for (size_t t = g; t < h; ++t) {
+        int i = occs[t].ai;
+        const FactNode& ub = *ua.child(i, ka, slot_b);
+        inner->values.push_back(ua.values[i]);
+        // A keeps its old children except slot_b, then gains TAB.
+        for (int c = 0; c < ka; ++c) {
+          if (c != slot_b) inner->children.push_back(ua.child(i, ka, c));
+        }
+        for (int m : move_slots) {
+          inner->children.push_back(ub.child(occs[t].bi, kb, m));
+        }
+      }
+
+      out->values.push_back(*occs[g].v);
+      const FactNode& ub0 = *ua.child(occs[g].ai, ka, slot_b);
+      for (int s : stay_slots) {
+        out->children.push_back(ub0.child(occs[g].bi, kb, s));
+      }
+      out->children.push_back(std::move(inner));
+      g = h;
+    }
+    return out;
+  };
+
+  RewriteInFactorisation(f, a, rewriter);
+  f->mutable_tree().SwapUp(b);
+}
+
+}  // namespace fdb

@@ -1,0 +1,33 @@
+#ifndef FDB_CORE_STATS_H_
+#define FDB_CORE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fdb/core/factorisation.h"
+
+namespace fdb {
+
+/// Per-f-tree-node statistics of a factorisation: how many union instances
+/// the node has, how many singletons they hold, and the largest/average
+/// union size. These are the exact quantities the size bounds of [22]
+/// approximate, and what the cost metric (optimizer/cost.h) predicts.
+struct FactNodeStats {
+  int node = -1;
+  int64_t unions = 0;
+  int64_t singletons = 0;
+  int64_t max_union = 0;
+  double avg_union = 0.0;
+};
+
+/// Computes statistics for every live node, in topological order.
+std::vector<FactNodeStats> ComputeFactStats(const Factorisation& f);
+
+/// Renders a small table, e.g. for EXPLAIN-style diagnostics.
+std::string FactStatsToString(const Factorisation& f,
+                              const AttributeRegistry& reg);
+
+}  // namespace fdb
+
+#endif  // FDB_CORE_STATS_H_

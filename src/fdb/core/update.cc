@@ -1,0 +1,130 @@
+#include "fdb/core/update.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace fdb {
+namespace {
+
+// Validates the path shape and returns the node chain root → leaf.
+std::vector<int> PathChain(const FTree& tree, size_t arity) {
+  if (tree.roots().size() != 1) {
+    throw std::invalid_argument("update: view must have a single root");
+  }
+  std::vector<int> chain;
+  int n = tree.roots()[0];
+  while (true) {
+    const FTreeNode& nd = tree.node(n);
+    if (nd.is_aggregate() || nd.attrs.size() != 1) {
+      throw std::invalid_argument(
+          "update: view must consist of single-attribute atomic nodes");
+    }
+    chain.push_back(n);
+    if (tree.children(n).empty()) break;
+    if (tree.children(n).size() != 1) {
+      throw std::invalid_argument("update: view f-tree must be a path");
+    }
+    n = tree.children(n)[0];
+  }
+  if (chain.size() != arity) {
+    throw std::invalid_argument("update: tuple arity does not match view");
+  }
+  return chain;
+}
+
+// Position of `v` in the (sorted) union, or -1.
+int FindValue(const FactNode& n, const Value& v) {
+  auto it = std::lower_bound(n.values.begin(), n.values.end(), v);
+  if (it == n.values.end() || !(*it == v)) return -1;
+  return static_cast<int>(it - n.values.begin());
+}
+
+FactPtr InsertRec(const FactNode* n, const Tuple& tuple, size_t depth) {
+  bool leaf = depth + 1 == tuple.size();
+  const Value& v = tuple[depth];
+  auto out = std::make_shared<FactNode>();
+  if (n != nullptr) {
+    out->values = n->values;
+    out->children = n->children;
+  }
+  int pos = n != nullptr ? FindValue(*n, v) : -1;
+  if (pos >= 0) {
+    if (leaf) return out;  // tuple already present
+    FactPtr updated =
+        InsertRec(out->children[pos].get(), tuple, depth + 1);
+    out->children[pos] = std::move(updated);
+    return out;
+  }
+  auto it = std::lower_bound(out->values.begin(), out->values.end(), v);
+  size_t idx = static_cast<size_t>(it - out->values.begin());
+  out->values.insert(it, v);
+  if (!leaf) {
+    out->children.insert(out->children.begin() + idx,
+                         InsertRec(nullptr, tuple, depth + 1));
+  }
+  return out;
+}
+
+// Returns the updated node, or nullptr when the union became empty.
+FactPtr DeleteRec(const FactNode& n, const Tuple& tuple, size_t depth,
+                  bool* found) {
+  bool leaf = depth + 1 == tuple.size();
+  int pos = FindValue(n, tuple[depth]);
+  if (pos < 0) {
+    *found = false;
+    return nullptr;
+  }
+  auto out = std::make_shared<FactNode>();
+  out->values = n.values;
+  out->children = n.children;
+  if (leaf) {
+    *found = true;
+    out->values.erase(out->values.begin() + pos);
+  } else {
+    FactPtr updated = DeleteRec(*out->children[pos], tuple, depth + 1, found);
+    if (!*found) return nullptr;
+    if (updated == nullptr) {
+      // The branch below emptied: drop this entry too.
+      out->values.erase(out->values.begin() + pos);
+      out->children.erase(out->children.begin() + pos);
+    } else {
+      out->children[pos] = std::move(updated);
+    }
+  }
+  if (out->values.empty()) return nullptr;
+  return out;
+}
+
+}  // namespace
+
+void InsertTuple(Factorisation* f, const Tuple& tuple) {
+  PathChain(f->tree(), tuple.size());  // shape validation
+  const FactNode* root =
+      f->empty() ? nullptr : f->roots().empty() ? nullptr
+                                                : f->roots()[0].get();
+  f->mutable_roots()[0] = InsertRec(root, tuple, 0);
+}
+
+bool DeleteTuple(Factorisation* f, const Tuple& tuple) {
+  PathChain(f->tree(), tuple.size());
+  if (f->empty()) return false;
+  bool found = false;
+  FactPtr updated = DeleteRec(*f->roots()[0], tuple, 0, &found);
+  if (!found) return false;
+  f->mutable_roots()[0] = updated == nullptr ? MakeLeaf({}) : updated;
+  return true;
+}
+
+bool ContainsTuple(const Factorisation& f, const Tuple& tuple) {
+  PathChain(f.tree(), tuple.size());
+  if (f.empty()) return false;
+  const FactNode* n = f.roots()[0].get();
+  for (size_t depth = 0; depth < tuple.size(); ++depth) {
+    int pos = FindValue(*n, tuple[depth]);
+    if (pos < 0) return false;
+    if (depth + 1 < tuple.size()) n = n->children[pos].get();
+  }
+  return true;
+}
+
+}  // namespace fdb

@@ -1,0 +1,34 @@
+#ifndef FDB_CORE_UPDATE_H_
+#define FDB_CORE_UPDATE_H_
+
+#include "fdb/core/factorisation.h"
+
+namespace fdb {
+
+/// Incremental maintenance of *single-relation* factorised views (sorted
+/// tries built by FactoriseRelation, e.g. the materialised orders R2/R3 of
+/// Experiment 4). Insertion and deletion walk the root-to-leaf path of the
+/// tuple, rebuilding only the unions along it (O(depth · union size) with
+/// path copying; all untouched siblings stay shared).
+///
+/// The view's f-tree must be a single path of atomic single-attribute
+/// nodes — the shape FactoriseRelation produces. Joins of several
+/// relations need re-factorisation (incremental maintenance of factorised
+/// join views is future work beyond the paper).
+
+/// Inserts `tuple` (given over `f`'s OutputSchema order, i.e. the path
+/// order). Idempotent: inserting an existing tuple is a no-op.
+/// Throws std::invalid_argument if the tree is not a single path or the
+/// tuple has the wrong arity.
+void InsertTuple(Factorisation* f, const Tuple& tuple);
+
+/// Deletes `tuple`; returns false (and leaves `f` unchanged) if absent.
+/// Emptied unions are pruned up the path, keeping the invariants.
+bool DeleteTuple(Factorisation* f, const Tuple& tuple);
+
+/// True if the view contains the tuple (O(depth · log union size)).
+bool ContainsTuple(const Factorisation& f, const Tuple& tuple);
+
+}  // namespace fdb
+
+#endif  // FDB_CORE_UPDATE_H_

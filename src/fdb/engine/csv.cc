@@ -1,0 +1,115 @@
+#include "fdb/engine/csv.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fdb {
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream is(line);
+  while (std::getline(is, cell, ',')) cells.push_back(Trim(cell));
+  if (!line.empty() && line.back() == ',') cells.push_back("");
+  return cells;
+}
+
+Value ParseCell(const std::string& cell) {
+  if (cell.empty() || cell == "NULL") return Value();
+  errno = 0;
+  char* end = nullptr;
+  long long i = std::strtoll(cell.c_str(), &end, 10);
+  if (errno == 0 && end == cell.c_str() + cell.size()) {
+    return Value(static_cast<int64_t>(i));
+  }
+  errno = 0;
+  double d = std::strtod(cell.c_str(), &end);
+  if (errno == 0 && end == cell.c_str() + cell.size()) return Value(d);
+  return Value(cell);
+}
+
+}  // namespace
+
+Relation ReadCsv(std::istream& in, Database* db) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::invalid_argument("ReadCsv: missing header line");
+  }
+  std::vector<std::string> header = SplitLine(line);
+  if (header.empty()) {
+    throw std::invalid_argument("ReadCsv: empty header");
+  }
+  std::vector<AttrId> attrs;
+  for (const std::string& name : header) {
+    if (name.empty()) {
+      throw std::invalid_argument("ReadCsv: empty attribute name");
+    }
+    attrs.push_back(db->registry().Intern(name));
+  }
+  Relation rel{RelSchema(std::move(attrs))};
+  int lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (Trim(line).empty()) continue;
+    std::vector<std::string> cells = SplitLine(line);
+    if (cells.size() != header.size()) {
+      throw std::invalid_argument("ReadCsv: line " + std::to_string(lineno) +
+                                  " has " + std::to_string(cells.size()) +
+                                  " cells, expected " +
+                                  std::to_string(header.size()));
+    }
+    Tuple row;
+    row.reserve(cells.size());
+    for (const std::string& c : cells) row.push_back(ParseCell(c));
+    rel.Add(std::move(row));
+  }
+  return rel;
+}
+
+void LoadCsvRelation(Database* db, const std::string& name,
+                     const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("LoadCsvRelation: cannot open " + path);
+  }
+  db->AddRelation(name, ReadCsv(in, db));
+}
+
+void WriteCsv(const Relation& rel, const AttributeRegistry& reg,
+              std::ostream& out) {
+  for (int i = 0; i < rel.schema().arity(); ++i) {
+    if (i) out << ",";
+    out << reg.Name(rel.schema().attr(i));
+  }
+  out << "\n";
+  for (const Tuple& row : rel.rows()) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ",";
+      out << row[i].ToString();
+    }
+    out << "\n";
+  }
+}
+
+void SaveCsvRelation(const Relation& rel, const AttributeRegistry& reg,
+                     const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::invalid_argument("SaveCsvRelation: cannot open " + path);
+  }
+  WriteCsv(rel, reg, out);
+}
+
+}  // namespace fdb

@@ -1,0 +1,34 @@
+#ifndef FDB_ENGINE_CSV_H_
+#define FDB_ENGINE_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "fdb/engine/database.h"
+
+namespace fdb {
+
+/// Reads a relation from simple CSV: the first line is the header (attribute
+/// names, interned into `db`'s registry), subsequent lines are rows. Values
+/// are inferred per cell: integer if it parses as one, else double, else
+/// string; the literal `NULL` (and an empty cell) becomes the null value.
+/// Whitespace around cells is trimmed. Quoting/escaping is not supported —
+/// the format targets the benchmark data files, not arbitrary CSV.
+/// Throws std::invalid_argument on ragged rows or a missing header.
+Relation ReadCsv(std::istream& in, Database* db);
+
+/// Reads a CSV file and registers it as base relation `name`.
+void LoadCsvRelation(Database* db, const std::string& name,
+                     const std::string& path);
+
+/// Writes a relation as CSV (header + rows) in the format ReadCsv accepts.
+void WriteCsv(const Relation& rel, const AttributeRegistry& reg,
+              std::ostream& out);
+
+/// Writes a relation to a CSV file.
+void SaveCsvRelation(const Relation& rel, const AttributeRegistry& reg,
+                     const std::string& path);
+
+}  // namespace fdb
+
+#endif  // FDB_ENGINE_CSV_H_

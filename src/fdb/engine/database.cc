@@ -1,0 +1,171 @@
+#include "fdb/engine/database.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fdb {
+
+void Database::AddRelation(const std::string& name, Relation rel) {
+  relations_.insert_or_assign(name, std::move(rel));
+}
+
+const Relation* Database::relation(const std::string& name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+void Database::AddView(const std::string& name, Factorisation f) {
+  views_.insert_or_assign(name, std::move(f));
+}
+
+const Factorisation* Database::view(const std::string& name) const {
+  auto it = views_.find(name);
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Database::RelationNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, rel] : relations_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Database::ViewNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, f] : views_) out.push_back(name);
+  return out;
+}
+
+Relation Database::MakeRelation(
+    const std::vector<std::string>& attrs,
+    const std::vector<std::vector<int64_t>>& rows) {
+  std::vector<AttrId> ids;
+  for (const std::string& a : attrs) ids.push_back(reg_.Intern(a));
+  Relation rel{RelSchema(std::move(ids))};
+  for (const auto& row : rows) {
+    Tuple t;
+    t.reserve(row.size());
+    for (int64_t v : row) t.push_back(Value(v));
+    rel.Add(std::move(t));
+  }
+  return rel;
+}
+
+namespace {
+
+// Recursively builds the subtree for the attribute set `attrs`, whose
+// members are mutually connected only through `relations`.
+void BuildComponent(FTree* tree, int parent, std::vector<AttrId> attrs,
+                    const std::vector<const Relation*>& relations) {
+  if (attrs.empty()) return;
+
+  // Pick the attribute shared by the most relations as the component root;
+  // ties broken by smaller id for determinism.
+  auto degree = [&](AttrId a) {
+    int d = 0;
+    for (const Relation* r : relations) {
+      if (r->schema().Contains(a)) ++d;
+    }
+    return d;
+  };
+  AttrId best = attrs[0];
+  for (AttrId a : attrs) {
+    if (degree(a) > degree(best) || (degree(a) == degree(best) && a < best)) {
+      best = a;
+    }
+  }
+  int node = tree->AddNode({best}, parent);
+
+  // Partition the remaining attributes into connected components of the
+  // "co-occur in some relation" graph restricted to them; each component is
+  // independent of the others given the ancestors, so they become siblings.
+  std::vector<AttrId> rest;
+  for (AttrId a : attrs) {
+    if (a != best) rest.push_back(a);
+  }
+  std::unordered_map<AttrId, int> comp;
+  int ncomp = 0;
+  for (AttrId a : rest) {
+    if (comp.count(a)) continue;
+    // BFS over co-occurrence.
+    std::vector<AttrId> frontier = {a};
+    comp[a] = ncomp;
+    while (!frontier.empty()) {
+      AttrId x = frontier.back();
+      frontier.pop_back();
+      for (const Relation* r : relations) {
+        if (!r->schema().Contains(x)) continue;
+        for (AttrId y : r->schema().attrs()) {
+          if (comp.count(y) ||
+              std::find(rest.begin(), rest.end(), y) == rest.end()) {
+            continue;
+          }
+          comp[y] = ncomp;
+          frontier.push_back(y);
+        }
+      }
+    }
+    ++ncomp;
+  }
+  for (int c = 0; c < ncomp; ++c) {
+    std::vector<AttrId> sub;
+    for (AttrId a : rest) {
+      if (comp[a] == c) sub.push_back(a);
+    }
+    BuildComponent(tree, node, std::move(sub), relations);
+  }
+}
+
+}  // namespace
+
+FTree ChooseFTree(const std::vector<const Relation*>& relations) {
+  FTree tree;
+  std::vector<AttrId> all;
+  for (const Relation* r : relations) {
+    for (AttrId a : r->schema().attrs()) {
+      if (std::find(all.begin(), all.end(), a) == all.end()) all.push_back(a);
+    }
+  }
+  // Top-level components become separate trees of the forest.
+  std::unordered_map<AttrId, int> comp;
+  int ncomp = 0;
+  for (AttrId a : all) {
+    if (comp.count(a)) continue;
+    std::vector<AttrId> frontier = {a};
+    comp[a] = ncomp;
+    while (!frontier.empty()) {
+      AttrId x = frontier.back();
+      frontier.pop_back();
+      for (const Relation* r : relations) {
+        if (!r->schema().Contains(x)) continue;
+        for (AttrId y : r->schema().attrs()) {
+          if (!comp.count(y)) {
+            comp[y] = ncomp;
+            frontier.push_back(y);
+          }
+        }
+      }
+    }
+    ++ncomp;
+  }
+  for (int c = 0; c < ncomp; ++c) {
+    std::vector<AttrId> sub;
+    for (AttrId a : all) {
+      if (comp[a] == c) sub.push_back(a);
+    }
+    BuildComponent(&tree, -1, std::move(sub), relations);
+  }
+  for (size_t i = 0; i < relations.size(); ++i) {
+    Hyperedge e;
+    e.attrs = relations[i]->schema().attrs();
+    std::sort(e.attrs.begin(), e.attrs.end());
+    e.attrs.erase(std::unique(e.attrs.begin(), e.attrs.end()), e.attrs.end());
+    e.weight = static_cast<double>(std::max<int64_t>(1, relations[i]->size()));
+    e.name = "R" + std::to_string(i);
+    tree.AddEdge(std::move(e));
+  }
+  return tree;
+}
+
+}  // namespace fdb

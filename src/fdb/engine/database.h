@@ -1,0 +1,56 @@
+#ifndef FDB_ENGINE_DATABASE_H_
+#define FDB_ENGINE_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fdb/core/factorisation.h"
+#include "fdb/relational/relation.h"
+
+namespace fdb {
+
+/// A database: an attribute registry shared by all relations, flat base
+/// relations, and materialised views stored as factorisations (the
+/// read-optimised scenario of §1/§6). Names are case-sensitive.
+class Database {
+ public:
+  AttributeRegistry& registry() { return reg_; }
+  const AttributeRegistry& registry() const { return reg_; }
+
+  /// Interns `name` in the registry (convenience).
+  AttrId Attr(const std::string& name) { return reg_.Intern(name); }
+
+  void AddRelation(const std::string& name, Relation rel);
+  /// The named base relation, or nullptr.
+  const Relation* relation(const std::string& name) const;
+
+  void AddView(const std::string& name, Factorisation f);
+  /// The named factorised view, or nullptr.
+  const Factorisation* view(const std::string& name) const;
+
+  std::vector<std::string> RelationNames() const;
+  std::vector<std::string> ViewNames() const;
+
+  /// Builds a flat relation from rows of int64 values (test/bench helper).
+  Relation MakeRelation(const std::vector<std::string>& attrs,
+                        const std::vector<std::vector<int64_t>>& rows);
+
+ private:
+  AttributeRegistry reg_;
+  std::map<std::string, Relation> relations_;
+  std::map<std::string, Factorisation> views_;
+};
+
+/// Chooses an f-tree for the natural join of `relations` (used when a query
+/// runs on flat input and FDB must factorise it first, Experiment 2). The
+/// tree is built recursively: attributes are split into independent
+/// components (no relation spans two components), each component is rooted
+/// at its most-shared attribute, giving branching wherever the join
+/// structure allows it. Always satisfies the path constraint. Each
+/// relation contributes one dependency hyperedge weighted by its size.
+FTree ChooseFTree(const std::vector<const Relation*>& relations);
+
+}  // namespace fdb
+
+#endif  // FDB_ENGINE_DATABASE_H_

@@ -1,0 +1,272 @@
+#include "fdb/engine/fdb_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "fdb/core/build.h"
+#include "fdb/core/compress.h"
+#include "fdb/core/order.h"
+#include "fdb/core/ops/project.h"
+#include "fdb/query/parser.h"
+#include "fdb/relational/rdb_ops.h"
+
+namespace fdb {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// True if any order-by key references a task output (an aggregate alias):
+// those orders are realised by factorising and restructuring the (small)
+// aggregated result instead (Q7 in Experiment 3).
+bool OrderNeedsResult(const BoundQuery& q) {
+  for (const SortKey& k : q.order_by) {
+    for (AttrId id : q.task_ids) {
+      if (k.attr == id) return true;
+    }
+  }
+  return false;
+}
+
+// Visit order over the grouping nodes: order-by nodes first (in order-by
+// sequence), then the remaining grouping nodes in topological order.
+void GroupVisitOrder(const FTree& tree, const std::vector<AttrId>& group,
+                     const std::vector<SortKey>& order,
+                     std::vector<int>* visit, std::vector<SortDir>* dirs) {
+  std::unordered_set<int> seen;
+  for (const SortKey& k : order) {
+    int n = tree.NodeOfAttr(k.attr);
+    if (n < 0) {
+      throw std::logic_error("GroupVisitOrder: order attribute not in tree");
+    }
+    if (seen.insert(n).second) {
+      visit->push_back(n);
+      dirs->push_back(k.dir);
+    }
+  }
+  std::unordered_set<int> g_nodes;
+  for (AttrId a : group) {
+    int n = tree.NodeOfAttr(a);
+    if (n < 0) {
+      throw std::logic_error("GroupVisitOrder: group attribute not in tree");
+    }
+    g_nodes.insert(n);
+  }
+  for (int n : tree.TopologicalOrder()) {
+    if (g_nodes.count(n) && seen.insert(n).second) {
+      visit->push_back(n);
+      dirs->push_back(SortDir::kAsc);
+    }
+  }
+}
+
+// Single-row result of a full aggregation (empty GROUP BY): SQL semantics
+// on empty input are count = 0 and NULL for sum/min/max.
+Relation FullAggregation(const Factorisation& f, const BoundQuery& q) {
+  std::vector<AttrId> attrs = q.task_ids;
+  Relation raw{RelSchema(std::move(attrs))};
+  Tuple row;
+  if (f.empty()) {
+    for (const AggTask& t : q.tasks) {
+      row.push_back(t.fn == AggFn::kCount ? Value(static_cast<int64_t>(0))
+                                          : Value());
+    }
+  } else {
+    std::vector<std::pair<int, const FactNode*>> parts;
+    for (size_t r = 0; r < f.roots().size(); ++r) {
+      parts.emplace_back(f.tree().roots()[r], f.roots()[r].get());
+    }
+    for (const AggTask& t : q.tasks) {
+      row.push_back(EvalAggregateProduct(f.tree(), parts, t));
+    }
+  }
+  raw.Add(std::move(row));
+  return raw;
+}
+
+}  // namespace
+
+Factorisation FdbEngine::InputFactorisation(const BoundQuery& q) {
+  if (q.from.size() == 1) {
+    if (const Factorisation* v = db_->view(q.from[0])) {
+      return *v;  // cheap: shares all union nodes
+    }
+  }
+  std::vector<const Relation*> rels;
+  for (const std::string& name : q.from) {
+    const Relation* r = db_->relation(name);
+    if (r == nullptr) {
+      if (db_->view(name) != nullptr) {
+        throw std::invalid_argument(
+            "FdbEngine: views can only be queried alone: '" + name + "'");
+      }
+      throw std::invalid_argument("FdbEngine: unknown relation '" + name +
+                                  "'");
+    }
+    rels.push_back(r);
+  }
+  FTree tree = ChooseFTree(rels);
+  return FactoriseJoin(tree, rels);
+}
+
+FdbResult FdbEngine::ExecuteSql(const std::string& sql,
+                                const FdbOptions& options) {
+  return Execute(Bind(ParseSql(sql), db_), options);
+}
+
+FdbResult FdbEngine::Execute(const BoundQuery& q, const FdbOptions& options) {
+  FdbResult result;
+  Factorisation fact = InputFactorisation(q);
+  AttributeRegistry* reg = &db_->registry();
+
+  // --- plan ---------------------------------------------------------------
+  auto t0 = Clock::now();
+  PlannerQuery pq;
+  pq.eq_selections = q.eq_selections;
+  pq.const_selections = q.const_selections;
+  pq.group = q.group;
+  pq.tasks = q.tasks;
+  bool order_via_result = OrderNeedsResult(q);
+  if (!order_via_result) {
+    for (const SortKey& k : q.order_by) pq.order.push_back(k.attr);
+  }
+  if (options.planner == FdbOptions::Planner::kExhaustive) {
+    auto ex = ExhaustivePlan(fact.tree(), *reg, pq,
+                             options.exhaustive_max_states);
+    if (ex.has_value()) {
+      result.plan = std::move(ex->plan);
+      result.used_exhaustive = true;
+    }
+  }
+  if (!result.used_exhaustive) {
+    result.plan = GreedyPlan(fact.tree(), *reg, pq);
+  }
+  result.plan_seconds = Since(t0);
+
+  // --- execute the f-plan --------------------------------------------------
+  t0 = Clock::now();
+  ExecutePlan(&fact, reg, result.plan,
+              options.collect_stats ? &result.op_stats : nullptr);
+  result.exec_seconds = Since(t0);
+
+  if (options.factorised_output) {
+    if (!q.has_aggregates() && q.distinct_projection) {
+      // Distinct projections materialise as the projected top fragment.
+      std::vector<int> keep;
+      for (AttrId a : q.group) {
+        int n = fact.tree().NodeOfAttr(a);
+        if (std::find(keep.begin(), keep.end(), n) == keep.end()) {
+          keep.push_back(n);
+        }
+      }
+      fact = ProjectToTopFragment(fact, keep);
+    }
+    if (options.compress_output) {
+      CompressInPlace(&fact);
+      result.result_singletons = CountStoredSingletons(fact);
+    } else {
+      result.result_singletons = fact.CountSingletons();
+    }
+    result.factorised = std::move(fact);
+    return result;
+  }
+
+  // --- enumerate -----------------------------------------------------------
+  t0 = Clock::now();
+  // Enumeration may stop early at LIMIT only when no HAVING filter runs
+  // afterwards (HAVING drops rows, so the limit must apply post-filter).
+  std::optional<int64_t> enum_limit =
+      q.having.empty() ? q.limit : std::nullopt;
+
+  if (q.has_aggregates() || q.distinct_projection) {
+    Relation raw;
+    if (q.group.empty() && q.has_aggregates()) {
+      raw = FullAggregation(fact, q);
+    } else {
+      std::vector<int> visit;
+      std::vector<SortDir> dirs;
+      GroupVisitOrder(fact.tree(), q.group,
+                      order_via_result ? std::vector<SortKey>{} : q.order_by,
+                      &visit, &dirs);
+      GroupAggEnumerator e(fact, visit, dirs, q.tasks, q.task_ids);
+      raw = Relation(e.schema());
+      Tuple row(e.schema().arity());
+      std::optional<int64_t> raw_limit;
+      if (!order_via_result) raw_limit = enum_limit;
+      while (e.Next()) {
+        if (raw_limit.has_value() && raw.size() >= *raw_limit) break;
+        e.Fill(&row);
+        raw.Add(row);
+      }
+    }
+    Relation out = AssembleOutputs(q, raw, order_via_result
+                                               ? std::nullopt
+                                               : q.limit);
+    if (order_via_result) {
+      // Factorise the (small) result grouped by the order-by list and
+      // enumerate it back in order — the paper's restructuring of the
+      // aggregated result (Q7).
+      std::vector<AttrId> path;
+      for (const SortKey& k : q.order_by) {
+        if (std::find(path.begin(), path.end(), k.attr) == path.end()) {
+          path.push_back(k.attr);
+        }
+      }
+      for (AttrId a : out.schema().attrs()) {
+        if (std::find(path.begin(), path.end(), a) == path.end()) {
+          path.push_back(a);
+        }
+      }
+      Factorisation rf = FactoriseRelation(out, path);
+      std::vector<int> visit = rf.tree().TopologicalOrder();
+      std::vector<SortDir> dirs(visit.size(), SortDir::kAsc);
+      for (const SortKey& k : q.order_by) {
+        int n = rf.tree().NodeOfAttr(k.attr);
+        for (size_t i = 0; i < visit.size(); ++i) {
+          if (visit[i] == n) dirs[i] = k.dir;
+        }
+      }
+      Relation ordered = EnumerateToRelation(rf, visit, dirs, q.limit);
+      // Project back to SELECT column order.
+      std::vector<AttrId> want = out.schema().attrs();
+      out = Project(ordered, want, /*dedup=*/false);
+    }
+    result.flat = std::move(out);
+  } else {
+    // SELECT * over an SPJ query: ordered full enumeration.
+    std::vector<int> o_nodes;
+    for (const SortKey& k : q.order_by) {
+      int n = fact.tree().NodeOfAttr(k.attr);
+      if (n < 0) {
+        throw std::logic_error("FdbEngine: order attribute not in tree");
+      }
+      if (std::find(o_nodes.begin(), o_nodes.end(), n) == o_nodes.end()) {
+        o_nodes.push_back(n);
+      }
+    }
+    std::vector<int> visit = OrderedVisitSequence(fact.tree(), o_nodes);
+    std::vector<SortDir> dirs(visit.size(), SortDir::kAsc);
+    for (const SortKey& k : q.order_by) {
+      int n = fact.tree().NodeOfAttr(k.attr);
+      for (size_t i = 0; i < visit.size(); ++i) {
+        if (visit[i] == n) dirs[i] = k.dir;
+      }
+    }
+    Relation rows = EnumerateToRelation(fact, visit, dirs, enum_limit);
+    std::vector<AttrId> want;
+    for (const OutputColumn& c : q.outputs) want.push_back(c.attr);
+    result.flat = Project(rows, want, /*dedup=*/false);
+  }
+  result.enum_seconds = Since(t0);
+  if (options.collect_stats) {
+    result.result_singletons = fact.CountSingletons();
+  }
+  return result;
+}
+
+}  // namespace fdb

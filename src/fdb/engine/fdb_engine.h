@@ -1,0 +1,71 @@
+#ifndef FDB_ENGINE_FDB_ENGINE_H_
+#define FDB_ENGINE_FDB_ENGINE_H_
+
+#include <optional>
+#include <string>
+
+#include "fdb/core/enumerate.h"
+#include "fdb/engine/database.h"
+#include "fdb/optimizer/exhaustive.h"
+#include "fdb/optimizer/greedy.h"
+#include "fdb/query/binder.h"
+
+namespace fdb {
+
+/// Options controlling FDB query evaluation.
+struct FdbOptions {
+  enum class Planner { kGreedy, kExhaustive };
+  Planner planner = Planner::kGreedy;
+  /// FDB f/o: keep the result factorised instead of enumerating tuples
+  /// (Fig. 5). Only meaningful for aggregate/SPJ queries without limit.
+  bool factorised_output = false;
+  /// State cap for the exhaustive planner before falling back to greedy.
+  int exhaustive_max_states = 20000;
+  /// Record per-operator statistics (op_stats, result_singletons). Off by
+  /// default: counting singletons after every operator costs a full walk of
+  /// the factorisation, which would mask the benefit of partial
+  /// restructuring on limit queries.
+  bool collect_stats = false;
+  /// Share structurally identical subexpressions in the factorised output
+  /// (CompressInPlace): a step toward the §8 "beyond f-trees"
+  /// representations. Only meaningful with factorised_output.
+  bool compress_output = false;
+};
+
+/// The result of FDB evaluation: a flat relation (default) or the result
+/// factorisation (f/o mode), plus plan and execution statistics.
+struct FdbResult {
+  Relation flat;
+  std::optional<Factorisation> factorised;
+  FPlan plan;
+  std::vector<FOpStats> op_stats;
+  double plan_seconds = 0.0;
+  double exec_seconds = 0.0;   ///< f-plan operator execution
+  double enum_seconds = 0.0;   ///< result enumeration
+  int64_t result_singletons = 0;
+  bool used_exhaustive = false;
+};
+
+/// The FDB query engine (paper §1–§5): evaluates bound queries over
+/// factorised materialised views, or over flat relations by factorising
+/// their natural join first (Experiment 2).
+class FdbEngine {
+ public:
+  explicit FdbEngine(Database* db) : db_(db) {}
+
+  /// Evaluates `q`. FROM must name either a single factorised view or a set
+  /// of base relations.
+  FdbResult Execute(const BoundQuery& q, const FdbOptions& options = {});
+
+  /// Convenience: parse + bind + execute.
+  FdbResult ExecuteSql(const std::string& sql, const FdbOptions& options = {});
+
+ private:
+  Factorisation InputFactorisation(const BoundQuery& q);
+
+  Database* db_;
+};
+
+}  // namespace fdb
+
+#endif  // FDB_ENGINE_FDB_ENGINE_H_

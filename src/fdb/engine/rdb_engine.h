@@ -1,0 +1,46 @@
+#ifndef FDB_ENGINE_RDB_ENGINE_H_
+#define FDB_ENGINE_RDB_ENGINE_H_
+
+#include <string>
+
+#include "fdb/engine/database.h"
+#include "fdb/query/binder.h"
+
+namespace fdb {
+
+/// Options for the RDB baseline engine.
+struct RdbOptions {
+  /// Sort-based grouping mirrors SQLite; hash-based mirrors PostgreSQL
+  /// (Experiment 1 / Experiment 5).
+  enum class Grouping { kSort, kHash };
+  Grouping grouping = Grouping::kSort;
+  /// Use the manually optimised eager-aggregation plan (Yan–Larson [31])
+  /// instead of join-then-aggregate (Experiment 2, "man" bars of Fig. 6).
+  bool eager = false;
+};
+
+/// Result of RDB evaluation.
+struct RdbResult {
+  Relation flat;
+  double seconds = 0.0;
+};
+
+/// The flat relational baseline engine standing in for SQLite/PostgreSQL:
+/// pushes constant selections below the joins, natural-joins the inputs
+/// with hash joins, then groups/aggregates, sorts and limits.
+class RdbEngine {
+ public:
+  explicit RdbEngine(Database* db) : db_(db) {}
+
+  RdbResult Execute(const BoundQuery& q, const RdbOptions& options = {});
+
+  /// Convenience: parse + bind + execute.
+  RdbResult ExecuteSql(const std::string& sql, const RdbOptions& options = {});
+
+ private:
+  Database* db_;
+};
+
+}  // namespace fdb
+
+#endif  // FDB_ENGINE_RDB_ENGINE_H_

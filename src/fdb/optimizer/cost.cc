@@ -1,0 +1,24 @@
+#include "fdb/optimizer/cost.h"
+
+#include <cmath>
+#include <vector>
+
+#include "fdb/optimizer/hypergraph.h"
+
+namespace fdb {
+
+double NodeSizeBoundLog(const FTree& tree, int n) {
+  std::vector<int> path;
+  for (int u = n; u >= 0; u = tree.parent(u)) path.push_back(u);
+  return FractionalCoverLog(tree, path);
+}
+
+double FTreeCost(const FTree& tree) {
+  double total = 0.0;
+  for (int n : tree.TopologicalOrder()) {
+    total += std::exp(NodeSizeBoundLog(tree, n));
+  }
+  return total;
+}
+
+}  // namespace fdb

@@ -1,0 +1,20 @@
+#ifndef FDB_OPTIMIZER_COST_H_
+#define FDB_OPTIMIZER_COST_H_
+
+#include "fdb/core/ftree.h"
+
+namespace fdb {
+
+/// The asymptotically tight size bound (in log space) for the unions at node
+/// `n` of a factorisation over `tree` ([22], §2.1): the minimum-weight
+/// fractional edge cover of the nodes on the root-to-`n` path.
+double NodeSizeBoundLog(const FTree& tree, int n);
+
+/// The f-tree cost metric used for plan search (§5): the sum over live
+/// nodes of their size bounds, i.e. an upper bound on the number of
+/// singletons of any factorisation over `tree`.
+double FTreeCost(const FTree& tree);
+
+}  // namespace fdb
+
+#endif  // FDB_OPTIMIZER_COST_H_

@@ -1,0 +1,90 @@
+#include "fdb/optimizer/fplan.h"
+
+#include <chrono>
+#include <sstream>
+
+#include "fdb/core/ops/restructure.h"
+#include "fdb/core/ops/selection.h"
+#include "fdb/core/ops/swap.h"
+
+namespace fdb {
+
+std::vector<int> ExecuteOp(Factorisation* f, AttributeRegistry* reg,
+                           const FOp& op) {
+  switch (op.kind) {
+    case FOpKind::kSwap:
+      ApplySwap(f, op.b);
+      return {};
+    case FOpKind::kMerge:
+      ApplyMerge(f, op.a, op.b);
+      return {};
+    case FOpKind::kAbsorb:
+      ApplyAbsorb(f, op.a, op.b);
+      return {};
+    case FOpKind::kSelectConst:
+      ApplySelectConst(f, op.a, op.cmp, op.constant);
+      return {};
+    case FOpKind::kAggregate:
+      return ApplyAggregate(f, reg, op.a, op.tasks);
+    case FOpKind::kRename:
+      ApplyRename(f, reg, op.a, op.rename_to);
+      return {};
+  }
+  return {};
+}
+
+void ExecutePlan(Factorisation* f, AttributeRegistry* reg, const FPlan& plan,
+                 std::vector<FOpStats>* stats) {
+  for (const FOp& op : plan) {
+    auto t0 = std::chrono::steady_clock::now();
+    ExecuteOp(f, reg, op);
+    if (stats != nullptr) {
+      auto t1 = std::chrono::steady_clock::now();
+      FOpStats s;
+      s.kind = op.kind;
+      s.seconds = std::chrono::duration<double>(t1 - t0).count();
+      s.singletons_after = f->CountSingletons();
+      stats->push_back(s);
+    }
+  }
+}
+
+std::string PlanToString(const FPlan& plan, const AttributeRegistry& reg) {
+  std::ostringstream os;
+  for (const FOp& op : plan) {
+    switch (op.kind) {
+      case FOpKind::kSwap:
+        os << "swap(node " << op.b << " up)";
+        break;
+      case FOpKind::kMerge:
+        os << "merge(" << op.a << ", " << op.b << ")";
+        break;
+      case FOpKind::kAbsorb:
+        os << "absorb(" << op.a << ", " << op.b << ")";
+        break;
+      case FOpKind::kSelectConst:
+        os << "select(node " << op.a << " " << CmpOpName(op.cmp) << " "
+           << op.constant << ")";
+        break;
+      case FOpKind::kAggregate: {
+        os << "aggregate(subtree " << op.a << "; ";
+        for (size_t i = 0; i < op.tasks.size(); ++i) {
+          if (i) os << ", ";
+          os << AggFnName(op.tasks[i].fn);
+          if (op.tasks[i].source != kInvalidAttr) {
+            os << "_" << reg.Name(op.tasks[i].source);
+          }
+        }
+        os << ")";
+        break;
+      }
+      case FOpKind::kRename:
+        os << "rename(node " << op.a << " -> " << op.rename_to << ")";
+        break;
+    }
+    os << "; ";
+  }
+  return os.str();
+}
+
+}  // namespace fdb

@@ -1,0 +1,77 @@
+#ifndef FDB_OPTIMIZER_FPLAN_H_
+#define FDB_OPTIMIZER_FPLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fdb/core/factorisation.h"
+#include "fdb/core/ops/aggregate.h"
+
+namespace fdb {
+
+/// The kinds of low-level f-plan operators (§2.1, §3): mappings between
+/// factorisations, referencing nodes of the evolving f-tree by id (node ids
+/// are stable across all operators).
+enum class FOpKind {
+  kSwap,         ///< swap node `b` with its parent (χ)
+  kMerge,        ///< selection on sibling nodes: merge `b` into `a`
+  kAbsorb,       ///< selection on ancestor `a` / descendant `b`
+  kSelectConst,  ///< σ_{A θ c} at node `a`
+  kAggregate,    ///< γ_tasks over the subtree rooted at `a`
+  kRename,       ///< rename the aggregate attribute of node `a`
+};
+
+/// One f-plan operator.
+struct FOp {
+  FOpKind kind = FOpKind::kSwap;
+  int a = -1;
+  int b = -1;
+  CmpOp cmp = CmpOp::kEq;
+  Value constant;
+  std::vector<AggTask> tasks;
+  std::string rename_to;
+
+  static FOp Swap(int b) { return {FOpKind::kSwap, -1, b, {}, {}, {}, {}}; }
+  static FOp Merge(int a, int b) {
+    return {FOpKind::kMerge, a, b, {}, {}, {}, {}};
+  }
+  static FOp Absorb(int a, int b) {
+    return {FOpKind::kAbsorb, a, b, {}, {}, {}, {}};
+  }
+  static FOp Select(int a, CmpOp cmp, Value c) {
+    return {FOpKind::kSelectConst, a, -1, cmp, std::move(c), {}, {}};
+  }
+  static FOp Aggregate(int a, std::vector<AggTask> tasks) {
+    return {FOpKind::kAggregate, a, -1, {}, {}, std::move(tasks), {}};
+  }
+  static FOp Rename(int a, std::string to) {
+    return {FOpKind::kRename, a, -1, {}, {}, {}, std::move(to)};
+  }
+};
+
+/// An f-plan: a sequence of operators (§5).
+using FPlan = std::vector<FOp>;
+
+/// Execution statistics for one operator.
+struct FOpStats {
+  FOpKind kind;
+  int64_t singletons_after = 0;
+  double seconds = 0.0;
+};
+
+/// Applies one operator to the factorisation (tree and data).
+/// For kAggregate, returns the new aggregate node ids; otherwise empty.
+std::vector<int> ExecuteOp(Factorisation* f, AttributeRegistry* reg,
+                           const FOp& op);
+
+/// Applies a whole plan, optionally recording per-operator statistics.
+void ExecutePlan(Factorisation* f, AttributeRegistry* reg, const FPlan& plan,
+                 std::vector<FOpStats>* stats = nullptr);
+
+/// Human-readable plan rendering for logs and tests.
+std::string PlanToString(const FPlan& plan, const AttributeRegistry& reg);
+
+}  // namespace fdb
+
+#endif  // FDB_OPTIMIZER_FPLAN_H_

@@ -1,0 +1,255 @@
+#include "fdb/optimizer/greedy.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "fdb/core/order.h"
+#include "fdb/optimizer/cost.h"
+
+namespace fdb {
+namespace {
+
+int Depth(const FTree& t, int n) {
+  int d = 0;
+  for (int p = t.parent(n); p >= 0; p = t.parent(p)) ++d;
+  return d;
+}
+
+// Simulated aggregation on the tree only: mirrors ApplyAggregate's tree
+// mutation, interning fresh names into the simulation registry.
+std::vector<int> SimAggregate(FTree* tree, AttributeRegistry* reg, int u,
+                              const std::vector<AggTask>& tasks) {
+  std::vector<AttrId> over = tree->SubtreeOriginalAttrs(u);
+  std::vector<AggregateLabel> labels;
+  for (const AggTask& t : tasks) {
+    AggregateLabel l;
+    l.fn = t.fn;
+    l.source = t.source;
+    l.over = over;
+    std::string base = AggFnName(t.fn) + "_sim(" + std::to_string(u) + ")";
+    while (reg->Find(base).has_value()) base += "'";
+    l.id = reg->Intern(base);
+    labels.push_back(std::move(l));
+  }
+  return tree->ReplaceSubtreeWithAggregates(u, std::move(labels));
+}
+
+// Whether nodes a and b are siblings (same parent, including both roots).
+bool Siblings(const FTree& t, int a, int b) {
+  return t.parent(a) == t.parent(b);
+}
+
+bool AncestorRelated(const FTree& t, int a, int b) {
+  return t.IsAncestor(a, b) || t.IsAncestor(b, a);
+}
+
+}  // namespace
+
+std::vector<AggTask> PartialTasks(const FTree& tree, int u,
+                                  const std::vector<AggTask>& final_tasks) {
+  std::vector<AttrId> inside = tree.SubtreeAttrIds(u);
+  auto in_subtree = [&](AttrId a) {
+    if (std::binary_search(inside.begin(), inside.end(), a)) return true;
+    // The source may already have been folded into an aggregate node.
+    for (int n : tree.SubtreeNodes(u)) {
+      const FTreeNode& nd = tree.node(n);
+      if (nd.is_aggregate() && nd.agg->source == a) return true;
+    }
+    return false;
+  };
+  std::vector<AggTask> out;
+  for (const AggTask& t : final_tasks) {
+    AggTask p = t;
+    if (t.fn != AggFn::kCount && !in_subtree(t.source)) {
+      p = {AggFn::kCount, kInvalidAttr};
+    }
+    if (std::find(out.begin(), out.end(), p) == out.end()) out.push_back(p);
+  }
+  return out;
+}
+
+bool SubtreeAggregatable(const FTree& tree, int u,
+                         const std::vector<AttrId>& blocked) {
+  bool has_atomic = false;
+  for (int n : tree.SubtreeNodes(u)) {
+    const FTreeNode& nd = tree.node(n);
+    if (!nd.is_aggregate()) {
+      has_atomic = true;
+      for (AttrId a : nd.attrs) {
+        if (std::find(blocked.begin(), blocked.end(), a) != blocked.end()) {
+          return false;
+        }
+      }
+    }
+  }
+  return has_atomic;
+}
+
+FPlan GreedyPlan(const FTree& tree, const AttributeRegistry& reg,
+                 const PlannerQuery& q) {
+  FTree sim = tree;
+  AttributeRegistry simreg = reg;
+  FPlan plan;
+
+  auto record_swap = [&](int b) {
+    plan.push_back(FOp::Swap(b));
+    sim.SwapUp(b);
+  };
+
+  // Selections with constants need no restructuring: one traversal each.
+  for (const auto& [attr, cmp, c] : q.const_selections) {
+    int n = sim.NodeOfAttr(attr);
+    if (n < 0) {
+      throw std::invalid_argument("GreedyPlan: unknown selection attribute");
+    }
+    plan.push_back(FOp::Select(n, cmp, c));
+  }
+
+  std::vector<std::pair<AttrId, AttrId>> pending = q.eq_selections;
+
+  // Step 1 + 3: resolve all equality selections, restructuring when needed.
+  while (!pending.empty()) {
+    // Drop selections already satisfied by earlier merges.
+    std::erase_if(pending, [&](const auto& s) {
+      return sim.NodeOfAttr(s.first) == sim.NodeOfAttr(s.second);
+    });
+    if (pending.empty()) break;
+
+    // Step 1: a permissible merge/absorb, preferring the highest-placed.
+    int best = -1;
+    int best_depth = std::numeric_limits<int>::max();
+    for (size_t i = 0; i < pending.size(); ++i) {
+      int na = sim.NodeOfAttr(pending[i].first);
+      int nb = sim.NodeOfAttr(pending[i].second);
+      if (Siblings(sim, na, nb) || AncestorRelated(sim, na, nb)) {
+        int d = std::min(Depth(sim, na), Depth(sim, nb));
+        if (d < best_depth) {
+          best_depth = d;
+          best = static_cast<int>(i);
+        }
+      }
+    }
+    if (best >= 0) {
+      int na = sim.NodeOfAttr(pending[best].first);
+      int nb = sim.NodeOfAttr(pending[best].second);
+      if (Siblings(sim, na, nb)) {
+        plan.push_back(FOp::Merge(na, nb));
+        sim.MergeSiblings(na, nb);
+      } else {
+        if (sim.IsAncestor(nb, na)) std::swap(na, nb);
+        plan.push_back(FOp::Absorb(na, nb));
+        sim.AbsorbDescendant(na, nb);
+      }
+      pending.erase(pending.begin() + best);
+      continue;
+    }
+
+    // Step 3: no selection is directly applicable; push nodes together.
+    // Try (a) pushing up A, (b) pushing up B, (c) alternating (the deeper
+    // first), and keep the cheapest by the size-bound metric.
+    const auto [attr_a, attr_b] = pending.front();
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::vector<int> best_swaps;
+    for (int strategy = 0; strategy < 3; ++strategy) {
+      FTree trial = sim;
+      std::vector<int> swaps;
+      double cost = 0.0;
+      while (true) {
+        int na = trial.NodeOfAttr(attr_a);
+        int nb = trial.NodeOfAttr(attr_b);
+        if (Siblings(trial, na, nb) || AncestorRelated(trial, na, nb)) break;
+        int target;
+        switch (strategy) {
+          case 0:
+            target = na;
+            break;
+          case 1:
+            target = nb;
+            break;
+          default:
+            target = Depth(trial, na) >= Depth(trial, nb) ? na : nb;
+        }
+        if (trial.parent(target) < 0) {
+          // Already a root; push the other one instead.
+          target = target == na ? nb : na;
+        }
+        swaps.push_back(target);
+        trial.SwapUp(target);
+        cost += FTreeCost(trial);
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best_swaps = std::move(swaps);
+      }
+    }
+    for (int b : best_swaps) record_swap(b);
+  }
+
+  auto blocked_attrs = [&]() {
+    std::vector<AttrId> blocked = q.group;
+    for (const auto& [a, b] : pending) {
+      blocked.push_back(a);
+      blocked.push_back(b);
+    }
+    for (AttrId o : q.order) blocked.push_back(o);
+    return blocked;
+  };
+
+  // Alternate step 2 (maximal partial aggregates) with steps 4–5
+  // (restructuring for group-by and order-by) until a fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    if (!q.tasks.empty()) {
+      std::vector<AttrId> blocked = blocked_attrs();
+      bool more = true;
+      while (more) {
+        more = false;
+        for (int u : sim.TopologicalOrder()) {
+          if (!SubtreeAggregatable(sim, u, blocked)) continue;
+          int p = sim.parent(u);
+          if (p >= 0 && SubtreeAggregatable(sim, p, blocked)) continue;
+          std::vector<AggTask> tasks = PartialTasks(sim, u, q.tasks);
+          plan.push_back(FOp::Aggregate(u, tasks));
+          SimAggregate(&sim, &simreg, u, tasks);
+          more = true;
+          changed = true;
+          break;  // tree changed; recompute the traversal
+        }
+      }
+    }
+
+    // Steps 4–5: push order-by nodes into list order, then the remaining
+    // grouping nodes above everything else.
+    std::vector<int> o_nodes, g_nodes;
+    for (AttrId a : q.order) {
+      int n = sim.NodeOfAttr(a);
+      if (n < 0) {
+        throw std::invalid_argument("GreedyPlan: unknown order attribute");
+      }
+      if (std::find(o_nodes.begin(), o_nodes.end(), n) == o_nodes.end()) {
+        o_nodes.push_back(n);
+      }
+    }
+    for (AttrId a : q.group) {
+      int n = sim.NodeOfAttr(a);
+      if (n < 0) {
+        throw std::invalid_argument("GreedyPlan: unknown group attribute");
+      }
+      if (std::find(g_nodes.begin(), g_nodes.end(), n) == g_nodes.end()) {
+        g_nodes.push_back(n);
+      }
+    }
+    std::vector<int> swaps = PlanRestructure(sim, o_nodes, g_nodes);
+    for (int b : swaps) {
+      record_swap(b);
+      changed = true;
+    }
+  }
+  return plan;
+}
+
+}  // namespace fdb

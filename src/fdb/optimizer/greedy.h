@@ -1,0 +1,52 @@
+#ifndef FDB_OPTIMIZER_GREEDY_H_
+#define FDB_OPTIMIZER_GREEDY_H_
+
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "fdb/optimizer/fplan.h"
+
+namespace fdb {
+
+/// The core-level description of a query handed to the planners (§5.1):
+/// selections, grouping attributes, aggregation tasks and order-by list,
+/// all referring to attributes of the input f-tree.
+struct PlannerQuery {
+  std::vector<std::pair<AttrId, AttrId>> eq_selections;
+  std::vector<std::tuple<AttrId, CmpOp, Value>> const_selections;
+  /// Group-by attributes (for aggregate queries) or distinct-projection
+  /// attributes (for SPJ queries with DISTINCT).
+  std::vector<AttrId> group;
+  /// Aggregation functions; empty for select-project-join queries.
+  std::vector<AggTask> tasks;
+  /// Order-by attributes that label f-tree nodes, in order-by sequence.
+  std::vector<AttrId> order;
+};
+
+/// Derives the partial-aggregation tasks for the subtree rooted at `u` from
+/// the query's final tasks per the composition rules of Prop. 2: sum_A stays
+/// sum_A when A is inside the subtree and decays to count otherwise; count
+/// stays count; min/max stay themselves when their source is inside and
+/// decay to count otherwise. Duplicates are removed.
+std::vector<AggTask> PartialTasks(const FTree& tree, int u,
+                                  const std::vector<AggTask>& final_tasks);
+
+/// True if γ over the subtree rooted at `u` is permissible (§5.1): the
+/// subtree contains no grouping attribute, no attribute of a pending
+/// equality selection, and at least one atomic node (so the operator makes
+/// progress).
+bool SubtreeAggregatable(const FTree& tree, int u,
+                         const std::vector<AttrId>& blocked);
+
+/// The greedy heuristic of §5.2: resolves selections (merging/absorbing,
+/// pushing nodes together where needed, choosing the cheapest push by the
+/// size-bound cost metric), applies maximal permissible partial aggregates,
+/// and restructures for the group-by and order-by clauses. Returns the
+/// f-plan; `reg` is only read (fresh names are simulated on a copy).
+FPlan GreedyPlan(const FTree& tree, const AttributeRegistry& reg,
+                 const PlannerQuery& q);
+
+}  // namespace fdb
+
+#endif  // FDB_OPTIMIZER_GREEDY_H_

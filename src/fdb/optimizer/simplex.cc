@@ -1,0 +1,159 @@
+#include "fdb/optimizer/simplex.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace fdb {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Standard dense tableau simplex on
+//   min cᵀx  s.t.  A x - s = b,  x, s ≥ 0   (b ≥ 0 assumed)
+// with artificial variables for phase 1. Columns: n structural, m surplus,
+// m artificial; rows: m constraints + 1 objective row.
+class Tableau {
+ public:
+  Tableau(const std::vector<std::vector<double>>& a,
+          const std::vector<double>& b, const std::vector<double>& c)
+      : m_(static_cast<int>(a.size())),
+        n_(static_cast<int>(c.size())),
+        cols_(n_ + 2 * m_ + 1),
+        t_(m_ + 1, std::vector<double>(cols_, 0.0)),
+        basis_(m_, 0),
+        cost_(c) {
+    for (int i = 0; i < m_; ++i) {
+      if (b[i] < 0) {
+        throw std::invalid_argument("SolveCoveringLp: negative rhs");
+      }
+      for (int j = 0; j < n_; ++j) t_[i][j] = a[i][j];
+      t_[i][n_ + i] = -1.0;       // surplus
+      t_[i][n_ + m_ + i] = 1.0;   // artificial
+      t_[i][cols_ - 1] = b[i];
+      basis_[i] = n_ + m_ + i;
+    }
+  }
+
+  // Phase 1: minimise the sum of artificials. Returns false if infeasible.
+  bool Phase1() {
+    // Objective row: sum of artificial rows, negated reduced costs.
+    for (int j = 0; j < cols_; ++j) {
+      double s = 0;
+      for (int i = 0; i < m_; ++i) s += t_[i][j];
+      t_[m_][j] = -s;
+    }
+    for (int i = 0; i < m_; ++i) t_[m_][n_ + m_ + i] = 0.0;
+    Iterate(/*restrict_artificials=*/false);
+    double obj = -t_[m_][cols_ - 1];
+    if (obj > kEps) return false;
+    // Drive any artificial variables out of the basis if possible.
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] < n_ + m_) continue;
+      for (int j = 0; j < n_ + m_; ++j) {
+        if (std::abs(t_[i][j]) > kEps) {
+          Pivot(i, j);
+          break;
+        }
+      }
+    }
+    return true;
+  }
+
+  // Phase 2: minimise the real objective.
+  void Phase2() {
+    for (int j = 0; j < cols_; ++j) t_[m_][j] = 0.0;
+    for (int j = 0; j < n_; ++j) t_[m_][j] = cost_[j];
+    // Express the objective in terms of non-basic variables.
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] < n_ && std::abs(cost_[basis_[i]]) > kEps) {
+        double f = cost_[basis_[i]];
+        for (int j = 0; j < cols_; ++j) t_[m_][j] -= f * t_[i][j];
+      }
+    }
+    Iterate(/*restrict_artificials=*/true);
+  }
+
+  LpSolution Extract() const {
+    LpSolution s;
+    s.x.assign(n_, 0.0);
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] < n_) s.x[basis_[i]] = t_[i][cols_ - 1];
+    }
+    s.objective = 0.0;
+    for (int j = 0; j < n_; ++j) s.objective += cost_[j] * s.x[j];
+    return s;
+  }
+
+ private:
+  void Pivot(int row, int col) {
+    double p = t_[row][col];
+    for (int j = 0; j < cols_; ++j) t_[row][j] /= p;
+    for (int i = 0; i <= m_; ++i) {
+      if (i == row || std::abs(t_[i][col]) < kEps) continue;
+      double f = t_[i][col];
+      for (int j = 0; j < cols_; ++j) t_[i][j] -= f * t_[row][j];
+    }
+    basis_[row] = col;
+  }
+
+  void Iterate(bool restrict_artificials) {
+    int limit = restrict_artificials ? n_ + m_ : n_ + 2 * m_;
+    while (true) {
+      // Bland's rule: entering variable = lowest index with negative
+      // reduced cost (we minimise, tableau row holds reduced costs).
+      int col = -1;
+      for (int j = 0; j < limit; ++j) {
+        if (t_[m_][j] < -kEps) {
+          col = j;
+          break;
+        }
+      }
+      if (col < 0) return;  // optimal
+      int row = -1;
+      double best = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < m_; ++i) {
+        if (t_[i][col] > kEps) {
+          double ratio = t_[i][cols_ - 1] / t_[i][col];
+          if (ratio < best - kEps ||
+              (ratio < best + kEps && (row < 0 || basis_[i] < basis_[row]))) {
+            best = ratio;
+            row = i;
+          }
+        }
+      }
+      if (row < 0) {
+        // Unbounded: cannot happen for covering LPs with c ≥ 0, but guard.
+        throw std::logic_error("SolveCoveringLp: unbounded program");
+      }
+      Pivot(row, col);
+    }
+  }
+
+  int m_, n_, cols_;
+  std::vector<std::vector<double>> t_;
+  std::vector<int> basis_;
+  std::vector<double> cost_;
+};
+
+}  // namespace
+
+std::optional<LpSolution> SolveCoveringLp(
+    const std::vector<std::vector<double>>& a, const std::vector<double>& b,
+    const std::vector<double>& c) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("SolveCoveringLp: A/b size mismatch");
+  }
+  for (const auto& row : a) {
+    if (row.size() != c.size()) {
+      throw std::invalid_argument("SolveCoveringLp: A/c size mismatch");
+    }
+  }
+  if (a.empty()) return LpSolution{0.0, std::vector<double>(c.size(), 0.0)};
+  Tableau t(a, b, c);
+  if (!t.Phase1()) return std::nullopt;
+  t.Phase2();
+  return t.Extract();
+}
+
+}  // namespace fdb

@@ -1,0 +1,27 @@
+#ifndef FDB_OPTIMIZER_SIMPLEX_H_
+#define FDB_OPTIMIZER_SIMPLEX_H_
+
+#include <optional>
+#include <vector>
+
+namespace fdb {
+
+/// A solved linear program: objective value and primal solution.
+struct LpSolution {
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+/// Solves the covering linear program
+///     min cᵀx   s.t.  A x ≥ b,  x ≥ 0
+/// with a dense two-phase primal simplex (Bland's rule, so it cannot
+/// cycle). Returns nullopt if infeasible. Sized for the tiny LPs arising
+/// from fractional edge covers of query hypergraphs (a handful of
+/// variables and constraints), not for general-purpose use.
+std::optional<LpSolution> SolveCoveringLp(
+    const std::vector<std::vector<double>>& a, const std::vector<double>& b,
+    const std::vector<double>& c);
+
+}  // namespace fdb
+
+#endif  // FDB_OPTIMIZER_SIMPLEX_H_

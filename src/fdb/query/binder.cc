@@ -1,0 +1,334 @@
+#include "fdb/query/binder.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace fdb {
+namespace {
+
+[[noreturn]] void BindError(const std::string& what) {
+  throw std::invalid_argument("bind error: " + what);
+}
+
+// Interns `base` as an output column name, appending "#n" only when the
+// name is already taken *within this query* (as another task column or
+// output). Re-binding the same SQL therefore produces the same schema.
+AttrId UniqueAlias(AttributeRegistry* reg, const BoundQuery& q,
+                   const std::string& base) {
+  auto taken = [&q](AttrId id) {
+    for (AttrId t : q.task_ids) {
+      if (t == id) return true;
+    }
+    for (const OutputColumn& c : q.outputs) {
+      if (c.attr == id) return true;
+    }
+    return false;
+  };
+  AttrId id = reg->Intern(base);
+  if (!taken(id)) return id;
+  for (int i = 2;; ++i) {
+    AttrId alt = reg->Intern(base + "#" + std::to_string(i));
+    if (!taken(alt)) return alt;
+  }
+}
+
+AggFn ToAggFn(ParseAggFn fn) {
+  switch (fn) {
+    case ParseAggFn::kCount:
+      return AggFn::kCount;
+    case ParseAggFn::kSum:
+      return AggFn::kSum;
+    case ParseAggFn::kMin:
+      return AggFn::kMin;
+    case ParseAggFn::kMax:
+      return AggFn::kMax;
+    case ParseAggFn::kAvg:
+      break;
+  }
+  throw std::logic_error("ToAggFn: avg must be expanded by the caller");
+}
+
+}  // namespace
+
+BoundQuery Bind(const ParsedQuery& q, Database* db) {
+  BoundQuery out;
+  out.from = q.from;
+  out.select_star = q.select_star;
+  out.limit = q.limit;
+
+  // Collect the available attributes from the FROM sources.
+  std::vector<AttrId> avail;
+  for (const std::string& name : q.from) {
+    std::vector<AttrId> attrs;
+    if (const Relation* r = db->relation(name)) {
+      attrs = r->schema().attrs();
+    } else if (const Factorisation* v = db->view(name)) {
+      attrs = v->OutputSchema().attrs();
+    } else {
+      BindError("unknown relation or view '" + name + "'");
+    }
+    for (AttrId a : attrs) {
+      if (std::find(avail.begin(), avail.end(), a) == avail.end()) {
+        avail.push_back(a);
+      }
+    }
+  }
+  auto resolve = [&](const std::string& col) {
+    auto id = db->registry().Find(col);
+    if (!id.has_value() ||
+        std::find(avail.begin(), avail.end(), *id) == avail.end()) {
+      BindError("unknown column '" + col + "'");
+    }
+    return *id;
+  };
+
+  // WHERE.
+  for (const WherePred& p : q.where) {
+    AttrId lhs = resolve(p.lhs);
+    if (p.rhs_is_attr) {
+      if (p.op != CmpOp::kEq) {
+        BindError("attribute-to-attribute comparisons must be equalities");
+      }
+      AttrId rhs = resolve(p.rhs_attr);
+      if (lhs != rhs) out.eq_selections.emplace_back(lhs, rhs);
+    } else {
+      out.const_selections.emplace_back(lhs, p.op, p.rhs_const);
+    }
+  }
+
+  // SELECT list and GROUP BY.
+  bool any_agg = false;
+  for (const SelectItem& it : q.items) {
+    if (it.agg.has_value()) any_agg = true;
+  }
+  if (!q.group_by.empty() || any_agg) {
+    // Aggregate query (GROUP BY without aggregates = distinct projection,
+    // still routed through the grouping machinery).
+    for (const std::string& g : q.group_by) {
+      AttrId a = resolve(g);
+      if (std::find(out.group.begin(), out.group.end(), a) ==
+          out.group.end()) {
+        out.group.push_back(a);
+      }
+    }
+    auto add_task = [&](AggFn fn, AttrId src, const std::string& name) {
+      AggTask t{fn, src};
+      for (size_t i = 0; i < out.tasks.size(); ++i) {
+        if (out.tasks[i] == t) return static_cast<int>(i);
+      }
+      out.tasks.push_back(t);
+      out.task_ids.push_back(UniqueAlias(&db->registry(), out, name));
+      return static_cast<int>(out.tasks.size()) - 1;
+    };
+    for (const SelectItem& it : q.items) {
+      OutputColumn col;
+      if (!it.agg.has_value()) {
+        AttrId a = resolve(it.column);
+        if (std::find(out.group.begin(), out.group.end(), a) ==
+            out.group.end()) {
+          BindError("column '" + it.column +
+                    "' must appear in the GROUP BY clause");
+        }
+        col.kind = OutputColumn::Kind::kGroup;
+        col.attr = a;
+      } else if (*it.agg == ParseAggFn::kAvg) {
+        AttrId src = resolve(it.column);
+        col.kind = OutputColumn::Kind::kAvg;
+        col.task = add_task(AggFn::kSum, src, "sum(" + it.column + ")");
+        col.task2 = add_task(AggFn::kCount, kInvalidAttr, "count(*)");
+        col.attr = UniqueAlias(
+            &db->registry(), out,
+            it.alias.empty() ? "avg(" + it.column + ")" : it.alias);
+      } else {
+        AggFn fn = ToAggFn(*it.agg);
+        AttrId src = kInvalidAttr;
+        if (fn != AggFn::kCount) {
+          src = resolve(it.column);
+        } else if (!it.column.empty()) {
+          resolve(it.column);  // validate; count(a) == count(*) without NULLs
+        }
+        std::string display =
+            AggFnName(fn) + "(" + (it.column.empty() ? "*" : it.column) + ")";
+        col.kind = OutputColumn::Kind::kAgg;
+        col.task = add_task(fn, src, it.alias.empty() ? display : it.alias);
+        col.attr = it.alias.empty() ? out.task_ids[col.task]
+                                    : db->registry().Intern(it.alias);
+        // If the task pre-existed under a different name, alias it anyway.
+        if (!it.alias.empty()) {
+          out.task_ids[col.task] = col.attr;
+        }
+      }
+      out.outputs.push_back(col);
+    }
+    if (!any_agg) out.distinct_projection = true;
+
+    // HAVING: resolve against aliases, group columns, or fresh tasks.
+    for (const HavingPred& h : q.having) {
+      BoundHaving b;
+      b.op = h.op;
+      b.rhs = h.rhs;
+      if (h.agg.has_value()) {
+        if (*h.agg == ParseAggFn::kAvg) {
+          AttrId src = resolve(h.column);
+          b.kind = BoundHaving::Kind::kAvg;
+          b.task = add_task(AggFn::kSum, src, "sum(" + h.column + ")");
+          b.task2 = add_task(AggFn::kCount, kInvalidAttr, "count(*)");
+        } else {
+          AggFn fn = ToAggFn(*h.agg);
+          AttrId src = fn == AggFn::kCount ? kInvalidAttr : resolve(h.column);
+          std::string display =
+              AggFnName(fn) + "(" + (h.column.empty() ? "*" : h.column) + ")";
+          b.kind = BoundHaving::Kind::kTask;
+          b.task = add_task(fn, src, display);
+        }
+      } else {
+        // An alias of a select item, or a grouping column.
+        auto id = db->registry().Find(h.column);
+        int task = -1;
+        if (id.has_value()) {
+          for (size_t i = 0; i < out.task_ids.size(); ++i) {
+            if (out.task_ids[i] == *id) task = static_cast<int>(i);
+          }
+        }
+        if (task >= 0) {
+          b.kind = BoundHaving::Kind::kTask;
+          b.task = task;
+        } else {
+          AttrId a = resolve(h.column);
+          if (std::find(out.group.begin(), out.group.end(), a) ==
+              out.group.end()) {
+            BindError("HAVING column '" + h.column +
+                      "' is neither an aggregate alias nor grouped");
+          }
+          b.kind = BoundHaving::Kind::kGroupCol;
+          b.attr = a;
+        }
+      }
+      out.having.push_back(b);
+    }
+  } else {
+    // Select-project-join query.
+    if (!q.having.empty()) {
+      BindError("HAVING requires GROUP BY or aggregates");
+    }
+    if (q.select_star) {
+      for (AttrId a : avail) {
+        out.outputs.push_back(
+            {OutputColumn::Kind::kGroup, a, -1, -1});
+      }
+      out.distinct_projection = false;
+    } else {
+      for (const SelectItem& it : q.items) {
+        AttrId a = resolve(it.column);
+        out.outputs.push_back({OutputColumn::Kind::kGroup, a, -1, -1});
+        if (std::find(out.group.begin(), out.group.end(), a) ==
+            out.group.end()) {
+          out.group.push_back(a);
+        }
+      }
+      // A plain projection has set semantics (relational algebra π);
+      // DISTINCT makes it explicit.
+      out.distinct_projection = true;
+    }
+  }
+
+  // ORDER BY: restricted to output columns, so both engines can realise it.
+  for (const OrderItem& o : q.order_by) {
+    auto id = db->registry().Find(o.column);
+    if (!id.has_value()) BindError("unknown ORDER BY column '" + o.column + "'");
+    bool in_outputs = false;
+    for (const OutputColumn& c : out.outputs) {
+      if (c.attr == *id) in_outputs = true;
+    }
+    if (!in_outputs && q.select_star) {
+      in_outputs =
+          std::find(avail.begin(), avail.end(), *id) != avail.end();
+    }
+    if (!in_outputs) {
+      BindError("ORDER BY column '" + o.column +
+                "' must be one of the output columns");
+    }
+    out.order_by.push_back({*id, o.dir});
+  }
+  return out;
+}
+
+Relation AssembleOutputs(const BoundQuery& q, const Relation& raw,
+                         std::optional<int64_t> limit_rows) {
+  // Resolve positions of group attributes and task columns in `raw`.
+  std::vector<int> task_pos(q.tasks.size(), -1);
+  for (size_t t = 0; t < q.tasks.size(); ++t) {
+    task_pos[t] = raw.schema().IndexOf(q.task_ids[t]);
+    if (task_pos[t] < 0) {
+      throw std::logic_error("AssembleOutputs: missing task column");
+    }
+  }
+  std::vector<int> col_pos;
+  for (const OutputColumn& c : q.outputs) {
+    col_pos.push_back(c.kind == OutputColumn::Kind::kGroup
+                          ? raw.schema().IndexOf(c.attr)
+                          : -1);
+    if (c.kind == OutputColumn::Kind::kGroup && col_pos.back() < 0) {
+      throw std::logic_error("AssembleOutputs: missing group column");
+    }
+  }
+  std::vector<int> having_pos;
+  for (const BoundHaving& h : q.having) {
+    having_pos.push_back(h.kind == BoundHaving::Kind::kGroupCol
+                             ? raw.schema().IndexOf(h.attr)
+                             : -1);
+  }
+
+  std::vector<AttrId> out_attrs;
+  for (const OutputColumn& c : q.outputs) out_attrs.push_back(c.attr);
+  Relation out{RelSchema(std::move(out_attrs))};
+
+  auto avg_of = [&](const Tuple& row, int sum_task, int cnt_task) {
+    double s = row[task_pos[sum_task]].numeric();
+    double c = row[task_pos[cnt_task]].numeric();
+    return Value(s / c);
+  };
+
+  for (const Tuple& row : raw.rows()) {
+    if (limit_rows.has_value() && out.size() >= *limit_rows) break;
+    bool keep = true;
+    for (size_t h = 0; h < q.having.size() && keep; ++h) {
+      const BoundHaving& b = q.having[h];
+      Value lhs;
+      switch (b.kind) {
+        case BoundHaving::Kind::kGroupCol:
+          lhs = row[having_pos[h]];
+          break;
+        case BoundHaving::Kind::kTask:
+          lhs = row[task_pos[b.task]];
+          break;
+        case BoundHaving::Kind::kAvg:
+          lhs = avg_of(row, b.task, b.task2);
+          break;
+      }
+      keep = EvalCmp(lhs, b.op, b.rhs);
+    }
+    if (!keep) continue;
+    Tuple t;
+    t.reserve(q.outputs.size());
+    for (size_t c = 0; c < q.outputs.size(); ++c) {
+      const OutputColumn& col = q.outputs[c];
+      switch (col.kind) {
+        case OutputColumn::Kind::kGroup:
+          t.push_back(row[col_pos[c]]);
+          break;
+        case OutputColumn::Kind::kAgg:
+          t.push_back(row[task_pos[col.task]]);
+          break;
+        case OutputColumn::Kind::kAvg:
+          t.push_back(avg_of(row, col.task, col.task2));
+          break;
+      }
+    }
+    out.Add(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace fdb

@@ -1,0 +1,77 @@
+#ifndef FDB_QUERY_BINDER_H_
+#define FDB_QUERY_BINDER_H_
+
+#include <optional>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "fdb/engine/database.h"
+#include "fdb/query/ast.h"
+#include "fdb/relational/agg.h"
+
+namespace fdb {
+
+/// One output column of a bound query, in SELECT order.
+struct OutputColumn {
+  enum class Kind { kGroup, kAgg, kAvg };
+  Kind kind = Kind::kGroup;
+  AttrId attr = kInvalidAttr;  ///< group attribute, or the output alias id
+  int task = -1;               ///< task index (sum task for kAvg)
+  int task2 = -1;              ///< count task for kAvg
+};
+
+/// One bound HAVING conjunct, evaluated against the raw
+/// (group columns + task columns) result.
+struct BoundHaving {
+  enum class Kind { kGroupCol, kTask, kAvg };
+  Kind kind = Kind::kGroupCol;
+  AttrId attr = kInvalidAttr;  ///< for kGroupCol
+  int task = -1;
+  int task2 = -1;  ///< count task for kAvg
+  CmpOp op = CmpOp::kEq;
+  Value rhs;
+};
+
+/// A validated query with every name resolved to attribute ids, ready for
+/// both engines. `tasks` are deduplicated; `task_ids` name their columns.
+struct BoundQuery {
+  std::vector<std::string> from;
+  bool select_star = false;
+  /// True when the query needs set semantics on a projection (DISTINCT, a
+  /// plain-column subset selection, or GROUP BY without aggregates).
+  bool distinct_projection = false;
+
+  std::vector<std::pair<AttrId, AttrId>> eq_selections;
+  std::vector<std::tuple<AttrId, CmpOp, Value>> const_selections;
+
+  std::vector<AttrId> group;  ///< group-by / distinct-projection attributes
+  std::vector<AggTask> tasks;
+  std::vector<AttrId> task_ids;
+  std::vector<OutputColumn> outputs;
+  std::vector<BoundHaving> having;
+
+  std::vector<SortKey> order_by;  ///< group attrs or task output ids
+  std::optional<int64_t> limit;
+
+  bool has_aggregates() const { return !tasks.empty(); }
+};
+
+/// Resolves and validates a parsed query against the database (relation or
+/// view names in FROM, column names, SQL grouping rules, ORDER BY columns
+/// restricted to output columns). Throws std::invalid_argument with a
+/// descriptive message on semantic errors. Interns output aliases in the
+/// database registry.
+BoundQuery Bind(const ParsedQuery& q, Database* db);
+
+/// Builds the final output relation from a raw relation whose schema
+/// contains all group attributes and task columns (in any order): applies
+/// HAVING, computes avg columns, and projects to SELECT order. Preserves
+/// row order; stops after `limit_rows` output rows if provided.
+Relation AssembleOutputs(const BoundQuery& q, const Relation& raw,
+                         std::optional<int64_t> limit_rows = std::nullopt);
+
+}  // namespace fdb
+
+#endif  // FDB_QUERY_BINDER_H_

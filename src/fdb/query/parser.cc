@@ -1,0 +1,363 @@
+#include "fdb/query/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace fdb {
+namespace {
+
+enum class Tok {
+  kIdent,
+  kNumber,
+  kString,
+  kStar,
+  kComma,
+  kLParen,
+  kRParen,
+  kOp,   // comparison operator
+  kEnd,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;  // identifier (lower-cased keywords kept as written)
+  Value value;       // for numbers / strings
+  CmpOp op = CmpOp::kEq;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& s) : s_(s) { Advance(); }
+
+  const Token& peek() const { return tok_; }
+
+  Token Take() {
+    Token t = tok_;
+    Advance();
+    return t;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& what) const {
+    throw std::invalid_argument("SQL parse error at position " +
+                                std::to_string(i_) + ": " + what);
+  }
+
+  void Advance() {
+    while (i_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[i_]))) {
+      ++i_;
+    }
+    tok_.pos = i_;
+    if (i_ >= s_.size()) {
+      tok_ = {Tok::kEnd, "", {}, CmpOp::kEq, i_};
+      return;
+    }
+    char c = s_[i_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i_;
+      while (j < s_.size() &&
+             (std::isalnum(static_cast<unsigned char>(s_[j])) ||
+              s_[j] == '_' || s_[j] == '.' || s_[j] == '#')) {
+        ++j;
+      }
+      tok_ = {Tok::kIdent, s_.substr(i_, j - i_), {}, CmpOp::kEq, i_};
+      i_ = j;
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i_ + 1 < s_.size() &&
+         std::isdigit(static_cast<unsigned char>(s_[i_ + 1])))) {
+      size_t j = i_ + 1;
+      bool is_double = false;
+      while (j < s_.size() &&
+             (std::isdigit(static_cast<unsigned char>(s_[j])) ||
+              s_[j] == '.')) {
+        if (s_[j] == '.') is_double = true;
+        ++j;
+      }
+      std::string num = s_.substr(i_, j - i_);
+      Value v = is_double ? Value(std::stod(num))
+                          : Value(static_cast<int64_t>(std::stoll(num)));
+      tok_ = {Tok::kNumber, num, std::move(v), CmpOp::kEq, i_};
+      i_ = j;
+      return;
+    }
+    if (c == '\'') {
+      size_t j = i_ + 1;
+      while (j < s_.size() && s_[j] != '\'') ++j;
+      if (j >= s_.size()) Fail("unterminated string literal");
+      tok_ = {Tok::kString, s_.substr(i_ + 1, j - i_ - 1),
+              Value(s_.substr(i_ + 1, j - i_ - 1)), CmpOp::kEq, i_};
+      i_ = j + 1;
+      return;
+    }
+    auto two = s_.substr(i_, 2);
+    if (two == "<>" || two == "!=") {
+      tok_ = {Tok::kOp, two, {}, CmpOp::kNe, i_};
+      i_ += 2;
+      return;
+    }
+    if (two == "<=") {
+      tok_ = {Tok::kOp, two, {}, CmpOp::kLe, i_};
+      i_ += 2;
+      return;
+    }
+    if (two == ">=") {
+      tok_ = {Tok::kOp, two, {}, CmpOp::kGe, i_};
+      i_ += 2;
+      return;
+    }
+    switch (c) {
+      case '=':
+        tok_ = {Tok::kOp, "=", {}, CmpOp::kEq, i_};
+        break;
+      case '<':
+        tok_ = {Tok::kOp, "<", {}, CmpOp::kLt, i_};
+        break;
+      case '>':
+        tok_ = {Tok::kOp, ">", {}, CmpOp::kGt, i_};
+        break;
+      case '*':
+        tok_ = {Tok::kStar, "*", {}, CmpOp::kEq, i_};
+        break;
+      case ',':
+        tok_ = {Tok::kComma, ",", {}, CmpOp::kEq, i_};
+        break;
+      case '(':
+        tok_ = {Tok::kLParen, "(", {}, CmpOp::kEq, i_};
+        break;
+      case ')':
+        tok_ = {Tok::kRParen, ")", {}, CmpOp::kEq, i_};
+        break;
+      case ';':
+        // Trailing statement separator: skip and continue.
+        ++i_;
+        Advance();
+        return;
+      default:
+        Fail(std::string("unexpected character '") + c + "'");
+    }
+    ++i_;
+  }
+
+  const std::string& s_;
+  size_t i_ = 0;
+  Token tok_;
+};
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& sql) : lex_(sql) {}
+
+  ParsedQuery Parse() {
+    ParsedQuery q;
+    ExpectKeyword("select");
+    if (PeekKeyword("distinct")) {
+      Take();
+      q.distinct = true;
+    }
+    if (lex_.peek().kind == Tok::kStar) {
+      Take();
+      q.select_star = true;
+    } else {
+      q.items.push_back(ParseSelectItem());
+      while (lex_.peek().kind == Tok::kComma) {
+        Take();
+        q.items.push_back(ParseSelectItem());
+      }
+    }
+    ExpectKeyword("from");
+    q.from.push_back(ExpectIdent());
+    while (lex_.peek().kind == Tok::kComma) {
+      Take();
+      q.from.push_back(ExpectIdent());
+    }
+    if (PeekKeyword("where")) {
+      Take();
+      q.where.push_back(ParseWherePred());
+      while (PeekKeyword("and")) {
+        Take();
+        q.where.push_back(ParseWherePred());
+      }
+    }
+    if (PeekKeyword("group")) {
+      Take();
+      ExpectKeyword("by");
+      q.group_by.push_back(ExpectIdent());
+      while (lex_.peek().kind == Tok::kComma) {
+        Take();
+        q.group_by.push_back(ExpectIdent());
+      }
+    }
+    if (PeekKeyword("having")) {
+      Take();
+      q.having.push_back(ParseHavingPred());
+      while (PeekKeyword("and")) {
+        Take();
+        q.having.push_back(ParseHavingPred());
+      }
+    }
+    if (PeekKeyword("order")) {
+      Take();
+      ExpectKeyword("by");
+      q.order_by.push_back(ParseOrderItem());
+      while (lex_.peek().kind == Tok::kComma) {
+        Take();
+        q.order_by.push_back(ParseOrderItem());
+      }
+    }
+    if (PeekKeyword("limit")) {
+      Take();
+      Token t = Take();
+      if (t.kind != Tok::kNumber || !t.value.is_int()) {
+        Fail(t, "expected integer after LIMIT");
+      }
+      q.limit = t.value.as_int();
+    }
+    if (lex_.peek().kind != Tok::kEnd) {
+      Fail(lex_.peek(), "unexpected trailing input");
+    }
+    return q;
+  }
+
+ private:
+  [[noreturn]] void Fail(const Token& t, const std::string& what) const {
+    throw std::invalid_argument("SQL parse error at position " +
+                                std::to_string(t.pos) + ": " + what);
+  }
+
+  Token Take() { return lex_.Take(); }
+
+  bool PeekKeyword(const std::string& kw) const {
+    return lex_.peek().kind == Tok::kIdent && Lower(lex_.peek().text) == kw;
+  }
+
+  void ExpectKeyword(const std::string& kw) {
+    Token t = Take();
+    if (t.kind != Tok::kIdent || Lower(t.text) != kw) {
+      Fail(t, "expected keyword '" + kw + "'");
+    }
+  }
+
+  std::string ExpectIdent() {
+    Token t = Take();
+    if (t.kind != Tok::kIdent) Fail(t, "expected identifier");
+    return t.text;
+  }
+
+  static std::optional<ParseAggFn> AggFromName(const std::string& name) {
+    std::string n = Lower(name);
+    if (n == "count") return ParseAggFn::kCount;
+    if (n == "sum") return ParseAggFn::kSum;
+    if (n == "min") return ParseAggFn::kMin;
+    if (n == "max") return ParseAggFn::kMax;
+    if (n == "avg") return ParseAggFn::kAvg;
+    return std::nullopt;
+  }
+
+  SelectItem ParseSelectItem() {
+    SelectItem item;
+    Token t = Take();
+    if (t.kind != Tok::kIdent) Fail(t, "expected column or aggregate");
+    auto agg = AggFromName(t.text);
+    if (agg.has_value() && lex_.peek().kind == Tok::kLParen) {
+      Take();  // (
+      item.agg = agg;
+      if (lex_.peek().kind == Tok::kStar) {
+        Take();
+        if (*agg != ParseAggFn::kCount) {
+          Fail(t, "'*' argument is only valid for count");
+        }
+      } else {
+        item.column = ExpectIdent();
+      }
+      Token close = Take();
+      if (close.kind != Tok::kRParen) Fail(close, "expected ')'");
+    } else {
+      item.column = t.text;
+    }
+    if (PeekKeyword("as")) {
+      Take();
+      item.alias = ExpectIdent();
+    }
+    return item;
+  }
+
+  WherePred ParseWherePred() {
+    WherePred p;
+    p.lhs = ExpectIdent();
+    Token op = Take();
+    if (op.kind != Tok::kOp) Fail(op, "expected comparison operator");
+    p.op = op.op;
+    Token rhs = Take();
+    if (rhs.kind == Tok::kIdent) {
+      p.rhs_is_attr = true;
+      p.rhs_attr = rhs.text;
+    } else if (rhs.kind == Tok::kNumber || rhs.kind == Tok::kString) {
+      p.rhs_const = rhs.value;
+    } else {
+      Fail(rhs, "expected attribute or constant");
+    }
+    return p;
+  }
+
+  HavingPred ParseHavingPred() {
+    HavingPred h;
+    Token t = Take();
+    if (t.kind != Tok::kIdent) Fail(t, "expected aggregate or column");
+    auto agg = AggFromName(t.text);
+    if (agg.has_value() && lex_.peek().kind == Tok::kLParen) {
+      Take();
+      h.agg = agg;
+      if (lex_.peek().kind == Tok::kStar) {
+        Take();
+        if (*agg != ParseAggFn::kCount) {
+          Fail(t, "'*' argument is only valid for count");
+        }
+      } else {
+        h.column = ExpectIdent();
+      }
+      Token close = Take();
+      if (close.kind != Tok::kRParen) Fail(close, "expected ')'");
+    } else {
+      h.column = t.text;
+    }
+    Token op = Take();
+    if (op.kind != Tok::kOp) Fail(op, "expected comparison operator");
+    h.op = op.op;
+    Token rhs = Take();
+    if (rhs.kind != Tok::kNumber && rhs.kind != Tok::kString) {
+      Fail(rhs, "HAVING compares against a constant");
+    }
+    h.rhs = rhs.value;
+    return h;
+  }
+
+  OrderItem ParseOrderItem() {
+    OrderItem o;
+    o.column = ExpectIdent();
+    if (PeekKeyword("asc")) {
+      Take();
+    } else if (PeekKeyword("desc")) {
+      Take();
+      o.dir = SortDir::kDesc;
+    }
+    return o;
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+ParsedQuery ParseSql(const std::string& sql) { return Parser(sql).Parse(); }
+
+}  // namespace fdb

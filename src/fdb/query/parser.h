@@ -1,0 +1,30 @@
+#ifndef FDB_QUERY_PARSER_H_
+#define FDB_QUERY_PARSER_H_
+
+#include <string>
+
+#include "fdb/query/ast.h"
+
+namespace fdb {
+
+/// Parses the SQL subset of paper §2:
+///
+///   SELECT [DISTINCT] * | item, ...
+///   FROM name, ...
+///   [WHERE attr (=|<>|!=|<|<=|>|>=) (attr|const) [AND ...]]
+///   [GROUP BY attr, ...]
+///   [HAVING (alias | agg(attr)) op const [AND ...]]
+///   [ORDER BY attr [ASC|DESC], ...]
+///   [LIMIT k]
+///
+/// where item is `attr [AS alias]` or `agg(attr|*) [AS alias]` with agg one
+/// of count, sum, min, max, avg. Keywords are case-insensitive; string
+/// constants use single quotes; relations in FROM are natural-joined.
+///
+/// Throws std::invalid_argument with a position-annotated message on
+/// syntax errors.
+ParsedQuery ParseSql(const std::string& sql);
+
+}  // namespace fdb
+
+#endif  // FDB_QUERY_PARSER_H_

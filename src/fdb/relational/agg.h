@@ -1,0 +1,39 @@
+#ifndef FDB_RELATIONAL_AGG_H_
+#define FDB_RELATIONAL_AGG_H_
+
+#include <string>
+
+#include "fdb/relational/schema.h"
+
+namespace fdb {
+
+/// Aggregation functions supported by both engines (paper §2): sum, count,
+/// min, max; avg is recovered as the pair (sum, count), see §3.2.4.
+enum class AggFn { kCount, kSum, kMin, kMax };
+
+inline std::string AggFnName(AggFn fn) {
+  switch (fn) {
+    case AggFn::kCount:
+      return "count";
+    case AggFn::kSum:
+      return "sum";
+    case AggFn::kMin:
+      return "min";
+    case AggFn::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+/// One aggregation function to evaluate: count, or sum/min/max over the
+/// atomic attribute `source`. Composite aggregates (avg, multi-aggregate
+/// queries) are lists of AggTasks evaluated together.
+struct AggTask {
+  AggFn fn = AggFn::kCount;
+  AttrId source = kInvalidAttr;
+  bool operator==(const AggTask& o) const = default;
+};
+
+}  // namespace fdb
+
+#endif  // FDB_RELATIONAL_AGG_H_

@@ -1,0 +1,181 @@
+#include "fdb/relational/eager.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace fdb {
+namespace {
+
+AttrId TempAttr(AttributeRegistry* reg, const std::string& base) {
+  if (!reg->Find(base).has_value()) return reg->Intern(base);
+  for (int i = 2;; ++i) {
+    std::string name = base + "#" + std::to_string(i);
+    if (!reg->Find(name).has_value()) return reg->Intern(name);
+  }
+}
+
+// Attributes of `schema` still needed: group attributes plus attributes
+// shared with any unprocessed relation.
+std::vector<AttrId> NeededAttrs(const RelSchema& schema,
+                                const std::vector<AttrId>& group,
+                                const std::vector<const Relation*>& rels,
+                                const std::vector<bool>& done) {
+  std::vector<AttrId> needed;
+  for (AttrId a : schema.attrs()) {
+    bool keep = std::find(group.begin(), group.end(), a) != group.end();
+    for (size_t r = 0; r < rels.size() && !keep; ++r) {
+      if (!done[r] && rels[r]->schema().Contains(a)) keep = true;
+    }
+    if (keep) needed.push_back(a);
+  }
+  return needed;
+}
+
+}  // namespace
+
+Relation EagerAggregateJoin(const std::vector<const Relation*>& rels,
+                            const std::vector<AttrId>& group,
+                            const std::vector<AggTask>& tasks,
+                            const std::vector<AttrId>& out_ids,
+                            AttributeRegistry* reg) {
+  if (rels.empty()) {
+    throw std::invalid_argument("EagerAggregateJoin: no relations");
+  }
+  if (tasks.size() != out_ids.size()) {
+    throw std::invalid_argument("EagerAggregateJoin: tasks/out_ids mismatch");
+  }
+
+  // Partial-state columns: one shared count, one value column per
+  // sum/min/max task (created when its source relation is processed).
+  AttrId pc = TempAttr(reg, "__eager_cnt");
+  std::vector<AttrId> pcol(tasks.size(), kInvalidAttr);
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    if (tasks[t].fn != AggFn::kCount) {
+      pcol[t] = TempAttr(reg, "__eager_p" + std::to_string(t));
+    }
+  }
+
+  std::vector<bool> done(rels.size(), false);
+
+  // Start from the first relation; reduce it to (needed, partials).
+  // Intermediate reductions are an optimisation, not needed for
+  // correctness (the final aggregate re-combines the partial columns), so
+  // they are skipped when the grouping keys cover every payload column —
+  // then grouping cannot shrink the relation and would only add a sort.
+  done[0] = true;
+  auto reduce = [&](const Relation& in, bool force) {
+    std::vector<AttrId> needed =
+        NeededAttrs(in.schema(), group, rels, done);
+    if (!force) {
+      int payload = 0;
+      for (AttrId a : in.schema().attrs()) {
+        bool is_partial = a == pc;
+        for (AttrId pcol_id : pcol) is_partial |= a == pcol_id;
+        if (!is_partial) ++payload;
+      }
+      if (static_cast<int>(needed.size()) >= payload) return in;
+    }
+    std::vector<AggTask> gtasks;
+    std::vector<AttrId> gids;
+    gtasks.push_back({AggFn::kCount, kInvalidAttr});
+    gids.push_back(pc);
+    for (size_t t = 0; t < tasks.size(); ++t) {
+      if (pcol[t] == kInvalidAttr) continue;
+      // Re-aggregate an existing partial column, or initialise from the
+      // source column if this step introduced it.
+      AttrId src = in.schema().Contains(pcol[t]) ? pcol[t] : tasks[t].source;
+      if (!in.schema().Contains(src)) continue;  // source not yet joined in
+      AggFn fn = tasks[t].fn == AggFn::kSum ? AggFn::kSum : tasks[t].fn;
+      gtasks.push_back({fn, src});
+      gids.push_back(pcol[t]);
+    }
+    // Re-aggregating the running count: sum of partial counts. On the very
+    // first reduction there is no pc column yet, so count(*) is correct.
+    if (in.schema().Contains(pc)) {
+      gtasks[0] = {AggFn::kSum, pc};
+    }
+    return SortGroupAggregate(in, needed, gtasks, gids);
+  };
+
+  // When a task's source relation is joined in after the first step, its
+  // partial column is materialised from the source column: for sums, scaled
+  // by the running count (each of the `pc` partially aggregated originals
+  // pairs with that source row); for min/max, copied as-is.
+  auto init_new_partials = [&](Relation in,
+                               const std::vector<size_t>& new_tasks) {
+    if (new_tasks.empty()) return in;
+    int pc_pos = in.schema().IndexOf(pc);
+    std::vector<AttrId> attrs = in.schema().attrs();
+    std::vector<std::pair<int, bool>> cols;  // (source pos, scale by count)
+    for (size_t t : new_tasks) {
+      attrs.push_back(pcol[t]);
+      cols.emplace_back(in.schema().IndexOf(tasks[t].source),
+                        tasks[t].fn == AggFn::kSum);
+    }
+    Relation out((RelSchema(std::move(attrs))));
+    for (const Tuple& row : in.rows()) {
+      Tuple r = row;
+      for (const auto& [sp, scale] : cols) {
+        r.push_back(scale ? MulByCount(row[sp], row[pc_pos].as_int())
+                          : row[sp]);
+      }
+      out.Add(std::move(r));
+    }
+    return out;
+  };
+
+  Relation cur = reduce(*rels[0], /*force=*/true);
+
+  for (size_t step = 1; step < rels.size(); ++step) {
+    // Pick an unprocessed relation sharing an attribute with `cur`.
+    int next = -1;
+    for (size_t r = 0; r < rels.size(); ++r) {
+      if (done[r]) continue;
+      for (AttrId a : rels[r]->schema().attrs()) {
+        if (cur.schema().Contains(a)) next = static_cast<int>(r);
+      }
+      if (next >= 0) break;
+    }
+    if (next < 0) {
+      throw std::invalid_argument(
+          "EagerAggregateJoin: join graph is disconnected");
+    }
+    done[next] = true;
+
+    std::vector<size_t> new_tasks;
+    for (size_t t = 0; t < tasks.size(); ++t) {
+      if (tasks[t].fn != AggFn::kCount && !cur.schema().Contains(pcol[t]) &&
+          rels[next]->schema().Contains(tasks[t].source)) {
+        new_tasks.push_back(t);
+      }
+    }
+    cur = init_new_partials(NaturalJoin(cur, *rels[next]), new_tasks);
+    // The reduction after the last join is subsumed by the final aggregate.
+    if (step + 1 < rels.size()) cur = reduce(cur, /*force=*/false);
+  }
+
+  // Final aggregate over the group attributes.
+  std::vector<AggTask> ftasks;
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    if (tasks[t].fn == AggFn::kCount) {
+      ftasks.push_back({AggFn::kSum, pc});
+    } else if (tasks[t].fn == AggFn::kSum) {
+      ftasks.push_back({AggFn::kSum, pcol[t]});
+    } else {
+      ftasks.push_back({tasks[t].fn, pcol[t]});
+    }
+  }
+  Relation out = SortGroupAggregate(cur, group, ftasks, out_ids);
+  // SQL count over an empty input is 0, not NULL.
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    if (tasks[t].fn != AggFn::kCount) continue;
+    int pos = out.schema().IndexOf(out_ids[t]);
+    for (Tuple& row : out.mutable_rows()) {
+      if (row[pos].is_null()) row[pos] = Value(static_cast<int64_t>(0));
+    }
+  }
+  return out;
+}
+
+}  // namespace fdb

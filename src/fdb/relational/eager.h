@@ -1,0 +1,31 @@
+#ifndef FDB_RELATIONAL_EAGER_H_
+#define FDB_RELATIONAL_EAGER_H_
+
+#include <vector>
+
+#include "fdb/relational/rdb_ops.h"
+
+namespace fdb {
+
+/// Eager (partial) aggregation plans in the style of Yan & Larson [31] —
+/// the "manually crafted optimised query plans" given to the relational
+/// engines in Experiment 2 (Fig. 6).
+///
+/// Evaluates ̟_{G; out_ids ← tasks}(R₁ ⋈ … ⋈ R_n) by pushing partial
+/// aggregation below the joins: a running (partial-aggregate, count) state
+/// is reduced to the attributes still needed (group attributes and pending
+/// join attributes) after every join, so no intermediate result is larger
+/// than the aggregated inputs.
+///
+/// Requirements: the relations are natural-joined; every pair of relations
+/// sharing an attribute is joined on it; sum/min/max tasks must all draw
+/// their source from the same relation (true of all the paper's queries).
+Relation EagerAggregateJoin(const std::vector<const Relation*>& rels,
+                            const std::vector<AttrId>& group,
+                            const std::vector<AggTask>& tasks,
+                            const std::vector<AttrId>& out_ids,
+                            AttributeRegistry* reg);
+
+}  // namespace fdb
+
+#endif  // FDB_RELATIONAL_EAGER_H_

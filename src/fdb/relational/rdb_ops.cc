@@ -1,0 +1,378 @@
+#include "fdb/relational/rdb_ops.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace fdb {
+namespace {
+
+size_t HashKey(const Tuple& row, const std::vector<int>& cols) {
+  size_t h = 0x9e3779b97f4a7c15ull;
+  for (int c : cols) {
+    h ^= row[c].Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool KeysEqual(const Tuple& a, const std::vector<int>& ac, const Tuple& b,
+               const std::vector<int>& bc) {
+  for (size_t i = 0; i < ac.size(); ++i) {
+    if (!(a[ac[i]] == b[bc[i]])) return false;
+  }
+  return true;
+}
+
+// Shared attributes of two schemas and their positions on both sides.
+void SharedAttrs(const RelSchema& l, const RelSchema& r,
+                 std::vector<int>* lc, std::vector<int>* rc) {
+  for (int i = 0; i < l.arity(); ++i) {
+    int j = r.IndexOf(l.attr(i));
+    if (j >= 0) {
+      lc->push_back(i);
+      rc->push_back(j);
+    }
+  }
+}
+
+RelSchema JoinSchema(const RelSchema& l, const RelSchema& r,
+                     std::vector<int>* r_only) {
+  std::vector<AttrId> attrs = l.attrs();
+  for (int j = 0; j < r.arity(); ++j) {
+    if (l.IndexOf(r.attr(j)) < 0) {
+      attrs.push_back(r.attr(j));
+      r_only->push_back(j);
+    }
+  }
+  return RelSchema(std::move(attrs));
+}
+
+}  // namespace
+
+Relation SelectConst(const Relation& in, AttrId attr, CmpOp op,
+                     const Value& c) {
+  int pos = in.schema().IndexOf(attr);
+  if (pos < 0) throw std::invalid_argument("SelectConst: unknown attribute");
+  Relation out(in.schema());
+  for (const Tuple& row : in.rows()) {
+    if (EvalCmp(row[pos], op, c)) out.Add(row);
+  }
+  return out;
+}
+
+Relation SelectAttrEq(const Relation& in, AttrId a, AttrId b) {
+  int pa = in.schema().IndexOf(a);
+  int pb = in.schema().IndexOf(b);
+  if (pa < 0 || pb < 0) {
+    throw std::invalid_argument("SelectAttrEq: unknown attribute");
+  }
+  Relation out(in.schema());
+  for (const Tuple& row : in.rows()) {
+    if (row[pa] == row[pb]) out.Add(row);
+  }
+  return out;
+}
+
+Relation Project(const Relation& in, const std::vector<AttrId>& attrs,
+                 bool dedup) {
+  std::vector<int> cols;
+  for (AttrId a : attrs) {
+    int pos = in.schema().IndexOf(a);
+    if (pos < 0) throw std::invalid_argument("Project: unknown attribute");
+    cols.push_back(pos);
+  }
+  Relation out{RelSchema(attrs)};
+  for (const Tuple& row : in.rows()) {
+    Tuple t;
+    t.reserve(cols.size());
+    for (int c : cols) t.push_back(row[c]);
+    out.Add(std::move(t));
+  }
+  if (dedup) out.SortAndDedup();
+  return out;
+}
+
+Relation NaturalJoin(const Relation& left, const Relation& right) {
+  // Build on the smaller side.
+  if (right.size() < left.size()) {
+    // Keep the documented output column order (left ++ right-only) by
+    // projecting after the swapped join.
+    Relation swapped = NaturalJoin(right, left);
+    std::vector<int> r_only_tmp;
+    RelSchema want = JoinSchema(left.schema(), right.schema(), &r_only_tmp);
+    return Project(swapped, want.attrs(), /*dedup=*/false);
+  }
+  std::vector<int> lc, rc;
+  SharedAttrs(left.schema(), right.schema(), &lc, &rc);
+  std::vector<int> r_only;
+  RelSchema out_schema = JoinSchema(left.schema(), right.schema(), &r_only);
+  Relation out(out_schema);
+
+  std::unordered_multimap<size_t, int> index;
+  index.reserve(left.rows().size());
+  for (size_t i = 0; i < left.rows().size(); ++i) {
+    index.emplace(HashKey(left.rows()[i], lc), static_cast<int>(i));
+  }
+  for (const Tuple& rrow : right.rows()) {
+    auto [b, e] = index.equal_range(HashKey(rrow, rc));
+    for (auto it = b; it != e; ++it) {
+      const Tuple& lrow = left.rows()[it->second];
+      if (!KeysEqual(lrow, lc, rrow, rc)) continue;
+      Tuple t = lrow;
+      for (int j : r_only) t.push_back(rrow[j]);
+      out.Add(std::move(t));
+    }
+  }
+  return out;
+}
+
+Relation NaturalJoinAll(const std::vector<const Relation*>& rels) {
+  if (rels.empty()) throw std::invalid_argument("NaturalJoinAll: no inputs");
+  Relation acc = *rels[0];
+  for (size_t i = 1; i < rels.size(); ++i) {
+    acc = NaturalJoin(acc, *rels[i]);
+  }
+  return acc;
+}
+
+Relation SortMergeJoin(const Relation& left, const Relation& right) {
+  std::vector<int> lc, rc;
+  SharedAttrs(left.schema(), right.schema(), &lc, &rc);
+  std::vector<int> r_only;
+  RelSchema out_schema = JoinSchema(left.schema(), right.schema(), &r_only);
+  Relation out(out_schema);
+
+  auto key_less = [](const Tuple& a, const std::vector<int>& ac,
+                     const Tuple& b, const std::vector<int>& bc) {
+    for (size_t i = 0; i < ac.size(); ++i) {
+      auto c = a[ac[i]] <=> b[bc[i]];
+      if (c != std::strong_ordering::equal) {
+        return c == std::strong_ordering::less;
+      }
+    }
+    return false;
+  };
+  std::vector<Tuple> ls = left.rows(), rs = right.rows();
+  std::sort(ls.begin(), ls.end(), [&](const Tuple& a, const Tuple& b) {
+    return key_less(a, lc, b, lc);
+  });
+  std::sort(rs.begin(), rs.end(), [&](const Tuple& a, const Tuple& b) {
+    return key_less(a, rc, b, rc);
+  });
+  size_t i = 0, j = 0;
+  while (i < ls.size() && j < rs.size()) {
+    if (key_less(ls[i], lc, rs[j], rc)) {
+      ++i;
+    } else if (key_less(rs[j], rc, ls[i], lc)) {
+      ++j;
+    } else {
+      size_t i2 = i, j2 = j;
+      while (i2 < ls.size() && !key_less(ls[i], lc, ls[i2], lc) &&
+             !key_less(ls[i2], lc, ls[i], lc)) {
+        ++i2;
+      }
+      while (j2 < rs.size() && !key_less(rs[j], rc, rs[j2], rc) &&
+             !key_less(rs[j2], rc, rs[j], rc)) {
+        ++j2;
+      }
+      for (size_t x = i; x < i2; ++x) {
+        for (size_t y = j; y < j2; ++y) {
+          Tuple t = ls[x];
+          for (int c : r_only) t.push_back(rs[y][c]);
+          out.Add(std::move(t));
+        }
+      }
+      i = i2;
+      j = j2;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Accumulator for one group and one task.
+struct AggAcc {
+  int64_t count = 0;
+  Value acc;  // running sum / min / max; NULL until first row
+};
+
+void Accumulate(AggAcc* a, const AggTask& t, const Tuple& row, int src_pos) {
+  a->count++;
+  switch (t.fn) {
+    case AggFn::kCount:
+      return;
+    case AggFn::kSum:
+      a->acc = a->acc.is_null() ? row[src_pos]
+                                : AddValues(a->acc, row[src_pos]);
+      return;
+    case AggFn::kMin:
+      a->acc = a->acc.is_null() ? row[src_pos]
+                                : MinValue(a->acc, row[src_pos]);
+      return;
+    case AggFn::kMax:
+      a->acc = a->acc.is_null() ? row[src_pos]
+                                : MaxValue(a->acc, row[src_pos]);
+      return;
+  }
+}
+
+Value Finish(const AggAcc& a, const AggTask& t) {
+  if (t.fn == AggFn::kCount) return Value(a.count);
+  return a.acc;  // NULL when the group was empty (global aggregates only)
+}
+
+struct GroupPlan {
+  std::vector<int> gcols;
+  std::vector<int> scols;  // source column per task (-1 for count)
+  RelSchema out_schema;
+};
+
+GroupPlan PlanGrouping(const Relation& in, const std::vector<AttrId>& group,
+                       const std::vector<AggTask>& tasks,
+                       const std::vector<AttrId>& out_ids) {
+  if (tasks.size() != out_ids.size()) {
+    throw std::invalid_argument("GroupAggregate: tasks/out_ids mismatch");
+  }
+  GroupPlan p;
+  for (AttrId g : group) {
+    int pos = in.schema().IndexOf(g);
+    if (pos < 0) {
+      throw std::invalid_argument("GroupAggregate: unknown group attribute");
+    }
+    p.gcols.push_back(pos);
+  }
+  for (const AggTask& t : tasks) {
+    if (t.fn == AggFn::kCount) {
+      p.scols.push_back(-1);
+    } else {
+      int pos = in.schema().IndexOf(t.source);
+      if (pos < 0) {
+        throw std::invalid_argument(
+            "GroupAggregate: unknown aggregate source");
+      }
+      p.scols.push_back(pos);
+    }
+  }
+  std::vector<AttrId> attrs = group;
+  attrs.insert(attrs.end(), out_ids.begin(), out_ids.end());
+  p.out_schema = RelSchema(std::move(attrs));
+  return p;
+}
+
+void EmitGroup(Relation* out, const Tuple& any_row, const GroupPlan& p,
+               const std::vector<AggTask>& tasks,
+               const std::vector<AggAcc>& accs) {
+  Tuple t;
+  t.reserve(p.gcols.size() + tasks.size());
+  for (int c : p.gcols) t.push_back(any_row[c]);
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    t.push_back(Finish(accs[i], tasks[i]));
+  }
+  out->Add(std::move(t));
+}
+
+}  // namespace
+
+Relation SortGroupAggregate(const Relation& in,
+                            const std::vector<AttrId>& group,
+                            const std::vector<AggTask>& tasks,
+                            const std::vector<AttrId>& out_ids) {
+  GroupPlan p = PlanGrouping(in, group, tasks, out_ids);
+  Relation out(p.out_schema);
+
+  if (group.empty()) {
+    std::vector<AggAcc> accs(tasks.size());
+    for (const Tuple& row : in.rows()) {
+      for (size_t i = 0; i < tasks.size(); ++i) {
+        Accumulate(&accs[i], tasks[i], row, p.scols[i]);
+      }
+    }
+    EmitGroup(&out, Tuple{}, p, tasks, accs);
+    return out;
+  }
+
+  std::vector<Tuple> rows = in.rows();
+  std::sort(rows.begin(), rows.end(), [&](const Tuple& a, const Tuple& b) {
+    for (int c : p.gcols) {
+      auto cmp = a[c] <=> b[c];
+      if (cmp != std::strong_ordering::equal) {
+        return cmp == std::strong_ordering::less;
+      }
+    }
+    return false;
+  });
+  size_t i = 0;
+  while (i < rows.size()) {
+    size_t j = i;
+    std::vector<AggAcc> accs(tasks.size());
+    auto same_group = [&](const Tuple& a, const Tuple& b) {
+      for (int c : p.gcols) {
+        if (!(a[c] == b[c])) return false;
+      }
+      return true;
+    };
+    while (j < rows.size() && same_group(rows[i], rows[j])) {
+      for (size_t t = 0; t < tasks.size(); ++t) {
+        Accumulate(&accs[t], tasks[t], rows[j], p.scols[t]);
+      }
+      ++j;
+    }
+    EmitGroup(&out, rows[i], p, tasks, accs);
+    i = j;
+  }
+  return out;
+}
+
+Relation HashGroupAggregate(const Relation& in,
+                            const std::vector<AttrId>& group,
+                            const std::vector<AggTask>& tasks,
+                            const std::vector<AttrId>& out_ids) {
+  GroupPlan p = PlanGrouping(in, group, tasks, out_ids);
+  if (group.empty()) return SortGroupAggregate(in, group, tasks, out_ids);
+
+  Relation out(p.out_schema);
+  struct GroupState {
+    int first_row;
+    std::vector<AggAcc> accs;
+  };
+  std::unordered_multimap<size_t, GroupState> table;
+  table.reserve(in.rows().size());
+  std::vector<GroupState*> emit_order;
+  for (size_t r = 0; r < in.rows().size(); ++r) {
+    const Tuple& row = in.rows()[r];
+    size_t h = HashKey(row, p.gcols);
+    GroupState* gs = nullptr;
+    auto [b, e] = table.equal_range(h);
+    for (auto it = b; it != e; ++it) {
+      if (KeysEqual(in.rows()[it->second.first_row], p.gcols, row, p.gcols)) {
+        gs = &it->second;
+        break;
+      }
+    }
+    if (gs == nullptr) {
+      auto it = table.emplace(
+          h, GroupState{static_cast<int>(r),
+                        std::vector<AggAcc>(tasks.size())});
+      gs = &it->second;
+      emit_order.push_back(gs);
+    }
+    for (size_t t = 0; t < tasks.size(); ++t) {
+      Accumulate(&gs->accs[t], tasks[t], row, p.scols[t]);
+    }
+  }
+  for (GroupState* gs : emit_order) {
+    EmitGroup(&out, in.rows()[gs->first_row], p, tasks, gs->accs);
+  }
+  return out;
+}
+
+Relation Limit(const Relation& in, int64_t k) {
+  Relation out(in.schema());
+  for (int64_t i = 0; i < k && i < in.size(); ++i) {
+    out.Add(in.rows()[i]);
+  }
+  return out;
+}
+
+}  // namespace fdb

@@ -1,0 +1,64 @@
+#ifndef FDB_RELATIONAL_RDB_OPS_H_
+#define FDB_RELATIONAL_RDB_OPS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "fdb/relational/agg.h"
+#include "fdb/relational/relation.h"
+
+namespace fdb {
+
+// The RDB baseline: a basic main-memory relational engine with the standard
+// physical operators (paper §6, Experiment 5: the authors' RDB performs
+// "very close to SQLite"). It stands in for SQLite/PostgreSQL in the
+// reproduced experiments: sort-based grouping mirrors SQLite, hash-based
+// grouping mirrors PostgreSQL.
+
+/// σ_{A θ c}: keeps rows whose attribute `attr` satisfies the comparison.
+Relation SelectConst(const Relation& in, AttrId attr, CmpOp op,
+                     const Value& c);
+
+/// σ_{A = B} for two attributes of the same relation.
+Relation SelectAttrEq(const Relation& in, AttrId a, AttrId b);
+
+/// π with optional duplicate elimination.
+Relation Project(const Relation& in, const std::vector<AttrId>& attrs,
+                 bool dedup);
+
+/// Natural join: equates all attributes the two schemas share. The output
+/// schema is the left schema followed by the right-only attributes.
+/// Implemented as a hash join, building on the smaller input.
+Relation NaturalJoin(const Relation& left, const Relation& right);
+
+/// Natural join of several relations, joined left to right.
+Relation NaturalJoinAll(const std::vector<const Relation*>& rels);
+
+/// Sort-merge implementation of the natural join (used by tests as a
+/// differential oracle for the hash join).
+Relation SortMergeJoin(const Relation& left, const Relation& right);
+
+/// Grouping and aggregation ̟_{G; α₁←F₁,…}: one output row per group,
+/// grouping columns first, then one column per task named by `out_ids`.
+/// When `group` is empty, emits exactly one row even on empty input
+/// (count = 0, sum/min/max = NULL), matching SQL semantics.
+/// Sort-based implementation: sorts by G, then aggregates in one scan.
+Relation SortGroupAggregate(const Relation& in,
+                            const std::vector<AttrId>& group,
+                            const std::vector<AggTask>& tasks,
+                            const std::vector<AttrId>& out_ids);
+
+/// Hash-based implementation of the same operator (rows emitted in
+/// first-seen group order).
+Relation HashGroupAggregate(const Relation& in,
+                            const std::vector<AttrId>& group,
+                            const std::vector<AggTask>& tasks,
+                            const std::vector<AttrId>& out_ids);
+
+/// λ_k: the first `k` rows in input order.
+Relation Limit(const Relation& in, int64_t k);
+
+}  // namespace fdb
+
+#endif  // FDB_RELATIONAL_RDB_OPS_H_

@@ -1,0 +1,80 @@
+#ifndef FDB_RELATIONAL_RELATION_H_
+#define FDB_RELATIONAL_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fdb/relational/schema.h"
+#include "fdb/relational/value.h"
+
+namespace fdb {
+
+/// A tuple of values; positions correspond to a RelSchema.
+using Tuple = std::vector<Value>;
+
+/// Sort direction for one attribute of an order-by list.
+enum class SortDir { kAsc, kDesc };
+
+/// One element of an order-by list: attribute plus direction.
+struct SortKey {
+  AttrId attr = kInvalidAttr;
+  SortDir dir = SortDir::kAsc;
+  bool operator==(const SortKey& o) const = default;
+};
+
+/// A flat in-memory relation: a schema and a vector of rows. Rows are a bag
+/// (duplicates allowed) unless deduplicated explicitly; base relations and
+/// all paper workloads are duplicate-free.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(RelSchema schema) : schema_(std::move(schema)) {}
+  Relation(RelSchema schema, std::vector<Tuple> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const RelSchema& schema() const { return schema_; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+  std::vector<Tuple>& mutable_rows() { return rows_; }
+  int64_t size() const { return static_cast<int64_t>(rows_.size()); }
+  bool empty() const { return rows_.empty(); }
+
+  void Add(Tuple t) { rows_.push_back(std::move(t)); }
+
+  /// Sorts rows lexicographically by `keys` (other attributes break no ties).
+  void SortBy(const std::vector<SortKey>& keys);
+
+  /// Sorts rows by all attributes ascending and removes exact duplicates.
+  void SortAndDedup();
+
+  /// True if rows are sorted lexicographically by `keys` (ties arbitrary).
+  bool IsSortedBy(const std::vector<SortKey>& keys) const;
+
+  /// Set equality: same schema attribute list and same set of rows
+  /// (both sides compared after sort+dedup; inputs are not modified).
+  bool SetEquals(const Relation& o) const;
+
+  /// Bag equality: same schema and same multiset of rows.
+  bool BagEquals(const Relation& o) const;
+
+  /// Renders at most `max_rows` rows for debugging.
+  std::string ToString(const AttributeRegistry& reg, int max_rows = 20) const;
+
+ private:
+  RelSchema schema_;
+  std::vector<Tuple> rows_;
+};
+
+/// Three-way lexicographic comparison of two tuples under sort keys, given
+/// the positions of each key attribute in the tuple's schema.
+int CompareTuples(const Tuple& a, const Tuple& b,
+                  const std::vector<std::pair<int, SortDir>>& key_positions);
+
+/// Resolves sort keys to (position, direction) pairs for `schema`.
+/// Throws std::invalid_argument if a key attribute is missing.
+std::vector<std::pair<int, SortDir>> ResolveKeys(
+    const RelSchema& schema, const std::vector<SortKey>& keys);
+
+}  // namespace fdb
+
+#endif  // FDB_RELATIONAL_RELATION_H_

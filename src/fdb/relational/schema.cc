@@ -1,0 +1,37 @@
+#include "fdb/relational/schema.h"
+
+namespace fdb {
+
+AttrId AttributeRegistry::Intern(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  AttrId id = static_cast<AttrId>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+std::optional<AttrId> AttributeRegistry::Find(const std::string& name) const {
+  auto it = ids_.find(name);
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+int RelSchema::IndexOf(AttrId a) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i] == a) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string RelSchema::ToString(const AttributeRegistry& reg) const {
+  std::string out = "(";
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (i) out += ", ";
+    out += reg.Name(attrs_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace fdb

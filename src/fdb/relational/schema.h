@@ -1,0 +1,61 @@
+#ifndef FDB_RELATIONAL_SCHEMA_H_
+#define FDB_RELATIONAL_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fdb {
+
+/// Identifier of an attribute within an AttributeRegistry.
+using AttrId = int32_t;
+constexpr AttrId kInvalidAttr = -1;
+
+/// Maps attribute names to dense AttrIds shared by all relations, f-trees
+/// and queries of one database. Attribute names are case-sensitive.
+class AttributeRegistry {
+ public:
+  /// Returns the id for `name`, creating it if necessary.
+  AttrId Intern(const std::string& name);
+
+  /// Returns the id for `name`, or nullopt if it was never interned.
+  std::optional<AttrId> Find(const std::string& name) const;
+
+  /// Name of an interned attribute id.
+  const std::string& Name(AttrId id) const { return names_.at(id); }
+
+  int size() const { return static_cast<int>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, AttrId> ids_;
+};
+
+/// An ordered list of attributes, the schema of a relation or tuple.
+class RelSchema {
+ public:
+  RelSchema() = default;
+  explicit RelSchema(std::vector<AttrId> attrs) : attrs_(std::move(attrs)) {}
+
+  int arity() const { return static_cast<int>(attrs_.size()); }
+  AttrId attr(int i) const { return attrs_[i]; }
+  const std::vector<AttrId>& attrs() const { return attrs_; }
+
+  /// Position of `a` in this schema, or -1 if absent.
+  int IndexOf(AttrId a) const;
+  bool Contains(AttrId a) const { return IndexOf(a) >= 0; }
+
+  bool operator==(const RelSchema& o) const = default;
+
+  /// Renders as "(A, B, C)" using `reg` for names.
+  std::string ToString(const AttributeRegistry& reg) const;
+
+ private:
+  std::vector<AttrId> attrs_;
+};
+
+}  // namespace fdb
+
+#endif  // FDB_RELATIONAL_SCHEMA_H_

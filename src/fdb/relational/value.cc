@@ -1,0 +1,134 @@
+#include "fdb/relational/value.h"
+
+#include <cmath>
+#include <functional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace fdb {
+namespace {
+
+// Rank used to order values of incomparable types: null < numeric < string.
+int TypeRank(const Value& v) {
+  if (v.is_null()) return 0;
+  if (v.is_numeric()) return 1;
+  return 2;
+}
+
+std::strong_ordering OrderDoubles(double a, double b) {
+  if (a < b) return std::strong_ordering::less;
+  if (a > b) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+}  // namespace
+
+bool Value::operator==(const Value& o) const {
+  return (*this <=> o) == std::strong_ordering::equal;
+}
+
+std::strong_ordering Value::operator<=>(const Value& o) const {
+  int ra = TypeRank(*this), rb = TypeRank(o);
+  if (ra != rb) return ra <=> rb;
+  switch (ra) {
+    case 0:
+      return std::strong_ordering::equal;
+    case 1:
+      if (is_int() && o.is_int()) return as_int() <=> o.as_int();
+      return OrderDoubles(numeric(), o.numeric());
+    default:
+      return as_string().compare(o.as_string()) <=> 0;
+  }
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "NULL";
+  if (is_int()) return std::to_string(as_int());
+  if (is_double()) {
+    std::ostringstream os;
+    os << as_double();
+    return os.str();
+  }
+  return as_string();
+}
+
+size_t Value::Hash() const {
+  if (is_null()) return 0x9e3779b97f4a7c15ull;
+  if (is_int()) return std::hash<int64_t>()(as_int());
+  if (is_double()) {
+    double d = as_double();
+    // Make hash(2.0) == hash(2) so mixed int/double keys that compare equal
+    // hash equally.
+    if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+      return std::hash<int64_t>()(static_cast<int64_t>(d));
+    }
+    return std::hash<double>()(d);
+  }
+  return std::hash<std::string>()(as_string());
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  return os << v.ToString();
+}
+
+Value AddValues(const Value& a, const Value& b) {
+  if (!a.is_numeric() || !b.is_numeric()) {
+    throw std::invalid_argument("AddValues: non-numeric operand");
+  }
+  if (a.is_int() && b.is_int()) return Value(a.as_int() + b.as_int());
+  return Value(a.numeric() + b.numeric());
+}
+
+Value MulValues(const Value& a, const Value& b) {
+  if (!a.is_numeric() || !b.is_numeric()) {
+    throw std::invalid_argument("MulValues: non-numeric operand");
+  }
+  if (a.is_int() && b.is_int()) return Value(a.as_int() * b.as_int());
+  return Value(a.numeric() * b.numeric());
+}
+
+Value MulByCount(const Value& a, int64_t count) {
+  return MulValues(a, Value(count));
+}
+
+Value MinValue(const Value& a, const Value& b) { return a < b ? a : b; }
+Value MaxValue(const Value& a, const Value& b) { return a < b ? b : a; }
+
+bool EvalCmp(const Value& a, CmpOp op, const Value& b) {
+  switch (op) {
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kNe:
+      return !(a == b);
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kLe:
+      return a <= b;
+    case CmpOp::kGt:
+      return a > b;
+    case CmpOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+std::string CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "<>";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+}  // namespace fdb

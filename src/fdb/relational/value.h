@@ -1,0 +1,87 @@
+#ifndef FDB_RELATIONAL_VALUE_H_
+#define FDB_RELATIONAL_VALUE_H_
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+
+namespace fdb {
+
+/// A single database value: null, 64-bit integer, double, or string.
+///
+/// Values are totally ordered. The order is defined within each type by the
+/// natural order of that type; across types the order is
+/// null < int/double (compared numerically against each other) < string.
+/// Integers and doubles compare numerically so that mixed-type aggregates
+/// (e.g. `sum` promoting to double) behave consistently.
+class Value {
+ public:
+  Value() : v_(std::monostate{}) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(int i) : v_(static_cast<int64_t>(i)) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(const char* s) : v_(std::string(s)) {}
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  /// True for int or double.
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  /// The integer payload. Requires is_int().
+  int64_t as_int() const { return std::get<int64_t>(v_); }
+  /// The double payload. Requires is_double().
+  double as_double() const { return std::get<double>(v_); }
+  /// The string payload. Requires is_string().
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+
+  /// Numeric view of the value (int widened to double). Requires is_numeric().
+  double numeric() const {
+    return is_int() ? static_cast<double>(as_int()) : as_double();
+  }
+
+  bool operator==(const Value& o) const;
+  std::strong_ordering operator<=>(const Value& o) const;
+
+  /// Renders the value for display ("NULL", "42", "1.5", "abc").
+  std::string ToString() const;
+
+  /// Hash suitable for unordered containers.
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+/// Adds two numeric values; the result is an int iff both inputs are ints.
+Value AddValues(const Value& a, const Value& b);
+/// Multiplies two numeric values; int iff both inputs are ints.
+Value MulValues(const Value& a, const Value& b);
+/// Multiplies a numeric value by an integer count.
+Value MulByCount(const Value& a, int64_t count);
+/// Smaller / larger of two values under the total value order.
+Value MinValue(const Value& a, const Value& b);
+Value MaxValue(const Value& a, const Value& b);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// Binary comparison operators usable in selection conditions.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// Evaluates `a op b` under the total value order.
+bool EvalCmp(const Value& a, CmpOp op, const Value& b);
+
+/// Renders an operator as SQL ("=", "<>", "<", ...).
+std::string CmpOpName(CmpOp op);
+
+}  // namespace fdb
+
+#endif  // FDB_RELATIONAL_VALUE_H_

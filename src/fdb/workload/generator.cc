@@ -1,0 +1,126 @@
+#include "fdb/workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "fdb/core/build.h"
+
+namespace fdb {
+
+WorkloadParams PaperParams(int scale) {
+  WorkloadParams p;
+  double rs = std::sqrt(static_cast<double>(scale));
+  p.scale = scale;
+  p.num_dates = 800 * scale;
+  p.num_customers = 25 * scale;
+  p.date_prob = 0.1;  // 80·s order dates out of 800·s
+  p.orders_per_date = 2.0;
+  p.num_items = static_cast<int>(100 * rs);
+  p.num_packages = static_cast<int>(40 * rs);
+  p.items_per_package = static_cast<int>(20 * rs);
+  return p;
+}
+
+WorkloadParams SmallParams(int scale) {
+  WorkloadParams p;
+  double rs = std::sqrt(static_cast<double>(scale));
+  p.scale = scale;
+  p.num_dates = 80 * scale;
+  p.num_customers = 10 * scale;
+  p.date_prob = 0.1;
+  p.orders_per_date = 2.0;
+  p.num_items = static_cast<int>(40 * rs);
+  p.num_packages = static_cast<int>(16 * rs);
+  p.items_per_package = static_cast<int>(8 * rs);
+  return p;
+}
+
+Workload GenerateWorkload(Database* db, const WorkloadParams& p) {
+  std::mt19937_64 rng(p.seed);
+  AttributeRegistry& reg = db->registry();
+  AttrId customer = reg.Intern("customer");
+  AttrId date = reg.Intern("date");
+  AttrId package = reg.Intern("package");
+  AttrId item = reg.Intern("item");
+  AttrId price = reg.Intern("price");
+
+  Workload w;
+  w.orders = Relation{RelSchema({customer, date, package})};
+  w.packages = Relation{RelSchema({package, item})};
+  w.items = Relation{RelSchema({item, price})};
+
+  // Orders: each customer orders on ~date_prob of the dates; on each order
+  // date the number of orders is binomial with the requested mean; each
+  // order picks a package uniformly.
+  std::bernoulli_distribution orders_today(p.date_prob);
+  int binom_n = std::max(1, static_cast<int>(2 * p.orders_per_date));
+  std::binomial_distribution<int> norders(binom_n,
+                                          p.orders_per_date / binom_n);
+  std::uniform_int_distribution<int64_t> pick_package(0, p.num_packages - 1);
+  std::vector<Tuple> order_rows;
+  for (int64_t c = 0; c < p.num_customers; ++c) {
+    for (int64_t d = 0; d < p.num_dates; ++d) {
+      if (!orders_today(rng)) continue;
+      int n = norders(rng);
+      for (int k = 0; k < n; ++k) {
+        order_rows.push_back(
+            {Value(c), Value(d), Value(pick_package(rng))});
+      }
+    }
+  }
+  std::sort(order_rows.begin(), order_rows.end());
+  order_rows.erase(std::unique(order_rows.begin(), order_rows.end()),
+                   order_rows.end());
+  for (Tuple& t : order_rows) w.orders.Add(std::move(t));
+
+  // Packages: each package is a random set of items_per_package items.
+  std::vector<int64_t> all_items(p.num_items);
+  for (int64_t i = 0; i < p.num_items; ++i) all_items[i] = i;
+  for (int64_t g = 0; g < p.num_packages; ++g) {
+    std::shuffle(all_items.begin(), all_items.end(), rng);
+    int take = std::min<int>(p.items_per_package,
+                             static_cast<int>(all_items.size()));
+    for (int i = 0; i < take; ++i) {
+      w.packages.Add({Value(g), Value(all_items[i])});
+    }
+  }
+  w.packages.SortAndDedup();
+
+  // Items: one price each.
+  std::uniform_int_distribution<int64_t> pick_price(1, p.max_price);
+  for (int64_t i = 0; i < p.num_items; ++i) {
+    w.items.Add({Value(i), Value(pick_price(rng))});
+  }
+
+  // The f-tree T of §6: package → {date → customer, item → price}.
+  FTree t;
+  int n_package = t.AddNode({package}, -1);
+  int n_date = t.AddNode({date}, n_package);
+  t.AddNode({customer}, n_date);
+  int n_item = t.AddNode({item}, n_package);
+  t.AddNode({price}, n_item);
+  t.AddEdge({{customer, date, package},
+             static_cast<double>(w.orders.size()),
+             "Orders"});
+  t.AddEdge({{item, package}, static_cast<double>(w.packages.size()),
+             "Packages"});
+  t.AddEdge({{item, price}, static_cast<double>(w.items.size()), "Items"});
+  w.ftree = std::move(t);
+  return w;
+}
+
+int64_t InstallWorkload(Database* db, const WorkloadParams& p,
+                        const std::string& view_name) {
+  Workload w = GenerateWorkload(db, p);
+  Factorisation r1 =
+      FactoriseJoin(w.ftree, {&w.orders, &w.packages, &w.items});
+  int64_t singletons = r1.CountSingletons();
+  db->AddRelation("Orders", std::move(w.orders));
+  db->AddRelation("Packages", std::move(w.packages));
+  db->AddRelation("Items", std::move(w.items));
+  db->AddView(view_name, std::move(r1));
+  return singletons;
+}
+
+}  // namespace fdb

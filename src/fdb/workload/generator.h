@@ -1,0 +1,58 @@
+#ifndef FDB_WORKLOAD_GENERATOR_H_
+#define FDB_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+
+#include "fdb/engine/database.h"
+
+namespace fdb {
+
+/// Parameters of the synthetic dataset of paper §6: Orders(customer, date,
+/// package), Packages(package, item), Items(item, price), controlled by a
+/// scale factor `s`. With the paper's constants the flat join grows roughly
+/// one power of `s` faster than its factorisation over the tree T
+/// (package → {date → customer, item → price}), which is what the
+/// experiments measure. SmallParams() keeps the same structure with
+/// laptop-sized constants (see DESIGN.md §3).
+struct WorkloadParams {
+  int scale = 1;
+  int num_dates = 800;           ///< dates with orders: 800·s in the paper
+  int num_customers = 25;        ///< customers (scaled so |Orders| ~ s²)
+  double date_prob = 0.1;        ///< P(customer orders on a date): avg 80·s
+                                 ///< order dates per customer at 800·s dates
+  double orders_per_date = 2.0;  ///< avg orders per (customer, order date)
+  int num_items = 100;           ///< 100·√s in the paper
+  int num_packages = 40;         ///< 40·√s
+  int items_per_package = 20;    ///< 20·√s
+  int max_price = 50;
+  uint64_t seed = 42;
+};
+
+/// The paper's constants at scale `s`.
+WorkloadParams PaperParams(int scale);
+
+/// Laptop-sized constants at scale `s`: same shape, ~50× smaller.
+WorkloadParams SmallParams(int scale);
+
+/// The generated database fragment.
+struct Workload {
+  Relation orders;    ///< (customer, date, package)
+  Relation packages;  ///< (package, item)
+  Relation items;     ///< (item, price)
+  FTree ftree;        ///< T: package → {date → customer, item → price}
+};
+
+/// Generates the dataset, interning its attributes in `db`'s registry.
+/// Relations are duplicate-free (set semantics).
+Workload GenerateWorkload(Database* db, const WorkloadParams& p);
+
+/// Installs the workload into `db`: relations "Orders", "Packages",
+/// "Items", plus the factorised materialised view `view_name`
+/// (R1 = Orders ⋈ Packages ⋈ Items over T). Returns the view's singleton
+/// count (the paper's size measure).
+int64_t InstallWorkload(Database* db, const WorkloadParams& p,
+                        const std::string& view_name = "R1");
+
+}  // namespace fdb
+
+#endif  // FDB_WORKLOAD_GENERATOR_H_

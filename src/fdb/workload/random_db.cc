@@ -1,0 +1,99 @@
+#include "fdb/workload/random_db.h"
+
+#include <random>
+#include <stdexcept>
+
+namespace fdb {
+
+RandomDb GenerateChainDb(Database* db, const std::string& prefix,
+                         const RandomDbSpec& spec) {
+  if (spec.arity < 2) {
+    throw std::invalid_argument("GenerateChainDb: arity must be >= 2");
+  }
+  std::mt19937_64 rng(spec.seed);
+  std::uniform_int_distribution<int64_t> pick(0, spec.domain - 1);
+
+  RandomDb out;
+  // Chain attributes: relation r covers positions [r·(arity-1), …] so that
+  // consecutive relations share exactly one attribute.
+  int total_attrs = spec.num_relations * (spec.arity - 1) + 1;
+  for (int i = 0; i < total_attrs; ++i) {
+    out.attr_names.push_back(prefix + "a" + std::to_string(i));
+  }
+  for (int r = 0; r < spec.num_relations; ++r) {
+    std::vector<AttrId> attrs;
+    for (int k = 0; k < spec.arity; ++k) {
+      attrs.push_back(
+          db->registry().Intern(out.attr_names[r * (spec.arity - 1) + k]));
+    }
+    Relation rel{RelSchema(std::move(attrs))};
+    for (int i = 0; i < spec.rows; ++i) {
+      Tuple t;
+      for (int k = 0; k < spec.arity; ++k) t.push_back(Value(pick(rng)));
+      rel.Add(std::move(t));
+    }
+    rel.SortAndDedup();
+    std::string name = prefix + "R" + std::to_string(r);
+    out.relation_names.push_back(name);
+    db->AddRelation(name, std::move(rel));
+  }
+  return out;
+}
+
+RandomDb GenerateStarDb(Database* db, const std::string& prefix,
+                        const RandomDbSpec& spec) {
+  if (spec.num_relations < 2) {
+    throw std::invalid_argument("GenerateStarDb: need >= 2 relations");
+  }
+  if (spec.arity < 2) {
+    throw std::invalid_argument("GenerateStarDb: arity must be >= 2");
+  }
+  std::mt19937_64 rng(spec.seed);
+  std::uniform_int_distribution<int64_t> pick(0, spec.domain - 1);
+
+  RandomDb out;
+  int satellites = spec.num_relations - 1;
+  // Centre attributes: one spoke per satellite (plus fillers up to arity).
+  std::vector<std::string> centre_attrs;
+  for (int s = 0; s < satellites; ++s) {
+    centre_attrs.push_back(prefix + "s" + std::to_string(s));
+  }
+  for (int k = satellites; k < spec.arity; ++k) {
+    centre_attrs.push_back(prefix + "h" + std::to_string(k));
+  }
+  out.attr_names = centre_attrs;
+
+  auto add_relation = [&](const std::string& name,
+                          const std::vector<std::string>& attr_names) {
+    std::vector<AttrId> attrs;
+    for (const std::string& a : attr_names) {
+      attrs.push_back(db->registry().Intern(a));
+    }
+    Relation rel{RelSchema(std::move(attrs))};
+    for (int i = 0; i < spec.rows; ++i) {
+      Tuple t;
+      for (size_t k = 0; k < attr_names.size(); ++k) {
+        t.push_back(Value(pick(rng)));
+      }
+      rel.Add(std::move(t));
+    }
+    rel.SortAndDedup();
+    out.relation_names.push_back(name);
+    db->AddRelation(name, std::move(rel));
+  };
+
+  add_relation(prefix + "R0", centre_attrs);
+  for (int s = 0; s < satellites; ++s) {
+    std::vector<std::string> attrs = {prefix + "s" + std::to_string(s)};
+    for (int k = 1; k < spec.arity; ++k) {
+      std::string name = prefix + "t" + std::to_string(s) + "_" +
+                         std::to_string(k);
+      attrs.push_back(name);
+      out.attr_names.push_back(name);
+    }
+    add_relation(prefix + "R" + std::to_string(s + 1), attrs);
+  }
+  return out;
+}
+
+}  // namespace fdb

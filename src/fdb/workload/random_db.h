@@ -1,0 +1,46 @@
+#ifndef FDB_WORKLOAD_RANDOM_DB_H_
+#define FDB_WORKLOAD_RANDOM_DB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fdb/engine/database.h"
+
+namespace fdb {
+
+/// Specification of a random chain-join database used by the differential
+/// property tests: relations R0(a0…), R1(…), … where consecutive relations
+/// share one attribute, so the natural join forms a chain with genuine
+/// many-to-many blow-up. Small integer domains force both matches and
+/// dangling tuples.
+struct RandomDbSpec {
+  int num_relations = 3;
+  int arity = 3;        ///< attributes per relation (≥ 2)
+  int rows = 30;        ///< rows per relation (before dedup)
+  int domain = 6;       ///< values drawn from [0, domain)
+  uint64_t seed = 1;
+};
+
+/// Names of the generated artifacts.
+struct RandomDb {
+  std::vector<std::string> relation_names;
+  std::vector<std::string> attr_names;  ///< all attributes, chain order
+};
+
+/// Generates the database into `db`, prefixing every relation and attribute
+/// name with `prefix` so repeated instances do not collide in the registry.
+RandomDb GenerateChainDb(Database* db, const std::string& prefix,
+                         const RandomDbSpec& spec);
+
+/// Star-schema variant: a centre relation R0(h, s1, …, s_{n-1}) sharing one
+/// hub or spoke attribute with each satellite Ri(s_i, t_i, …). Natural
+/// joins over it produce *branching* f-trees (satellites become sibling
+/// subtrees under the hub), exercising the independence machinery that
+/// chains cannot reach.
+RandomDb GenerateStarDb(Database* db, const std::string& prefix,
+                        const RandomDbSpec& spec);
+
+}  // namespace fdb
+
+#endif  // FDB_WORKLOAD_RANDOM_DB_H_

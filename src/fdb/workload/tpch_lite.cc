@@ -1,0 +1,94 @@
+#include "fdb/workload/tpch_lite.h"
+
+#include <cmath>
+#include <random>
+
+#include "fdb/core/build.h"
+
+namespace fdb {
+
+TpchLite GenerateTpchLite(Database* db, const TpchLiteParams& p) {
+  std::mt19937_64 rng(p.seed);
+  AttributeRegistry& reg = db->registry();
+  AttrId custkey = reg.Intern("custkey");
+  AttrId nation = reg.Intern("nation");
+  AttrId orderkey = reg.Intern("orderkey");
+  AttrId odate = reg.Intern("odate");
+  AttrId partkey = reg.Intern("partkey");
+  AttrId quantity = reg.Intern("quantity");
+  AttrId extprice = reg.Intern("extprice");
+  AttrId brand = reg.Intern("brand");
+
+  int64_t customers = static_cast<int64_t>(p.num_customers) * p.scale;
+  int64_t parts = static_cast<int64_t>(
+      p.num_parts * std::sqrt(static_cast<double>(p.scale)));
+
+  TpchLite w;
+  w.customer = Relation{RelSchema({custkey, nation})};
+  w.orders = Relation{RelSchema({orderkey, custkey, odate})};
+  w.lineitem = Relation{RelSchema({orderkey, partkey, quantity, extprice})};
+  w.part = Relation{RelSchema({partkey, brand})};
+
+  std::uniform_int_distribution<int64_t> pick_nation(0, p.num_nations - 1);
+  std::uniform_int_distribution<int64_t> pick_date(0, 364);
+  std::uniform_int_distribution<int64_t> pick_part(0, parts - 1);
+  std::uniform_int_distribution<int64_t> pick_qty(1, p.max_quantity);
+  std::uniform_int_distribution<int64_t> pick_price(1, p.max_price);
+  std::uniform_int_distribution<int64_t> pick_brand(0, p.num_brands - 1);
+  std::binomial_distribution<int> norders(2 * p.orders_per_customer, 0.5);
+  std::binomial_distribution<int> nlines(2 * p.lines_per_order, 0.5);
+
+  int64_t next_order = 0;
+  for (int64_t c = 0; c < customers; ++c) {
+    w.customer.Add({Value(c), Value(pick_nation(rng))});
+    int orders = norders(rng);
+    for (int o = 0; o < orders; ++o) {
+      int64_t ok = next_order++;
+      w.orders.Add({Value(ok), Value(c), Value(pick_date(rng))});
+      int lines = nlines(rng);
+      for (int l = 0; l < lines; ++l) {
+        w.lineitem.Add({Value(ok), Value(pick_part(rng)), Value(pick_qty(rng)),
+                        Value(pick_price(rng))});
+      }
+    }
+  }
+  w.lineitem.SortAndDedup();
+  for (int64_t pk = 0; pk < parts; ++pk) {
+    w.part.Add({Value(pk), Value(pick_brand(rng))});
+  }
+
+  FTree t;
+  int n_cust = t.AddNode({custkey}, -1);
+  t.AddNode({nation}, n_cust);
+  int n_order = t.AddNode({orderkey}, n_cust);
+  t.AddNode({odate}, n_order);
+  int n_part = t.AddNode({partkey}, n_order);
+  t.AddNode({brand}, n_part);
+  int n_qty = t.AddNode({quantity}, n_part);
+  t.AddNode({extprice}, n_qty);
+  t.AddEdge({{custkey, nation}, static_cast<double>(w.customer.size()),
+             "Customer"});
+  t.AddEdge({{orderkey, custkey, odate},
+             static_cast<double>(w.orders.size()), "COrders"});
+  t.AddEdge({{orderkey, partkey, quantity, extprice},
+             static_cast<double>(w.lineitem.size()), "Lineitem"});
+  t.AddEdge({{partkey, brand}, static_cast<double>(w.part.size()), "Part"});
+  w.ftree = std::move(t);
+  return w;
+}
+
+int64_t InstallTpchLite(Database* db, const TpchLiteParams& p,
+                        const std::string& view_name) {
+  TpchLite w = GenerateTpchLite(db, p);
+  Factorisation view = FactoriseJoin(
+      w.ftree, {&w.customer, &w.orders, &w.lineitem, &w.part});
+  int64_t singletons = view.CountSingletons();
+  db->AddRelation("Customer", std::move(w.customer));
+  db->AddRelation("COrders", std::move(w.orders));
+  db->AddRelation("Lineitem", std::move(w.lineitem));
+  db->AddRelation("Part", std::move(w.part));
+  db->AddView(view_name, std::move(view));
+  return singletons;
+}
+
+}  // namespace fdb

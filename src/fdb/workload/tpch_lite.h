@@ -1,0 +1,57 @@
+#ifndef FDB_WORKLOAD_TPCH_LITE_H_
+#define FDB_WORKLOAD_TPCH_LITE_H_
+
+#include <cstdint>
+
+#include "fdb/engine/database.h"
+
+namespace fdb {
+
+/// A TPC-H-flavoured second workload, exercising a deeper f-tree than the
+/// paper's three-relation schema:
+///
+///   Customer(custkey, nation)
+///   COrders(orderkey, custkey, odate)
+///   Lineitem(orderkey, partkey, quantity, extprice)
+///   Part(partkey, brand)
+///
+/// natural-joined along custkey → orderkey → partkey. The induced f-tree
+///
+///   custkey → { nation, orderkey → { odate, partkey → { brand,
+///               quantity → extprice } } }
+///
+/// has four branching points; the factorised view of the full join grows
+/// with the number of line items, while the flat join multiplies customers
+/// × orders × lineitems × parts.
+struct TpchLiteParams {
+  int scale = 1;
+  int num_customers = 50;      ///< ×scale
+  int num_nations = 10;
+  int orders_per_customer = 4; ///< average, binomial
+  int num_parts = 40;          ///< ×√scale
+  int num_brands = 8;
+  int lines_per_order = 4;     ///< average, binomial
+  int max_quantity = 50;
+  int max_price = 1000;
+  uint64_t seed = 7;
+};
+
+struct TpchLite {
+  Relation customer;  ///< (custkey, nation)
+  Relation orders;    ///< (orderkey, custkey, odate)
+  Relation lineitem;  ///< (orderkey, partkey, quantity, extprice)
+  Relation part;      ///< (partkey, brand)
+  FTree ftree;        ///< the branching tree above
+};
+
+/// Generates the dataset, interning attributes into `db`'s registry.
+TpchLite GenerateTpchLite(Database* db, const TpchLiteParams& p);
+
+/// Installs the four relations plus the factorised view `view_name` of
+/// their natural join. Returns the view's singleton count.
+int64_t InstallTpchLite(Database* db, const TpchLiteParams& p,
+                        const std::string& view_name = "TL");
+
+}  // namespace fdb
+
+#endif  // FDB_WORKLOAD_TPCH_LITE_H_

@@ -1,0 +1,286 @@
+#include "fdb/core/ops/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include "fdb/core/build.h"
+#include "fdb/core/ops/swap.h"
+#include "test_util.h"
+
+namespace fdb {
+namespace {
+
+using testing::MakePizzeria;
+using testing::Pizzeria;
+using testing::Row;
+
+TEST(EvalAggregateTest, CountWholePizzeria) {
+  Pizzeria p = MakePizzeria();
+  const Factorisation& f = p.view();
+  EXPECT_EQ(EvalCount(f.tree(), f.tree().roots()[0], *f.roots()[0]), 13);
+}
+
+TEST(EvalAggregateTest, SumPriceWholePizzeria) {
+  Pizzeria p = MakePizzeria();
+  const Factorisation& f = p.view();
+  // Σ price over R: Capricciosa orders 2×(6+1+1)=16, Hawaii 2×(6+1+2)=18,
+  // Margherita 1×6=6 → 40.
+  Value v = EvalAggregate(f.tree(), f.tree().roots()[0], *f.roots()[0],
+                          {AggFn::kSum, p.attr("price")});
+  EXPECT_EQ(v.as_int(), 40);
+}
+
+TEST(EvalAggregateTest, MinMaxPrice) {
+  Pizzeria p = MakePizzeria();
+  const Factorisation& f = p.view();
+  EXPECT_EQ(EvalAggregate(f.tree(), f.tree().roots()[0], *f.roots()[0],
+                          {AggFn::kMin, p.attr("price")})
+                .as_int(),
+            1);
+  EXPECT_EQ(EvalAggregate(f.tree(), f.tree().roots()[0], *f.roots()[0],
+                          {AggFn::kMax, p.attr("price")})
+                .as_int(),
+            6);
+}
+
+TEST(EvalAggregateTest, MinMaxOnStringAttribute) {
+  Pizzeria p = MakePizzeria();
+  const Factorisation& f = p.view();
+  EXPECT_EQ(EvalAggregate(f.tree(), f.tree().roots()[0], *f.roots()[0],
+                          {AggFn::kMin, p.attr("customer")})
+                .as_string(),
+            "Lucia");
+  EXPECT_EQ(EvalAggregate(f.tree(), f.tree().roots()[0], *f.roots()[0],
+                          {AggFn::kMax, p.attr("customer")})
+                .as_string(),
+            "Pietro");
+}
+
+TEST(ApplyAggregateTest, LocalAggregationExample1Scenario1) {
+  // Query S (Example 1): replace the item/price subtree by sum(price) per
+  // pizza: Capricciosa 8, Hawaii 9, Margherita 6 — f-tree T2.
+  Pizzeria p = MakePizzeria();
+  Factorisation f = p.view();
+  std::vector<int> ids =
+      ApplyAggregate(&f, &p.db->registry(), p.n_item,
+                     {{AggFn::kSum, p.attr("price")}});
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_TRUE(f.Validate());
+  EXPECT_TRUE(f.tree().SatisfiesPathConstraint());
+  // The aggregate leaf sits under pizza, in item's former slot.
+  EXPECT_EQ(f.tree().parent(ids[0]), p.n_pizza);
+  const FactNode* root = f.roots()[0].get();
+  ASSERT_EQ(root->size(), 3);  // Capricciosa, Hawaii, Margherita (sorted)
+  int k = static_cast<int>(f.tree().children(p.n_pizza).size());
+  int slot = f.tree().SlotOf(ids[0]);
+  EXPECT_EQ(root->child(0, k, slot)->values[0].as_int(), 8);
+  EXPECT_EQ(root->child(1, k, slot)->values[0].as_int(), 9);
+  EXPECT_EQ(root->child(2, k, slot)->values[0].as_int(), 6);
+}
+
+TEST(ApplyAggregateTest, Example8RevenuePerCustomer) {
+  // The full Example 1/8 pipeline for P = ̟customer;sum(price)(R):
+  // γ_sumprice(item subtree); swap customer up twice; γ_count(date);
+  // then the final sum over the subtree under customer gives
+  // Lucia 9, Mario 22, Pietro 9.
+  Pizzeria p = MakePizzeria();
+  Factorisation f = p.view();
+  AttrId price = p.attr("price");
+  ApplyAggregate(&f, &p.db->registry(), p.n_item, {{AggFn::kSum, price}});
+  // Push customer above date and pizza (T2 → T3).
+  ApplySwap(&f, p.n_customer);
+  ApplySwap(&f, p.n_customer);
+  ASSERT_EQ(f.tree().roots(), std::vector<int>{p.n_customer});
+  EXPECT_TRUE(f.Validate());
+  // Now count the dates per (customer, pizza) (T3 → T4).
+  ApplyAggregate(&f, &p.db->registry(), p.n_date,
+                 {{AggFn::kCount, kInvalidAttr}});
+  EXPECT_TRUE(f.Validate());
+  // Finally aggregate the whole subtree under customer on the fly.
+  const FactNode* root = f.roots()[0].get();
+  ASSERT_EQ(root->size(), 3);  // Lucia, Mario, Pietro
+  const FTree& t = f.tree();
+  int kc = static_cast<int>(t.children(p.n_customer).size());
+  ASSERT_EQ(kc, 1);  // the pizza subtree
+  int pizza_node = t.children(p.n_customer)[0];
+  std::vector<int64_t> revenue;
+  for (int i = 0; i < root->size(); ++i) {
+    Value v = EvalAggregate(t, pizza_node, *root->child(i, kc, 0),
+                            {AggFn::kSum, price});
+    revenue.push_back(v.as_int());
+  }
+  EXPECT_EQ(revenue, (std::vector<int64_t>{9, 22, 9}));
+}
+
+TEST(ApplyAggregateTest, CountComposesOverCountExample6) {
+  // Example 6: γ_count(item) on Pizzas gives counts 1/3/3 per pizza; a
+  // subsequent count over (pizza, count(item)) must yield 7, not 3.
+  Pizzeria p = MakePizzeria();
+  AttrId pizza = p.attr("pizza"), item = p.attr("item");
+  Factorisation f =
+      FactoriseRelation(*p.db->relation("Pizzas"), {pizza, item});
+  int n_item = f.tree().NodeOfAttr(item);
+  ApplyAggregate(&f, &p.db->registry(), n_item,
+                 {{AggFn::kCount, kInvalidAttr}});
+  EXPECT_TRUE(f.Validate());
+  EXPECT_EQ(EvalCount(f.tree(), f.tree().roots()[0], *f.roots()[0]), 7);
+}
+
+TEST(ApplyAggregateTest, SumAbsorbsInnerCountProposition2) {
+  // γ_sumA(U) ∘ γ_count(V) = γ_sumA(U) for V ⊆ U, A ∉ V: computing the sum
+  // with and without the partial count gives the same value.
+  Pizzeria p = MakePizzeria();
+  AttrId price = p.attr("price");
+
+  Factorisation direct = p.view();
+  Value expect =
+      EvalAggregate(direct.tree(), direct.tree().roots()[0],
+                    *direct.roots()[0], {AggFn::kSum, price});
+
+  Factorisation partial = p.view();
+  ApplyAggregate(&partial, &p.db->registry(), p.n_customer,
+                 {{AggFn::kCount, kInvalidAttr}});
+  Value with_partial =
+      EvalAggregate(partial.tree(), partial.tree().roots()[0],
+                    *partial.roots()[0], {AggFn::kSum, price});
+  EXPECT_EQ(expect, with_partial);
+}
+
+TEST(ApplyAggregateTest, SumComposesOverInnerSum) {
+  // γ_sumA(U) ∘ γ_sumA(V) = γ_sumA(U) for V ⊆ U.
+  Pizzeria p = MakePizzeria();
+  AttrId price = p.attr("price");
+  Factorisation f = p.view();
+  ApplyAggregate(&f, &p.db->registry(), p.n_price, {{AggFn::kSum, price}});
+  Value v = EvalAggregate(f.tree(), f.tree().roots()[0], *f.roots()[0],
+                          {AggFn::kSum, price});
+  EXPECT_EQ(v.as_int(), 40);
+}
+
+TEST(ApplyAggregateTest, MinComposesOverInnerMin) {
+  Pizzeria p = MakePizzeria();
+  AttrId price = p.attr("price");
+  Factorisation f = p.view();
+  ApplyAggregate(&f, &p.db->registry(), p.n_item, {{AggFn::kMin, price}});
+  Value v = EvalAggregate(f.tree(), f.tree().roots()[0], *f.roots()[0],
+                          {AggFn::kMin, price});
+  EXPECT_EQ(v.as_int(), 1);
+}
+
+TEST(ApplyAggregateTest, CompositeSumCountShareOneOperator) {
+  // avg = (sum, count) evaluated by one operator: two sibling leaves whose
+  // `over` sets coincide; later aggregates must interpret them correctly.
+  Pizzeria p = MakePizzeria();
+  AttrId price = p.attr("price");
+  Factorisation f = p.view();
+  std::vector<int> ids = ApplyAggregate(
+      &f, &p.db->registry(), p.n_item,
+      {{AggFn::kSum, price}, {AggFn::kCount, kInvalidAttr}});
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_TRUE(f.Validate());
+  // Global sum must not double-count via the count sibling: still 40.
+  Value s = EvalAggregate(f.tree(), f.tree().roots()[0], *f.roots()[0],
+                          {AggFn::kSum, price});
+  EXPECT_EQ(s.as_int(), 40);
+  // Global count interprets the count leaf: 13 tuples.
+  EXPECT_EQ(EvalCount(f.tree(), f.tree().roots()[0], *f.roots()[0]), 13);
+}
+
+TEST(ApplyAggregateTest, CountOverLoneSumNodeThrows) {
+  // Without a count sibling, a sum leaf loses the multiplicity of its
+  // range: counting over it is an invalid composition (Prop. 2).
+  Pizzeria p = MakePizzeria();
+  Factorisation f = p.view();
+  ApplyAggregate(&f, &p.db->registry(), p.n_item,
+                 {{AggFn::kSum, p.attr("price")}});
+  EXPECT_THROW(EvalCount(f.tree(), f.tree().roots()[0], *f.roots()[0]),
+               std::invalid_argument);
+}
+
+TEST(ApplyAggregateTest, SumOverForeignMinNodeThrows) {
+  Pizzeria p = MakePizzeria();
+  Factorisation f = p.view();
+  ApplyAggregate(&f, &p.db->registry(), p.n_price,
+                 {{AggFn::kMin, p.attr("price")}});
+  EXPECT_THROW(
+      EvalAggregate(f.tree(), f.tree().roots()[0], *f.roots()[0],
+                    {AggFn::kSum, p.attr("price")}),
+      std::invalid_argument);
+}
+
+TEST(ApplyAggregateTest, SumWithoutSourceThrows) {
+  Pizzeria p = MakePizzeria();
+  Factorisation f = p.view();
+  EXPECT_THROW(
+      ApplyAggregate(&f, &p.db->registry(), p.n_date,
+                     {{AggFn::kSum, p.attr("price")}}),
+      std::invalid_argument);
+}
+
+TEST(ApplyAggregateTest, DuplicateTasksThrow) {
+  Pizzeria p = MakePizzeria();
+  Factorisation f = p.view();
+  EXPECT_THROW(
+      ApplyAggregate(&f, &p.db->registry(), p.n_item,
+                     {{AggFn::kCount, kInvalidAttr},
+                      {AggFn::kCount, kInvalidAttr}}),
+      std::invalid_argument);
+}
+
+TEST(ApplyAggregateTest, AggregateOnEmptyFactorisationKeepsShape) {
+  AttributeRegistry reg;
+  AttrId a = reg.Intern("ea2"), b = reg.Intern("eb2");
+  Relation r{RelSchema({a, b})};
+  Factorisation f = FactoriseRelation(r, {a, b});
+  ASSERT_TRUE(f.empty());
+  int nb = f.tree().NodeOfAttr(b);
+  ApplyAggregate(&f, &reg, nb, {{AggFn::kCount, kInvalidAttr}});
+  EXPECT_TRUE(f.empty());
+  EXPECT_TRUE(f.Validate());
+}
+
+TEST(EvalAggregateProductTest, CombinesIndependentParts) {
+  Pizzeria p = MakePizzeria();
+  const Factorisation& f = p.view();
+  const FTree& t = f.tree();
+  // Parts: the date subtree and the item subtree of the first pizza
+  // (Capricciosa): count = 2 × 3 = 6, sum(price) = 8 × 2 = 16.
+  const FactNode* root = f.roots()[0].get();
+  std::vector<std::pair<int, const FactNode*>> parts = {
+      {p.n_date, root->child(0, 2, 0).get()},
+      {p.n_item, root->child(0, 2, 1).get()}};
+  EXPECT_EQ(EvalAggregateProduct(t, parts, {AggFn::kCount, kInvalidAttr})
+                .as_int(),
+            6);
+  EXPECT_EQ(
+      EvalAggregateProduct(t, parts, {AggFn::kSum, p.attr("price")}).as_int(),
+      16);
+  EXPECT_EQ(
+      EvalAggregateProduct(t, parts, {AggFn::kMin, p.attr("price")}).as_int(),
+      1);
+}
+
+TEST(EvalAggregateProductTest, EmptyPartsCountIsOne) {
+  FTree t;
+  EXPECT_EQ(EvalAggregateProduct(t, {}, {AggFn::kCount, kInvalidAttr})
+                .as_int(),
+            1);
+  EXPECT_THROW(EvalAggregateProduct(t, {}, {AggFn::kSum, 0}),
+               std::invalid_argument);
+}
+
+TEST(FindCarrierNodeTest, FindsAtomicAndAggregateCarriers) {
+  Pizzeria p = MakePizzeria();
+  Factorisation f = p.view();
+  AttrId price = p.attr("price");
+  EXPECT_EQ(FindCarrierNode(f.tree(), p.n_pizza, {AggFn::kSum, price}),
+            p.n_price);
+  std::vector<int> ids = ApplyAggregate(&f, &p.db->registry(), p.n_price,
+                                        {{AggFn::kSum, price}});
+  EXPECT_EQ(FindCarrierNode(f.tree(), p.n_pizza, {AggFn::kSum, price}),
+            ids[0]);
+  // A min task does not accept a sum node as carrier.
+  EXPECT_EQ(FindCarrierNode(f.tree(), p.n_pizza, {AggFn::kMin, price}), -1);
+}
+
+}  // namespace
+}  // namespace fdb

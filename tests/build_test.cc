@@ -1,0 +1,217 @@
+#include "fdb/core/build.h"
+
+#include <gtest/gtest.h>
+
+#include "fdb/relational/rdb_ops.h"
+#include "fdb/workload/random_db.h"
+#include "test_util.h"
+
+namespace fdb {
+namespace {
+
+using testing::MakePizzeria;
+using testing::Pizzeria;
+using testing::Row;
+using testing::SameSet;
+
+TEST(FactoriseRelationTest, PathTrieGroupsByPrefix) {
+  AttributeRegistry reg;
+  AttrId a = reg.Intern("a"), b = reg.Intern("b");
+  Relation r{RelSchema({a, b})};
+  r.Add(Row({1, 10}));
+  r.Add(Row({1, 20}));
+  r.Add(Row({2, 10}));
+  Factorisation f = FactoriseRelation(r, {a, b});
+  // Trie: <1>x(<10> u <20>) u <2>x<10> — 5 singletons.
+  EXPECT_EQ(f.CountSingletons(), 5);
+  EXPECT_EQ(f.CountTuples(), 3);
+  EXPECT_TRUE(SameSet(f.Flatten(), r, {a, b}, reg));
+  EXPECT_TRUE(f.Validate());
+}
+
+TEST(FactoriseRelationTest, ReversedOrderChangesGrouping) {
+  AttributeRegistry reg;
+  AttrId a = reg.Intern("a"), b = reg.Intern("b");
+  Relation r{RelSchema({a, b})};
+  r.Add(Row({1, 10}));
+  r.Add(Row({2, 10}));
+  r.Add(Row({3, 10}));
+  Factorisation f = FactoriseRelation(r, {b, a});
+  // Grouped by b: <10>x(<1> u <2> u <3>) — 4 singletons.
+  EXPECT_EQ(f.CountSingletons(), 4);
+  EXPECT_TRUE(SameSet(f.Flatten(), r, {a, b}, reg));
+}
+
+TEST(FactoriseRelationTest, EmptyRelation) {
+  AttributeRegistry reg;
+  AttrId a = reg.Intern("a"), b = reg.Intern("b");
+  Relation r{RelSchema({a, b})};
+  Factorisation f = FactoriseRelation(r, {a, b});
+  EXPECT_TRUE(f.empty());
+  EXPECT_TRUE(f.Validate());
+}
+
+TEST(FactoriseRelationTest, WrongOrderSizeThrows) {
+  AttributeRegistry reg;
+  AttrId a = reg.Intern("a"), b = reg.Intern("b");
+  Relation r{RelSchema({a, b})};
+  EXPECT_THROW(FactoriseRelation(r, {a}), std::invalid_argument);
+}
+
+TEST(FactoriseJoinTest, PizzeriaMatchesFigure1) {
+  Pizzeria p = MakePizzeria();
+  EXPECT_EQ(p.view().CountSingletons(), 26);
+  EXPECT_TRUE(p.view().Validate());
+}
+
+TEST(FactoriseJoinTest, DanglingTuplesArePruned) {
+  // A package with no items must not appear (its branch would be empty).
+  AttributeRegistry reg;
+  AttrId a = reg.Intern("ja"), b = reg.Intern("jb"), c = reg.Intern("jc");
+  Relation r1{RelSchema({a, b})};
+  r1.Add(Row({1, 10}));
+  r1.Add(Row({2, 20}));  // b=20 has no partner in r2
+  Relation r2{RelSchema({b, c})};
+  r2.Add(Row({10, 100}));
+  FTree t;
+  int nb = t.AddNode({b}, -1);
+  t.AddNode({a}, nb);
+  t.AddNode({c}, nb);
+  t.AddEdge({{a, b}, 2.0, "r1"});
+  t.AddEdge({{b, c}, 1.0, "r2"});
+  Factorisation f = FactoriseJoin(t, {&r1, &r2});
+  EXPECT_EQ(f.CountTuples(), 1);
+  Relation join = NaturalJoin(r1, r2);
+  EXPECT_TRUE(SameSet(f.Flatten(), join, {a, b, c}, reg));
+  EXPECT_TRUE(f.Validate());
+}
+
+TEST(FactoriseJoinTest, EmptyJoinResult) {
+  AttributeRegistry reg;
+  AttrId a = reg.Intern("ka"), b = reg.Intern("kb"), c = reg.Intern("kc");
+  Relation r1{RelSchema({a, b})};
+  r1.Add(Row({1, 10}));
+  Relation r2{RelSchema({b, c})};
+  r2.Add(Row({99, 100}));
+  FTree t;
+  int nb = t.AddNode({b}, -1);
+  t.AddNode({a}, nb);
+  t.AddNode({c}, nb);
+  t.AddEdge({{a, b}, 1.0, "r1"});
+  t.AddEdge({{b, c}, 1.0, "r2"});
+  Factorisation f = FactoriseJoin(t, {&r1, &r2});
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(FactoriseJoinTest, EquivalenceClassAcrossRelations) {
+  // Attributes a (in r1) and x (in r2) placed in one class: equated.
+  AttributeRegistry reg;
+  AttrId a = reg.Intern("ea"), b = reg.Intern("eb");
+  AttrId x = reg.Intern("ex"), y = reg.Intern("ey");
+  Relation r1{RelSchema({a, b})};
+  r1.Add(Row({1, 10}));
+  r1.Add(Row({2, 20}));
+  Relation r2{RelSchema({x, y})};
+  r2.Add(Row({1, 111}));
+  r2.Add(Row({3, 333}));
+  FTree t;
+  int top = t.AddNode({a, x}, -1);
+  t.AddNode({b}, top);
+  t.AddNode({y}, top);
+  t.AddEdge({{a, b}, 2.0, "r1"});
+  t.AddEdge({{x, y}, 2.0, "r2"});
+  Factorisation f = FactoriseJoin(t, {&r1, &r2});
+  // Only a = x = 1 survives.
+  EXPECT_EQ(f.CountTuples(), 1);
+  Relation flat = f.Flatten();
+  // The class contributes both attribute columns with the shared value.
+  EXPECT_EQ(flat.schema().arity(), 4);
+  EXPECT_EQ(flat.rows()[0][0].as_int(), 1);
+}
+
+TEST(FactoriseJoinTest, IntraRelationClassFiltersUnequalRows) {
+  // Both attributes of r sit in the same class: acts as σ_{a=b}.
+  AttributeRegistry reg;
+  AttrId a = reg.Intern("fa"), b = reg.Intern("fb");
+  Relation r{RelSchema({a, b})};
+  r.Add(Row({1, 1}));
+  r.Add(Row({1, 2}));
+  r.Add(Row({3, 3}));
+  FTree t;
+  t.AddNode({a, b}, -1);
+  t.AddEdge({{a, b}, 3.0, "r"});
+  Factorisation f = FactoriseJoin(t, {&r});
+  EXPECT_EQ(f.CountTuples(), 2);
+}
+
+TEST(FactoriseJoinTest, AttributesNotOnOnePathThrow) {
+  AttributeRegistry reg;
+  AttrId a = reg.Intern("ga"), b = reg.Intern("gb"), c = reg.Intern("gc");
+  Relation r{RelSchema({a, b, c})};
+  r.Add(Row({1, 2, 3}));
+  FTree t;
+  int na = t.AddNode({a}, -1);
+  t.AddNode({b}, na);
+  t.AddNode({c}, na);  // b and c are siblings: r's attrs not on one path
+  t.AddEdge({{a, b, c}, 1.0, "r"});
+  EXPECT_THROW(FactoriseJoin(t, {&r}), std::invalid_argument);
+}
+
+TEST(FactoriseJoinTest, MissingAttributeThrows) {
+  AttributeRegistry reg;
+  AttrId a = reg.Intern("ha"), b = reg.Intern("hb");
+  Relation r{RelSchema({a, b})};
+  r.Add(Row({1, 2}));
+  FTree t;
+  t.AddNode({a}, -1);
+  EXPECT_THROW(FactoriseJoin(t, {&r}), std::invalid_argument);
+}
+
+TEST(FactoriseJoinTest, UncoveredNodeThrows) {
+  AttributeRegistry reg;
+  AttrId a = reg.Intern("ia"), b = reg.Intern("ib");
+  Relation r{RelSchema({a})};
+  r.Add(Row({1}));
+  FTree t;
+  int na = t.AddNode({a}, -1);
+  t.AddNode({b}, na);  // no relation covers b
+  t.AddEdge({{a}, 1.0, "r"});
+  EXPECT_THROW(FactoriseJoin(t, {&r}), std::invalid_argument);
+}
+
+// Differential property: the factorised join over a chain f-tree equals the
+// relational natural join, across random databases.
+class TrieJoinProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(TrieJoinProperty, MatchesRelationalJoin) {
+  Database db;
+  RandomDbSpec spec;
+  spec.seed = static_cast<uint64_t>(GetParam());
+  spec.num_relations = 2 + GetParam() % 2;
+  spec.rows = 20 + GetParam() % 17;
+  spec.domain = 4 + GetParam() % 4;
+  RandomDb rdb = GenerateChainDb(&db, "t" + std::to_string(GetParam()),
+                                 spec);
+  std::vector<const Relation*> rels;
+  for (const std::string& name : rdb.relation_names) {
+    rels.push_back(db.relation(name));
+  }
+  FTree tree = ChooseFTree(rels);
+  ASSERT_TRUE(tree.SatisfiesPathConstraint());
+  Factorisation f = FactoriseJoin(tree, rels);
+  EXPECT_TRUE(f.Validate());
+  Relation join = NaturalJoinAll(rels);
+  std::vector<AttrId> cols;
+  for (const std::string& a : rdb.attr_names) {
+    cols.push_back(*db.registry().Find(a));
+  }
+  EXPECT_TRUE(testing::SameSet(f.Flatten(), join, cols, db.registry()));
+  // Succinctness: never more singletons than 1 + tuples × arity.
+  EXPECT_LE(f.CountSingletons(),
+            1 + join.size() * join.schema().arity());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrieJoinProperty, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace fdb

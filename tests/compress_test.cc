@@ -1,0 +1,114 @@
+#include "fdb/core/compress.h"
+
+#include <gtest/gtest.h>
+
+#include "fdb/core/build.h"
+#include "fdb/core/enumerate.h"
+#include "fdb/core/ops/aggregate.h"
+#include "fdb/core/ops/swap.h"
+#include "fdb/workload/generator.h"
+#include "test_util.h"
+
+namespace fdb {
+namespace {
+
+using testing::MakePizzeria;
+using testing::Pizzeria;
+using testing::Row;
+using testing::SameSet;
+
+TEST(CompressTest, SharesIdenticalSubtrees) {
+  // Two a-values with identical b-lists: the path trie stores the list
+  // twice; compression shares it.
+  AttributeRegistry reg;
+  AttrId a = reg.Intern("ca"), b = reg.Intern("cb");
+  Relation r{RelSchema({a, b})};
+  for (int64_t x : {1, 2}) {
+    for (int64_t y : {10, 20, 30}) r.Add(Row({x, y}));
+  }
+  Factorisation f = FactoriseRelation(r, {a, b});
+  EXPECT_EQ(f.CountSingletons(), 8);  // 2 + 2×3
+  CompressInPlace(&f);
+  EXPECT_EQ(f.CountSingletons(), 8);        // logical view unchanged
+  EXPECT_EQ(CountStoredSingletons(f), 5);   // 2 + 3 shared once
+  const FactNode* root = f.roots()[0].get();
+  EXPECT_EQ(root->child(0, 1, 0).get(), root->child(1, 1, 0).get());
+  EXPECT_TRUE(SameSet(f.Flatten(), r, {a, b}, reg));
+}
+
+TEST(CompressTest, PreservesRepresentedRelationOnPizzeria) {
+  Pizzeria p = MakePizzeria();
+  Factorisation f = p.view();
+  Relation before = f.Flatten();
+  CompressInPlace(&f);
+  EXPECT_TRUE(f.Validate());
+  EXPECT_TRUE(SameSet(f.Flatten(), before, before.schema().attrs(),
+                      p.db->registry()));
+  EXPECT_LE(CountStoredSingletons(f), f.CountSingletons());
+}
+
+TEST(CompressTest, IdempotentAndStable) {
+  Pizzeria p = MakePizzeria();
+  Factorisation f = p.view();
+  CompressInPlace(&f);
+  int64_t stored = CountStoredSingletons(f);
+  CompressInPlace(&f);
+  EXPECT_EQ(CountStoredSingletons(f), stored);
+}
+
+TEST(CompressTest, AggregationWorksOnCompressedDag) {
+  Pizzeria p = MakePizzeria();
+  Factorisation f = p.view();
+  CompressInPlace(&f);
+  EXPECT_EQ(EvalCount(f.tree(), f.tree().roots()[0], *f.roots()[0]), 13);
+  Value s = EvalAggregate(f.tree(), f.tree().roots()[0], *f.roots()[0],
+                          {AggFn::kSum, p.attr("price")});
+  EXPECT_EQ(s.as_int(), 40);
+}
+
+TEST(CompressTest, SwapAfterCompressionStaysCorrect) {
+  Pizzeria p = MakePizzeria();
+  Factorisation f = p.view();
+  Relation before = f.Flatten();
+  CompressInPlace(&f);
+  ApplySwap(&f, p.n_date);
+  EXPECT_TRUE(f.Validate());
+  EXPECT_TRUE(SameSet(f.Flatten(), before, before.schema().attrs(),
+                      p.db->registry()));
+}
+
+TEST(CompressTest, EnumerationUnchanged) {
+  Pizzeria p = MakePizzeria();
+  Factorisation f = p.view();
+  Relation plain = EnumerateToRelation(
+      f, f.tree().TopologicalOrder(), std::vector<SortDir>(5, SortDir::kAsc));
+  CompressInPlace(&f);
+  Relation dag = EnumerateToRelation(
+      f, f.tree().TopologicalOrder(), std::vector<SortDir>(5, SortDir::kAsc));
+  EXPECT_TRUE(plain.BagEquals(dag));
+}
+
+TEST(CompressTest, WorkloadCompressionRatio) {
+  // Packages share price lists (items have few distinct prices), so the
+  // workload view compresses measurably.
+  Database db;
+  InstallWorkload(&db, SmallParams(2), "R1");
+  Factorisation f = *db.view("R1");
+  int64_t logical = f.CountSingletons();
+  CompressInPlace(&f);
+  int64_t stored = CountStoredSingletons(f);
+  EXPECT_LT(stored, logical);
+  EXPECT_EQ(f.CountSingletons(), logical);
+}
+
+TEST(CompressTest, EmptyFactorisation) {
+  FTree t;
+  t.AddNode({0}, -1);
+  Factorisation f(t, {MakeLeaf({})});
+  CompressInPlace(&f);
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(CountStoredSingletons(f), 0);
+}
+
+}  // namespace
+}  // namespace fdb

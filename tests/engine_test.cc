@@ -1,0 +1,249 @@
+#include "fdb/engine/fdb_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "fdb/engine/rdb_engine.h"
+#include "test_util.h"
+
+namespace fdb {
+namespace {
+
+using testing::MakePizzeria;
+using testing::Pizzeria;
+using testing::SameBag;
+
+// Runs the same SQL through both engines and expects identical output
+// relations (bag-equal; FDB's order, if any, is checked separately).
+void ExpectEnginesAgree(Pizzeria& p, const std::string& sql,
+                        const FdbOptions& fopt = {},
+                        const RdbOptions& ropt = {}) {
+  FdbEngine fdb(p.db.get());
+  RdbEngine rdb(p.db.get());
+  FdbResult fr = fdb.ExecuteSql(sql, fopt);
+  RdbResult rr = rdb.ExecuteSql(sql, ropt);
+  EXPECT_TRUE(SameBag(fr.flat, rr.flat, p.db->registry())) << sql;
+}
+
+TEST(EngineTest, RevenuePerCustomerOnView) {
+  Pizzeria p = MakePizzeria();
+  FdbEngine fdb(p.db.get());
+  FdbResult r = fdb.ExecuteSql(
+      "SELECT customer, sum(price) AS revenue FROM R GROUP BY customer");
+  ASSERT_EQ(r.flat.size(), 3);
+  EXPECT_EQ(r.flat.rows()[0][0].as_string(), "Lucia");
+  EXPECT_EQ(r.flat.rows()[0][1].as_int(), 9);
+  EXPECT_EQ(r.flat.rows()[1][1].as_int(), 22);
+  EXPECT_EQ(r.flat.rows()[2][1].as_int(), 9);
+}
+
+TEST(EngineTest, EnginesAgreeOnAggregates) {
+  Pizzeria p = MakePizzeria();
+  ExpectEnginesAgree(p,
+                     "SELECT pizza, date, customer, sum(price) FROM R "
+                     "GROUP BY pizza, date, customer");
+  ExpectEnginesAgree(p, "SELECT customer, sum(price) FROM R GROUP BY "
+                        "customer");
+  ExpectEnginesAgree(p, "SELECT date, pizza, sum(price) FROM R GROUP BY "
+                        "date, pizza");
+  ExpectEnginesAgree(p, "SELECT pizza, sum(price) FROM R GROUP BY pizza");
+  ExpectEnginesAgree(p, "SELECT sum(price) FROM R");
+}
+
+TEST(EngineTest, EnginesAgreeOnFlatInputJoin) {
+  Pizzeria p = MakePizzeria();
+  ExpectEnginesAgree(
+      p, "SELECT customer, sum(price) FROM Orders, Pizzas, Items "
+         "GROUP BY customer");
+}
+
+TEST(EngineTest, CountMinMaxAvg) {
+  Pizzeria p = MakePizzeria();
+  ExpectEnginesAgree(p, "SELECT pizza, count(*) FROM R GROUP BY pizza");
+  ExpectEnginesAgree(p, "SELECT pizza, min(price), max(price) FROM R "
+                        "GROUP BY pizza");
+  ExpectEnginesAgree(p, "SELECT customer, avg(price) FROM R GROUP BY "
+                        "customer");
+  ExpectEnginesAgree(p, "SELECT count(*) FROM R");
+  ExpectEnginesAgree(p, "SELECT min(customer) FROM R");
+}
+
+TEST(EngineTest, OrderByGroupColumn) {
+  Pizzeria p = MakePizzeria();
+  FdbEngine fdb(p.db.get());
+  FdbResult r = fdb.ExecuteSql(
+      "SELECT customer, sum(price) AS revenue FROM R GROUP BY customer "
+      "ORDER BY customer DESC");
+  ASSERT_EQ(r.flat.size(), 3);
+  EXPECT_EQ(r.flat.rows()[0][0].as_string(), "Pietro");
+  EXPECT_EQ(r.flat.rows()[2][0].as_string(), "Lucia");
+  ExpectEnginesAgree(p,
+                     "SELECT customer, sum(price) AS revenue FROM R GROUP "
+                     "BY customer ORDER BY customer DESC");
+}
+
+TEST(EngineTest, OrderByAggregateAlias) {
+  Pizzeria p = MakePizzeria();
+  FdbEngine fdb(p.db.get());
+  FdbResult r = fdb.ExecuteSql(
+      "SELECT customer, sum(price) AS revenue FROM R GROUP BY customer "
+      "ORDER BY revenue DESC, customer");
+  ASSERT_EQ(r.flat.size(), 3);
+  EXPECT_EQ(r.flat.rows()[0][1].as_int(), 22);   // Mario first
+  EXPECT_EQ(r.flat.rows()[1][0].as_string(), "Lucia");  // tie broken by name
+  EXPECT_EQ(r.flat.rows()[2][0].as_string(), "Pietro");
+}
+
+TEST(EngineTest, ConstantSelections) {
+  Pizzeria p = MakePizzeria();
+  ExpectEnginesAgree(p,
+                     "SELECT customer, sum(price) FROM R WHERE price > 1 "
+                     "GROUP BY customer");
+  ExpectEnginesAgree(p,
+                     "SELECT pizza, count(*) FROM R WHERE customer = "
+                     "'Mario' GROUP BY pizza");
+  ExpectEnginesAgree(p, "SELECT * FROM R WHERE pizza = 'Hawaii'");
+}
+
+TEST(EngineTest, EqualitySelectionAcrossBranches) {
+  Pizzeria p = MakePizzeria();
+  // Joins date with item: empty on this data but must not crash either
+  // engine and must agree.
+  ExpectEnginesAgree(p, "SELECT * FROM R WHERE date = item");
+}
+
+TEST(EngineTest, SelectStarAndProjection) {
+  Pizzeria p = MakePizzeria();
+  FdbEngine fdb(p.db.get());
+  FdbResult all = fdb.ExecuteSql("SELECT * FROM R");
+  EXPECT_EQ(all.flat.size(), 13);
+  // Plain projections have set semantics in both engines.
+  ExpectEnginesAgree(p, "SELECT customer FROM R");
+  ExpectEnginesAgree(p, "SELECT DISTINCT pizza, item FROM R");
+}
+
+TEST(EngineTest, HavingFiltersGroups) {
+  Pizzeria p = MakePizzeria();
+  ExpectEnginesAgree(p,
+                     "SELECT customer, sum(price) AS revenue FROM R GROUP "
+                     "BY customer HAVING revenue > 10");
+  FdbEngine fdb(p.db.get());
+  FdbResult r = fdb.ExecuteSql(
+      "SELECT customer, sum(price) AS revenue FROM R GROUP BY customer "
+      "HAVING revenue > 10");
+  ASSERT_EQ(r.flat.size(), 1);
+  EXPECT_EQ(r.flat.rows()[0][0].as_string(), "Mario");
+}
+
+TEST(EngineTest, LimitOnOrderedEnumeration) {
+  Pizzeria p = MakePizzeria();
+  FdbEngine fdb(p.db.get());
+  FdbResult r = fdb.ExecuteSql("SELECT * FROM R ORDER BY pizza LIMIT 3");
+  EXPECT_EQ(r.flat.size(), 3);
+  ExpectEnginesAgree(p, "SELECT * FROM R ORDER BY pizza, date, customer, "
+                        "item, price LIMIT 3");
+}
+
+TEST(EngineTest, OrderedEnumerationIsSorted) {
+  Pizzeria p = MakePizzeria();
+  FdbEngine fdb(p.db.get());
+  FdbResult r = fdb.ExecuteSql(
+      "SELECT * FROM R ORDER BY customer, pizza DESC");
+  EXPECT_TRUE(r.flat.IsSortedBy({{p.attr("customer"), SortDir::kAsc},
+                                 {p.attr("pizza"), SortDir::kDesc}}));
+  EXPECT_EQ(r.flat.size(), 13);
+}
+
+TEST(EngineTest, FactorisedOutputModeReportsSingletons) {
+  Pizzeria p = MakePizzeria();
+  FdbEngine fdb(p.db.get());
+  FdbOptions opt;
+  opt.factorised_output = true;
+  FdbResult r = fdb.ExecuteSql(
+      "SELECT customer, sum(price) FROM R GROUP BY customer", opt);
+  ASSERT_TRUE(r.factorised.has_value());
+  EXPECT_GT(r.result_singletons, 0);
+  EXPECT_LT(r.result_singletons, 26);
+  EXPECT_TRUE(r.factorised->Validate());
+}
+
+TEST(EngineTest, ExhaustivePlannerAgreesWithGreedy) {
+  Pizzeria p = MakePizzeria();
+  FdbEngine fdb(p.db.get());
+  FdbOptions ex;
+  ex.planner = FdbOptions::Planner::kExhaustive;
+  FdbResult greedy = fdb.ExecuteSql(
+      "SELECT customer, sum(price) FROM R GROUP BY customer");
+  FdbResult exhaustive = fdb.ExecuteSql(
+      "SELECT customer, sum(price) FROM R GROUP BY customer", ex);
+  EXPECT_TRUE(exhaustive.used_exhaustive);
+  EXPECT_TRUE(
+      SameBag(greedy.flat, exhaustive.flat, p.db->registry()));
+}
+
+TEST(EngineTest, RdbHashAndSortGroupingAgree) {
+  Pizzeria p = MakePizzeria();
+  RdbEngine rdb(p.db.get());
+  RdbOptions hash;
+  hash.grouping = RdbOptions::Grouping::kHash;
+  RdbResult rs = rdb.ExecuteSql(
+      "SELECT pizza, sum(price) FROM R GROUP BY pizza");
+  RdbResult rh = rdb.ExecuteSql(
+      "SELECT pizza, sum(price) FROM R GROUP BY pizza", hash);
+  EXPECT_TRUE(SameBag(rs.flat, rh.flat, p.db->registry()));
+}
+
+TEST(EngineTest, RdbEagerPlanAgrees) {
+  Pizzeria p = MakePizzeria();
+  RdbEngine rdb(p.db.get());
+  RdbOptions eager;
+  eager.eager = true;
+  RdbResult naive = rdb.ExecuteSql(
+      "SELECT customer, sum(price) FROM Orders, Pizzas, Items GROUP BY "
+      "customer");
+  RdbResult opt = rdb.ExecuteSql(
+      "SELECT customer, sum(price) FROM Orders, Pizzas, Items GROUP BY "
+      "customer",
+      eager);
+  EXPECT_TRUE(SameBag(naive.flat, opt.flat, p.db->registry()));
+}
+
+TEST(EngineTest, EmptyResultQueries) {
+  Pizzeria p = MakePizzeria();
+  ExpectEnginesAgree(p,
+                     "SELECT customer, sum(price) FROM R WHERE price > 100 "
+                     "GROUP BY customer");
+  ExpectEnginesAgree(p, "SELECT count(*) FROM R WHERE price > 100");
+}
+
+TEST(EngineTest, UnknownRelationThrows) {
+  Pizzeria p = MakePizzeria();
+  FdbEngine fdb(p.db.get());
+  EXPECT_THROW(fdb.ExecuteSql("SELECT * FROM Nope"), std::invalid_argument);
+}
+
+TEST(EngineTest, ViewJoinedWithRelationThrows) {
+  Pizzeria p = MakePizzeria();
+  FdbEngine fdb(p.db.get());
+  EXPECT_THROW(fdb.ExecuteSql("SELECT * FROM R, Orders"),
+               std::invalid_argument);
+}
+
+TEST(EngineTest, StatsArePopulatedOnRequest) {
+  Pizzeria p = MakePizzeria();
+  FdbEngine fdb(p.db.get());
+  FdbOptions opt;
+  opt.collect_stats = true;
+  FdbResult r = fdb.ExecuteSql(
+      "SELECT customer, sum(price) FROM R GROUP BY customer", opt);
+  EXPECT_FALSE(r.plan.empty());
+  EXPECT_EQ(r.op_stats.size(), r.plan.size());
+  EXPECT_GE(r.plan_seconds, 0.0);
+  EXPECT_GT(r.result_singletons, 0);
+  // Without the option, the walk is skipped entirely.
+  FdbResult quiet = fdb.ExecuteSql(
+      "SELECT customer, sum(price) FROM R GROUP BY customer");
+  EXPECT_TRUE(quiet.op_stats.empty());
+}
+
+}  // namespace
+}  // namespace fdb

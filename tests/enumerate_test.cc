@@ -1,0 +1,218 @@
+#include "fdb/core/enumerate.h"
+
+#include <gtest/gtest.h>
+
+#include "fdb/core/build.h"
+#include "fdb/core/order.h"
+#include "fdb/core/ops/swap.h"
+#include "test_util.h"
+
+namespace fdb {
+namespace {
+
+using testing::MakePizzeria;
+using testing::Pizzeria;
+using testing::Row;
+
+TEST(EnumeratorTest, EnumeratesAllTuplesOnce) {
+  Pizzeria p = MakePizzeria();
+  Enumerator e(p.view());
+  int n = 0;
+  Tuple row(e.schema().arity());
+  while (e.Next()) {
+    e.Fill(&row);
+    ++n;
+  }
+  EXPECT_EQ(n, 13);
+  EXPECT_FALSE(e.Next());  // stays exhausted
+}
+
+TEST(EnumeratorTest, DefaultOrderIsLexicographicInVisitOrder) {
+  Pizzeria p = MakePizzeria();
+  Relation r = EnumerateToRelation(
+      p.view(), p.view().tree().TopologicalOrder(),
+      std::vector<SortDir>(5, SortDir::kAsc));
+  // Visit order: pizza, date, customer, item, price.
+  std::vector<SortKey> keys;
+  for (AttrId a : r.schema().attrs()) keys.push_back({a, SortDir::kAsc});
+  EXPECT_TRUE(r.IsSortedBy(keys));
+  EXPECT_EQ(r.rows().front()[0].as_string(), "Capricciosa");
+  EXPECT_EQ(r.rows().back()[0].as_string(), "Margherita");
+}
+
+TEST(EnumeratorTest, DescendingDirection) {
+  Pizzeria p = MakePizzeria();
+  std::vector<SortDir> dirs(5, SortDir::kAsc);
+  dirs[0] = SortDir::kDesc;  // pizza descending
+  Relation r = EnumerateToRelation(
+      p.view(), p.view().tree().TopologicalOrder(), dirs);
+  EXPECT_EQ(r.rows().front()[0].as_string(), "Margherita");
+  EXPECT_EQ(r.rows().back()[0].as_string(), "Capricciosa");
+  std::vector<SortKey> keys = {{r.schema().attr(0), SortDir::kDesc}};
+  EXPECT_TRUE(r.IsSortedBy(keys));
+}
+
+TEST(EnumeratorTest, AlternativeVisitOrderPizzaItemDate) {
+  // Example 9: T1 supports (pizza, item, price) among others.
+  Pizzeria p = MakePizzeria();
+  std::vector<int> visit = {p.n_pizza, p.n_item, p.n_price, p.n_date,
+                            p.n_customer};
+  Relation r = EnumerateToRelation(p.view(), visit,
+                                   std::vector<SortDir>(5, SortDir::kAsc));
+  std::vector<SortKey> keys = {{p.attr("pizza"), SortDir::kAsc},
+                               {p.attr("item"), SortDir::kAsc}};
+  EXPECT_TRUE(r.IsSortedBy(keys));
+  EXPECT_EQ(r.size(), 13);
+}
+
+TEST(EnumeratorTest, ChildBeforeParentThrows) {
+  Pizzeria p = MakePizzeria();
+  std::vector<int> bad = {p.n_date, p.n_pizza, p.n_customer, p.n_item,
+                          p.n_price};
+  EXPECT_THROW(
+      Enumerator(p.view(), bad, std::vector<SortDir>(5, SortDir::kAsc)),
+      std::invalid_argument);
+}
+
+TEST(EnumeratorTest, EmptyFactorisationYieldsNothing) {
+  FTree t;
+  t.AddNode({0}, -1);
+  Factorisation f(t, {MakeLeaf({})});
+  Enumerator e(f);
+  EXPECT_FALSE(e.Next());
+}
+
+TEST(EnumeratorTest, LimitStopsEarly) {
+  Pizzeria p = MakePizzeria();
+  Relation r = EnumerateToRelation(
+      p.view(), p.view().tree().TopologicalOrder(),
+      std::vector<SortDir>(5, SortDir::kAsc), 4);
+  EXPECT_EQ(r.size(), 4);
+}
+
+TEST(EnumeratorTest, EquivalenceClassExpandsToAllAttributes) {
+  AttributeRegistry reg;
+  AttrId a = reg.Intern("na"), b = reg.Intern("nb");
+  FTree t;
+  t.AddNode({a, b}, -1);
+  Factorisation f(t, {MakeLeaf({Value(1), Value(2)})});
+  Enumerator e(f);
+  EXPECT_EQ(e.schema().arity(), 2);
+  Tuple row(2);
+  ASSERT_TRUE(e.Next());
+  e.Fill(&row);
+  EXPECT_EQ(row[0], row[1]);
+}
+
+TEST(GroupAggEnumeratorTest, RevenuePerCustomerOnTheFly) {
+  // Scenario 3 of Example 1: group nodes on top, aggregate the rest on the
+  // fly. Push customer to the root first.
+  Pizzeria p = MakePizzeria();
+  Factorisation f = p.view();
+  std::vector<int> plan =
+      PlanRestructure(f.tree(), {}, {p.n_customer});
+  for (int b : plan) ApplySwap(&f, b);
+  ASSERT_TRUE(SupportsGrouping(f.tree(), {p.n_customer}));
+
+  AttrId out = p.db->registry().Intern("revenue");
+  GroupAggEnumerator e(f, {p.n_customer}, {SortDir::kAsc},
+                       {{AggFn::kSum, p.attr("price")}}, {out});
+  Relation r{e.schema()};
+  Tuple row(e.schema().arity());
+  while (e.Next()) {
+    e.Fill(&row);
+    r.Add(row);
+  }
+  ASSERT_EQ(r.size(), 3);
+  EXPECT_EQ(r.rows()[0][0].as_string(), "Lucia");
+  EXPECT_EQ(r.rows()[0][1].as_int(), 9);
+  EXPECT_EQ(r.rows()[1][0].as_string(), "Mario");
+  EXPECT_EQ(r.rows()[1][1].as_int(), 22);
+  EXPECT_EQ(r.rows()[2][0].as_string(), "Pietro");
+  EXPECT_EQ(r.rows()[2][1].as_int(), 9);
+}
+
+TEST(GroupAggEnumeratorTest, MultipleTasksAndGroups) {
+  // Per pizza: count of joined tuples and min price, straight off T1.
+  Pizzeria p = MakePizzeria();
+  const Factorisation& f = p.view();
+  AttrId c_out = p.db->registry().Intern("cnt_out");
+  AttrId m_out = p.db->registry().Intern("min_out");
+  GroupAggEnumerator e(
+      f, {p.n_pizza}, {SortDir::kAsc},
+      {{AggFn::kCount, kInvalidAttr}, {AggFn::kMin, p.attr("price")}},
+      {c_out, m_out});
+  Relation r{e.schema()};
+  Tuple row(e.schema().arity());
+  while (e.Next()) {
+    e.Fill(&row);
+    r.Add(row);
+  }
+  ASSERT_EQ(r.size(), 3);
+  // Capricciosa: 2 orders × 3 items = 6 tuples, min price 1.
+  EXPECT_EQ(r.rows()[0][1].as_int(), 6);
+  EXPECT_EQ(r.rows()[0][2].as_int(), 1);
+  // Hawaii: 2 customers × 3 items = 6, min 1.
+  EXPECT_EQ(r.rows()[1][1].as_int(), 6);
+  // Margherita: 1 × 1 = 1, min 6.
+  EXPECT_EQ(r.rows()[2][1].as_int(), 1);
+  EXPECT_EQ(r.rows()[2][2].as_int(), 6);
+}
+
+TEST(GroupAggEnumeratorTest, TwoLevelGroupingDescending) {
+  Pizzeria p = MakePizzeria();
+  const Factorisation& f = p.view();
+  AttrId out = p.db->registry().Intern("psum");
+  GroupAggEnumerator e(f, {p.n_pizza, p.n_date},
+                       {SortDir::kDesc, SortDir::kAsc},
+                       {{AggFn::kSum, p.attr("price")}}, {out});
+  Relation r{e.schema()};
+  Tuple row(e.schema().arity());
+  while (e.Next()) {
+    e.Fill(&row);
+    r.Add(row);
+  }
+  // Groups: (pizza, date) pairs: Capricciosa×2, Hawaii×1, Margherita×1.
+  ASSERT_EQ(r.size(), 4);
+  EXPECT_EQ(r.rows()[0][0].as_string(), "Margherita");
+  EXPECT_EQ(r.rows()[3][0].as_string(), "Capricciosa");
+  // Hawaii Friday: sum price = 9 per item set × 2 customers = 18.
+  EXPECT_EQ(r.rows()[1][0].as_string(), "Hawaii");
+  EXPECT_EQ(r.rows()[1][2].as_int(), 18);
+}
+
+TEST(GroupAggEnumeratorTest, NonTopFragmentThrows) {
+  Pizzeria p = MakePizzeria();
+  // customer's parent (date) is not in the grouping set: Theorem 1 fails.
+  EXPECT_THROW(GroupAggEnumerator(p.view(), {p.n_customer}, {SortDir::kAsc},
+                                  {{AggFn::kCount, kInvalidAttr}},
+                                  {p.attr("price")}),
+               std::invalid_argument);
+}
+
+TEST(GroupAggEnumeratorTest, GroupingFreeRootTreesMultiplyIn) {
+  // Forest: grouping over root A, with an independent tree B whose count
+  // multiplies into every group.
+  AttributeRegistry reg;
+  AttrId a = reg.Intern("pa"), b = reg.Intern("pb");
+  FTree t;
+  int na = t.AddNode({a}, -1);
+  t.AddNode({b}, -1);
+  Factorisation f(
+      t, {MakeLeaf({Value(1), Value(2)}), MakeLeaf({Value(5), Value(6)})});
+  AttrId out = reg.Intern("cnt2");
+  GroupAggEnumerator e(f, {na}, {SortDir::kAsc},
+                       {{AggFn::kCount, kInvalidAttr}}, {out});
+  Relation r{e.schema()};
+  Tuple row(2);
+  while (e.Next()) {
+    e.Fill(&row);
+    r.Add(row);
+  }
+  ASSERT_EQ(r.size(), 2);
+  EXPECT_EQ(r.rows()[0][1].as_int(), 2);  // two b values each
+  EXPECT_EQ(r.rows()[1][1].as_int(), 2);
+}
+
+}  // namespace
+}  // namespace fdb

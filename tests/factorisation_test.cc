@@ -1,0 +1,159 @@
+#include "fdb/core/factorisation.h"
+
+#include <gtest/gtest.h>
+
+#include "fdb/core/build.h"
+#include "fdb/relational/rdb_ops.h"
+#include "test_util.h"
+
+namespace fdb {
+namespace {
+
+using testing::MakePizzeria;
+using testing::Pizzeria;
+
+TEST(FactNodeTest, MakeLeafAndNode) {
+  FactPtr leaf = MakeLeaf({Value(1), Value(2)});
+  EXPECT_EQ(leaf->size(), 2);
+  EXPECT_TRUE(leaf->children.empty());
+  FactPtr node = MakeNode({Value(1)}, {leaf});
+  EXPECT_EQ(node->child(0, 1, 0), leaf);
+}
+
+TEST(FactorisationTest, PizzeriaSingletonCountMatchesFigure1) {
+  Pizzeria p = MakePizzeria();
+  // Figure 1's factorisation has 26 singletons.
+  EXPECT_EQ(p.view().CountSingletons(), 26);
+}
+
+TEST(FactorisationTest, PizzeriaTupleCount) {
+  Pizzeria p = MakePizzeria();
+  // |Orders ⋈ Pizzas ⋈ Items| = 13 tuples.
+  EXPECT_EQ(p.view().CountTuples(), 13);
+  EXPECT_FALSE(p.view().empty());
+}
+
+TEST(FactorisationTest, FlattenMatchesRelationalJoin) {
+  Pizzeria p = MakePizzeria();
+  Relation flat = p.view().Flatten();
+  Relation join = NaturalJoinAll({p.db->relation("Orders"),
+                                  p.db->relation("Pizzas"),
+                                  p.db->relation("Items")});
+  EXPECT_TRUE(testing::SameSet(flat, join, join.schema().attrs(),
+                               p.db->registry()));
+  EXPECT_EQ(flat.size(), 13);
+}
+
+TEST(FactorisationTest, OutputSchemaFollowsTopologicalOrder) {
+  Pizzeria p = MakePizzeria();
+  RelSchema s = p.view().OutputSchema();
+  ASSERT_EQ(s.arity(), 5);
+  EXPECT_EQ(s.attr(0), p.attr("pizza"));
+  EXPECT_EQ(s.attr(1), p.attr("date"));
+  EXPECT_EQ(s.attr(2), p.attr("customer"));
+  EXPECT_EQ(s.attr(3), p.attr("item"));
+  EXPECT_EQ(s.attr(4), p.attr("price"));
+}
+
+TEST(FactorisationTest, ValidateAcceptsWellFormed) {
+  Pizzeria p = MakePizzeria();
+  std::string why;
+  EXPECT_TRUE(p.view().Validate(&why)) << why;
+}
+
+TEST(FactorisationTest, ValidateRejectsUnsortedUnion) {
+  FTree t;
+  t.AddNode({0}, -1);
+  Factorisation f(t, {MakeLeaf({Value(2), Value(1)})});
+  std::string why;
+  EXPECT_FALSE(f.Validate(&why));
+  EXPECT_NE(why.find("sorted"), std::string::npos);
+}
+
+TEST(FactorisationTest, ValidateRejectsShapeMismatch) {
+  FTree t;
+  int r = t.AddNode({0}, -1);
+  t.AddNode({1}, r);
+  // One value but no child for it.
+  Factorisation f(t, {MakeLeaf({Value(1)})});
+  std::string why;
+  EXPECT_FALSE(f.Validate(&why));
+}
+
+TEST(FactorisationTest, ValidateRejectsEmptyInnerUnion) {
+  FTree t;
+  int r = t.AddNode({0}, -1);
+  t.AddNode({1}, r);
+  Factorisation f(t, {MakeNode({Value(1)}, {MakeLeaf({})})});
+  std::string why;
+  EXPECT_FALSE(f.Validate(&why));
+}
+
+TEST(FactorisationTest, EmptyRelationRepresentation) {
+  FTree t;
+  t.AddNode({0}, -1);
+  Factorisation f(t, {MakeLeaf({})});
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.CountTuples(), 0);
+  EXPECT_TRUE(f.Flatten().empty());
+  EXPECT_TRUE(f.Validate());
+}
+
+TEST(FactorisationTest, ProductOfIndependentRootsExample3) {
+  // Example 3: R = {♦,♣} × {1,2,3} factorises as
+  // (⟨A:♦⟩ ∪ ⟨A:♣⟩) × (⟨B:1⟩ ∪ ⟨B:2⟩ ∪ ⟨B:3⟩): 5 singletons, 6 tuples.
+  FTree t;
+  t.AddNode({0}, -1);
+  t.AddNode({1}, -1);
+  Factorisation f(
+      t, {MakeLeaf({Value(100), Value(200)}),
+          MakeLeaf({Value(1), Value(2), Value(3)})});
+  EXPECT_EQ(f.CountSingletons(), 5);
+  EXPECT_EQ(f.CountTuples(), 6);
+  Relation flat = f.Flatten();
+  EXPECT_EQ(flat.size(), 6);
+}
+
+TEST(FactorisationTest, EmptyRootMakesProductEmpty) {
+  FTree t;
+  t.AddNode({0}, -1);
+  t.AddNode({1}, -1);
+  Factorisation f(t, {MakeLeaf({Value(1)}), MakeLeaf({})});
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.CountTuples(), 0);
+}
+
+TEST(FactorisationTest, ZeroRootsRepresentNullaryTuple) {
+  FTree t;
+  Factorisation f(t, {});
+  EXPECT_FALSE(f.empty());
+  EXPECT_EQ(f.CountTuples(), 1);
+  Relation flat = f.Flatten();
+  EXPECT_EQ(flat.size(), 1);
+  EXPECT_EQ(flat.schema().arity(), 0);
+}
+
+TEST(FactorisationTest, ToStringSmallExpression) {
+  FTree t;
+  int a = t.AddNode({0}, -1);
+  t.AddNode({1}, a);
+  AttributeRegistry reg;
+  reg.Intern("A");
+  reg.Intern("B");
+  Factorisation f(
+      t, {MakeNode({Value(1), Value(2)},
+                   {MakeLeaf({Value(7)}), MakeLeaf({Value(8), Value(9)})})});
+  std::string s = f.ToString(reg);
+  EXPECT_NE(s.find("<1>"), std::string::npos);
+  EXPECT_NE(s.find(" u "), std::string::npos);
+}
+
+TEST(FactorisationTest, CopyIsCheapAndShared) {
+  Pizzeria p = MakePizzeria();
+  Factorisation copy = p.view();  // shares all FactNodes
+  EXPECT_EQ(copy.roots()[0].get(), p.view().roots()[0].get());
+  EXPECT_EQ(copy.CountSingletons(), 26);
+}
+
+}  // namespace
+}  // namespace fdb

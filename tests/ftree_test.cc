@@ -1,0 +1,259 @@
+#include "fdb/core/ftree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace fdb {
+namespace {
+
+// A small fixture building the paper's T1 shape over integer attr ids:
+//   pizza(0) → { date(1) → customer(2), item(3) → price(4) }
+class FTreeTest : public ::testing::Test {
+ protected:
+  FTreeTest() {
+    pizza_ = t_.AddNode({0}, -1);
+    date_ = t_.AddNode({1}, pizza_);
+    customer_ = t_.AddNode({2}, date_);
+    item_ = t_.AddNode({3}, pizza_);
+    price_ = t_.AddNode({4}, item_);
+    t_.AddEdge({{0, 1, 2}, 5.0, "Orders"});
+    t_.AddEdge({{0, 3}, 7.0, "Pizzas"});
+    t_.AddEdge({{3, 4}, 4.0, "Items"});
+  }
+
+  FTree t_;
+  int pizza_, date_, customer_, item_, price_;
+};
+
+TEST_F(FTreeTest, StructureAccessors) {
+  EXPECT_EQ(t_.roots(), std::vector<int>{pizza_});
+  EXPECT_EQ(t_.parent(date_), pizza_);
+  EXPECT_EQ(t_.children(pizza_), (std::vector<int>{date_, item_}));
+  EXPECT_EQ(t_.num_nodes(), 5);
+}
+
+TEST_F(FTreeTest, TopologicalOrderParentsFirst) {
+  std::vector<int> order = t_.TopologicalOrder();
+  ASSERT_EQ(order.size(), 5u);
+  auto pos = [&](int n) {
+    return std::find(order.begin(), order.end(), n) - order.begin();
+  };
+  EXPECT_LT(pos(pizza_), pos(date_));
+  EXPECT_LT(pos(date_), pos(customer_));
+  EXPECT_LT(pos(item_), pos(price_));
+}
+
+TEST_F(FTreeTest, SubtreeNodesAndAttrs) {
+  std::vector<int> sub = t_.SubtreeNodes(item_);
+  EXPECT_EQ(sub, (std::vector<int>{item_, price_}));
+  EXPECT_EQ(t_.SubtreeAttrIds(item_), (std::vector<AttrId>{3, 4}));
+  EXPECT_EQ(t_.SubtreeOriginalAttrs(pizza_),
+            (std::vector<AttrId>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(FTreeTest, NodeOfAttr) {
+  EXPECT_EQ(t_.NodeOfAttr(2), customer_);
+  EXPECT_EQ(t_.NodeOfAttr(99), -1);
+}
+
+TEST_F(FTreeTest, AncestryQueries) {
+  EXPECT_TRUE(t_.IsAncestor(pizza_, customer_));
+  EXPECT_TRUE(t_.IsAncestor(date_, customer_));
+  EXPECT_FALSE(t_.IsAncestor(customer_, date_));
+  EXPECT_FALSE(t_.IsAncestor(date_, item_));
+  EXPECT_EQ(t_.RootOf(price_), pizza_);
+  EXPECT_EQ(t_.SlotOf(item_), 1);
+  EXPECT_EQ(t_.SlotOf(pizza_), 0);  // root slot
+}
+
+TEST_F(FTreeTest, DependenceViaHyperedges) {
+  EXPECT_TRUE(t_.NodesDependent(date_, customer_));   // Orders
+  EXPECT_TRUE(t_.NodesDependent(pizza_, item_));      // Pizzas
+  EXPECT_FALSE(t_.NodesDependent(date_, item_));      // independent branches
+  EXPECT_FALSE(t_.NodesDependent(customer_, price_));
+  EXPECT_TRUE(t_.SubtreeDependsOn(item_, pizza_));
+  EXPECT_FALSE(t_.SubtreeDependsOn(item_, date_));
+}
+
+TEST_F(FTreeTest, PathConstraintHoldsOnT1) {
+  EXPECT_TRUE(t_.SatisfiesPathConstraint());
+}
+
+TEST_F(FTreeTest, PathConstraintViolation) {
+  // Putting date and customer in sibling branches breaks the constraint,
+  // since Orders makes them dependent (Prop. 1).
+  FTree bad;
+  int root = bad.AddNode({0}, -1);
+  bad.AddNode({1}, root);
+  bad.AddNode({2}, root);
+  bad.AddEdge({{0, 1, 2}, 5.0, "Orders"});
+  EXPECT_FALSE(bad.SatisfiesPathConstraint());
+}
+
+TEST_F(FTreeTest, SwapUpBasic) {
+  // Swap date with its parent pizza (χ_{pizza,date}): date becomes the
+  // root; pizza keeps item (depends on pizza) and gains nothing from date's
+  // children since customer depends on... customer depends on pizza via
+  // Orders, so customer moves under pizza.
+  std::vector<int> moved = t_.SwapUp(date_);
+  EXPECT_EQ(t_.roots(), std::vector<int>{date_});
+  EXPECT_EQ(t_.parent(pizza_), date_);
+  // customer (child of date) depends on pizza via Orders → moved under pizza.
+  EXPECT_EQ(moved.size(), 1u);
+  EXPECT_EQ(t_.parent(customer_), pizza_);
+  EXPECT_TRUE(t_.SatisfiesPathConstraint());
+}
+
+TEST_F(FTreeTest, SwapUpIndependentChildrenStay) {
+  // Swap item up: pizza's other child (date subtree) depends on pizza and
+  // stays under pizza; price depends on item only and stays under item.
+  t_.SwapUp(item_);
+  EXPECT_EQ(t_.roots(), std::vector<int>{item_});
+  EXPECT_EQ(t_.parent(pizza_), item_);
+  EXPECT_EQ(t_.parent(price_), item_);
+  EXPECT_EQ(t_.parent(date_), pizza_);
+  EXPECT_TRUE(t_.SatisfiesPathConstraint());
+}
+
+TEST_F(FTreeTest, SwapRootThrows) {
+  EXPECT_THROW(t_.SwapUp(pizza_), std::invalid_argument);
+}
+
+TEST_F(FTreeTest, MergeSiblings) {
+  FTree t;
+  int r = t.AddNode({0}, -1);
+  int a = t.AddNode({1}, r);
+  int b = t.AddNode({2}, r);
+  int ca = t.AddNode({3}, a);
+  t.AddEdge({{0, 1, 3}, 3.0, "R1"});
+  t.AddEdge({{0, 2}, 3.0, "R2"});
+  t.MergeSiblings(a, b);
+  EXPECT_FALSE(t.node(b).alive);
+  EXPECT_EQ(t.node(a).attrs, (std::vector<AttrId>{1, 2}));
+  EXPECT_EQ(t.children(r), std::vector<int>{a});
+  EXPECT_EQ(t.parent(ca), a);
+  EXPECT_EQ(t.NodeOfAttr(2), a);
+}
+
+TEST_F(FTreeTest, MergeNonSiblingsThrows) {
+  EXPECT_THROW(t_.MergeSiblings(pizza_, customer_), std::invalid_argument);
+}
+
+TEST_F(FTreeTest, AbsorbDescendant) {
+  // Absorb customer (descendant) into pizza (ancestor): customer's class
+  // joins pizza's; customer dies; its children (none) splice into date.
+  t_.AbsorbDescendant(pizza_, customer_);
+  EXPECT_FALSE(t_.node(customer_).alive);
+  EXPECT_EQ(t_.node(pizza_).attrs, (std::vector<AttrId>{0, 2}));
+  EXPECT_TRUE(t_.children(date_).empty());
+  EXPECT_EQ(t_.NodeOfAttr(2), pizza_);
+}
+
+TEST_F(FTreeTest, AbsorbNonDescendantThrows) {
+  EXPECT_THROW(t_.AbsorbDescendant(date_, item_), std::invalid_argument);
+}
+
+TEST_F(FTreeTest, ReplaceSubtreeWithAggregates) {
+  AggregateLabel sum;
+  sum.fn = AggFn::kSum;
+  sum.source = 4;
+  sum.over = {3, 4};
+  sum.id = 10;
+  std::vector<int> ids = t_.ReplaceSubtreeWithAggregates(item_, {sum});
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_FALSE(t_.node(item_).alive);
+  EXPECT_FALSE(t_.node(price_).alive);
+  EXPECT_EQ(t_.parent(ids[0]), pizza_);
+  EXPECT_EQ(t_.SlotOf(ids[0]), 1);  // takes item's slot
+  EXPECT_EQ(t_.NodeOfAttr(10), ids[0]);
+  // The Pizzas and Items edges merged into one covering pizza and sum(U).
+  bool found = false;
+  for (const Hyperedge& e : t_.edges()) {
+    if (std::binary_search(e.attrs.begin(), e.attrs.end(), AttrId{10})) {
+      found = true;
+      EXPECT_TRUE(std::binary_search(e.attrs.begin(), e.attrs.end(),
+                                     AttrId{0}));  // pizza
+    }
+  }
+  EXPECT_TRUE(found);
+  // The new aggregate node depends on pizza (its former dependency).
+  EXPECT_TRUE(t_.NodesDependent(ids[0], pizza_));
+  EXPECT_TRUE(t_.SatisfiesPathConstraint());
+}
+
+TEST_F(FTreeTest, CompositeAggregatesAreMutuallyIndependent) {
+  AggregateLabel sum, cnt;
+  sum.fn = AggFn::kSum;
+  sum.source = 4;
+  sum.over = {3, 4};
+  sum.id = 10;
+  cnt.fn = AggFn::kCount;
+  cnt.over = {3, 4};
+  cnt.id = 11;
+  std::vector<int> ids = t_.ReplaceSubtreeWithAggregates(item_, {sum, cnt});
+  ASSERT_EQ(ids.size(), 2u);
+  // Siblings under pizza, not dependent on each other.
+  EXPECT_EQ(t_.parent(ids[0]), pizza_);
+  EXPECT_EQ(t_.parent(ids[1]), pizza_);
+  EXPECT_FALSE(t_.NodesDependent(ids[0], ids[1]));
+  EXPECT_TRUE(t_.SatisfiesPathConstraint());
+}
+
+TEST_F(FTreeTest, RemoveLeaf) {
+  t_.RemoveLeaf(customer_);
+  EXPECT_FALSE(t_.node(customer_).alive);
+  EXPECT_TRUE(t_.children(date_).empty());
+  // Attr 2 disappeared from all edges.
+  for (const Hyperedge& e : t_.edges()) {
+    EXPECT_FALSE(std::binary_search(e.attrs.begin(), e.attrs.end(),
+                                    AttrId{2}));
+  }
+}
+
+TEST_F(FTreeTest, RemoveNonLeafThrows) {
+  EXPECT_THROW(t_.RemoveLeaf(date_), std::invalid_argument);
+}
+
+TEST_F(FTreeTest, RenameAggregate) {
+  AggregateLabel cnt;
+  cnt.fn = AggFn::kCount;
+  cnt.over = {3, 4};
+  cnt.id = 10;
+  int id = t_.ReplaceSubtreeWithAggregates(item_, {cnt})[0];
+  t_.RenameAggregate(id, 20);
+  EXPECT_EQ(t_.NodeOfAttr(20), id);
+  EXPECT_EQ(t_.NodeOfAttr(10), -1);
+}
+
+TEST_F(FTreeTest, RenameAtomicThrows) {
+  EXPECT_THROW(t_.RenameAggregate(pizza_, 20), std::invalid_argument);
+}
+
+TEST_F(FTreeTest, AddNodeEmptyClassThrows) {
+  EXPECT_THROW(t_.AddNode({}, -1), std::invalid_argument);
+}
+
+TEST_F(FTreeTest, ToStringShowsStructure) {
+  AttributeRegistry reg;
+  reg.Intern("pizza");
+  reg.Intern("date");
+  reg.Intern("customer");
+  reg.Intern("item");
+  reg.Intern("price");
+  std::string s = t_.ToString(reg);
+  EXPECT_NE(s.find("pizza"), std::string::npos);
+  EXPECT_NE(s.find("  date"), std::string::npos);
+}
+
+TEST_F(FTreeTest, ForestWithTwoRoots) {
+  FTree f;
+  int r1 = f.AddNode({0}, -1);
+  int r2 = f.AddNode({1}, -1);
+  EXPECT_EQ(f.roots(), (std::vector<int>{r1, r2}));
+  EXPECT_EQ(f.SlotOf(r2), 1);
+  EXPECT_TRUE(f.SatisfiesPathConstraint());
+}
+
+}  // namespace
+}  // namespace fdb

@@ -1,0 +1,130 @@
+// Fuzz-style invariant testing: random interleavings of the f-plan
+// operators (swaps, constant selections, partial aggregates) applied to
+// random factorised databases must (i) keep every structural invariant and
+// (ii) agree with a flat relational oracle that replays the same logical
+// operations.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fdb/core/build.h"
+#include "fdb/core/ops/aggregate.h"
+#include "fdb/core/ops/selection.h"
+#include "fdb/core/ops/swap.h"
+#include "fdb/relational/rdb_ops.h"
+#include "fdb/workload/random_db.h"
+#include "test_util.h"
+
+namespace fdb {
+namespace {
+
+using testing::SameSet;
+
+class FuzzOps : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzOps, RandomOperatorSequenceAgreesWithOracle) {
+  Database db;
+  std::mt19937_64 rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  RandomDbSpec spec;
+  spec.seed = rng();
+  spec.num_relations = 2 + static_cast<int>(rng() % 3);
+  spec.arity = 2 + static_cast<int>(rng() % 2);
+  spec.rows = 15 + static_cast<int>(rng() % 30);
+  spec.domain = 3 + static_cast<int>(rng() % 4);
+  RandomDb rdb =
+      GenerateChainDb(&db, "fz" + std::to_string(GetParam()), spec);
+  std::vector<const Relation*> rels;
+  for (const std::string& name : rdb.relation_names) {
+    rels.push_back(db.relation(name));
+  }
+  FTree tree = ChooseFTree(rels);
+  Factorisation f = FactoriseJoin(tree, rels);
+  Relation oracle = NaturalJoinAll(rels);  // flat mirror of f
+
+  for (int step = 0; step < 10 && !f.empty(); ++step) {
+    int kind = static_cast<int>(rng() % 3);
+    switch (kind) {
+      case 0: {  // swap a random non-root node
+        std::vector<int> candidates;
+        for (int n : f.tree().TopologicalOrder()) {
+          if (f.tree().parent(n) >= 0) candidates.push_back(n);
+        }
+        if (candidates.empty()) break;
+        ApplySwap(&f, candidates[rng() % candidates.size()]);
+        break;
+      }
+      case 1: {  // constant selection on a random atomic attribute
+        std::vector<std::pair<int, AttrId>> atomic;
+        for (int n : f.tree().TopologicalOrder()) {
+          if (!f.tree().node(n).is_aggregate()) {
+            atomic.emplace_back(n, f.tree().node(n).attrs[0]);
+          }
+        }
+        if (atomic.empty()) break;
+        auto [node, attr] = atomic[rng() % atomic.size()];
+        CmpOp ops[] = {CmpOp::kLe, CmpOp::kGe, CmpOp::kNe};
+        CmpOp op = ops[rng() % 3];
+        Value c(static_cast<int64_t>(rng() % spec.domain));
+        ApplySelectConst(&f, node, op, c);
+        oracle = SelectConst(oracle, attr, op, c);
+        break;
+      }
+      case 2: {  // partial count over a random aggregatable leaf subtree
+        // Only aggregate subtrees that are leaves of atomic attributes, so
+        // the oracle (which cannot express partial aggregation) remains
+        // comparable on the surviving atomic attributes.
+        std::vector<int> leaves;
+        for (int n : f.tree().TopologicalOrder()) {
+          if (f.tree().children(n).empty() &&
+              !f.tree().node(n).is_aggregate()) {
+            leaves.push_back(n);
+          }
+        }
+        if (leaves.empty()) break;
+        int u = leaves[rng() % leaves.size()];
+        // Keep at least two atomic nodes so comparisons stay meaningful.
+        int atomic_count = 0;
+        for (int n : f.tree().TopologicalOrder()) {
+          atomic_count += !f.tree().node(n).is_aggregate();
+        }
+        if (atomic_count <= 2) break;
+        std::vector<AttrId> gone = f.tree().node(u).attrs;
+        ApplyAggregate(&f, &db.registry(), u,
+                       {{AggFn::kCount, kInvalidAttr}});
+        // Oracle: project the attribute away (set semantics on the rest is
+        // what the remaining atomic attributes represent).
+        std::vector<AttrId> rest;
+        for (AttrId a : oracle.schema().attrs()) {
+          if (std::find(gone.begin(), gone.end(), a) == gone.end()) {
+            rest.push_back(a);
+          }
+        }
+        oracle = Project(oracle, rest, /*dedup=*/true);
+        break;
+      }
+    }
+    ASSERT_TRUE(f.Validate()) << "step " << step;
+    ASSERT_TRUE(f.tree().SatisfiesPathConstraint()) << "step " << step;
+
+    // Compare on the surviving atomic attributes.
+    std::vector<AttrId> atomic_attrs;
+    for (int n : f.tree().TopologicalOrder()) {
+      const FTreeNode& nd = f.tree().node(n);
+      if (!nd.is_aggregate()) {
+        atomic_attrs.insert(atomic_attrs.end(), nd.attrs.begin(),
+                            nd.attrs.end());
+      }
+    }
+    if (atomic_attrs.empty()) break;
+    ASSERT_TRUE(
+        SameSet(f.Flatten(), oracle, atomic_attrs, db.registry()))
+        << "divergence at step " << step;
+    if (f.empty()) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzOps, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace fdb

@@ -1,0 +1,131 @@
+#include "fdb/core/ops/project.h"
+
+#include <gtest/gtest.h>
+
+#include "fdb/core/build.h"
+#include "fdb/core/order.h"
+#include "fdb/core/ops/swap.h"
+#include "fdb/relational/rdb_ops.h"
+#include "fdb/workload/random_db.h"
+#include "test_util.h"
+
+namespace fdb {
+namespace {
+
+using testing::MakePizzeria;
+using testing::Pizzeria;
+using testing::SameSet;
+
+TEST(ProjectTest, TopPathProjection) {
+  // π_{pizza, date} on T1: both on the top path, no restructuring needed.
+  Pizzeria p = MakePizzeria();
+  Factorisation f =
+      ProjectToTopFragment(p.view(), {p.n_pizza, p.n_date});
+  EXPECT_TRUE(f.Validate());
+  EXPECT_TRUE(f.tree().SatisfiesPathConstraint());
+  Relation expect = Project(
+      NaturalJoinAll({p.db->relation("Orders"), p.db->relation("Pizzas"),
+                      p.db->relation("Items")}),
+      {p.attr("pizza"), p.attr("date")}, /*dedup=*/true);
+  EXPECT_TRUE(SameSet(f.Flatten(), expect, expect.schema().attrs(),
+                      p.db->registry()));
+  EXPECT_EQ(f.CountTuples(), 4);  // distinct (pizza, date) pairs
+}
+
+TEST(ProjectTest, BranchingFragmentKeepsBothBranches) {
+  // π_{pizza, date, item}: keeps the branch tops, drops customer & price.
+  Pizzeria p = MakePizzeria();
+  Factorisation f =
+      ProjectToTopFragment(p.view(), {p.n_pizza, p.n_date, p.n_item});
+  Relation expect = Project(
+      NaturalJoinAll({p.db->relation("Orders"), p.db->relation("Pizzas"),
+                      p.db->relation("Items")}),
+      {p.attr("pizza"), p.attr("date"), p.attr("item")}, /*dedup=*/true);
+  EXPECT_TRUE(SameSet(f.Flatten(), expect, expect.schema().attrs(),
+                      p.db->registry()));
+}
+
+TEST(ProjectTest, SingleRootProjection) {
+  Pizzeria p = MakePizzeria();
+  Factorisation f = ProjectToTopFragment(p.view(), {p.n_pizza});
+  EXPECT_EQ(f.CountTuples(), 3);
+  EXPECT_EQ(f.CountSingletons(), 3);
+}
+
+TEST(ProjectTest, NonTopFragmentThrows) {
+  Pizzeria p = MakePizzeria();
+  EXPECT_THROW(ProjectToTopFragment(p.view(), {p.n_customer}),
+               std::invalid_argument);
+}
+
+TEST(ProjectTest, RestructureThenProjectDeepAttribute) {
+  // π_{customer}: push customer to the root, then project.
+  Pizzeria p = MakePizzeria();
+  Factorisation f = p.view();
+  for (int b : PlanRestructure(f.tree(), {}, {p.n_customer})) {
+    ApplySwap(&f, b);
+  }
+  Factorisation proj = ProjectToTopFragment(f, {p.n_customer});
+  EXPECT_EQ(proj.CountTuples(), 3);  // Lucia, Mario, Pietro
+  EXPECT_TRUE(proj.Validate());
+}
+
+TEST(ProjectTest, MergedEdgesKeepDependencies) {
+  // After projecting item/price away, pizza and date remain dependent via
+  // the merged Orders edge, and the new tree satisfies the path constraint.
+  Pizzeria p = MakePizzeria();
+  Factorisation f =
+      ProjectToTopFragment(p.view(), {p.n_pizza, p.n_date});
+  int n_pizza = f.tree().NodeOfAttr(p.attr("pizza"));
+  int n_date = f.tree().NodeOfAttr(p.attr("date"));
+  EXPECT_TRUE(f.tree().NodesDependent(n_pizza, n_date));
+}
+
+TEST(ProjectTest, EmptyFactorisationStaysEmpty) {
+  AttributeRegistry reg;
+  AttrId a = reg.Intern("qa"), b = reg.Intern("qb");
+  Relation r{RelSchema({a, b})};
+  Factorisation f = FactoriseRelation(r, {a, b});
+  Factorisation proj = ProjectToTopFragment(f, {f.tree().NodeOfAttr(a)});
+  EXPECT_TRUE(proj.empty());
+}
+
+// Differential: restructure + factorised projection equals relational
+// distinct projection on random databases.
+class ProjectProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ProjectProperty, MatchesRelationalDistinctProjection) {
+  Database db;
+  RandomDbSpec spec;
+  spec.seed = static_cast<uint64_t>(GetParam() + 300);
+  spec.num_relations = 2;
+  spec.rows = 30;
+  spec.domain = 5;
+  RandomDb rdb =
+      GenerateChainDb(&db, "pj" + std::to_string(GetParam()), spec);
+  std::vector<const Relation*> rels;
+  for (const std::string& name : rdb.relation_names) {
+    rels.push_back(db.relation(name));
+  }
+  FTree tree = ChooseFTree(rels);
+  Factorisation f = FactoriseJoin(tree, rels);
+  if (f.empty()) GTEST_SKIP() << "empty join";
+
+  // Project onto the first and last chain attributes.
+  AttrId a = *db.registry().Find(rdb.attr_names.front());
+  AttrId b = *db.registry().Find(rdb.attr_names.back());
+  std::vector<int> nodes = {f.tree().NodeOfAttr(a), f.tree().NodeOfAttr(b)};
+  for (int s : PlanRestructure(f.tree(), {}, nodes)) ApplySwap(&f, s);
+  nodes = {f.tree().NodeOfAttr(a), f.tree().NodeOfAttr(b)};
+  Factorisation proj = ProjectToTopFragment(f, nodes);
+  EXPECT_TRUE(proj.Validate());
+
+  Relation expect =
+      Project(NaturalJoinAll(rels), {a, b}, /*dedup=*/true);
+  EXPECT_TRUE(SameSet(proj.Flatten(), expect, {a, b}, db.registry()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProjectProperty, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace fdb

@@ -1,0 +1,132 @@
+#include "fdb/relational/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fdb {
+namespace {
+
+using testing::Row;
+
+class RelationTest : public ::testing::Test {
+ protected:
+  RelationTest() {
+    a_ = reg_.Intern("a");
+    b_ = reg_.Intern("b");
+    c_ = reg_.Intern("c");
+  }
+
+  Relation Make(std::vector<std::vector<int64_t>> rows) {
+    Relation r{RelSchema({a_, b_, c_})};
+    for (auto& row : rows) r.Add(Row(row));
+    return r;
+  }
+
+  AttributeRegistry reg_;
+  AttrId a_, b_, c_;
+};
+
+TEST_F(RelationTest, SchemaIndexOf) {
+  RelSchema s({a_, b_, c_});
+  EXPECT_EQ(s.IndexOf(a_), 0);
+  EXPECT_EQ(s.IndexOf(c_), 2);
+  EXPECT_EQ(s.IndexOf(static_cast<AttrId>(99)), -1);
+  EXPECT_TRUE(s.Contains(b_));
+}
+
+TEST_F(RelationTest, RegistryInternIsIdempotent) {
+  EXPECT_EQ(reg_.Intern("a"), a_);
+  EXPECT_EQ(reg_.Name(a_), "a");
+  EXPECT_FALSE(reg_.Find("nope").has_value());
+}
+
+TEST_F(RelationTest, SortByAscending) {
+  Relation r = Make({{3, 1, 0}, {1, 2, 0}, {2, 0, 0}});
+  r.SortBy({{a_, SortDir::kAsc}});
+  EXPECT_EQ(r.rows()[0][0].as_int(), 1);
+  EXPECT_EQ(r.rows()[2][0].as_int(), 3);
+  EXPECT_TRUE(r.IsSortedBy({{a_, SortDir::kAsc}}));
+}
+
+TEST_F(RelationTest, SortByDescending) {
+  Relation r = Make({{3, 1, 0}, {1, 2, 0}, {2, 0, 0}});
+  r.SortBy({{a_, SortDir::kDesc}});
+  EXPECT_EQ(r.rows()[0][0].as_int(), 3);
+  EXPECT_TRUE(r.IsSortedBy({{a_, SortDir::kDesc}}));
+  EXPECT_FALSE(r.IsSortedBy({{a_, SortDir::kAsc}}));
+}
+
+TEST_F(RelationTest, SortByLexicographicTwoKeys) {
+  Relation r = Make({{1, 2, 9}, {1, 1, 8}, {0, 5, 7}});
+  r.SortBy({{a_, SortDir::kAsc}, {b_, SortDir::kDesc}});
+  EXPECT_EQ(r.rows()[0][0].as_int(), 0);
+  EXPECT_EQ(r.rows()[1][1].as_int(), 2);  // within a=1, b descending
+  EXPECT_EQ(r.rows()[2][1].as_int(), 1);
+}
+
+TEST_F(RelationTest, SortIsStable) {
+  Relation r = Make({{1, 9, 1}, {1, 8, 2}, {1, 7, 3}});
+  r.SortBy({{a_, SortDir::kAsc}});
+  // Equal keys keep input order.
+  EXPECT_EQ(r.rows()[0][1].as_int(), 9);
+  EXPECT_EQ(r.rows()[2][1].as_int(), 7);
+}
+
+TEST_F(RelationTest, SortAndDedup) {
+  Relation r = Make({{1, 1, 1}, {1, 1, 1}, {0, 0, 0}});
+  r.SortAndDedup();
+  EXPECT_EQ(r.size(), 2);
+}
+
+TEST_F(RelationTest, SetEqualsIgnoresDuplicatesAndOrder) {
+  Relation r1 = Make({{1, 1, 1}, {2, 2, 2}, {1, 1, 1}});
+  Relation r2 = Make({{2, 2, 2}, {1, 1, 1}});
+  EXPECT_TRUE(r1.SetEquals(r2));
+  EXPECT_FALSE(r1.BagEquals(r2));
+}
+
+TEST_F(RelationTest, BagEqualsCountsMultiplicity) {
+  Relation r1 = Make({{1, 1, 1}, {1, 1, 1}});
+  Relation r2 = Make({{1, 1, 1}, {1, 1, 1}});
+  EXPECT_TRUE(r1.BagEquals(r2));
+}
+
+TEST_F(RelationTest, SchemaMismatchNotEqual) {
+  Relation r1 = Make({{1, 1, 1}});
+  Relation r2{RelSchema({a_, c_, b_})};
+  r2.Add(Row({1, 1, 1}));
+  EXPECT_FALSE(r1.SetEquals(r2));
+}
+
+TEST_F(RelationTest, ResolveKeysUnknownAttrThrows) {
+  Relation r = Make({{1, 2, 3}});
+  EXPECT_THROW(r.SortBy({{static_cast<AttrId>(999), SortDir::kAsc}}),
+               std::invalid_argument);
+}
+
+TEST_F(RelationTest, CompareTuplesRespectsDirections) {
+  Tuple x = Row({1, 5, 0});
+  Tuple y = Row({1, 3, 0});
+  std::vector<std::pair<int, SortDir>> keys = {{0, SortDir::kAsc},
+                                               {1, SortDir::kDesc}};
+  EXPECT_LT(CompareTuples(x, y, keys), 0);  // 5 before 3 under DESC
+  EXPECT_EQ(CompareTuples(x, x, keys), 0);
+}
+
+TEST_F(RelationTest, ToStringShowsRowsAndTruncates) {
+  Relation r = Make({{1, 2, 3}, {4, 5, 6}});
+  std::string s = r.ToString(reg_, 1);
+  EXPECT_NE(s.find("2 rows"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+TEST_F(RelationTest, EmptyRelation) {
+  Relation r{RelSchema({a_})};
+  EXPECT_TRUE(r.empty());
+  EXPECT_TRUE(r.IsSortedBy({{a_, SortDir::kAsc}}));
+  EXPECT_EQ(r.size(), 0);
+}
+
+}  // namespace
+}  // namespace fdb

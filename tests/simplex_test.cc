@@ -1,0 +1,115 @@
+#include "fdb/optimizer/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace fdb {
+namespace {
+
+TEST(SimplexTest, SingleVariableCover) {
+  // min x s.t. x >= 1.
+  auto sol = SolveCoveringLp({{1.0}}, {1.0}, {1.0});
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR(sol->objective, 1.0, 1e-6);
+  EXPECT_NEAR(sol->x[0], 1.0, 1e-6);
+}
+
+TEST(SimplexTest, PicksCheaperCoveringEdge) {
+  // Two edges cover the single constraint; the cheaper one wins.
+  auto sol = SolveCoveringLp({{1.0, 1.0}}, {1.0}, {5.0, 2.0});
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR(sol->objective, 2.0, 1e-6);
+  EXPECT_NEAR(sol->x[1], 1.0, 1e-6);
+}
+
+TEST(SimplexTest, TriangleQueryFractionalCoverIsThreeHalves) {
+  // The classic triangle: three attributes, three binary edges, each edge
+  // covering two attributes. Optimal fractional cover: ½ each → 1.5.
+  std::vector<std::vector<double>> a = {
+      {1, 1, 0},  // attr A covered by e1, e2
+      {1, 0, 1},  // attr B covered by e1, e3
+      {0, 1, 1},  // attr C covered by e2, e3
+  };
+  auto sol = SolveCoveringLp(a, {1, 1, 1}, {1, 1, 1});
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR(sol->objective, 1.5, 1e-6);
+}
+
+TEST(SimplexTest, WeightedTriangleShiftsMass) {
+  // Make edge 3 expensive: cover with e1 = e2 = 1 instead (cost 2 < 1+M).
+  std::vector<std::vector<double>> a = {
+      {1, 1, 0},
+      {1, 0, 1},
+      {0, 1, 1},
+  };
+  auto sol = SolveCoveringLp(a, {1, 1, 1}, {1, 1, 100});
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR(sol->objective, 2.0, 1e-6);
+  EXPECT_NEAR(sol->x[2], 0.0, 1e-6);
+}
+
+TEST(SimplexTest, PathQueryIntegralCover) {
+  // Chain A–B–C with edges {A,B}, {B,C}: both must be taken to cover A and
+  // C → objective 2.
+  std::vector<std::vector<double>> a = {
+      {1, 0},  // A
+      {1, 1},  // B
+      {0, 1},  // C
+  };
+  auto sol = SolveCoveringLp(a, {1, 1, 1}, {1, 1});
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR(sol->objective, 2.0, 1e-6);
+}
+
+TEST(SimplexTest, InfeasibleWhenAttributeUncovered) {
+  // Second row has no covering edge.
+  auto sol = SolveCoveringLp({{1.0}, {0.0}}, {1.0, 1.0}, {1.0});
+  EXPECT_FALSE(sol.has_value());
+}
+
+TEST(SimplexTest, EmptyProgramIsZero) {
+  auto sol = SolveCoveringLp({}, {}, {1.0, 2.0});
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->objective, 0.0);
+}
+
+TEST(SimplexTest, ZeroCostEdgesStillCover) {
+  auto sol = SolveCoveringLp({{1.0, 0.0}, {0.0, 1.0}}, {1.0, 1.0},
+                             {0.0, 0.0});
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_NEAR(sol->objective, 0.0, 1e-9);
+  EXPECT_GE(sol->x[0], 1.0 - 1e-6);
+}
+
+TEST(SimplexTest, MismatchedSizesThrow) {
+  EXPECT_THROW(SolveCoveringLp({{1.0}}, {1.0, 2.0}, {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(SolveCoveringLp({{1.0, 2.0}}, {1.0}, {1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(SolveCoveringLp({{1.0}}, {-1.0}, {1.0}),
+               std::invalid_argument);
+}
+
+TEST(SimplexTest, LargerRandomisedCoverSanity) {
+  // 6 constraints, 4 edges with staggered coverage; optimum must cover all
+  // rows: verify feasibility of the returned solution.
+  std::vector<std::vector<double>> a = {
+      {1, 0, 0, 1}, {1, 1, 0, 0}, {0, 1, 1, 0},
+      {0, 0, 1, 1}, {1, 0, 1, 0}, {0, 1, 0, 1},
+  };
+  std::vector<double> c = {3.0, 1.0, 2.0, 1.5};
+  auto sol = SolveCoveringLp(a, std::vector<double>(6, 1.0), c);
+  ASSERT_TRUE(sol.has_value());
+  for (size_t row = 0; row < a.size(); ++row) {
+    double cover = 0;
+    for (size_t e = 0; e < c.size(); ++e) cover += a[row][e] * sol->x[e];
+    EXPECT_GE(cover, 1.0 - 1e-6) << "row " << row << " uncovered";
+  }
+  double obj = 0;
+  for (size_t e = 0; e < c.size(); ++e) obj += c[e] * sol->x[e];
+  EXPECT_NEAR(obj, sol->objective, 1e-9);
+}
+
+}  // namespace
+}  // namespace fdb

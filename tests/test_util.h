@@ -1,0 +1,117 @@
+#ifndef FDB_TESTS_TEST_UTIL_H_
+#define FDB_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fdb/core/build.h"
+#include "fdb/core/factorisation.h"
+#include "fdb/engine/database.h"
+#include "fdb/relational/rdb_ops.h"
+
+namespace fdb {
+namespace testing {
+
+/// The running example of the paper (Figure 1): the pizzeria database and
+/// the factorised view R = Orders ⋈ Pizzas ⋈ Items over the f-tree T1
+/// (pizza → {date → customer, item → price}).
+struct Pizzeria {
+  std::unique_ptr<Database> db;
+  // Node ids of T1 inside the view's tree.
+  int n_pizza, n_date, n_customer, n_item, n_price;
+
+  const Factorisation& view() const { return *db->view("R"); }
+  AttrId attr(const std::string& name) {
+    return *db->registry().Find(name);
+  }
+};
+
+inline Pizzeria MakePizzeria() {
+  Pizzeria p;
+  p.db = std::make_unique<Database>();
+  AttributeRegistry& reg = p.db->registry();
+  AttrId customer = reg.Intern("customer");
+  AttrId date = reg.Intern("date");
+  AttrId pizza = reg.Intern("pizza");
+  AttrId item = reg.Intern("item");
+  AttrId price = reg.Intern("price");
+
+  Relation orders{RelSchema({customer, date, pizza})};
+  orders.Add({Value("Mario"), Value("Monday"), Value("Capricciosa")});
+  orders.Add({Value("Mario"), Value("Tuesday"), Value("Margherita")});
+  orders.Add({Value("Pietro"), Value("Friday"), Value("Hawaii")});
+  orders.Add({Value("Lucia"), Value("Friday"), Value("Hawaii")});
+  orders.Add({Value("Mario"), Value("Friday"), Value("Capricciosa")});
+
+  Relation pizzas{RelSchema({pizza, item})};
+  pizzas.Add({Value("Margherita"), Value("base")});
+  pizzas.Add({Value("Capricciosa"), Value("base")});
+  pizzas.Add({Value("Capricciosa"), Value("ham")});
+  pizzas.Add({Value("Capricciosa"), Value("mushrooms")});
+  pizzas.Add({Value("Hawaii"), Value("base")});
+  pizzas.Add({Value("Hawaii"), Value("ham")});
+  pizzas.Add({Value("Hawaii"), Value("pineapple")});
+
+  Relation items{RelSchema({item, price})};
+  items.Add({Value("base"), Value(int64_t{6})});
+  items.Add({Value("ham"), Value(int64_t{1})});
+  items.Add({Value("mushrooms"), Value(int64_t{1})});
+  items.Add({Value("pineapple"), Value(int64_t{2})});
+
+  FTree t1;
+  p.n_pizza = t1.AddNode({pizza}, -1);
+  p.n_date = t1.AddNode({date}, p.n_pizza);
+  p.n_customer = t1.AddNode({customer}, p.n_date);
+  p.n_item = t1.AddNode({item}, p.n_pizza);
+  p.n_price = t1.AddNode({price}, p.n_item);
+  t1.AddEdge({{customer, date, pizza}, 5.0, "Orders"});
+  t1.AddEdge({{pizza, item}, 7.0, "Pizzas"});
+  t1.AddEdge({{item, price}, 4.0, "Items"});
+
+  Factorisation r = FactoriseJoin(t1, {&orders, &pizzas, &items});
+  p.db->AddRelation("Orders", std::move(orders));
+  p.db->AddRelation("Pizzas", std::move(pizzas));
+  p.db->AddRelation("Items", std::move(items));
+  p.db->AddView("R", std::move(r));
+  return p;
+}
+
+/// Compares two relations as sets after projecting both to `cols`
+/// (column-order independent), with a readable failure message.
+inline ::testing::AssertionResult SameSet(const Relation& a,
+                                          const Relation& b,
+                                          const std::vector<AttrId>& cols,
+                                          const AttributeRegistry& reg) {
+  Relation pa = Project(a, cols, /*dedup=*/true);
+  Relation pb = Project(b, cols, /*dedup=*/true);
+  if (pa.SetEquals(pb)) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "relations differ:\n"
+         << pa.ToString(reg) << "vs\n"
+         << pb.ToString(reg);
+}
+
+/// Bag comparison on identical schemas with a readable failure message.
+inline ::testing::AssertionResult SameBag(const Relation& a,
+                                          const Relation& b,
+                                          const AttributeRegistry& reg) {
+  if (a.BagEquals(b)) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure()
+         << "relations differ:\n"
+         << a.ToString(reg) << "vs\n"
+         << b.ToString(reg);
+}
+
+inline Tuple Row(std::vector<int64_t> vals) {
+  Tuple t;
+  for (int64_t v : vals) t.push_back(Value(v));
+  return t;
+}
+
+}  // namespace testing
+}  // namespace fdb
+
+#endif  // FDB_TESTS_TEST_UTIL_H_

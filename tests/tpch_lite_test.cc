@@ -1,0 +1,125 @@
+#include "fdb/workload/tpch_lite.h"
+
+#include <gtest/gtest.h>
+
+#include "fdb/engine/fdb_engine.h"
+#include "fdb/engine/rdb_engine.h"
+#include "fdb/relational/rdb_ops.h"
+#include "test_util.h"
+
+namespace fdb {
+namespace {
+
+using testing::SameBag;
+
+class TpchLiteTest : public ::testing::Test {
+ protected:
+  TpchLiteTest() {
+    TpchLiteParams p;
+    p.scale = 1;
+    p.seed = 11;
+    singletons_ = InstallTpchLite(&db_, p, "TL");
+    Relation flat = db_.view("TL")->Flatten();
+    flat_tuples_ = flat.size();
+    db_.AddRelation("TLflat", std::move(flat));
+  }
+
+  void ExpectAgree(const std::string& select_list,
+                   const std::string& tail) {
+    FdbEngine fdb(&db_);
+    RdbEngine rdb(&db_);
+    FdbResult fr =
+        fdb.ExecuteSql("SELECT " + select_list + " FROM TL " + tail);
+    RdbResult rr =
+        rdb.ExecuteSql("SELECT " + select_list + " FROM TLflat " + tail);
+    EXPECT_TRUE(SameBag(fr.flat, rr.flat, db_.registry()))
+        << select_list << " | " << tail;
+  }
+
+  Database db_;
+  int64_t singletons_ = 0;
+  int64_t flat_tuples_ = 0;
+};
+
+TEST_F(TpchLiteTest, TreeSatisfiesPathConstraintAndBranches) {
+  const FTree& t = db_.view("TL")->tree();
+  EXPECT_TRUE(t.SatisfiesPathConstraint());
+  int branching = 0;
+  for (int n : t.TopologicalOrder()) {
+    branching += t.children(n).size() >= 2;
+  }
+  EXPECT_GE(branching, 3) << "custkey, orderkey and partkey all branch";
+}
+
+TEST_F(TpchLiteTest, ViewIsSmallerThanFlatJoin) {
+  EXPECT_LT(singletons_, flat_tuples_ * 8);
+  EXPECT_GT(flat_tuples_, 0);
+  EXPECT_TRUE(db_.view("TL")->Validate());
+  EXPECT_EQ(db_.view("TL")->CountTuples(), flat_tuples_);
+}
+
+TEST_F(TpchLiteTest, ViewMatchesRelationalJoin) {
+  Relation join = NaturalJoinAll({db_.relation("Customer"),
+                                  db_.relation("COrders"),
+                                  db_.relation("Lineitem"),
+                                  db_.relation("Part")});
+  EXPECT_EQ(join.size(), flat_tuples_);
+}
+
+TEST_F(TpchLiteTest, RevenuePerNation) {
+  ExpectAgree("nation, sum(extprice)", "GROUP BY nation");
+}
+
+TEST_F(TpchLiteTest, PricingSummaryPerBrand) {
+  ExpectAgree("brand, count(*), sum(quantity), avg(extprice)",
+              "GROUP BY brand");
+}
+
+TEST_F(TpchLiteTest, TopCustomersWithHavingAndOrder) {
+  FdbEngine fdb(&db_);
+  RdbEngine rdb(&db_);
+  std::string sql =
+      "SELECT custkey, sum(extprice) AS rev FROM TL GROUP BY custkey "
+      "HAVING count(*) > 1 ORDER BY rev DESC, custkey LIMIT 10";
+  std::string rsql =
+      "SELECT custkey, sum(extprice) AS rev FROM TLflat GROUP BY custkey "
+      "HAVING count(*) > 1 ORDER BY rev DESC, custkey LIMIT 10";
+  FdbResult fr = fdb.ExecuteSql(sql);
+  RdbResult rr = rdb.ExecuteSql(rsql);
+  EXPECT_TRUE(SameBag(fr.flat, rr.flat, db_.registry()));
+  EXPECT_TRUE(fr.flat.IsSortedBy(
+      {{*db_.registry().Find("rev"), SortDir::kDesc},
+       {*db_.registry().Find("custkey"), SortDir::kAsc}}));
+}
+
+TEST_F(TpchLiteTest, SelectiveDateFilter) {
+  ExpectAgree("nation, count(*)",
+              "WHERE odate < 100 AND quantity >= 10 GROUP BY nation");
+}
+
+TEST_F(TpchLiteTest, DeepGroupByAcrossBranches) {
+  ExpectAgree("nation, brand, sum(quantity)",
+              "GROUP BY nation, brand");
+}
+
+TEST_F(TpchLiteTest, OrderedEnumerationOnDeepTree) {
+  FdbEngine fdb(&db_);
+  FdbResult r = fdb.ExecuteSql(
+      "SELECT * FROM TL ORDER BY partkey, custkey LIMIT 50");
+  EXPECT_EQ(r.flat.size(), std::min<int64_t>(50, flat_tuples_));
+  EXPECT_TRUE(
+      r.flat.IsSortedBy({{*db_.registry().Find("partkey"), SortDir::kAsc},
+                         {*db_.registry().Find("custkey"), SortDir::kAsc}}));
+}
+
+TEST_F(TpchLiteTest, DeterministicUnderSeed) {
+  Database other;
+  TpchLiteParams p;
+  p.scale = 1;
+  p.seed = 11;
+  int64_t s2 = InstallTpchLite(&other, p, "TL");
+  EXPECT_EQ(s2, singletons_);
+}
+
+}  // namespace
+}  // namespace fdb

@@ -1,0 +1,164 @@
+#include "fdb/core/update.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "fdb/core/build.h"
+#include "test_util.h"
+
+namespace fdb {
+namespace {
+
+using testing::Row;
+using testing::SameSet;
+
+class UpdateTest : public ::testing::Test {
+ protected:
+  UpdateTest() {
+    a_ = reg_.Intern("ua");
+    b_ = reg_.Intern("ub");
+    c_ = reg_.Intern("uc");
+    base_ = Relation{RelSchema({a_, b_, c_})};
+    base_.Add(Row({1, 10, 100}));
+    base_.Add(Row({1, 20, 100}));
+    base_.Add(Row({2, 10, 200}));
+    view_ = FactoriseRelation(base_, {a_, b_, c_});
+  }
+
+  AttributeRegistry reg_;
+  AttrId a_, b_, c_;
+  Relation base_;
+  Factorisation view_;
+};
+
+TEST_F(UpdateTest, ContainsTuple) {
+  EXPECT_TRUE(ContainsTuple(view_, Row({1, 10, 100})));
+  EXPECT_TRUE(ContainsTuple(view_, Row({2, 10, 200})));
+  EXPECT_FALSE(ContainsTuple(view_, Row({1, 10, 200})));
+  EXPECT_FALSE(ContainsTuple(view_, Row({3, 10, 100})));
+}
+
+TEST_F(UpdateTest, InsertNewBranch) {
+  InsertTuple(&view_, Row({3, 30, 300}));
+  EXPECT_TRUE(view_.Validate());
+  EXPECT_TRUE(ContainsTuple(view_, Row({3, 30, 300})));
+  EXPECT_EQ(view_.CountTuples(), 4);
+  base_.Add(Row({3, 30, 300}));
+  EXPECT_TRUE(SameSet(view_.Flatten(), base_, {a_, b_, c_}, reg_));
+}
+
+TEST_F(UpdateTest, InsertIntoExistingPrefix) {
+  InsertTuple(&view_, Row({1, 10, 999}));
+  EXPECT_TRUE(view_.Validate());
+  EXPECT_EQ(view_.CountTuples(), 4);
+  // The prefix is reused: still one union entry for a=1, b=10.
+  EXPECT_EQ(view_.roots()[0]->size(), 2);
+}
+
+TEST_F(UpdateTest, InsertIsIdempotent) {
+  InsertTuple(&view_, Row({1, 10, 100}));
+  EXPECT_TRUE(view_.Validate());
+  EXPECT_EQ(view_.CountTuples(), 3);
+}
+
+TEST_F(UpdateTest, InsertIntoEmptyView) {
+  Relation empty{RelSchema({a_, b_, c_})};
+  Factorisation v = FactoriseRelation(empty, {a_, b_, c_});
+  ASSERT_TRUE(v.empty());
+  InsertTuple(&v, Row({5, 50, 500}));
+  EXPECT_FALSE(v.empty());
+  EXPECT_TRUE(v.Validate());
+  EXPECT_EQ(v.CountTuples(), 1);
+}
+
+TEST_F(UpdateTest, InsertSharesUntouchedBranches) {
+  const FactNode* before = view_.roots()[0]->child(1, 1, 0).get();  // a=2
+  InsertTuple(&view_, Row({1, 30, 300}));
+  const FactNode* after = view_.roots()[0]->child(1, 1, 0).get();
+  EXPECT_EQ(before, after) << "untouched branch was copied";
+}
+
+TEST_F(UpdateTest, DeleteLeafValue) {
+  EXPECT_TRUE(DeleteTuple(&view_, Row({1, 10, 100})));
+  EXPECT_TRUE(view_.Validate());
+  EXPECT_FALSE(ContainsTuple(view_, Row({1, 10, 100})));
+  EXPECT_EQ(view_.CountTuples(), 2);
+}
+
+TEST_F(UpdateTest, DeletePrunesEmptiedBranches) {
+  // Removing the only tuple under a=2 must prune the whole branch.
+  EXPECT_TRUE(DeleteTuple(&view_, Row({2, 10, 200})));
+  EXPECT_TRUE(view_.Validate());
+  EXPECT_EQ(view_.roots()[0]->size(), 1);  // only a=1 left
+}
+
+TEST_F(UpdateTest, DeleteAbsentTupleReturnsFalse) {
+  EXPECT_FALSE(DeleteTuple(&view_, Row({9, 9, 9})));
+  EXPECT_EQ(view_.CountTuples(), 3);
+}
+
+TEST_F(UpdateTest, DeleteToEmptyAndReinsert) {
+  EXPECT_TRUE(DeleteTuple(&view_, Row({1, 10, 100})));
+  EXPECT_TRUE(DeleteTuple(&view_, Row({1, 20, 100})));
+  EXPECT_TRUE(DeleteTuple(&view_, Row({2, 10, 200})));
+  EXPECT_TRUE(view_.empty());
+  InsertTuple(&view_, Row({7, 70, 700}));
+  EXPECT_EQ(view_.CountTuples(), 1);
+}
+
+TEST_F(UpdateTest, WrongArityThrows) {
+  EXPECT_THROW(InsertTuple(&view_, Row({1, 2})), std::invalid_argument);
+  EXPECT_THROW(ContainsTuple(view_, Row({1})), std::invalid_argument);
+}
+
+TEST_F(UpdateTest, NonPathViewThrows) {
+  // A branching tree (two children) is rejected.
+  FTree t;
+  int root = t.AddNode({a_}, -1);
+  t.AddNode({b_}, root);
+  t.AddNode({c_}, root);
+  Factorisation f(
+      t, {MakeNode({Value(1)}, {MakeLeaf({Value(2)}), MakeLeaf({Value(3)})})});
+  EXPECT_THROW(InsertTuple(&f, Row({1, 2, 3})), std::invalid_argument);
+}
+
+// Property: a random interleaving of inserts and deletes keeps the view
+// equal to a std::set-maintained oracle.
+class UpdateProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(UpdateProperty, RandomInsertDeleteMatchesOracle) {
+  AttributeRegistry reg;
+  AttrId a = reg.Intern("upa" + std::to_string(GetParam()));
+  AttrId b = reg.Intern("upb" + std::to_string(GetParam()));
+  Relation empty{RelSchema({a, b})};
+  Factorisation view = FactoriseRelation(empty, {a, b});
+  std::set<std::pair<int64_t, int64_t>> oracle;
+
+  std::mt19937_64 rng(static_cast<uint64_t>(GetParam()) + 77);
+  for (int step = 0; step < 120; ++step) {
+    int64_t x = static_cast<int64_t>(rng() % 5);
+    int64_t y = static_cast<int64_t>(rng() % 5);
+    if (rng() % 2 == 0) {
+      InsertTuple(&view, Row({x, y}));
+      oracle.emplace(x, y);
+    } else {
+      bool removed = DeleteTuple(&view, Row({x, y}));
+      EXPECT_EQ(removed, oracle.erase({x, y}) > 0) << "step " << step;
+    }
+    ASSERT_TRUE(view.Validate()) << "step " << step;
+    ASSERT_EQ(view.CountTuples(), static_cast<int64_t>(oracle.size()));
+  }
+  Relation expect{RelSchema({a, b})};
+  for (const auto& [x, y] : oracle) expect.Add(Row({x, y}));
+  if (!oracle.empty()) {
+    EXPECT_TRUE(SameSet(view.Flatten(), expect, {a, b}, reg));
+  } else {
+    EXPECT_TRUE(view.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpdateProperty, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace fdb

@@ -1,0 +1,155 @@
+#include "fdb/relational/value.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace fdb {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_int());
+  EXPECT_FALSE(v.is_numeric());
+}
+
+TEST(ValueTest, IntAccessors) {
+  Value v(int64_t{42});
+  EXPECT_TRUE(v.is_int());
+  EXPECT_TRUE(v.is_numeric());
+  EXPECT_EQ(v.as_int(), 42);
+  EXPECT_DOUBLE_EQ(v.numeric(), 42.0);
+}
+
+TEST(ValueTest, DoubleAccessors) {
+  Value v(1.5);
+  EXPECT_TRUE(v.is_double());
+  EXPECT_TRUE(v.is_numeric());
+  EXPECT_DOUBLE_EQ(v.as_double(), 1.5);
+}
+
+TEST(ValueTest, StringAccessors) {
+  Value v("abc");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_FALSE(v.is_numeric());
+  EXPECT_EQ(v.as_string(), "abc");
+}
+
+TEST(ValueTest, IntOrdering) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_EQ(Value(3), Value(3));
+  EXPECT_GT(Value(-1), Value(-2));
+}
+
+TEST(ValueTest, MixedNumericOrdering) {
+  EXPECT_LT(Value(1), Value(1.5));
+  EXPECT_LT(Value(1.5), Value(2));
+  EXPECT_EQ(Value(2), Value(2.0));
+  EXPECT_GT(Value(2.5), Value(2));
+}
+
+TEST(ValueTest, StringOrdering) {
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_LT(Value("ab"), Value("abc"));
+  EXPECT_EQ(Value("x"), Value("x"));
+}
+
+TEST(ValueTest, CrossTypeOrdering) {
+  // null < numeric < string.
+  EXPECT_LT(Value(), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{999}), Value("a"));
+  EXPECT_LT(Value(), Value(""));
+}
+
+TEST(ValueTest, NullEqualsNull) { EXPECT_EQ(Value(), Value()); }
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value().ToString(), "NULL");
+  EXPECT_EQ(Value(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(Value("hi").ToString(), "hi");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+}
+
+TEST(ValueTest, StreamOperator) {
+  std::ostringstream os;
+  os << Value(int64_t{11});
+  EXPECT_EQ(os.str(), "11");
+}
+
+TEST(ValueTest, HashEqualValuesAgree) {
+  EXPECT_EQ(Value(int64_t{5}).Hash(), Value(int64_t{5}).Hash());
+  EXPECT_EQ(Value("s").Hash(), Value("s").Hash());
+  // Mixed numeric values that compare equal hash equally.
+  EXPECT_EQ(Value(2.0).Hash(), Value(int64_t{2}).Hash());
+}
+
+TEST(ValueTest, AddIntKeepsInt) {
+  Value r = AddValues(Value(2), Value(3));
+  EXPECT_TRUE(r.is_int());
+  EXPECT_EQ(r.as_int(), 5);
+}
+
+TEST(ValueTest, AddPromotesToDouble) {
+  Value r = AddValues(Value(2), Value(0.5));
+  EXPECT_TRUE(r.is_double());
+  EXPECT_DOUBLE_EQ(r.as_double(), 2.5);
+}
+
+TEST(ValueTest, AddNonNumericThrows) {
+  EXPECT_THROW(AddValues(Value("a"), Value(1)), std::invalid_argument);
+  EXPECT_THROW(AddValues(Value(), Value(1)), std::invalid_argument);
+}
+
+TEST(ValueTest, MulValues) {
+  EXPECT_EQ(MulValues(Value(3), Value(4)).as_int(), 12);
+  EXPECT_DOUBLE_EQ(MulValues(Value(3), Value(0.5)).as_double(), 1.5);
+}
+
+TEST(ValueTest, MulByCount) {
+  EXPECT_EQ(MulByCount(Value(7), 3).as_int(), 21);
+  EXPECT_DOUBLE_EQ(MulByCount(Value(1.5), 2).as_double(), 3.0);
+}
+
+TEST(ValueTest, MinMaxValue) {
+  EXPECT_EQ(MinValue(Value(2), Value(5)), Value(2));
+  EXPECT_EQ(MaxValue(Value(2), Value(5)), Value(5));
+  EXPECT_EQ(MinValue(Value("b"), Value("a")), Value("a"));
+}
+
+TEST(ValueTest, EvalCmpAllOperators) {
+  EXPECT_TRUE(EvalCmp(Value(1), CmpOp::kEq, Value(1)));
+  EXPECT_TRUE(EvalCmp(Value(1), CmpOp::kNe, Value(2)));
+  EXPECT_TRUE(EvalCmp(Value(1), CmpOp::kLt, Value(2)));
+  EXPECT_TRUE(EvalCmp(Value(1), CmpOp::kLe, Value(1)));
+  EXPECT_TRUE(EvalCmp(Value(3), CmpOp::kGt, Value(2)));
+  EXPECT_TRUE(EvalCmp(Value(3), CmpOp::kGe, Value(3)));
+  EXPECT_FALSE(EvalCmp(Value(1), CmpOp::kGt, Value(2)));
+}
+
+TEST(ValueTest, CmpOpNames) {
+  EXPECT_EQ(CmpOpName(CmpOp::kEq), "=");
+  EXPECT_EQ(CmpOpName(CmpOp::kNe), "<>");
+  EXPECT_EQ(CmpOpName(CmpOp::kLe), "<=");
+}
+
+class ValueOrderTotality : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValueOrderTotality, AntisymmetryAndTotality) {
+  std::vector<Value> vals = {Value(),        Value(int64_t{-3}),
+                             Value(int64_t{0}), Value(2.5),
+                             Value(int64_t{7}), Value(""),
+                             Value("abc"),   Value("zz")};
+  int i = GetParam() / static_cast<int>(vals.size());
+  int j = GetParam() % static_cast<int>(vals.size());
+  const Value& a = vals[i];
+  const Value& b = vals[j];
+  int lt = a < b, gt = b < a, eq = a == b;
+  EXPECT_EQ(lt + gt + eq, 1) << a << " vs " << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, ValueOrderTotality,
+                         ::testing::Range(0, 64));
+
+}  // namespace
+}  // namespace fdb

@@ -1,0 +1,135 @@
+#include "fdb/workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "fdb/core/build.h"
+#include "fdb/relational/rdb_ops.h"
+#include "fdb/workload/random_db.h"
+
+namespace fdb {
+namespace {
+
+TEST(GeneratorTest, SchemasMatchThePaper) {
+  Database db;
+  Workload w = GenerateWorkload(&db, SmallParams(1));
+  EXPECT_EQ(w.orders.schema().arity(), 3);
+  EXPECT_EQ(w.packages.schema().arity(), 2);
+  EXPECT_EQ(w.items.schema().arity(), 2);
+  EXPECT_EQ(db.registry().Name(w.orders.schema().attr(0)), "customer");
+  EXPECT_EQ(db.registry().Name(w.packages.schema().attr(0)), "package");
+  EXPECT_EQ(db.registry().Name(w.items.schema().attr(1)), "price");
+}
+
+TEST(GeneratorTest, DeterministicUnderSeed) {
+  Database db1, db2;
+  WorkloadParams p = SmallParams(2);
+  p.seed = 99;
+  Workload w1 = GenerateWorkload(&db1, p);
+  Workload w2 = GenerateWorkload(&db2, p);
+  EXPECT_TRUE(w1.orders.BagEquals(w2.orders));
+  EXPECT_TRUE(w1.packages.BagEquals(w2.packages));
+  EXPECT_TRUE(w1.items.BagEquals(w2.items));
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  Database db1, db2;
+  WorkloadParams p1 = SmallParams(1), p2 = SmallParams(1);
+  p1.seed = 1;
+  p2.seed = 2;
+  EXPECT_FALSE(GenerateWorkload(&db1, p1)
+                   .orders.BagEquals(GenerateWorkload(&db2, p2).orders));
+}
+
+TEST(GeneratorTest, SizesScaleRoughlyAsDocumented) {
+  Database db;
+  WorkloadParams p = SmallParams(4);
+  Workload w = GenerateWorkload(&db, p);
+  EXPECT_EQ(w.items.size(), p.num_items);
+  // Each package holds items_per_package distinct items.
+  EXPECT_EQ(w.packages.size(), int64_t{p.num_packages} * p.items_per_package);
+  // |Orders| ≈ customers · dates · prob · orders_per_date (±40%).
+  double expect = p.num_customers * p.num_dates * p.date_prob *
+                  p.orders_per_date;
+  EXPECT_GT(w.orders.size(), expect * 0.6);
+  EXPECT_LT(w.orders.size(), expect * 1.4);
+}
+
+TEST(GeneratorTest, FTreeSatisfiesPathConstraint) {
+  Database db;
+  Workload w = GenerateWorkload(&db, SmallParams(1));
+  EXPECT_TRUE(w.ftree.SatisfiesPathConstraint());
+  // T: package root with two branches.
+  ASSERT_EQ(w.ftree.roots().size(), 1u);
+  EXPECT_EQ(w.ftree.children(w.ftree.roots()[0]).size(), 2u);
+}
+
+TEST(GeneratorTest, InstallWorkloadBuildsConsistentView) {
+  Database db;
+  WorkloadParams p = SmallParams(1);
+  int64_t singletons = InstallWorkload(&db, p);
+  ASSERT_NE(db.view("R1"), nullptr);
+  ASSERT_NE(db.relation("Orders"), nullptr);
+  EXPECT_EQ(db.view("R1")->CountSingletons(), singletons);
+  // The view equals the flat join.
+  Relation join = NaturalJoinAll({db.relation("Orders"),
+                                  db.relation("Packages"),
+                                  db.relation("Items")});
+  EXPECT_EQ(db.view("R1")->CountTuples(), join.size());
+  // Succinctness: the factorisation is smaller than the flat join's
+  // singleton count (tuples × arity).
+  EXPECT_LT(singletons, join.size() * 5);
+}
+
+TEST(GeneratorTest, SuccinctnessGapWidensWithScale) {
+  // The ratio (flat join singletons) / (factorisation singletons) must grow
+  // with the scale factor — the core premise of the evaluation (§6).
+  double ratio[2];
+  int idx = 0;
+  for (int scale : {1, 4}) {
+    Database db;
+    WorkloadParams p = SmallParams(scale);
+    int64_t singletons = InstallWorkload(&db, p);
+    Relation join = NaturalJoinAll({db.relation("Orders"),
+                                    db.relation("Packages"),
+                                    db.relation("Items")});
+    ratio[idx++] = static_cast<double>(join.size()) * 5 /
+                   static_cast<double>(singletons);
+  }
+  EXPECT_GT(ratio[1], ratio[0] * 1.3)
+      << "factorisation gap did not widen with scale";
+}
+
+TEST(RandomDbTest, ChainSharesBoundaryAttributes) {
+  Database db;
+  RandomDbSpec spec;
+  spec.num_relations = 3;
+  spec.arity = 3;
+  RandomDb rdb = GenerateChainDb(&db, "w1", spec);
+  ASSERT_EQ(rdb.relation_names.size(), 3u);
+  const Relation* r0 = db.relation(rdb.relation_names[0]);
+  const Relation* r1 = db.relation(rdb.relation_names[1]);
+  int shared = 0;
+  for (AttrId a : r0->schema().attrs()) {
+    shared += r1->schema().Contains(a);
+  }
+  EXPECT_EQ(shared, 1);
+}
+
+TEST(RandomDbTest, PrefixIsolatesInstances) {
+  Database db;
+  RandomDbSpec spec;
+  RandomDb a = GenerateChainDb(&db, "w2", spec);
+  RandomDb b = GenerateChainDb(&db, "w3", spec);
+  EXPECT_NE(a.relation_names[0], b.relation_names[0]);
+  EXPECT_NE(a.attr_names[0], b.attr_names[0]);
+}
+
+TEST(RandomDbTest, TinyArityThrows) {
+  Database db;
+  RandomDbSpec spec;
+  spec.arity = 1;
+  EXPECT_THROW(GenerateChainDb(&db, "w4", spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace fdb
