@@ -221,9 +221,6 @@ void RegisterAll() {
 }  // namespace fdb
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
   fdb::bench::RegisterAll();
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return fdb::bench::RunBenchmarks("ablation", argc, argv);
 }

@@ -1,6 +1,8 @@
 #ifndef FDB_BENCH_BENCH_COMMON_H_
 #define FDB_BENCH_BENCH_COMMON_H_
 
+#include <benchmark/benchmark.h>
+
 #include <map>
 #include <memory>
 #include <string>
@@ -14,6 +16,32 @@
 
 namespace fdb {
 namespace bench {
+
+/// Standard driver for every bench_* binary: registers nothing itself, but
+/// runs google-benchmark with a machine-readable sidecar. Unless the caller
+/// already passed --benchmark_out, results are also written as
+/// BENCH_<name>.json in the working directory (google-benchmark JSON:
+/// per-benchmark wall time in the declared unit plus registered counters
+/// such as scale, view_singletons and flat_tuples) so perf trajectories can
+/// be tracked across commits.
+inline int RunBenchmarks(const std::string& name, int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_" + name + ".json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int ac = static_cast<int>(args.size());
+  benchmark::Initialize(&ac, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
 
 // One benchmark database instance at a given scale, holding:
 //   Orders/Packages/Items      base relations (§6 workload, SmallParams)

@@ -90,9 +90,6 @@ void RegisterAll() {
 }  // namespace fdb
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
   fdb::bench::RegisterAll();
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return fdb::bench::RunBenchmarks("fig5_agg", argc, argv);
 }

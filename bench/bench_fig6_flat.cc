@@ -101,9 +101,6 @@ void RegisterAll() {
 }  // namespace fdb
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
   fdb::bench::RegisterAll();
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return fdb::bench::RunBenchmarks("fig6_flat", argc, argv);
 }

@@ -66,9 +66,6 @@ void RegisterAll() {
 }  // namespace fdb
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
   fdb::bench::RegisterAll();
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return fdb::bench::RunBenchmarks("fig7_aggord", argc, argv);
 }

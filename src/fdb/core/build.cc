@@ -1,16 +1,23 @@
 #include "fdb/core/build.h"
 
 #include <algorithm>
+#include <numeric>
 #include <stdexcept>
+
+#include "fdb/core/fact_arena.h"
 
 namespace fdb {
 namespace {
 
-// A base relation prepared for trie construction.
+// A base relation prepared for trie construction: the path columns are
+// dictionary-encoded into contiguous per-step arrays (column-major) and
+// sorted by the concatenated path order, so the leapfrog intersection
+// below compares raw 8-byte codes instead of boxed values.
 struct PreparedRel {
-  std::vector<Tuple> rows;  // sorted by the concatenated path columns
-  std::vector<int> node_path;             // f-tree nodes in root-to-leaf order
+  std::vector<std::vector<ValueRef>> cols;  // cols[step][row], sorted
+  std::vector<int> node_path;               // f-tree nodes, root-to-leaf
   std::vector<std::vector<int>> node_cols;  // column positions per path node
+  size_t num_rows() const { return cols.empty() ? 0 : cols[0].size(); }
 };
 
 // Per-branch cursor into one prepared relation.
@@ -22,21 +29,22 @@ struct RelState {
 
 class TrieBuilder {
  public:
-  TrieBuilder(const FTree& tree,
-              const std::vector<const Relation*>& relations)
-      : tree_(tree) {
+  TrieBuilder(const FTree& tree, const std::vector<const Relation*>& relations,
+              FactArena& arena)
+      : tree_(tree), arena_(arena) {
     depth_.assign(tree.num_nodes(), 0);
     for (int n : tree.TopologicalOrder()) {
       depth_[n] = tree.parent(n) < 0 ? 0 : depth_[tree.parent(n)] + 1;
     }
+    frames_.resize(tree.num_nodes() + 1);
     Prepare(relations);
   }
 
-  Factorisation Build() {
+  std::vector<FactPtr> BuildRoots() {
     std::vector<RelState> states;
     for (size_t r = 0; r < rels_.size(); ++r) {
       states.push_back({static_cast<int>(r), 0, 0,
-                        static_cast<int>(rels_[r].rows.size())});
+                        static_cast<int>(rels_[r].num_rows())});
     }
     std::vector<FactPtr> roots;
     bool empty = false;
@@ -45,19 +53,20 @@ class TrieBuilder {
       for (const RelState& s : states) {
         if (NextNodeIn(s, root)) routed.push_back(s);
       }
-      FactPtr f = BuildNode(root, routed);
+      FactPtr f = BuildNode(root, routed, 0);
       if (f->values.empty()) empty = true;
-      roots.push_back(std::move(f));
+      roots.push_back(f);
     }
     if (empty) {
       // Normalise: the empty relation is represented by empty root unions.
-      for (FactPtr& r : roots) r = MakeLeaf({});
+      for (FactPtr& r : roots) r = FactArena::EmptyNode();
     }
-    return Factorisation(tree_, std::move(roots));
+    return roots;
   }
 
  private:
   void Prepare(const std::vector<const Relation*>& relations) {
+    ValueDict& dict = ValueDict::Default();
     for (const Relation* rel : relations) {
       PreparedRel p;
       // Map each attribute to its f-tree node; collect per-node columns.
@@ -89,8 +98,9 @@ class TrieBuilder {
               "path of the f-tree");
         }
       }
-      // Keep only rows whose columns agree within each equivalence class,
-      // then sort by the concatenated path order.
+      // Keep only rows whose columns agree within each equivalence class.
+      std::vector<const Tuple*> kept;
+      kept.reserve(rel->rows().size());
       for (const Tuple& row : rel->rows()) {
         bool ok = true;
         for (const auto& cols : p.node_cols) {
@@ -98,20 +108,87 @@ class TrieBuilder {
             ok = row[cols[0]] == row[cols[i]];
           }
         }
-        if (ok) p.rows.push_back(row);
+        if (ok) kept.push_back(&row);
       }
-      std::vector<int> order;
-      for (const auto& cols : p.node_cols) order.push_back(cols[0]);
-      std::sort(p.rows.begin(), p.rows.end(),
-                [&order](const Tuple& a, const Tuple& b) {
-                  for (int c : order) {
-                    auto cmp = a[c] <=> b[c];
-                    if (cmp != std::strong_ordering::equal) {
-                      return cmp == std::strong_ordering::less;
-                    }
-                  }
-                  return false;
-                });
+      // Bulk-intern the string cells of the path columns in sorted order so
+      // dictionary codes are assigned with (mostly) append-only ranks.
+      std::vector<std::string_view> strs;
+      for (const auto& cols : p.node_cols) {
+        for (const Tuple* row : kept) {
+          const Value& v = (*row)[cols[0]];
+          if (v.is_string()) strs.push_back(v.as_string());
+        }
+      }
+      if (!strs.empty()) dict.InternBulk(std::move(strs));
+      // Encode the path columns column-major, then sort by path order using
+      // packed row-major 64-bit order keys (one contiguous integer compare
+      // per column; exact ref comparison only on the rare key collision).
+      size_t steps = p.node_path.size();
+      size_t nrows = kept.size();
+      std::vector<std::vector<ValueRef>> cols(steps);
+      std::vector<uint64_t> rowkeys(nrows * steps);
+      for (size_t s = 0; s < steps; ++s) {
+        int c = p.node_cols[s][0];
+        cols[s].reserve(nrows);
+        for (size_t r = 0; r < nrows; ++r) {
+          ValueRef ref = dict.Encode((*kept[r])[c]);
+          cols[s].push_back(ref);
+          rowkeys[r * steps + s] = ref.OrderKey();
+        }
+      }
+      // Column-at-a-time run refinement: sort contiguous (key, row) pairs
+      // by the first column, then recursively re-sort each run of equal
+      // keys by the next column. All sorts touch sequential memory.
+      std::vector<uint32_t> perm(nrows);
+      std::iota(perm.begin(), perm.end(), 0);
+      std::vector<std::pair<uint64_t, uint32_t>> buf(nrows);
+      struct Seg {
+        uint32_t lo, hi, col;
+      };
+      std::vector<Seg> segs;
+      if (nrows > 1 && steps > 0) segs.push_back({0, (uint32_t)nrows, 0});
+      while (!segs.empty()) {
+        Seg seg = segs.back();
+        segs.pop_back();
+        uint32_t s = seg.col;
+        for (uint32_t i = seg.lo; i < seg.hi; ++i) {
+          buf[i] = {rowkeys[perm[i] * steps + s], perm[i]};
+        }
+        std::sort(buf.begin() + seg.lo, buf.begin() + seg.hi);
+        for (uint32_t i = seg.lo; i < seg.hi; ++i) perm[i] = buf[i].second;
+        for (uint32_t i = seg.lo; i < seg.hi;) {
+          uint32_t j = i + 1;
+          while (j < seg.hi && buf[j].first == buf[i].first) ++j;
+          if (j - i > 1) {
+            // Key collisions (distinct values mapping to one key) are rare;
+            // detect them and finish such runs with the exact comparator.
+            bool collided = false;
+            for (uint32_t t = i + 1; t < j && !collided; ++t) {
+              collided = !(cols[s][perm[t]] == cols[s][perm[i]]);
+            }
+            if (collided) {
+              std::sort(perm.begin() + i, perm.begin() + j,
+                        [&cols, s, steps](uint32_t a, uint32_t b) {
+                          for (size_t t = s; t < steps; ++t) {
+                            auto cmp = cols[t][a] <=> cols[t][b];
+                            if (cmp != std::strong_ordering::equal) {
+                              return cmp == std::strong_ordering::less;
+                            }
+                          }
+                          return false;
+                        });
+            } else if (s + 1 < steps) {
+              segs.push_back({i, j, s + 1});
+            }
+          }
+          i = j;
+        }
+      }
+      p.cols.resize(steps);
+      for (size_t s = 0; s < steps; ++s) {
+        p.cols[s].reserve(nrows);
+        for (uint32_t i : perm) p.cols[s].push_back(cols[s][i]);
+      }
       rels_.push_back(std::move(p));
     }
   }
@@ -124,66 +201,89 @@ class TrieBuilder {
     return n == u || tree_.IsAncestor(u, n);
   }
 
-  const Value& ValueAt(const RelState& s, int row) const {
-    const PreparedRel& p = rels_[s.rel];
-    return p.rows[row][p.node_cols[s.step][0]];
+  ValueRef ValueAt(const RelState& s, int row) const {
+    return rels_[s.rel].cols[s.step][row];
   }
 
-  // Advances s.lo to the first row in [lo, hi) with column value >= v.
-  int LowerBound(const RelState& s, const Value& v) const {
-    const PreparedRel& p = rels_[s.rel];
-    int col = p.node_cols[s.step][0];
+  // Advances s.lo to the first row in [lo, hi) with column value >= v,
+  // galloping from the current cursor (runs of equal values are short, so
+  // exponential probing beats a full-range binary search).
+  int LowerBound(const RelState& s, ValueRef v) const {
+    const ValueRef* col = rels_[s.rel].cols[s.step].data();
     int lo = s.lo, hi = s.hi;
-    while (lo < hi) {
-      int mid = lo + (hi - lo) / 2;
-      if (p.rows[mid][col] < v) {
+    if (lo >= hi || !(col[lo] < v)) return lo;
+    int step = 1;
+    while (lo + step < hi && col[lo + step] < v) {
+      lo += step;
+      step <<= 1;
+    }
+    // col[lo] < v, so the answer lies in (lo, min(hi, lo + step)].
+    int right = std::min(hi, lo + step);
+    ++lo;
+    while (lo < right) {
+      int mid = lo + (right - lo) / 2;
+      if (col[mid] < v) {
         lo = mid + 1;
       } else {
-        hi = mid;
+        right = mid;
       }
     }
     return lo;
   }
 
-  int UpperBound(const RelState& s, const Value& v) const {
-    const PreparedRel& p = rels_[s.rel];
-    int col = p.node_cols[s.step][0];
+  // First row in [lo, hi) with column value > v, galloping from the cursor.
+  int UpperBound(const RelState& s, ValueRef v) const {
+    const ValueRef* col = rels_[s.rel].cols[s.step].data();
     int lo = s.lo, hi = s.hi;
-    while (lo < hi) {
-      int mid = lo + (hi - lo) / 2;
-      if (v < p.rows[mid][col]) {
-        hi = mid;
-      } else {
+    if (lo >= hi || v < col[lo]) return lo;
+    int step = 1;
+    while (lo + step < hi && !(v < col[lo + step])) {
+      lo += step;
+      step <<= 1;
+    }
+    int right = std::min(hi, lo + step);
+    ++lo;
+    while (lo < right) {
+      int mid = lo + (right - lo) / 2;
+      if (!(v < col[mid])) {
         lo = mid + 1;
+      } else {
+        right = mid;
       }
     }
     return lo;
   }
 
   // Builds the union at node u constrained by `states` (all of which have
-  // their next node in u's subtree). Returns a (possibly empty) FactNode.
-  FactPtr BuildNode(int u, const std::vector<RelState>& states) {
+  // their next node in u's subtree). Returns a (possibly empty) FactNode
+  // frozen into the arena. Per-depth frames keep all scratch state free of
+  // per-call allocation.
+  FactPtr BuildNode(int u, const std::vector<RelState>& states, int depth) {
+    Frame& fr = frames_[depth];
     // Split the states into those constraining u itself and the waiters.
-    std::vector<RelState> here, waiting;
+    fr.here.clear();
+    fr.waiting.clear();
     for (const RelState& s : states) {
       if (rels_[s.rel].node_path[s.step] == u) {
-        here.push_back(s);
+        fr.here.push_back(s);
       } else {
-        waiting.push_back(s);
+        fr.waiting.push_back(s);
       }
     }
-    if (here.empty()) {
+    if (fr.here.empty()) {
       throw std::invalid_argument(
           "FactoriseJoin: f-tree node not covered by any relation");
     }
     const std::vector<int>& kids = tree_.children(u);
     int k = static_cast<int>(kids.size());
 
-    auto out = std::make_shared<FactNode>();
+    fr.out.clear();
+    fr.kid_nodes.assign(k, nullptr);
+    fr.ends.resize(fr.here.size());
     // Leapfrog-style sorted intersection over the participants.
     while (true) {
       bool exhausted = false;
-      for (RelState& s : here) {
+      for (const RelState& s : fr.here) {
         if (s.lo >= s.hi) {
           exhausted = true;
           break;
@@ -191,64 +291,82 @@ class TrieBuilder {
       }
       if (exhausted) break;
       // Candidate: the maximum of the current heads.
-      Value cand = ValueAt(here[0], here[0].lo);
-      for (size_t i = 1; i < here.size(); ++i) {
-        Value v = ValueAt(here[i], here[i].lo);
+      ValueRef cand = ValueAt(fr.here[0], fr.here[0].lo);
+      for (size_t i = 1; i < fr.here.size(); ++i) {
+        ValueRef v = ValueAt(fr.here[i], fr.here[i].lo);
         if (cand < v) cand = v;
       }
       // Advance everyone to >= cand; restart if someone jumps past it.
       bool agreed = true;
-      for (RelState& s : here) {
+      for (RelState& s : fr.here) {
         s.lo = LowerBound(s, cand);
         if (s.lo >= s.hi || !(ValueAt(s, s.lo) == cand)) agreed = false;
       }
       if (!agreed) continue;
 
+      // The end of each participant's `cand` run, computed once and reused
+      // for every child slot and for the final advance.
+      for (size_t i = 0; i < fr.here.size(); ++i) {
+        fr.ends[i] = UpperBound(fr.here[i], cand);
+      }
+
       // Matched value `cand`: recurse into children with narrowed ranges.
-      std::vector<FactPtr> kid_nodes(k);
       bool all_ok = true;
       for (int c = 0; c < k && all_ok; ++c) {
-        std::vector<RelState> routed;
-        for (RelState s : here) {
-          RelState t = s;
+        fr.routed.clear();
+        for (size_t i = 0; i < fr.here.size(); ++i) {
+          RelState t = fr.here[i];
           t.step++;
-          t.hi = UpperBound(s, cand);
-          // t.lo == s.lo (rows with value == cand start here).
-          if (NextNodeIn(t, kids[c])) routed.push_back(t);
+          t.hi = fr.ends[i];
+          // t.lo unchanged (rows with value == cand start here).
+          if (NextNodeIn(t, kids[c])) fr.routed.push_back(t);
         }
-        for (const RelState& s : waiting) {
-          if (NextNodeIn(s, kids[c])) routed.push_back(s);
+        for (const RelState& s : fr.waiting) {
+          if (NextNodeIn(s, kids[c])) fr.routed.push_back(s);
         }
-        FactPtr f = BuildNode(kids[c], routed);
+        FactPtr f = BuildNode(kids[c], fr.routed, depth + 1);
         if (f->values.empty()) {
           all_ok = false;
         } else {
-          kid_nodes[c] = std::move(f);
+          fr.kid_nodes[c] = f;
         }
       }
       if (all_ok) {
-        out->values.push_back(cand);
+        fr.out.values.push_back(cand);
         for (int c = 0; c < k; ++c) {
-          out->children.push_back(std::move(kid_nodes[c]));
+          fr.out.children.push_back(fr.kid_nodes[c]);
         }
       }
       // Move past `cand` in all participants.
-      for (RelState& s : here) s.lo = UpperBound(s, cand);
+      for (size_t i = 0; i < fr.here.size(); ++i) {
+        fr.here[i].lo = fr.ends[i];
+      }
     }
-    return out;
+    return fr.out.Finish(arena_);
   }
 
+  struct Frame {
+    std::vector<RelState> here, waiting, routed;
+    std::vector<int> ends;
+    std::vector<FactPtr> kid_nodes;
+    FactBuilder out;
+  };
+
   const FTree& tree_;
+  FactArena& arena_;
   std::vector<int> depth_;
   std::vector<PreparedRel> rels_;
+  std::vector<Frame> frames_;  // one per recursion depth
 };
 
 }  // namespace
 
 Factorisation FactoriseJoin(const FTree& tree,
                             const std::vector<const Relation*>& relations) {
-  TrieBuilder b(tree, relations);
-  return b.Build();
+  auto arena = std::make_shared<FactArena>();
+  TrieBuilder b(tree, relations, *arena);
+  std::vector<FactPtr> roots = b.BuildRoots();
+  return Factorisation(tree, std::move(roots), std::move(arena));
 }
 
 Factorisation FactoriseRelation(const Relation& rel,

@@ -1,6 +1,7 @@
 #include "fdb/core/compress.h"
 
-#include <sstream>
+#include <cstring>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -9,41 +10,51 @@ namespace {
 
 class Compressor {
  public:
-  FactPtr Compress(const FactPtr& node) {
-    auto done = done_.find(node.get());
+  explicit Compressor(FactArena& arena) : arena_(arena) {}
+
+  FactPtr Compress(FactPtr node) {
+    auto done = done_.find(node);
     if (done != done_.end()) return done->second;
 
     // Compress children first, then canonicalise this node by key.
-    auto out = std::make_shared<FactNode>();
-    out->values = node->values;
-    out->children.reserve(node->children.size());
-    for (const FactPtr& c : node->children) {
-      out->children.push_back(Compress(c));
+    FactBuilder out;
+    out.values.assign(node->values.begin(), node->values.end());
+    out.children.reserve(node->children.size());
+    for (FactPtr c : node->children) {
+      out.children.push_back(Compress(c));
     }
-    std::string key = KeyOf(*out);
+    std::string key = KeyOf(out);
     auto canon = canon_.find(key);
     FactPtr result;
     if (canon != canon_.end()) {
       result = canon->second;
     } else {
-      result = out;
+      result = out.Finish(arena_);
       canon_.emplace(std::move(key), result);
     }
-    done_.emplace(node.get(), result);
+    done_.emplace(node, result);
     return result;
   }
 
  private:
   // Children are canonical by construction, so their addresses identify
-  // them; together with the value list this keys structural equality.
-  static std::string KeyOf(const FactNode& n) {
-    std::ostringstream os;
-    for (const Value& v : n.values) os << v << '\x1f';
-    os << '\x1e';
-    for (const FactPtr& c : n.children) os << c.get() << '\x1f';
-    return os.str();
+  // them; together with the raw value bits this keys structural equality.
+  static std::string KeyOf(const FactBuilder& b) {
+    std::string key;
+    key.reserve(b.values.size() * sizeof(uint64_t) +
+                b.children.size() * sizeof(FactPtr) + 1);
+    for (const ValueRef& v : b.values) {
+      uint64_t bits = v.bits();
+      key.append(reinterpret_cast<const char*>(&bits), sizeof(bits));
+    }
+    key.push_back('\x1e');
+    for (FactPtr c : b.children) {
+      key.append(reinterpret_cast<const char*>(&c), sizeof(c));
+    }
+    return key;
   }
 
+  FactArena& arena_;
   std::unordered_map<const FactNode*, FactPtr> done_;
   std::unordered_map<std::string, FactPtr> canon_;
 };
@@ -52,8 +63,8 @@ int64_t CountStoredRec(const FactNode* n,
                        std::unordered_set<const FactNode*>* seen) {
   if (!seen->insert(n).second) return 0;
   int64_t total = static_cast<int64_t>(n->values.size());
-  for (const FactPtr& c : n->children) {
-    total += CountStoredRec(c.get(), seen);
+  for (FactPtr c : n->children) {
+    total += CountStoredRec(c, seen);
   }
   return total;
 }
@@ -61,17 +72,21 @@ int64_t CountStoredRec(const FactNode* n,
 }  // namespace
 
 void CompressInPlace(Factorisation* f) {
-  Compressor c;
+  // Compression rebuilds every reachable node, so the result lives in a
+  // fresh arena and drops the (possibly much larger) source arena.
+  auto arena = std::make_shared<FactArena>();
+  Compressor c(*arena);
   for (FactPtr& root : f->mutable_roots()) {
     if (root != nullptr) root = c.Compress(root);
   }
+  f->ReplaceArena(std::move(arena));
 }
 
 int64_t CountStoredSingletons(const Factorisation& f) {
   std::unordered_set<const FactNode*> seen;
   int64_t total = 0;
-  for (const FactPtr& r : f.roots()) {
-    if (r != nullptr) total += CountStoredRec(r.get(), &seen);
+  for (FactPtr r : f.roots()) {
+    if (r != nullptr) total += CountStoredRec(r, &seen);
   }
   return total;
 }

@@ -57,10 +57,10 @@ Enumerator::Enumerator(const Factorisation& f)
 void Enumerator::Reset(int p) {
   Pos& pos = order_[p];
   if (pos.parent_pos < 0) {
-    pos.cur = f_->roots()[pos.slot].get();
+    pos.cur = f_->roots()[pos.slot];
   } else {
     const Pos& par = order_[pos.parent_pos];
-    pos.cur = par.cur->child(par.idx, par.k, pos.slot).get();
+    pos.cur = par.cur->child(par.idx, par.k, pos.slot);
   }
   pos.idx = pos.dir == SortDir::kAsc ? 0 : pos.cur->size() - 1;
 }
@@ -69,6 +69,7 @@ bool Enumerator::Next() {
   if (done_) return false;
   if (!started_) {
     started_ = true;
+    changed_from_ = 0;
     for (size_t p = 0; p < order_.size(); ++p) {
       Reset(static_cast<int>(p));
       if (order_[p].cur->values.empty()) {
@@ -89,6 +90,7 @@ bool Enumerator::Next() {
       for (size_t q = p + 1; q < order_.size(); ++q) {
         Reset(static_cast<int>(q));
       }
+      changed_from_ = p;
       return true;
     }
     --p;
@@ -97,11 +99,17 @@ bool Enumerator::Next() {
   return false;
 }
 
-void Enumerator::Fill(Tuple* out) const {
-  for (const Pos& pos : order_) {
-    const Value& v = pos.cur->values[pos.idx];
-    for (int c = 0; c < pos.ncols; ++c) {
+void Enumerator::Fill(Tuple* out) const { FillFrom(out, 0); }
+
+void Enumerator::FillFrom(Tuple* out, int from_pos) const {
+  for (size_t p = from_pos; p < order_.size(); ++p) {
+    const Pos& pos = order_[p];
+    Value v = pos.cur->values[pos.idx].ToValue();
+    for (int c = 0; c < pos.ncols - 1; ++c) {
       (*out)[pos.first_col + c] = v;
+    }
+    if (pos.ncols > 0) {
+      (*out)[pos.first_col + pos.ncols - 1] = std::move(v);
     }
   }
 }
@@ -141,7 +149,7 @@ GroupAggEnumerator::GroupAggEnumerator(const Factorisation& f,
       if (group.count(n)) has_group = true;
     }
     if (!has_group) {
-      fixed_parts_.emplace_back(root, f.roots()[r].get());
+      fixed_parts_.emplace_back(root, f.roots()[r]);
     } else if (!group.count(root)) {
       throw std::invalid_argument(
           "GroupAggEnumerator: grouping node below a non-grouping root");
@@ -150,25 +158,39 @@ GroupAggEnumerator::GroupAggEnumerator(const Factorisation& f,
   std::vector<AttrId> cols = inner_.schema().attrs();
   cols.insert(cols.end(), task_ids.begin(), task_ids.end());
   schema_ = RelSchema(std::move(cols));
+
+  // Prepare one evaluator per task over the fixed part-node list (the data
+  // instances change per group; the nodes do not).
+  std::vector<int> part_nodes;
+  for (const auto& [node, n] : fixed_parts_) part_nodes.push_back(node);
+  for (const auto& [p, slot] : frontier_slots_) {
+    part_nodes.push_back(tree.children(inner_.order_[p].node)[slot]);
+  }
+  for (const AggTask& t : tasks_) {
+    evaluators_.emplace_back(tree, part_nodes, t);
+  }
+  parts_ = fixed_parts_;
+  parts_.resize(part_nodes.size());
 }
 
 bool GroupAggEnumerator::Next() { return inner_.Next(); }
 
 void GroupAggEnumerator::Fill(Tuple* out) const {
+  // Full fill: per-group cost is dominated by the aggregate evaluation, and
+  // a suffix-only fill would silently require callers to reuse one tuple.
   inner_.Fill(out);
   // Collect the frontier: the non-grouping subtrees under the current
   // grouping binding, plus the grouping-free root trees.
-  std::vector<std::pair<int, const FactNode*>> parts = fixed_parts_;
   const FTree& tree = inner_.f_->tree();
+  size_t i = fixed_parts_.size();
   for (const auto& [p, slot] : frontier_slots_) {
     const Enumerator::Pos& pos = inner_.order_[p];
-    parts.emplace_back(tree.children(pos.node)[slot],
-                       pos.cur->child(pos.idx, pos.k, slot).get());
+    parts_[i++] = {tree.children(pos.node)[slot],
+                   pos.cur->child(pos.idx, pos.k, slot)};
   }
   int base = inner_.schema().arity();
   for (size_t t = 0; t < tasks_.size(); ++t) {
-    (*out)[base + static_cast<int>(t)] =
-        EvalAggregateProduct(tree, parts, tasks_[t]);
+    (*out)[base + static_cast<int>(t)] = evaluators_[t].Eval(parts_);
   }
 }
 
@@ -178,11 +200,18 @@ Relation EnumerateToRelation(const Factorisation& f,
                              std::optional<int64_t> limit) {
   Enumerator e(f, visit_order, dirs);
   Relation out(e.schema());
+  // Reserve the output rows up front (bounded, in case of huge products).
+  constexpr int64_t kMaxReserve = int64_t{1} << 20;
+  int64_t expect = limit.has_value() ? *limit : f.CountTuples();
+  out.mutable_rows().reserve(
+      static_cast<size_t>(std::min(std::max<int64_t>(expect, 0),
+                                   kMaxReserve)));
   Tuple row(e.schema().arity());
   int64_t n = 0;
   while (e.Next()) {
     if (limit.has_value() && n >= *limit) break;
-    e.Fill(&row);
+    // Only the columns of the changed visit-order suffix need rewriting.
+    e.FillFrom(&row, e.ChangedFrom());
     out.Add(row);
     ++n;
   }

@@ -41,6 +41,16 @@ class Enumerator {
   /// Writes the current tuple; `out` must have schema().arity() slots.
   void Fill(Tuple* out) const;
 
+  /// The first visit position whose binding changed in the last Next()
+  /// (successive tuples differ only in a suffix of the visit order). After
+  /// the first tuple this is 0.
+  int ChangedFrom() const { return changed_from_; }
+
+  /// Rewrites only the columns of positions >= from_pos; combined with
+  /// ChangedFrom() this rehydrates each singleton once per change instead
+  /// of once per tuple.
+  void FillFrom(Tuple* out, int from_pos) const;
+
  private:
   friend class GroupAggEnumerator;
 
@@ -64,6 +74,7 @@ class Enumerator {
   RelSchema schema_;
   bool started_ = false;
   bool done_ = false;
+  int changed_from_ = 0;
 };
 
 /// Enumerates the distinct bindings of a set of *grouping* nodes that form a
@@ -87,11 +98,16 @@ class GroupAggEnumerator {
  private:
   Enumerator inner_;  // over the grouping nodes only
   std::vector<AggTask> tasks_;
+  // One prepared evaluator per task: the Prop. 2 composition analysis runs
+  // once here instead of once per emitted group.
+  std::vector<ProductAggEvaluator> evaluators_;
   // Root trees containing no grouping node: constant frontier parts.
   std::vector<std::pair<int, const FactNode*>> fixed_parts_;
   // Child slots of grouping nodes that lead outside the grouping set:
   // (position in inner_.order_, slot).
   std::vector<std::pair<int, int>> frontier_slots_;
+  // Scratch for Fill: fixed parts followed by the current frontier.
+  mutable std::vector<std::pair<int, const FactNode*>> parts_;
   RelSchema schema_;
 };
 

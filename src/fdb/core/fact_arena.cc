@@ -1,0 +1,68 @@
+#include "fdb/core/fact_arena.h"
+
+#include <algorithm>
+#include <cstring>
+#include <new>
+
+namespace fdb {
+
+namespace {
+const FactNode kEmptyNode{};
+}  // namespace
+
+FactPtr FactArena::EmptyNode() { return &kEmptyNode; }
+
+const std::shared_ptr<FactArena>& FactArena::Scratch() {
+  static const std::shared_ptr<FactArena>* arena =
+      new std::shared_ptr<FactArena>(std::make_shared<FactArena>());
+  return *arena;
+}
+
+void* FactArena::Allocate(size_t bytes) {
+  bytes = (bytes + 7) & ~size_t{7};
+  if (used_ + bytes > cap_) {
+    size_t want = chunks_.empty()
+                      ? kFirstChunk
+                      : std::min(cap_ * 2, kMaxChunk);
+    want = std::max(want, bytes);
+    chunks_.push_back(std::make_unique<std::byte[]>(want));
+    cap_ = want;
+    used_ = 0;
+  }
+  void* p = chunks_.back().get() + used_;
+  used_ += bytes;
+  bytes_ += static_cast<int64_t>(bytes);
+  return p;
+}
+
+FactPtr FactArena::NewNode(const ValueRef* vals, size_t nv, const FactPtr* kids,
+                           size_t nk) {
+  if (nv == 0 && nk == 0) return EmptyNode();
+  size_t bytes = sizeof(FactNode) + nv * sizeof(ValueRef) +
+                 nk * sizeof(FactPtr);
+  std::byte* block = static_cast<std::byte*>(Allocate(bytes));
+  auto* node = new (block) FactNode();
+  auto* v = reinterpret_cast<ValueRef*>(block + sizeof(FactNode));
+  if (nv > 0) std::memcpy(v, vals, nv * sizeof(ValueRef));
+  auto* k = reinterpret_cast<FactPtr*>(block + sizeof(FactNode) +
+                                       nv * sizeof(ValueRef));
+  if (nk > 0) std::memcpy(k, kids, nk * sizeof(FactPtr));
+  node->values = {v, static_cast<uint32_t>(nv)};
+  node->children = {k, static_cast<uint32_t>(nk)};
+  ++nodes_;
+  return node;
+}
+
+void FactArena::Adopt(const std::shared_ptr<const FactArena>& other) {
+  if (other == nullptr || other.get() == this) return;
+  auto has = [this](const std::shared_ptr<const FactArena>& a) {
+    return std::find(parents_.begin(), parents_.end(), a) != parents_.end();
+  };
+  // Flatten: adopt other's parents directly so chains stay depth one.
+  for (const auto& p : other->parents_) {
+    if (!has(p)) parents_.push_back(p);
+  }
+  if (!has(other)) parents_.push_back(other);
+}
+
+}  // namespace fdb

@@ -4,18 +4,44 @@
 #include <sstream>
 
 namespace fdb {
+namespace {
 
-FactPtr MakeLeaf(std::vector<Value> values) {
-  auto n = std::make_shared<FactNode>();
-  n->values = std::move(values);
-  return n;
+FactPtr BuildIn(FactArena& arena, const std::vector<Value>& values,
+                const std::vector<FactPtr>& children) {
+  ValueDict& dict = ValueDict::Default();
+  std::vector<ValueRef> refs;
+  refs.reserve(values.size());
+  for (const Value& v : values) refs.push_back(dict.Encode(v));
+  return arena.NewNode(refs.data(), refs.size(), children.data(),
+                       children.size());
 }
 
-FactPtr MakeNode(std::vector<Value> values, std::vector<FactPtr> children) {
-  auto n = std::make_shared<FactNode>();
-  n->values = std::move(values);
-  n->children = std::move(children);
-  return n;
+}  // namespace
+
+FactPtr MakeLeaf(const std::vector<Value>& values) {
+  return BuildIn(*FactArena::Scratch(), values, {});
+}
+
+FactPtr MakeNode(const std::vector<Value>& values,
+                 const std::vector<FactPtr>& children) {
+  return BuildIn(*FactArena::Scratch(), values, children);
+}
+
+FactPtr MakeLeafIn(FactArena& arena, const std::vector<Value>& values) {
+  return BuildIn(arena, values, {});
+}
+
+FactPtr MakeNodeIn(FactArena& arena, const std::vector<Value>& values,
+                   const std::vector<FactPtr>& children) {
+  return BuildIn(arena, values, children);
+}
+
+FactArena& Factorisation::ArenaForWrite() {
+  if (arena_ != nullptr && arena_.use_count() == 1) return *arena_;
+  auto fresh = std::make_shared<FactArena>();
+  if (arena_ != nullptr) fresh->Adopt(arena_);
+  arena_ = std::move(fresh);
+  return *arena_;
 }
 
 bool Factorisation::empty() const {
@@ -28,7 +54,7 @@ bool Factorisation::empty() const {
 namespace {
 
 int64_t CountSingletonsRec(const FactNode& n) {
-  int64_t total = n.values.size();
+  int64_t total = static_cast<int64_t>(n.values.size());
   for (const FactPtr& c : n.children) total += CountSingletonsRec(*c);
   return total;
 }
@@ -57,11 +83,12 @@ void FlattenRec(const FTree& t, int node, const FactNode& n,
   std::vector<Tuple> result;
   for (int i = 0; i < n.size(); ++i) {
     std::vector<Tuple> partial;
-    partial.emplace_back(ncols_here, n.values[i]);
+    partial.emplace_back(ncols_here, n.values[i].ToValue());
     for (int c = 0; c < k; ++c) {
       std::vector<Tuple> sub;
       FlattenRec(t, t.children(node)[c], *n.child(i, k, c), &sub);
       std::vector<Tuple> next;
+      next.reserve(partial.size() * sub.size());
       for (const Tuple& p : partial) {
         for (const Tuple& s : sub) {
           Tuple row = p;
@@ -114,6 +141,7 @@ Relation Factorisation::Flatten() const {
     std::vector<Tuple> sub;
     FlattenRec(tree_, tree_.roots()[r], *roots_[r], &sub);
     std::vector<Tuple> next;
+    next.reserve(acc.size() * sub.size());
     for (const Tuple& p : acc) {
       for (const Tuple& s : sub) {
         Tuple row = p;
@@ -148,7 +176,7 @@ bool ValidateRec(const FTree& t, int node, const FactNode& n, bool is_root,
   }
   for (size_t i = 0; i < n.values.size(); ++i) {
     for (size_t c = 0; c < k; ++c) {
-      const FactPtr& ch = n.children[i * k + c];
+      FactPtr ch = n.children[i * k + c];
       if (ch == nullptr) {
         if (why) *why = "null child at node " + std::to_string(node);
         return false;

@@ -6,57 +6,73 @@
 #include <string>
 #include <vector>
 
+#include "fdb/core/fact_arena.h"
 #include "fdb/core/ftree.h"
 #include "fdb/relational/relation.h"
+#include "fdb/relational/value_dict.h"
 
 namespace fdb {
 
-struct FactNode;
-/// Factorised data is immutable and shared: operators build new trees and
-/// share untouched subexpressions (persistent / copy-on-write structure).
-using FactPtr = std::shared_ptr<const FactNode>;
+/// Builds a leaf union from sorted distinct boxed values, encoding them
+/// through the default dictionary into the scratch arena (convenience for
+/// tests and ad-hoc construction; engine paths build into explicit arenas).
+FactPtr MakeLeaf(const std::vector<Value>& values);
 
-/// The factorised data attached to one f-tree node instance: the union
-/// ⋃_i ⟨A:vᵢ⟩ × E_{i,0} × … × E_{i,k-1}, where k is the number of f-tree
-/// children of the node and E_{i,c} is the child union for value vᵢ and
-/// f-tree child slot c.
-///
-/// Invariants: `values` is sorted ascending with no duplicates (paper §4.1);
-/// `children.size() == values.size() * k`; no child pointer is null or
-/// empty (empty branches are pruned by the operators; only whole roots of a
-/// Factorisation may be empty, representing ∅).
-struct FactNode {
-  std::vector<Value> values;
-  /// Flattened child matrix: child of entry i at slot c is
-  /// children[i * k + c]. Empty for leaves (k == 0).
-  std::vector<FactPtr> children;
+/// Builds a union with children; `k` children per value, flattened.
+FactPtr MakeNode(const std::vector<Value>& values,
+                 const std::vector<FactPtr>& children);
 
-  int size() const { return static_cast<int>(values.size()); }
-  const FactPtr& child(int i, int k, int c) const {
-    return children[static_cast<size_t>(i) * k + c];
-  }
-};
-
-/// Builds a shared leaf union from sorted distinct values.
-FactPtr MakeLeaf(std::vector<Value> values);
-
-/// Builds a shared union with children; `k` children per value, flattened.
-FactPtr MakeNode(std::vector<Value> values, std::vector<FactPtr> children);
+/// Arena variants of the above.
+FactPtr MakeLeafIn(FactArena& arena, const std::vector<Value>& values);
+FactPtr MakeNodeIn(FactArena& arena, const std::vector<Value>& values,
+                   const std::vector<FactPtr>& children);
 
 /// A factorised representation of a relation: an f-tree plus one union per
 /// f-tree root (their product). A factorisation with `empty() == true`
 /// represents the empty relation; one with zero roots represents the
 /// relation {()} containing just the nullary tuple.
+///
+/// The data nodes live in the attached FactArena (shared between
+/// factorisations that share subexpressions). Singletons are stored as
+/// dictionary-encoded ValueRefs; operators compare raw codes and values are
+/// rehydrated to boxed `Value`s only at the Flatten/enumeration boundary.
 class Factorisation {
  public:
   Factorisation() = default;
+  /// Roots built without an explicit arena (scratch-backed constructors).
   Factorisation(FTree tree, std::vector<FactPtr> roots)
-      : tree_(std::move(tree)), roots_(std::move(roots)) {}
+      : tree_(std::move(tree)),
+        roots_(std::move(roots)),
+        arena_(FactArena::Scratch()) {}
+  Factorisation(FTree tree, std::vector<FactPtr> roots,
+                std::shared_ptr<FactArena> arena)
+      : tree_(std::move(tree)),
+        roots_(std::move(roots)),
+        arena_(std::move(arena)) {}
 
   const FTree& tree() const { return tree_; }
   FTree& mutable_tree() { return tree_; }
   const std::vector<FactPtr>& roots() const { return roots_; }
   std::vector<FactPtr>& mutable_roots() { return roots_; }
+
+  /// The arena holding (or keeping alive) this factorisation's nodes.
+  const std::shared_ptr<FactArena>& arena() const { return arena_; }
+
+  /// The arena for a mutating operator to allocate result nodes into.
+  /// Reuses the attached arena when this factorisation is its sole owner;
+  /// otherwise (the arena is shared with another factorisation, e.g. a
+  /// materialised view this is a copy of) switches to a fresh arena that
+  /// keeps the old one alive, so views never accumulate per-query garbage.
+  FactArena& ArenaForWrite();
+
+  /// Replaces the attached arena wholesale. Only valid when every root
+  /// points into `arena` (e.g. after a full rebuild such as compression).
+  void ReplaceArena(std::shared_ptr<FactArena> arena) {
+    arena_ = std::move(arena);
+  }
+
+  /// The value dictionary used by this factorisation's ValueRefs.
+  ValueDict& dict() const { return ValueDict::Default(); }
 
   /// True if this factorisation represents the empty relation.
   bool empty() const;
@@ -88,6 +104,7 @@ class Factorisation {
  private:
   FTree tree_;
   std::vector<FactPtr> roots_;
+  std::shared_ptr<FactArena> arena_;
 };
 
 }  // namespace fdb

@@ -157,13 +157,13 @@ void WriteFactorisation(const Factorisation& f, const AttributeRegistry& reg,
     if (it != index.end()) return it->second;
     std::vector<int64_t> kids;
     kids.reserve(n->children.size());
-    for (const FactPtr& c : n->children) kids.push_back(self(c.get(), self));
+    for (FactPtr c : n->children) kids.push_back(self(c, self));
     int64_t id = count++;
     index.emplace(n, id);
     body << "f " << n->values.size();
-    for (const Value& v : n->values) {
+    for (const ValueRef& v : n->values) {
       body << " ";
-      WriteValue(v, body);
+      WriteValue(v.ToValue(), body);
     }
     body << " " << kids.size();
     for (int64_t k : kids) body << " " << k;
@@ -171,8 +171,8 @@ void WriteFactorisation(const Factorisation& f, const AttributeRegistry& reg,
     return id;
   };
   std::vector<int64_t> root_ids;
-  for (const FactPtr& r : f.roots()) {
-    root_ids.push_back(r ? emit(r.get(), emit) : -1);
+  for (FactPtr r : f.roots()) {
+    root_ids.push_back(r ? emit(r, emit) : -1);
   }
   out << "facts " << count << "\n" << body.str();
   out << "rootdata " << root_ids.size();
@@ -290,23 +290,42 @@ Factorisation ReadFactorisation(std::istream& in, AttributeRegistry* reg) {
   Cursor facts_line(NextLine(in));
   if (facts_line.Token() != "facts") Corrupt("expected 'facts'");
   int64_t nfacts = facts_line.Int();
-  std::vector<FactPtr> facts;
-  facts.reserve(static_cast<size_t>(nfacts));
+  auto arena = std::make_shared<FactArena>();
+  ValueDict& dict = ValueDict::Default();
+  // Parse all fact records first and bulk-intern their string cells in
+  // sorted order (file order is per-union, not global, so encoding as we
+  // parse would pay one out-of-order rank shift per new string).
+  struct RawFact {
+    std::vector<Value> values;
+    std::vector<int64_t> kids;
+  };
+  std::vector<RawFact> raw_facts(static_cast<size_t>(nfacts));
+  std::vector<std::string_view> strs;
   for (int64_t i = 0; i < nfacts; ++i) {
     Cursor c(NextLine(in));
     if (c.Token() != "f") Corrupt("expected 'f'");
-    auto node = std::make_shared<FactNode>();
+    RawFact& rf = raw_facts[i];
     int64_t nv = c.Int();
-    for (int64_t k = 0; k < nv; ++k) node->values.push_back(c.ReadValue());
+    for (int64_t k = 0; k < nv; ++k) rf.values.push_back(c.ReadValue());
     int64_t nc = c.Int();
     for (int64_t k = 0; k < nc; ++k) {
       int64_t ref = c.Int();
-      if (ref < 0 || ref >= static_cast<int64_t>(facts.size())) {
-        Corrupt("fact reference out of range");
-      }
-      node->children.push_back(facts[ref]);
+      if (ref < 0 || ref >= i) Corrupt("fact reference out of range");
+      rf.kids.push_back(ref);
     }
-    facts.push_back(std::move(node));
+    for (const Value& v : rf.values) {
+      if (v.is_string()) strs.push_back(v.as_string());
+    }
+  }
+  if (!strs.empty()) dict.InternBulk(std::move(strs));
+  std::vector<FactPtr> facts;
+  facts.reserve(static_cast<size_t>(nfacts));
+  FactBuilder node;
+  for (const RawFact& rf : raw_facts) {
+    node.clear();
+    for (const Value& v : rf.values) node.values.push_back(dict.Encode(v));
+    for (int64_t ref : rf.kids) node.children.push_back(facts[ref]);
+    facts.push_back(node.Finish(*arena));
   }
   Cursor rd(NextLine(in));
   if (rd.Token() != "rootdata") Corrupt("expected 'rootdata'");
@@ -315,7 +334,7 @@ Factorisation ReadFactorisation(std::istream& in, AttributeRegistry* reg) {
   for (int64_t k = 0; k < nrd; ++k) {
     int64_t ref = rd.Int();
     if (ref < 0) {
-      roots.push_back(MakeLeaf({}));
+      roots.push_back(FactArena::EmptyNode());
     } else if (ref >= static_cast<int64_t>(facts.size())) {
       Corrupt("root reference out of range");
     } else {
@@ -323,7 +342,7 @@ Factorisation ReadFactorisation(std::istream& in, AttributeRegistry* reg) {
     }
   }
 
-  Factorisation f(std::move(tree), std::move(roots));
+  Factorisation f(std::move(tree), std::move(roots), std::move(arena));
   std::string why;
   if (!f.Validate(&why)) Corrupt("inconsistent factorisation: " + why);
   return f;

@@ -139,13 +139,43 @@ Analysis Analyze(const FTree& tree, const std::vector<int>& roots,
   return a;
 }
 
+// Dense (per-node-id) rendering of an Analysis: no hash lookups or
+// ancestor walks inside the per-group evaluation recursions. The view is
+// non-owning; DenseTables below holds the storage.
+struct DenseAnalysis {
+  int carrier = -1;
+  const uint8_t* is_value = nullptr;  // count nodes contributing their value
+  const int* cstar = nullptr;  // child slot towards the carrier, or -1
+};
+
+struct DenseTables {
+  std::vector<uint8_t> is_value;
+  std::vector<int> cstar;
+
+  DenseAnalysis View(int carrier) const {
+    return {carrier, is_value.data(), cstar.data()};
+  }
+};
+
+DenseTables MakeDense(const FTree& tree, const Analysis& a) {
+  DenseTables d;
+  d.is_value.assign(tree.num_nodes(), 0);
+  for (const auto& [node, f] : a.factor) {
+    if (f == Factor::kValue) d.is_value[node] = 1;
+  }
+  d.cstar.assign(tree.num_nodes(), -1);
+  for (int x = a.carrier; x >= 0 && tree.parent(x) >= 0; x = tree.parent(x)) {
+    d.cstar[tree.parent(x)] = tree.SlotOf(x);
+  }
+  return d;
+}
+
 int64_t CountRec(const FTree& tree, int node, const FactNode& n,
-                 const Analysis& a) {
+                 const DenseAnalysis& a) {
   const FTreeNode& nd = tree.node(node);
   const std::vector<int>& kids = tree.children(node);
   int k = static_cast<int>(kids.size());
-  bool use_value =
-      nd.is_aggregate() && a.factor.at(node) == Factor::kValue;
+  bool use_value = nd.is_aggregate() && a.is_value[node];
   int64_t total = 0;
   for (int i = 0; i < n.size(); ++i) {
     int64_t prod = use_value ? n.values[i].as_int() : 1;
@@ -157,85 +187,112 @@ int64_t CountRec(const FTree& tree, int node, const FactNode& n,
   return total;
 }
 
-Value SumRec(const FTree& tree, int node, const FactNode& n,
-             const Analysis& a) {
+// Ref-native numeric accumulator with the same promotion rules as
+// AddValues/MulByCount: the result stays an int iff every operand was one.
+struct Num {
+  bool is_int = true;
+  int64_t i = 0;
+  double d = 0;
+
+  static Num OfRef(ValueRef r) {
+    if (r.is_int()) return {true, r.as_int(), 0};
+    if (!r.is_double()) {
+      throw std::invalid_argument("AddValues: non-numeric operand");
+    }
+    return {false, 0, r.as_double()};
+  }
+  void AddScaled(const Num& v, int64_t cnt) {
+    if (is_int && v.is_int) {
+      i += v.i * cnt;
+      return;
+    }
+    double dv = (v.is_int ? static_cast<double>(v.i) : v.d) * cnt;
+    if (is_int) {
+      d = static_cast<double>(i) + dv;
+      is_int = false;
+    } else {
+      d += dv;
+    }
+  }
+  void Scale(int64_t cnt) {
+    if (is_int) {
+      i *= cnt;
+    } else {
+      d *= cnt;
+    }
+  }
+  Value ToValue() const { return is_int ? Value(i) : Value(d); }
+};
+
+Num SumRec(const FTree& tree, int node, const FactNode& n,
+           const DenseAnalysis& a) {
   const FTreeNode& nd = tree.node(node);
   const std::vector<int>& kids = tree.children(node);
   int k = static_cast<int>(kids.size());
 
   if (node == a.carrier) {
     // Σᵢ vᵢ · Π_c count(child); the children never contain the source.
-    Value total(static_cast<int64_t>(0));
+    Num total;
     for (int i = 0; i < n.size(); ++i) {
       int64_t cnt = 1;
       for (int c = 0; c < k; ++c) {
         cnt *= CountRec(tree, kids[c], *n.child(i, k, c), a);
       }
-      total = AddValues(total, MulByCount(n.values[i], cnt));
+      total.AddScaled(Num::OfRef(n.values[i]), cnt);
     }
     return total;
   }
 
   // Exactly one child subtree contains the carrier.
-  int cstar = -1;
-  for (int c = 0; c < k; ++c) {
-    if (kids[c] == a.carrier || tree.IsAncestor(kids[c], a.carrier)) {
-      cstar = c;
-    }
-  }
+  int cstar = a.cstar[node];
   if (cstar < 0) BadComposition("sum: carrier not below node");
 
-  bool use_value =
-      nd.is_aggregate() && a.factor.at(node) == Factor::kValue;
-  Value total(static_cast<int64_t>(0));
+  bool use_value = nd.is_aggregate() && a.is_value[node];
+  Num total;
   for (int i = 0; i < n.size(); ++i) {
     int64_t w = use_value ? n.values[i].as_int() : 1;
     for (int c = 0; c < k; ++c) {
       if (c != cstar) w *= CountRec(tree, kids[c], *n.child(i, k, c), a);
     }
-    Value s = SumRec(tree, kids[cstar], *n.child(i, k, cstar), a);
-    total = AddValues(total, MulByCount(s, w));
+    Num s = SumRec(tree, kids[cstar], *n.child(i, k, cstar), a);
+    total.AddScaled(s, w);
   }
   return total;
 }
 
-Value MinMaxRec(const FTree& tree, int node, const FactNode& n,
-                const Analysis& a, bool is_min) {
+ValueRef MinMaxRec(const FTree& tree, int node, const FactNode& n,
+                   const DenseAnalysis& a, bool is_min) {
   const std::vector<int>& kids = tree.children(node);
   int k = static_cast<int>(kids.size());
   if (node == a.carrier) {
     // Unions are sorted, so the extremum is at an end (§4.1 invariant).
     return is_min ? n.values.front() : n.values.back();
   }
-  int cstar = -1;
-  for (int c = 0; c < k; ++c) {
-    if (kids[c] == a.carrier || tree.IsAncestor(kids[c], a.carrier)) {
-      cstar = c;
-    }
-  }
+  int cstar = a.cstar[node];
   if (cstar < 0) BadComposition("min/max: carrier not below node");
-  Value best;
+  ValueRef best;
   for (int i = 0; i < n.size(); ++i) {
-    Value v = MinMaxRec(tree, kids[cstar], *n.child(i, k, cstar), a, is_min);
+    ValueRef v =
+        MinMaxRec(tree, kids[cstar], *n.child(i, k, cstar), a, is_min);
     if (i == 0) {
       best = v;
-    } else {
-      best = is_min ? MinValue(best, v) : MaxValue(best, v);
+    } else if (is_min ? (v < best) : (best < v)) {
+      best = v;
     }
   }
   return best;
 }
 
 Value Eval(const FTree& tree, int node, const FactNode& n, const AggTask& task,
-           const Analysis& a) {
+           const DenseAnalysis& a) {
   switch (task.fn) {
     case AggFn::kCount:
       return Value(CountRec(tree, node, n, a));
     case AggFn::kSum:
-      return SumRec(tree, node, n, a);
+      return SumRec(tree, node, n, a).ToValue();
     case AggFn::kMin:
     case AggFn::kMax:
-      return MinMaxRec(tree, node, n, a, task.fn == AggFn::kMin);
+      return MinMaxRec(tree, node, n, a, task.fn == AggFn::kMin).ToValue();
   }
   throw std::logic_error("EvalAggregate: unreachable");
 }
@@ -259,68 +316,91 @@ void CheckComposable(const FTree& tree, int u, const AggTask& task) {
 
 int64_t EvalCount(const FTree& tree, int node, const FactNode& n) {
   Analysis a = Analyze(tree, {node}, {AggFn::kCount, kInvalidAttr});
-  return CountRec(tree, node, n, a);
+  DenseTables t = MakeDense(tree, a);
+  return CountRec(tree, node, n, t.View(a.carrier));
 }
 
 Value EvalAggregate(const FTree& tree, int node, const FactNode& n,
                     const AggTask& task) {
   Analysis a = Analyze(tree, {node}, task);
-  return Eval(tree, node, n, task, a);
+  DenseTables t = MakeDense(tree, a);
+  return Eval(tree, node, n, task, t.View(a.carrier));
 }
 
 Value EvalAggregateProduct(
     const FTree& tree,
     const std::vector<std::pair<int, const FactNode*>>& parts,
     const AggTask& task) {
-  if (parts.empty()) {
+  std::vector<int> roots;
+  for (const auto& [node, n] : parts) roots.push_back(node);
+  return ProductAggEvaluator(tree, roots, task).Eval(parts);
+}
+
+ProductAggEvaluator::ProductAggEvaluator(const FTree& tree,
+                                         const std::vector<int>& part_nodes,
+                                         const AggTask& task)
+    : tree_(&tree), task_(task) {
+  if (part_nodes.empty()) {
     // Aggregate over the empty product {()}: one nullary tuple.
-    if (task.fn == AggFn::kCount) return Value(static_cast<int64_t>(1));
-    BadComposition("sum/min/max over no attributes");
+    nullary_ = true;
+    if (task.fn != AggFn::kCount) {
+      BadComposition("sum/min/max over no attributes");
+    }
+    return;
   }
   // The parts form a product of independent fragments, but composite
   // sibling leaves (e.g. a sum and its count twin) may be spread across
   // parts, so the ownership analysis must span all of them.
-  std::vector<int> roots;
-  for (const auto& [node, n] : parts) roots.push_back(node);
-  Analysis a = Analyze(tree, roots, task);
-  switch (task.fn) {
+  Analysis a = Analyze(tree, part_nodes, task);
+  carrier_ = a.carrier;
+  DenseTables dense = MakeDense(tree, a);
+  factor_is_value_ = std::move(dense.is_value);
+  cstar_ = std::move(dense.cstar);
+  if (task.fn != AggFn::kCount) {
+    for (size_t p = 0; p < part_nodes.size(); ++p) {
+      if (part_nodes[p] == a.carrier ||
+          tree.IsAncestor(part_nodes[p], a.carrier)) {
+        carrier_part_ = static_cast<int>(p);
+      }
+    }
+    if (carrier_part_ < 0) BadComposition("sum/min/max: source not found");
+  }
+}
+
+Value ProductAggEvaluator::Eval(
+    const std::vector<std::pair<int, const FactNode*>>& parts) const {
+  if (nullary_) return Value(static_cast<int64_t>(1));
+  // Borrow the precomputed dense tables (no per-group copies).
+  DenseAnalysis a{carrier_, factor_is_value_.data(), cstar_.data()};
+  switch (task_.fn) {
     case AggFn::kCount: {
       int64_t prod = 1;
       for (const auto& [node, n] : parts) {
-        prod *= CountRec(tree, node, *n, a);
+        prod *= CountRec(*tree_, node, *n, a);
       }
       return Value(prod);
     }
     case AggFn::kSum: {
       // Exactly one part carries the source; the rest contribute counts.
-      int carrier_part = -1;
-      for (size_t p = 0; p < parts.size(); ++p) {
-        if (parts[p].first == a.carrier ||
-            tree.IsAncestor(parts[p].first, a.carrier)) {
-          carrier_part = static_cast<int>(p);
-        }
-      }
-      if (carrier_part < 0) BadComposition("sum: source not found");
-      Value s = SumRec(tree, parts[carrier_part].first,
-                       *parts[carrier_part].second, a);
+      Num s = SumRec(*tree_, parts[carrier_part_].first,
+                     *parts[carrier_part_].second, a);
       int64_t cnt = 1;
       for (size_t p = 0; p < parts.size(); ++p) {
-        if (static_cast<int>(p) == carrier_part) continue;
-        cnt *= CountRec(tree, parts[p].first, *parts[p].second, a);
+        if (static_cast<int>(p) == carrier_part_) continue;
+        cnt *= CountRec(*tree_, parts[p].first, *parts[p].second, a);
       }
-      return MulByCount(s, cnt);
+      s.Scale(cnt);
+      return s.ToValue();
     }
     case AggFn::kMin:
     case AggFn::kMax: {
-      for (const auto& [node, n] : parts) {
-        if (node == a.carrier || tree.IsAncestor(node, a.carrier)) {
-          return MinMaxRec(tree, node, *n, a, task.fn == AggFn::kMin);
-        }
-      }
-      BadComposition("min/max: source not found");
+      return MinMaxRec(*tree_, parts[carrier_part_].first,
+                       *parts[carrier_part_].second, a,
+                       task_.fn == AggFn::kMin)
+          .ToValue();
     }
   }
-  throw std::logic_error("EvalAggregateProduct: unreachable");
+  throw std::logic_error("ProductAggEvaluator::Eval: unreachable");
 }
 
 namespace {
@@ -340,7 +420,10 @@ std::string AggName(const AttributeRegistry& reg, const AggTask& task,
 
 AttrId FreshAttr(AttributeRegistry* reg, const std::string& base) {
   if (!reg->Find(base).has_value()) return reg->Intern(base);
-  for (int i = 2;; ++i) {
+  // Suffix seeded by the registry size so finding a free name is O(1) even
+  // after millions of aggregate queries (scanning #2, #3, ... from the
+  // start is quadratic across a query workload).
+  for (int i = reg->size() + 2;; ++i) {
     std::string name = base + "#" + std::to_string(i);
     if (!reg->Find(name).has_value()) return reg->Intern(name);
   }
@@ -363,6 +446,8 @@ std::vector<int> ApplyAggregate(Factorisation* f, AttributeRegistry* reg,
   const FTree& tree = f->tree();
   std::vector<Analysis> analyses;
   for (const AggTask& t : tasks) analyses.push_back(Analyze(tree, {u}, t));
+  std::vector<DenseTables> tables;
+  for (const Analysis& a : analyses) tables.push_back(MakeDense(tree, a));
 
   std::vector<AttrId> over = tree.SubtreeOriginalAttrs(u);
   std::vector<AggregateLabel> labels;
@@ -371,7 +456,16 @@ std::vector<int> ApplyAggregate(Factorisation* f, AttributeRegistry* reg,
     l.fn = t.fn;
     l.source = t.source;
     l.over = over;
-    l.id = FreshAttr(reg, AggName(*reg, t, over));
+    // Reuse the canonical name when this tree does not already carry it:
+    // re-running a query then labels its aggregate identically instead of
+    // growing the shared registry by one fresh name per execution.
+    std::string name = AggName(*reg, t, over);
+    std::optional<AttrId> existing = reg->Find(name);
+    if (existing.has_value() && tree.NodeOfAttr(*existing) < 0) {
+      l.id = *existing;
+    } else {
+      l.id = FreshAttr(reg, name);
+    }
     labels.push_back(std::move(l));
   }
 
@@ -380,13 +474,16 @@ std::vector<int> ApplyAggregate(Factorisation* f, AttributeRegistry* reg,
   if (was_empty) {
     // Normalise the empty relation: all roots become empty unions so the
     // data stays shape-consistent with the mutated tree below.
-    for (FactPtr& r : f->mutable_roots()) r = MakeLeaf({});
+    for (FactPtr& r : f->mutable_roots()) r = FactArena::EmptyNode();
   } else {
+    FactArena& arena = f->ArenaForWrite();
+    ValueDict& dict = f->dict();
     auto eval_all = [&](const FactNode& sub) {
       std::vector<FactPtr> leaves;
       for (size_t t = 0; t < tasks.size(); ++t) {
-        leaves.push_back(
-            MakeLeaf({Eval(tree, u, sub, tasks[t], analyses[t])}));
+        ValueRef r = dict.Encode(Eval(
+            tree, u, sub, tasks[t], tables[t].View(analyses[t].carrier)));
+        leaves.push_back(arena.NewNode(&r, 1, nullptr, 0));
       }
       return leaves;
     };
@@ -395,29 +492,29 @@ std::vector<int> ApplyAggregate(Factorisation* f, AttributeRegistry* reg,
       int slot = tree.SlotOf(u);
       std::vector<FactPtr> leaves = eval_all(*f->roots()[slot]);
       auto& roots = f->mutable_roots();
-      roots[slot] = std::move(leaves[0]);
+      roots[slot] = leaves[0];
       for (size_t i = 1; i < leaves.size(); ++i) {
-        roots.push_back(std::move(leaves[i]));
+        roots.push_back(leaves[i]);
       }
     } else {
       int kp = static_cast<int>(tree.children(parent).size());
       int slot = tree.SlotOf(u);
       RewriteInFactorisation(f, parent, [&](const FactNode& np) {
-        auto out = std::make_shared<FactNode>();
-        out->values = np.values;
+        FactBuilder out;
+        out.values.assign(np.values.begin(), np.values.end());
         for (int i = 0; i < np.size(); ++i) {
           std::vector<FactPtr> leaves = eval_all(*np.child(i, kp, slot));
           // First task takes u's slot; the rest are appended at the end,
           // mirroring FTree::ReplaceSubtreeWithAggregates.
           for (int c = 0; c < kp; ++c) {
-            out->children.push_back(c == slot ? leaves[0]
-                                              : np.child(i, kp, c));
+            out.children.push_back(c == slot ? leaves[0]
+                                             : np.child(i, kp, c));
           }
           for (size_t t = 1; t < leaves.size(); ++t) {
-            out->children.push_back(leaves[t]);
+            out.children.push_back(leaves[t]);
           }
         }
-        return out;
+        return out.Finish(arena);
       });
     }
   }
@@ -426,7 +523,8 @@ std::vector<int> ApplyAggregate(Factorisation* f, AttributeRegistry* reg,
       f->mutable_tree().ReplaceSubtreeWithAggregates(u, std::move(labels));
   if (was_empty) {
     // Keep roots aligned with the tree on the empty relation.
-    f->mutable_roots().resize(f->tree().roots().size(), MakeLeaf({}));
+    f->mutable_roots().resize(f->tree().roots().size(),
+                              FactArena::EmptyNode());
   }
   return ids;
 }

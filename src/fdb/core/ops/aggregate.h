@@ -39,6 +39,34 @@ Value EvalAggregateProduct(
     const std::vector<std::pair<int, const FactNode*>>& parts,
     const AggTask& task);
 
+/// EvalAggregateProduct with the composition analysis hoisted out: the
+/// validation walk (Prop. 2 ownership rules, carrier search) depends only
+/// on the f-tree, the part *nodes* and the task, so a group-by enumerator
+/// runs it once and evaluates millions of group bindings against dense
+/// per-node tables instead of re-analysing per output tuple.
+class ProductAggEvaluator {
+ public:
+  /// `part_nodes` are the f-tree nodes of the parts, in the exact order the
+  /// parts will be passed to Eval(). Throws std::invalid_argument on
+  /// compositions outside Proposition 2.
+  ProductAggEvaluator(const FTree& tree, const std::vector<int>& part_nodes,
+                      const AggTask& task);
+
+  /// `parts` must pair the construction-time node ids (same order) with the
+  /// current subtree instances.
+  Value Eval(const std::vector<std::pair<int, const FactNode*>>& parts) const;
+
+ private:
+  const FTree* tree_ = nullptr;
+  AggTask task_;
+  bool nullary_ = false;      // aggregate over the empty product {()}
+  int carrier_ = -1;          // node id for sum/min/max
+  int carrier_part_ = -1;     // index into parts for sum/min/max
+  // Dense per-node tables (indexed by node id).
+  std::vector<uint8_t> factor_is_value_;  // count nodes contributing factors
+  std::vector<int> cstar_;  // child slot leading towards the carrier, or -1
+};
+
 /// The aggregation operator γ_F(U) of §3, for a composite list of tasks:
 /// replaces the subtree rooted at `u` by one aggregate leaf per task, in
 /// every branch of the factorisation, and updates the f-tree and its

@@ -10,10 +10,12 @@ namespace {
 
 FactPtr CopyFragment(const FTree& tree, int node, const FactNode& n,
                      const std::unordered_set<int>& keep,
-                     const std::vector<int>& kept_child_slots) {
+                     const std::vector<int>& kept_child_slots,
+                     FactArena& arena) {
   int k = static_cast<int>(tree.children(node).size());
-  auto out = std::make_shared<FactNode>();
-  out->values = n.values;
+  FactBuilder out;
+  out.values.assign(n.values.begin(), n.values.end());
+  out.children.reserve(n.values.size() * kept_child_slots.size());
   for (int i = 0; i < n.size(); ++i) {
     for (int slot : kept_child_slots) {
       int child = tree.children(node)[slot];
@@ -23,11 +25,11 @@ FactPtr CopyFragment(const FTree& tree, int node, const FactNode& n,
       for (size_t c = 0; c < cc.size(); ++c) {
         if (keep.count(cc[c])) child_slots.push_back(static_cast<int>(c));
       }
-      out->children.push_back(CopyFragment(tree, child, *n.child(i, k, slot),
-                                           keep, child_slots));
+      out.children.push_back(CopyFragment(tree, child, *n.child(i, k, slot),
+                                          keep, child_slots, arena));
     }
   }
-  return out;
+  return out.Finish(arena);
 }
 
 }  // namespace
@@ -95,7 +97,9 @@ Factorisation ProjectToTopFragment(const Factorisation& f,
     out_tree.AddEdge(std::move(merged));
   }
 
-  // Copy the data fragment.
+  // Copy the data fragment into a fresh arena (a full copy: nothing is
+  // shared with the source factorisation).
+  auto arena = std::make_shared<FactArena>();
   std::vector<FactPtr> roots;
   for (size_t r = 0; r < tree.roots().size(); ++r) {
     int root = tree.roots()[r];
@@ -106,12 +110,13 @@ Factorisation ProjectToTopFragment(const Factorisation& f,
       if (keep.count(cc[c])) child_slots.push_back(static_cast<int>(c));
     }
     roots.push_back(
-        CopyFragment(tree, root, *f.roots()[r], keep, child_slots));
+        CopyFragment(tree, root, *f.roots()[r], keep, child_slots, *arena));
   }
   if (f.empty()) {
-    for (FactPtr& r : roots) r = MakeLeaf({});
+    for (FactPtr& r : roots) r = FactArena::EmptyNode();
   }
-  return Factorisation(std::move(out_tree), std::move(roots));
+  return Factorisation(std::move(out_tree), std::move(roots),
+                       std::move(arena));
 }
 
 }  // namespace fdb

@@ -24,31 +24,33 @@ std::vector<int> SlotChain(const FTree& tree, int root_node, int target) {
 
 FactPtr RewriteRec(const FTree& tree, int node, const FactNode& n,
                    const std::vector<int>& slots, size_t depth,
-                   const std::function<FactPtr(const FactNode&)>& fn) {
+                   const std::function<FactPtr(const FactNode&)>& fn,
+                   FactArena& arena) {
   if (depth == slots.size()) return fn(n);
   int k = static_cast<int>(tree.children(node).size());
   int slot = slots[depth];
   int next = tree.children(node)[slot];
-  auto out = std::make_shared<FactNode>();
+  FactBuilder out;
   for (int i = 0; i < n.size(); ++i) {
-    FactPtr rewritten =
-        RewriteRec(tree, next, *n.child(i, k, slot), slots, depth + 1, fn);
+    FactPtr rewritten = RewriteRec(tree, next, *n.child(i, k, slot), slots,
+                                   depth + 1, fn, arena);
     if (rewritten == nullptr || rewritten->values.empty()) continue;  // prune
-    out->values.push_back(n.values[i]);
+    out.values.push_back(n.values[i]);
     for (int c = 0; c < k; ++c) {
-      out->children.push_back(c == slot ? rewritten : n.child(i, k, c));
+      out.children.push_back(c == slot ? rewritten : n.child(i, k, c));
     }
   }
-  return out;
+  return out.Finish(arena);
 }
 
 }  // namespace
 
-FactPtr RewriteAtNode(const FTree& tree, int root_node, const FactPtr& root,
+FactPtr RewriteAtNode(const FTree& tree, int root_node, FactPtr root,
                       int target,
-                      const std::function<FactPtr(const FactNode&)>& fn) {
+                      const std::function<FactPtr(const FactNode&)>& fn,
+                      FactArena& arena) {
   std::vector<int> slots = SlotChain(tree, root_node, target);
-  return RewriteRec(tree, root_node, *root, slots, 0, fn);
+  return RewriteRec(tree, root_node, *root, slots, 0, fn, arena);
 }
 
 void RewriteInFactorisation(
@@ -61,9 +63,10 @@ void RewriteInFactorisation(
     if (tree.roots()[r] == root_node) slot = static_cast<int>(r);
   }
   if (slot < 0) throw std::logic_error("RewriteInFactorisation: root missing");
-  FactPtr nr = RewriteAtNode(tree, root_node, f->roots()[slot], target, fn);
-  if (nr == nullptr) nr = MakeLeaf({});
-  f->mutable_roots()[slot] = std::move(nr);
+  FactPtr nr = RewriteAtNode(tree, root_node, f->roots()[slot], target, fn,
+                             f->ArenaForWrite());
+  if (nr == nullptr) nr = FactArena::EmptyNode();
+  f->mutable_roots()[slot] = nr;
 }
 
 void ApplyRemoveLeaf(Factorisation* f, int leaf) {
@@ -80,15 +83,17 @@ void ApplyRemoveLeaf(Factorisation* f, int leaf) {
   } else {
     int k = static_cast<int>(tree.children(parent).size());
     int slot = tree.SlotOf(leaf);
+    FactArena& arena = f->ArenaForWrite();
     RewriteInFactorisation(f, parent, [&](const FactNode& n) {
-      auto out = std::make_shared<FactNode>();
-      out->values = n.values;
+      FactBuilder out;
+      out.values.assign(n.values.begin(), n.values.end());
+      out.children.reserve(n.values.size() * (k - 1));
       for (int i = 0; i < n.size(); ++i) {
         for (int c = 0; c < k; ++c) {
-          if (c != slot) out->children.push_back(n.child(i, k, c));
+          if (c != slot) out.children.push_back(n.child(i, k, c));
         }
       }
-      return out;
+      return out.Finish(arena);
     });
   }
   f->mutable_tree().RemoveLeaf(leaf);

@@ -11,13 +11,17 @@ namespace fdb {
 /// from `root_node`/`root`. `fn` maps each old union to its replacement; a
 /// replacement with no values prunes the enclosing entry, and pruning
 /// propagates upwards (an emptied root signals the empty relation).
-/// Untouched subtrees are shared, not copied.
-FactPtr RewriteAtNode(const FTree& tree, int root_node, const FactPtr& root,
+/// Untouched subtrees are shared, not copied; new nodes (including those
+/// built by `fn`) must be allocated from `arena`.
+FactPtr RewriteAtNode(const FTree& tree, int root_node, FactPtr root,
                       int target,
-                      const std::function<FactPtr(const FactNode&)>& fn);
+                      const std::function<FactPtr(const FactNode&)>& fn,
+                      FactArena& arena);
 
 /// Applies RewriteAtNode within the factorisation containing `target`,
 /// updating the appropriate root in place. Call *before* mutating the tree.
+/// `fn` should allocate from f->ArenaForWrite() (stable for the duration of
+/// the call).
 void RewriteInFactorisation(
     Factorisation* f, int target,
     const std::function<FactPtr(const FactNode&)>& fn);

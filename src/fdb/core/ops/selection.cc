@@ -11,8 +11,11 @@ namespace {
 // Intersects unions `na` and `nb` (sorted); the result keeps a's children
 // slots first, then b's, matching FTree::MergeSiblings.
 FactPtr IntersectUnions(const FactNode& na, int ka, const FactNode& nb,
-                        int kb) {
-  auto out = std::make_shared<FactNode>();
+                        int kb, FactArena& arena) {
+  FactBuilder out;
+  size_t cap = std::min(na.values.size(), nb.values.size());
+  out.values.reserve(cap);
+  out.children.reserve(cap * (ka + kb));
   size_t i = 0, j = 0;
   while (i < na.values.size() && j < nb.values.size()) {
     auto c = na.values[i] <=> nb.values[j];
@@ -21,18 +24,18 @@ FactPtr IntersectUnions(const FactNode& na, int ka, const FactNode& nb,
     } else if (c == std::strong_ordering::greater) {
       ++j;
     } else {
-      out->values.push_back(na.values[i]);
+      out.values.push_back(na.values[i]);
       for (int s = 0; s < ka; ++s) {
-        out->children.push_back(na.child(static_cast<int>(i), ka, s));
+        out.children.push_back(na.child(static_cast<int>(i), ka, s));
       }
       for (int s = 0; s < kb; ++s) {
-        out->children.push_back(nb.child(static_cast<int>(j), kb, s));
+        out.children.push_back(nb.child(static_cast<int>(j), kb, s));
       }
       ++i;
       ++j;
     }
   }
-  return out;
+  return out.Finish(arena);
 }
 
 }  // namespace
@@ -45,34 +48,35 @@ void ApplyMerge(Factorisation* f, int a, int b) {
   const int ka = static_cast<int>(tree.children(a).size());
   const int kb = static_cast<int>(tree.children(b).size());
   int parent = tree.parent(a);
+  FactArena& arena = f->ArenaForWrite();
 
   if (parent < 0) {
     // Both roots: intersect the two root unions of the forest product.
     int sa = tree.SlotOf(a), sb = tree.SlotOf(b);
     FactPtr merged =
-        IntersectUnions(*f->roots()[sa], ka, *f->roots()[sb], kb);
+        IntersectUnions(*f->roots()[sa], ka, *f->roots()[sb], kb, arena);
     auto& roots = f->mutable_roots();
-    roots[sa] = std::move(merged);
+    roots[sa] = merged;
     roots.erase(roots.begin() + sb);
   } else {
     int sa = tree.SlotOf(a), sb = tree.SlotOf(b);
     int kp = static_cast<int>(tree.children(parent).size());
     RewriteInFactorisation(f, parent, [&](const FactNode& np) {
-      auto out = std::make_shared<FactNode>();
+      FactBuilder out;
       for (int i = 0; i < np.size(); ++i) {
         FactPtr merged = IntersectUnions(*np.child(i, kp, sa), ka,
-                                         *np.child(i, kp, sb), kb);
+                                         *np.child(i, kp, sb), kb, arena);
         if (merged->values.empty()) continue;  // prune this entry
-        out->values.push_back(np.values[i]);
+        out.values.push_back(np.values[i]);
         for (int c = 0; c < kp; ++c) {
           if (c == sa) {
-            out->children.push_back(merged);
+            out.children.push_back(merged);
           } else if (c != sb) {
-            out->children.push_back(np.child(i, kp, c));
+            out.children.push_back(np.child(i, kp, c));
           }
         }
       }
-      return out;
+      return out.Finish(arena);
     });
   }
   f->mutable_tree().MergeSiblings(a, b);
@@ -87,11 +91,11 @@ namespace {
 // Returns nullptr when the bound value is absent (prune).
 FactPtr RestrictRec(const FTree& tree, int node, const FactNode& n,
                     const std::vector<int>& chain, size_t depth,
-                    const Value& bound) {
+                    ValueRef bound, FactArena& arena) {
   int k = static_cast<int>(tree.children(node).size());
   int slot = chain[depth];
   int next = tree.children(node)[slot];
-  auto out = std::make_shared<FactNode>();
+  FactBuilder out;
   if (depth + 1 == chain.size()) {
     // `next` is b itself: select `bound` in each child union at `slot` and
     // splice its children into this entry (erase slot, append b's children).
@@ -101,26 +105,26 @@ FactPtr RestrictRec(const FTree& tree, int node, const FactNode& n,
       auto it = std::lower_bound(ub.values.begin(), ub.values.end(), bound);
       if (it == ub.values.end() || !(*it == bound)) continue;
       int j = static_cast<int>(it - ub.values.begin());
-      out->values.push_back(n.values[i]);
+      out.values.push_back(n.values[i]);
       for (int c = 0; c < k; ++c) {
-        if (c != slot) out->children.push_back(n.child(i, k, c));
+        if (c != slot) out.children.push_back(n.child(i, k, c));
       }
       for (int c = 0; c < kb; ++c) {
-        out->children.push_back(ub.child(j, kb, c));
+        out.children.push_back(ub.child(j, kb, c));
       }
     }
   } else {
     for (int i = 0; i < n.size(); ++i) {
       FactPtr r = RestrictRec(tree, next, *n.child(i, k, slot), chain,
-                              depth + 1, bound);
+                              depth + 1, bound, arena);
       if (r == nullptr || r->values.empty()) continue;
-      out->values.push_back(n.values[i]);
+      out.values.push_back(n.values[i]);
       for (int c = 0; c < k; ++c) {
-        out->children.push_back(c == slot ? r : n.child(i, k, c));
+        out.children.push_back(c == slot ? r : n.child(i, k, c));
       }
     }
   }
-  return out;
+  return out.Finish(arena);
 }
 
 }  // namespace
@@ -138,11 +142,12 @@ void ApplyAbsorb(Factorisation* f, int a, int b) {
   for (int n : nodes) chain.push_back(tree.SlotOf(n));
 
   const int ka = static_cast<int>(tree.children(a).size());
+  FactArena& arena = f->ArenaForWrite();
   RewriteInFactorisation(f, a, [&](const FactNode& ua) -> FactPtr {
-    auto out = std::make_shared<FactNode>();
+    FactBuilder out;
     for (int i = 0; i < ua.size(); ++i) {
       // Bind b to the value of a in this entry and restrict downwards.
-      const Value& bound = ua.values[i];
+      ValueRef bound = ua.values[i];
       // Build a one-entry view of this a-entry to reuse RestrictRec's frame:
       // directly handle the first chain level here instead.
       int slot = chain[0];
@@ -156,24 +161,25 @@ void ApplyAbsorb(Factorisation* f, int a, int b) {
         if (it == ub.values.end() || !(*it == bound)) continue;
         int j = static_cast<int>(it - ub.values.begin());
         int kb = static_cast<int>(tree.children(b).size());
-        out->values.push_back(bound);
+        out.values.push_back(bound);
         for (int c = 0; c < ka; ++c) {
-          if (c != slot) out->children.push_back(ua.child(i, ka, c));
+          if (c != slot) out.children.push_back(ua.child(i, ka, c));
         }
         for (int c = 0; c < kb; ++c) {
-          out->children.push_back(ub.child(j, kb, c));
+          out.children.push_back(ub.child(j, kb, c));
         }
         continue;
       }
       std::vector<int> rest(chain.begin() + 1, chain.end());
-      r = RestrictRec(tree, next, *ua.child(i, ka, slot), rest, 0, bound);
+      r = RestrictRec(tree, next, *ua.child(i, ka, slot), rest, 0, bound,
+                      arena);
       if (r == nullptr || r->values.empty()) continue;
-      out->values.push_back(bound);
+      out.values.push_back(bound);
       for (int c = 0; c < ka; ++c) {
-        out->children.push_back(c == slot ? r : ua.child(i, ka, c));
+        out.children.push_back(c == slot ? r : ua.child(i, ka, c));
       }
     }
-    return out;
+    return out.Finish(arena);
   });
   f->mutable_tree().AbsorbDescendant(a, b);
 }
@@ -181,14 +187,18 @@ void ApplyAbsorb(Factorisation* f, int a, int b) {
 void ApplySelectConst(Factorisation* f, int node, CmpOp op, const Value& c) {
   const FTree& tree = f->tree();
   int k = static_cast<int>(tree.children(node).size());
+  // Interning the constant (rather than a lookup) keeps inequality
+  // comparisons exact for strings the dictionary has not seen yet.
+  ValueRef cref = f->dict().Encode(c);
+  FactArena& arena = f->ArenaForWrite();
   RewriteInFactorisation(f, node, [&](const FactNode& n) {
-    auto out = std::make_shared<FactNode>();
+    FactBuilder out;
     for (int i = 0; i < n.size(); ++i) {
-      if (!EvalCmp(n.values[i], op, c)) continue;
-      out->values.push_back(n.values[i]);
-      for (int s = 0; s < k; ++s) out->children.push_back(n.child(i, k, s));
+      if (!EvalCmpRef(n.values[i], op, cref)) continue;
+      out.values.push_back(n.values[i]);
+      for (int s = 0; s < k; ++s) out.children.push_back(n.child(i, k, s));
     }
-    return out;
+    return out.Finish(arena);
   });
 }
 

@@ -27,61 +27,101 @@ void ApplySwap(Factorisation* f, int b) {
     }
   }
 
+  FactArena& arena = f->ArenaForWrite();
+
   // Data transformation, per instance of the union at A:
   //   ⋃_a ⟨a⟩ × E_a × ⋃_b ⟨b⟩ × F_b × G_ab
   //     ↦ ⋃_b ⟨b⟩ × F_b × ⋃_a ⟨a⟩ × E_a × G_ab .
+  struct Occ {
+    uint64_t key;  // order key of v; ties broken by the exact value order
+    int ai, bi;
+  };
+  std::vector<Occ> occs;  // reused across instances of the union at A
+  auto occ_value = [&](const FactNode& ua, const Occ& o) {
+    return ua.child(o.ai, ka, slot_b)->values[o.bi];
+  };
   auto rewriter = [&](const FactNode& ua) -> FactPtr {
-    // Collect (b_value, a_entry, b_entry) triples and sort by (value, a).
-    struct Occ {
-      const Value* v;
-      int ai, bi;
-    };
-    std::vector<Occ> occs;
+    // Collect (b_value, a_entry, b_entry) triples and sort by (value, a),
+    // comparing precomputed 64-bit order keys instead of refs.
+    occs.clear();
+    size_t total = 0;
+    for (int i = 0; i < ua.size(); ++i) {
+      total += ua.child(i, ka, slot_b)->values.size();
+    }
+    occs.reserve(total);
     for (int i = 0; i < ua.size(); ++i) {
       const FactNode& ub = *ua.child(i, ka, slot_b);
       for (int j = 0; j < ub.size(); ++j) {
-        occs.push_back({&ub.values[j], i, j});
+        occs.push_back({ub.values[j].OrderKey(), i, j});
       }
     }
-    std::stable_sort(occs.begin(), occs.end(), [](const Occ& x, const Occ& y) {
-      auto c = *x.v <=> *y.v;
-      if (c != std::strong_ordering::equal) {
-        return c == std::strong_ordering::less;
-      }
+    // Each b-union holds distinct values, so (v, ai) keys are unique and a
+    // plain sort suffices.
+    std::sort(occs.begin(), occs.end(), [](const Occ& x, const Occ& y) {
+      if (x.key != y.key) return x.key < y.key;
       return x.ai < y.ai;
     });
+    // Distinct values can collide on a key (numerics within 4 ulps): find
+    // such runs and re-sort them with the exact comparison.
+    for (size_t g = 0; g + 1 < occs.size();) {
+      size_t h = g + 1;
+      while (h < occs.size() && occs[h].key == occs[g].key) ++h;
+      if (h - g > 1) {
+        bool collided = false;
+        ValueRef v0 = occ_value(ua, occs[g]);
+        for (size_t t = g + 1; t < h && !collided; ++t) {
+          collided = !(occ_value(ua, occs[t]) == v0);
+        }
+        if (collided) {
+          std::sort(occs.begin() + g, occs.begin() + h,
+                    [&](const Occ& x, const Occ& y) {
+                      auto c = occ_value(ua, x) <=> occ_value(ua, y);
+                      if (c != std::strong_ordering::equal) {
+                        return c == std::strong_ordering::less;
+                      }
+                      return x.ai < y.ai;
+                    });
+        }
+      }
+      g = h;
+    }
 
     // New union at B: for each distinct b-value, F_b kids from the first
     // occurrence, then an inner union at A over the matching a-entries.
-    auto out = std::make_shared<FactNode>();
+    FactBuilder out;
+    FactBuilder inner;
     size_t g = 0;
     while (g < occs.size()) {
-      size_t h = g;
-      while (h < occs.size() && *occs[h].v == *occs[g].v) ++h;
+      ValueRef gv = occ_value(ua, occs[g]);
+      size_t h = g + 1;
+      while (h < occs.size() && occs[h].key == occs[g].key &&
+             occ_value(ua, occs[h]) == gv) {
+        ++h;
+      }
 
-      auto inner = std::make_shared<FactNode>();
+      inner.clear();
       for (size_t t = g; t < h; ++t) {
         int i = occs[t].ai;
         const FactNode& ub = *ua.child(i, ka, slot_b);
-        inner->values.push_back(ua.values[i]);
+        inner.values.push_back(ua.values[i]);
         // A keeps its old children except slot_b, then gains TAB.
         for (int c = 0; c < ka; ++c) {
-          if (c != slot_b) inner->children.push_back(ua.child(i, ka, c));
+          if (c != slot_b) inner.children.push_back(ua.child(i, ka, c));
         }
         for (int m : move_slots) {
-          inner->children.push_back(ub.child(occs[t].bi, kb, m));
+          inner.children.push_back(ub.child(occs[t].bi, kb, m));
         }
       }
 
-      out->values.push_back(*occs[g].v);
+      out.values.push_back(gv);
       const FactNode& ub0 = *ua.child(occs[g].ai, ka, slot_b);
       for (int s : stay_slots) {
-        out->children.push_back(ub0.child(occs[g].bi, kb, s));
+        out.children.push_back(ub0.child(occs[g].bi, kb, s));
       }
-      out->children.push_back(std::move(inner));
+      out.children.push_back(inner.Finish(arena));
       g = h;
     }
-    return out;
+    return out.Finish(arena);
   };
 
   RewriteInFactorisation(f, a, rewriter);

@@ -1,10 +1,17 @@
 #include "fdb/core/update.h"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 namespace fdb {
 namespace {
+
+// Updates are persistent: each insert/delete copies the root-to-leaf path
+// unions into the factorisation's write arena and the previous versions
+// become unreachable garbage that the arena retains until the whole arena
+// dies (or a CompressInPlace rebuilds into a fresh one). Arena compaction
+// for update-heavy workloads is a ROADMAP open item.
 
 // Validates the path shape and returns the node chain root → leaf.
 std::vector<int> PathChain(const FTree& tree, size_t arity) {
@@ -33,96 +40,126 @@ std::vector<int> PathChain(const FTree& tree, size_t arity) {
 }
 
 // Position of `v` in the (sorted) union, or -1.
-int FindValue(const FactNode& n, const Value& v) {
+int FindValue(const FactNode& n, ValueRef v) {
   auto it = std::lower_bound(n.values.begin(), n.values.end(), v);
   if (it == n.values.end() || !(*it == v)) return -1;
   return static_cast<int>(it - n.values.begin());
 }
 
-FactPtr InsertRec(const FactNode* n, const Tuple& tuple, size_t depth) {
-  bool leaf = depth + 1 == tuple.size();
-  const Value& v = tuple[depth];
-  auto out = std::make_shared<FactNode>();
-  if (n != nullptr) {
-    out->values = n->values;
-    out->children = n->children;
+// Encodes a tuple without inserting into the dictionary; nullopt if some
+// value cannot appear in any stored singleton (unseen string / big int).
+std::optional<std::vector<ValueRef>> TryEncodeTuple(const ValueDict& dict,
+                                                    const Tuple& tuple) {
+  std::vector<ValueRef> key;
+  key.reserve(tuple.size());
+  for (const Value& v : tuple) {
+    std::optional<ValueRef> r = dict.TryEncode(v);
+    if (!r.has_value()) return std::nullopt;
+    key.push_back(*r);
   }
+  return key;
+}
+
+// Returns the updated node; returns `n` itself when the tuple was already
+// present (nothing to copy).
+FactPtr InsertRec(const FactNode* n, const std::vector<ValueRef>& key,
+                  size_t depth, FactArena& arena) {
+  bool leaf = depth + 1 == key.size();
+  ValueRef v = key[depth];
   int pos = n != nullptr ? FindValue(*n, v) : -1;
+  FactBuilder out;
   if (pos >= 0) {
-    if (leaf) return out;  // tuple already present
-    FactPtr updated =
-        InsertRec(out->children[pos].get(), tuple, depth + 1);
-    out->children[pos] = std::move(updated);
-    return out;
+    if (leaf) return n;  // tuple already present
+    FactPtr updated = InsertRec(n->children[pos], key, depth + 1, arena);
+    if (updated == n->children[pos]) return n;  // present below
+    out.values.assign(n->values.begin(), n->values.end());
+    out.children.assign(n->children.begin(), n->children.end());
+    out.children[pos] = updated;
+    return out.Finish(arena);
   }
-  auto it = std::lower_bound(out->values.begin(), out->values.end(), v);
-  size_t idx = static_cast<size_t>(it - out->values.begin());
-  out->values.insert(it, v);
+  if (n != nullptr) {
+    out.values.assign(n->values.begin(), n->values.end());
+    out.children.assign(n->children.begin(), n->children.end());
+  }
+  auto it = std::lower_bound(out.values.begin(), out.values.end(), v);
+  size_t idx = static_cast<size_t>(it - out.values.begin());
+  out.values.insert(it, v);
   if (!leaf) {
-    out->children.insert(out->children.begin() + idx,
-                         InsertRec(nullptr, tuple, depth + 1));
+    out.children.insert(out.children.begin() + idx,
+                        InsertRec(nullptr, key, depth + 1, arena));
   }
-  return out;
+  return out.Finish(arena);
 }
 
 // Returns the updated node, or nullptr when the union became empty.
-FactPtr DeleteRec(const FactNode& n, const Tuple& tuple, size_t depth,
-                  bool* found) {
-  bool leaf = depth + 1 == tuple.size();
-  int pos = FindValue(n, tuple[depth]);
+FactPtr DeleteRec(const FactNode& n, const std::vector<ValueRef>& key,
+                  size_t depth, bool* found, FactArena& arena) {
+  bool leaf = depth + 1 == key.size();
+  int pos = FindValue(n, key[depth]);
   if (pos < 0) {
     *found = false;
     return nullptr;
   }
-  auto out = std::make_shared<FactNode>();
-  out->values = n.values;
-  out->children = n.children;
+  FactBuilder out;
+  out.values.assign(n.values.begin(), n.values.end());
+  out.children.assign(n.children.begin(), n.children.end());
   if (leaf) {
     *found = true;
-    out->values.erase(out->values.begin() + pos);
+    out.values.erase(out.values.begin() + pos);
   } else {
-    FactPtr updated = DeleteRec(*out->children[pos], tuple, depth + 1, found);
+    FactPtr updated =
+        DeleteRec(*n.children[pos], key, depth + 1, found, arena);
     if (!*found) return nullptr;
     if (updated == nullptr) {
       // The branch below emptied: drop this entry too.
-      out->values.erase(out->values.begin() + pos);
-      out->children.erase(out->children.begin() + pos);
+      out.values.erase(out.values.begin() + pos);
+      out.children.erase(out.children.begin() + pos);
     } else {
-      out->children[pos] = std::move(updated);
+      out.children[pos] = updated;
     }
   }
-  if (out->values.empty()) return nullptr;
-  return out;
+  if (out.values.empty()) return nullptr;
+  return out.Finish(arena);
 }
 
 }  // namespace
 
 void InsertTuple(Factorisation* f, const Tuple& tuple) {
   PathChain(f->tree(), tuple.size());  // shape validation
+  std::vector<ValueRef> key;
+  key.reserve(tuple.size());
+  ValueDict& dict = f->dict();
+  for (const Value& v : tuple) key.push_back(dict.Encode(v));
   const FactNode* root =
-      f->empty() ? nullptr : f->roots().empty() ? nullptr
-                                                : f->roots()[0].get();
-  f->mutable_roots()[0] = InsertRec(root, tuple, 0);
+      f->empty() ? nullptr : f->roots().empty() ? nullptr : f->roots()[0];
+  f->mutable_roots()[0] = InsertRec(root, key, 0, f->ArenaForWrite());
 }
 
 bool DeleteTuple(Factorisation* f, const Tuple& tuple) {
   PathChain(f->tree(), tuple.size());
   if (f->empty()) return false;
+  std::optional<std::vector<ValueRef>> key =
+      TryEncodeTuple(f->dict(), tuple);
+  if (!key.has_value()) return false;  // contains a value never stored
   bool found = false;
-  FactPtr updated = DeleteRec(*f->roots()[0], tuple, 0, &found);
+  FactPtr updated =
+      DeleteRec(*f->roots()[0], *key, 0, &found, f->ArenaForWrite());
   if (!found) return false;
-  f->mutable_roots()[0] = updated == nullptr ? MakeLeaf({}) : updated;
+  f->mutable_roots()[0] =
+      updated == nullptr ? FactArena::EmptyNode() : updated;
   return true;
 }
 
 bool ContainsTuple(const Factorisation& f, const Tuple& tuple) {
   PathChain(f.tree(), tuple.size());
   if (f.empty()) return false;
-  const FactNode* n = f.roots()[0].get();
-  for (size_t depth = 0; depth < tuple.size(); ++depth) {
-    int pos = FindValue(*n, tuple[depth]);
+  std::optional<std::vector<ValueRef>> key = TryEncodeTuple(f.dict(), tuple);
+  if (!key.has_value()) return false;
+  const FactNode* n = f.roots()[0];
+  for (size_t depth = 0; depth < key->size(); ++depth) {
+    int pos = FindValue(*n, (*key)[depth]);
     if (pos < 0) return false;
-    if (depth + 1 < tuple.size()) n = n->children[pos].get();
+    if (depth + 1 < key->size()) n = n->children[pos];
   }
   return true;
 }

@@ -75,6 +75,9 @@ Relation ReadCsv(std::istream& in, Database* db) {
     for (const std::string& c : cells) row.push_back(ParseCell(c));
     rel.Add(std::move(row));
   }
+  // String cells are bulk-interned downstream (Database::AddRelation and
+  // the trie builder both pre-intern in sorted order), so no per-cell
+  // dictionary work happens here.
   return rel;
 }
 

@@ -8,6 +8,15 @@
 namespace fdb {
 
 void Database::AddRelation(const std::string& name, Relation rel) {
+  // Bulk-intern incoming string cells in sorted order so dictionary codes
+  // stay (mostly) rank-append-only when views are factorised later.
+  std::vector<std::string_view> strs;
+  for (const Tuple& row : rel.rows()) {
+    for (const Value& v : row) {
+      if (v.is_string()) strs.push_back(v.as_string());
+    }
+  }
+  if (!strs.empty()) dict_->InternBulk(std::move(strs));
   relations_.insert_or_assign(name, std::move(rel));
 }
 

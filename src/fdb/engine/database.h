@@ -2,11 +2,13 @@
 #define FDB_ENGINE_DATABASE_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "fdb/core/factorisation.h"
 #include "fdb/relational/relation.h"
+#include "fdb/relational/value_dict.h"
 
 namespace fdb {
 
@@ -17,6 +19,13 @@ class Database {
  public:
   AttributeRegistry& registry() { return reg_; }
   const AttributeRegistry& registry() const { return reg_; }
+
+  /// The value dictionary encoding this database's factorised singletons.
+  /// Currently every database shares the process-default dictionary (codes
+  /// are process-wide, so factorisations remain comparable across
+  /// databases); the handle is the seam for per-database isolation later.
+  ValueDict& dict() { return *dict_; }
+  const ValueDict& dict() const { return *dict_; }
 
   /// Interns `name` in the registry (convenience).
   AttrId Attr(const std::string& name) { return reg_.Intern(name); }
@@ -38,6 +47,9 @@ class Database {
 
  private:
   AttributeRegistry reg_;
+  // Non-owning alias of the immortal process-default dictionary.
+  std::shared_ptr<ValueDict> dict_{std::shared_ptr<ValueDict>(),
+                                   &ValueDict::Default()};
   std::map<std::string, Relation> relations_;
   std::map<std::string, Factorisation> views_;
 };

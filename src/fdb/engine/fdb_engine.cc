@@ -79,7 +79,7 @@ Relation FullAggregation(const Factorisation& f, const BoundQuery& q) {
   } else {
     std::vector<std::pair<int, const FactNode*>> parts;
     for (size_t r = 0; r < f.roots().size(); ++r) {
-      parts.emplace_back(f.tree().roots()[r], f.roots()[r].get());
+      parts.emplace_back(f.tree().roots()[r], f.roots()[r]);
     }
     for (const AggTask& t : q.tasks) {
       row.push_back(EvalAggregateProduct(f.tree(), parts, t));

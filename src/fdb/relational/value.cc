@@ -54,18 +54,10 @@ std::string Value::ToString() const {
 }
 
 size_t Value::Hash() const {
-  if (is_null()) return 0x9e3779b97f4a7c15ull;
-  if (is_int()) return std::hash<int64_t>()(as_int());
-  if (is_double()) {
-    double d = as_double();
-    // Make hash(2.0) == hash(2) so mixed int/double keys that compare equal
-    // hash equally.
-    if (d == std::floor(d) && std::abs(d) < 9.2e18) {
-      return std::hash<int64_t>()(static_cast<int64_t>(d));
-    }
-    return std::hash<double>()(d);
-  }
-  return std::hash<std::string>()(as_string());
+  if (is_null()) return value_hash::OfNull();
+  if (is_int()) return value_hash::OfInt(as_int());
+  if (is_double()) return value_hash::OfDouble(as_double());
+  return value_hash::OfString(as_string());
 }
 
 std::ostream& operator<<(std::ostream& os, const Value& v) {

@@ -1,13 +1,35 @@
 #ifndef FDB_RELATIONAL_VALUE_H_
 #define FDB_RELATIONAL_VALUE_H_
 
+#include <cmath>
 #include <compare>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <variant>
 
 namespace fdb {
+
+/// Shared hash primitives: Value::Hash and ValueRef::Hash must produce the
+/// same hash for equal values (including mixed int/double keys that compare
+/// equal, e.g. hash(2.0) == hash(2)), so both implementations route through
+/// these helpers.
+namespace value_hash {
+inline size_t OfNull() { return 0x9e3779b97f4a7c15ull; }
+inline size_t OfInt(int64_t i) { return std::hash<int64_t>()(i); }
+inline size_t OfDouble(double d) {
+  // Make hash(2.0) == hash(2) so mixed int/double keys that compare equal
+  // hash equally.
+  if (d == std::floor(d) && std::abs(d) < 9.2e18) {
+    return OfInt(static_cast<int64_t>(d));
+  }
+  return std::hash<double>()(d);
+}
+inline size_t OfString(const std::string& s) {
+  return std::hash<std::string>()(s);
+}
+}  // namespace value_hash
 
 /// A single database value: null, 64-bit integer, double, or string.
 ///

@@ -68,7 +68,7 @@ TEST(ApplyAggregateTest, LocalAggregationExample1Scenario1) {
   EXPECT_TRUE(f.tree().SatisfiesPathConstraint());
   // The aggregate leaf sits under pizza, in item's former slot.
   EXPECT_EQ(f.tree().parent(ids[0]), p.n_pizza);
-  const FactNode* root = f.roots()[0].get();
+  const FactNode* root = f.roots()[0];
   ASSERT_EQ(root->size(), 3);  // Capricciosa, Hawaii, Margherita (sorted)
   int k = static_cast<int>(f.tree().children(p.n_pizza).size());
   int slot = f.tree().SlotOf(ids[0]);
@@ -96,7 +96,7 @@ TEST(ApplyAggregateTest, Example8RevenuePerCustomer) {
                  {{AggFn::kCount, kInvalidAttr}});
   EXPECT_TRUE(f.Validate());
   // Finally aggregate the whole subtree under customer on the fly.
-  const FactNode* root = f.roots()[0].get();
+  const FactNode* root = f.roots()[0];
   ASSERT_EQ(root->size(), 3);  // Lucia, Mario, Pietro
   const FTree& t = f.tree();
   int kc = static_cast<int>(t.children(p.n_customer).size());
@@ -244,10 +244,10 @@ TEST(EvalAggregateProductTest, CombinesIndependentParts) {
   const FTree& t = f.tree();
   // Parts: the date subtree and the item subtree of the first pizza
   // (Capricciosa): count = 2 × 3 = 6, sum(price) = 8 × 2 = 16.
-  const FactNode* root = f.roots()[0].get();
+  const FactNode* root = f.roots()[0];
   std::vector<std::pair<int, const FactNode*>> parts = {
-      {p.n_date, root->child(0, 2, 0).get()},
-      {p.n_item, root->child(0, 2, 1).get()}};
+      {p.n_date, root->child(0, 2, 0)},
+      {p.n_item, root->child(0, 2, 1)}};
   EXPECT_EQ(EvalAggregateProduct(t, parts, {AggFn::kCount, kInvalidAttr})
                 .as_int(),
             6);

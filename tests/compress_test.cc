@@ -31,8 +31,8 @@ TEST(CompressTest, SharesIdenticalSubtrees) {
   CompressInPlace(&f);
   EXPECT_EQ(f.CountSingletons(), 8);        // logical view unchanged
   EXPECT_EQ(CountStoredSingletons(f), 5);   // 2 + 3 shared once
-  const FactNode* root = f.roots()[0].get();
-  EXPECT_EQ(root->child(0, 1, 0).get(), root->child(1, 1, 0).get());
+  const FactNode* root = f.roots()[0];
+  EXPECT_EQ(root->child(0, 1, 0), root->child(1, 1, 0));
   EXPECT_TRUE(SameSet(f.Flatten(), r, {a, b}, reg));
 }
 
@@ -99,6 +99,36 @@ TEST(CompressTest, WorkloadCompressionRatio) {
   int64_t stored = CountStoredSingletons(f);
   EXPECT_LT(stored, logical);
   EXPECT_EQ(f.CountSingletons(), logical);
+}
+
+TEST(CompressTest, DagSharingOnArenaNodes) {
+  // Compression rebuilds every node into a fresh arena; identical subtrees
+  // collapse to one arena node and the DAG stays valid and enumerable.
+  AttributeRegistry reg;
+  AttrId a = reg.Intern("dga"), b = reg.Intern("dgb"), c = reg.Intern("dgc");
+  Relation r{RelSchema({a, b, c})};
+  for (int64_t x : {1, 2, 3}) {
+    for (int64_t y : {10, 20}) {
+      for (int64_t z : {7, 8, 9}) r.Add(Row({x, y, z}));
+    }
+  }
+  Factorisation f = FactoriseRelation(r, {a, b, c});
+  const auto old_arena = f.arena();
+  CompressInPlace(&f);
+  EXPECT_NE(f.arena(), old_arena);  // full rebuild into a fresh arena
+  // All three a-branches share one b-subtree, whose two entries share one
+  // c-leaf: 3 + 2 + 3 stored singletons.
+  EXPECT_EQ(CountStoredSingletons(f), 8);
+  EXPECT_EQ(f.CountSingletons(), 3 + 3 * (2 + 2 * 3));
+  const FactNode* root = f.roots()[0];
+  EXPECT_EQ(root->child(0, 1, 0), root->child(1, 1, 0));
+  EXPECT_EQ(root->child(1, 1, 0), root->child(2, 1, 0));
+  const FactNode* bu = root->child(0, 1, 0);
+  EXPECT_EQ(bu->child(0, 1, 0), bu->child(1, 1, 0));
+  EXPECT_TRUE(f.Validate());
+  EXPECT_TRUE(SameSet(f.Flatten(), r, {a, b, c}, reg));
+  // The arena only holds the distinct nodes of the DAG.
+  EXPECT_EQ(f.arena()->num_nodes(), 3);
 }
 
 TEST(CompressTest, EmptyFactorisation) {

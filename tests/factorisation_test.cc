@@ -151,7 +151,7 @@ TEST(FactorisationTest, ToStringSmallExpression) {
 TEST(FactorisationTest, CopyIsCheapAndShared) {
   Pizzeria p = MakePizzeria();
   Factorisation copy = p.view();  // shares all FactNodes
-  EXPECT_EQ(copy.roots()[0].get(), p.view().roots()[0].get());
+  EXPECT_EQ(copy.roots()[0], p.view().roots()[0]);
   EXPECT_EQ(copy.CountSingletons(), 26);
 }
 

@@ -84,8 +84,8 @@ TEST(IoTest, SharedSubexpressionsWrittenOnce) {
   Factorisation g = ReadFactorisation(in, &reg);
   EXPECT_EQ(g.CountTuples(), 12);
   // Sharing survives the round trip (references, not copies).
-  EXPECT_EQ(g.roots()[0]->child(0, 1, 0).get(),
-            g.roots()[0]->child(1, 1, 0).get());
+  EXPECT_EQ(g.roots()[0]->child(0, 1, 0),
+            g.roots()[0]->child(1, 1, 0));
 }
 
 TEST(IoTest, StringValuesWithSpaces) {

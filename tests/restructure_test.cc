@@ -20,11 +20,12 @@ TEST(RewriteAtNodeTest, RewritesEveryInstance) {
   Pizzeria p = MakePizzeria();
   Factorisation f = p.view();
   int count = 0;
+  FactArena& arena = f.ArenaForWrite();
   RewriteInFactorisation(&f, p.n_price, [&](const FactNode& n) {
     ++count;
-    auto out = std::make_shared<FactNode>();
-    out->values = n.values;
-    return out;
+    FactBuilder out;
+    out.values.assign(n.values.begin(), n.values.end());
+    return out.Finish(arena);
   });
   EXPECT_EQ(count, 7);  // one price union per item occurrence
   EXPECT_TRUE(f.Validate());
@@ -35,7 +36,7 @@ TEST(RewriteAtNodeTest, EmptyRewritePrunesUpwards) {
   Factorisation f = p.view();
   // Emptying every item union kills all branches: the relation is empty.
   RewriteInFactorisation(&f, p.n_item, [&](const FactNode&) {
-    return std::make_shared<FactNode>();
+    return FactArena::EmptyNode();
   });
   EXPECT_TRUE(f.empty());
 }
@@ -45,15 +46,17 @@ TEST(RewriteAtNodeTest, PartialPruneKeepsSiblings) {
   Factorisation f = p.view();
   // Remove the value "Friday" from date unions; pizzas whose only date was
   // Friday would vanish (none here: Hawaii has only Friday!).
+  FactArena& arena = f.ArenaForWrite();
+  ValueRef friday = f.dict().Encode(Value("Friday"));
   RewriteInFactorisation(&f, p.n_date, [&](const FactNode& n) {
-    auto out = std::make_shared<FactNode>();
+    FactBuilder out;
     int k = 1;  // date has one child (customer)
     for (int i = 0; i < n.size(); ++i) {
-      if (n.values[i] == Value("Friday")) continue;
-      out->values.push_back(n.values[i]);
-      out->children.push_back(n.child(i, k, 0));
+      if (n.values[i] == friday) continue;
+      out.values.push_back(n.values[i]);
+      out.children.push_back(n.child(i, k, 0));
     }
-    return out;
+    return out.Finish(arena);
   });
   EXPECT_TRUE(f.Validate());
   // Hawaii had only Friday orders: it must be pruned entirely.

@@ -47,11 +47,11 @@ TEST(SwapTest, SwapSharesIndependentSubtrees) {
   // the same FactNode objects are reachable afterwards.
   Pizzeria p = MakePizzeria();
   Factorisation f = p.view();
-  const FactNode* root_before = f.roots()[0].get();
+  const FactNode* root_before = f.roots()[0];
   // Collect item-subtree pointers before the swap (slot 1 under pizza).
   std::vector<const FactNode*> items_before;
   for (int i = 0; i < root_before->size(); ++i) {
-    items_before.push_back(root_before->child(i, 2, 1).get());
+    items_before.push_back(root_before->child(i, 2, 1));
   }
   ApplySwap(&f, p.n_date);
   // After χ(pizza,date), pizza unions hang below date; find the item kids.
@@ -59,13 +59,13 @@ TEST(SwapTest, SwapSharesIndependentSubtrees) {
   int slot_pizza = t.SlotOf(p.n_pizza);
   int slot_item = t.SlotOf(p.n_item);
   std::vector<const FactNode*> items_after;
-  const FactNode* date_union = f.roots()[0].get();
+  const FactNode* date_union = f.roots()[0];
   int kd = static_cast<int>(t.children(p.n_date).size());
   int kp = static_cast<int>(t.children(p.n_pizza).size());
   for (int i = 0; i < date_union->size(); ++i) {
-    const FactNode* pz = date_union->child(i, kd, slot_pizza).get();
+    const FactNode* pz = date_union->child(i, kd, slot_pizza);
     for (int j = 0; j < pz->size(); ++j) {
-      items_after.push_back(pz->child(j, kp, slot_item).get());
+      items_after.push_back(pz->child(j, kp, slot_item));
     }
   }
   for (const FactNode* n : items_after) {
@@ -94,7 +94,7 @@ TEST(SwapTest, SwapLeafAggregatesStaysSorted) {
   int nb = f.tree().NodeOfAttr(b);
   ApplySwap(&f, nb);
   EXPECT_TRUE(f.Validate());
-  const FactNode* root = f.roots()[0].get();
+  const FactNode* root = f.roots()[0];
   ASSERT_EQ(root->size(), 2);
   EXPECT_EQ(root->values[0].as_int(), 3);
   EXPECT_EQ(root->values[1].as_int(), 9);

@@ -73,9 +73,9 @@ TEST_F(UpdateTest, InsertIntoEmptyView) {
 }
 
 TEST_F(UpdateTest, InsertSharesUntouchedBranches) {
-  const FactNode* before = view_.roots()[0]->child(1, 1, 0).get();  // a=2
+  const FactNode* before = view_.roots()[0]->child(1, 1, 0);  // a=2
   InsertTuple(&view_, Row({1, 30, 300}));
-  const FactNode* after = view_.roots()[0]->child(1, 1, 0).get();
+  const FactNode* after = view_.roots()[0]->child(1, 1, 0);
   EXPECT_EQ(before, after) << "untouched branch was copied";
 }
 

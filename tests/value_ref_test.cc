@@ -1,0 +1,216 @@
+#include "fdb/relational/value_dict.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace fdb {
+namespace {
+
+std::vector<Value> SampleValues() {
+  return {
+      Value(),
+      Value(static_cast<int64_t>(0)),
+      Value(static_cast<int64_t>(1)),
+      Value(static_cast<int64_t>(-1)),
+      Value(static_cast<int64_t>(42)),
+      Value((int64_t{1} << 47) - 1),   // largest inline int
+      Value(-(int64_t{1} << 47)),      // smallest inline int
+      Value(int64_t{1} << 47),         // big-int pool
+      Value(std::numeric_limits<int64_t>::max()),
+      Value(std::numeric_limits<int64_t>::min()),
+      Value(0.0),
+      Value(-0.0),  // equal to +0.0; must share key and hash
+      Value(2.0),
+      Value(-3.25),
+      Value(1.0e300),
+      Value(-1.0e300),
+      Value(std::numeric_limits<double>::infinity()),
+      Value(-std::numeric_limits<double>::infinity()),
+      Value("abc"),
+      Value("abd"),
+      Value(""),
+      Value("zebra"),
+      Value("with space"),
+  };
+}
+
+TEST(ValueRefTest, RoundTripAllKinds) {
+  ValueDict& dict = ValueDict::Default();
+  for (const Value& v : SampleValues()) {
+    ValueRef r = dict.Encode(v);
+    Value back = dict.Decode(r);
+    EXPECT_EQ(back, v) << v.ToString();
+    EXPECT_EQ(r.is_null(), v.is_null());
+    EXPECT_EQ(r.is_int(), v.is_int());
+    EXPECT_EQ(r.is_double(), v.is_double());
+    EXPECT_EQ(r.is_string(), v.is_string());
+    if (v.is_int()) EXPECT_EQ(r.as_int(), v.as_int());
+    if (v.is_double()) EXPECT_DOUBLE_EQ(r.as_double(), v.as_double());
+    if (v.is_string()) EXPECT_EQ(r.as_string(), v.as_string());
+  }
+}
+
+TEST(ValueRefTest, NanIsCanonicalisedButStaysADouble) {
+  ValueDict& dict = ValueDict::Default();
+  ValueRef r = dict.Encode(Value(std::nan("")));
+  EXPECT_TRUE(r.is_double());
+  EXPECT_TRUE(std::isnan(r.as_double()));
+  EXPECT_TRUE(std::isnan(dict.Decode(r).as_double()));
+}
+
+TEST(ValueRefTest, OrderingMatchesBoxedValueOnAllPairs) {
+  ValueDict& dict = ValueDict::Default();
+  std::vector<Value> vals = SampleValues();
+  std::vector<ValueRef> refs;
+  for (const Value& v : vals) refs.push_back(dict.Encode(v));
+  for (size_t i = 0; i < vals.size(); ++i) {
+    for (size_t j = 0; j < vals.size(); ++j) {
+      EXPECT_EQ(vals[i] <=> vals[j], refs[i] <=> refs[j])
+          << vals[i].ToString() << " vs " << vals[j].ToString();
+      EXPECT_EQ(vals[i] == vals[j], refs[i] == refs[j])
+          << vals[i].ToString() << " vs " << vals[j].ToString();
+    }
+  }
+}
+
+TEST(ValueRefTest, MixedIntDoubleCompareNumerically) {
+  ValueDict& dict = ValueDict::Default();
+  ValueRef two_i = dict.Encode(Value(static_cast<int64_t>(2)));
+  ValueRef two_d = dict.Encode(Value(2.0));
+  ValueRef three_i = dict.Encode(Value(static_cast<int64_t>(3)));
+  EXPECT_EQ(two_i, two_d);
+  EXPECT_TRUE((two_i <=> two_d) == std::strong_ordering::equal);
+  EXPECT_TRUE((two_d <=> three_i) == std::strong_ordering::less);
+  EXPECT_TRUE((three_i <=> two_d) == std::strong_ordering::greater);
+}
+
+TEST(ValueRefTest, HashEqualityParityWithValue) {
+  ValueDict& dict = ValueDict::Default();
+  for (const Value& v : SampleValues()) {
+    EXPECT_EQ(dict.Encode(v).Hash(), v.Hash()) << v.ToString();
+  }
+  // Mixed int/double keys that compare equal hash equally.
+  EXPECT_EQ(dict.Encode(Value(2.0)).Hash(),
+            dict.Encode(Value(static_cast<int64_t>(2))).Hash());
+}
+
+TEST(ValueRefTest, EvalCmpRefParity) {
+  ValueDict& dict = ValueDict::Default();
+  std::vector<Value> vals = SampleValues();
+  for (const Value& a : vals) {
+    for (const Value& b : vals) {
+      for (CmpOp op : {CmpOp::kEq, CmpOp::kNe, CmpOp::kLt, CmpOp::kLe,
+                       CmpOp::kGt, CmpOp::kGe}) {
+        EXPECT_EQ(EvalCmp(a, op, b),
+                  EvalCmpRef(dict.Encode(a), op, dict.Encode(b)))
+            << a.ToString() << " " << CmpOpName(op) << " " << b.ToString();
+      }
+    }
+  }
+}
+
+TEST(ValueRefTest, EightBytePod) {
+  static_assert(sizeof(ValueRef) == 8);
+  static_assert(std::is_trivially_copyable_v<ValueRef>);
+}
+
+TEST(ValueDictTest, CodesStableUnderOutOfOrderInsertsRanksReorder) {
+  ValueDict d;
+  uint32_t m = d.Intern("mango");
+  uint32_t a = d.Intern("apple");   // out of order: splices before mango
+  uint32_t z = d.Intern("zucchini");
+  uint32_t c = d.Intern("cherry");  // out of order again
+  // Codes are stable insertion ids...
+  EXPECT_EQ(d.str(m), "mango");
+  EXPECT_EQ(d.str(a), "apple");
+  EXPECT_EQ(d.str(z), "zucchini");
+  EXPECT_EQ(d.str(c), "cherry");
+  // ...while ranks always reflect lexicographic order.
+  EXPECT_LT(d.rank(a), d.rank(c));
+  EXPECT_LT(d.rank(c), d.rank(m));
+  EXPECT_LT(d.rank(m), d.rank(z));
+  // Re-interning returns the existing code.
+  EXPECT_EQ(d.Intern("apple"), a);
+  EXPECT_EQ(d.num_strings(), 4u);
+}
+
+TEST(ValueDictTest, OrderPreservationUnderIncrementalInserts) {
+  ValueDict d;
+  std::vector<std::string> words = {"pear",  "kiwi", "fig",    "banana",
+                                    "grape", "date", "orange", "apple",
+                                    "melon", "lime"};
+  for (const std::string& w : words) d.Intern(w);
+  std::vector<std::string> sorted = words;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i + 1 < sorted.size(); ++i) {
+    uint32_t ca = *d.Find(sorted[i]);
+    uint32_t cb = *d.Find(sorted[i + 1]);
+    EXPECT_LT(d.rank(ca), d.rank(cb)) << sorted[i] << " < " << sorted[i + 1];
+  }
+}
+
+TEST(ValueDictTest, InternBulkMatchesIncremental) {
+  ValueDict d;
+  std::vector<std::string> words = {"c", "a", "b", "a", "d"};
+  std::vector<std::string_view> views(words.begin(), words.end());
+  d.InternBulk(std::move(views));
+  EXPECT_EQ(d.num_strings(), 4u);
+  EXPECT_LT(d.rank(*d.Find("a")), d.rank(*d.Find("b")));
+  EXPECT_LT(d.rank(*d.Find("b")), d.rank(*d.Find("c")));
+  EXPECT_LT(d.rank(*d.Find("c")), d.rank(*d.Find("d")));
+  // A later out-of-order insert keeps everything consistent.
+  d.Intern("aa");
+  EXPECT_LT(d.rank(*d.Find("a")), d.rank(*d.Find("aa")));
+  EXPECT_LT(d.rank(*d.Find("aa")), d.rank(*d.Find("b")));
+}
+
+TEST(ValueDictTest, TryEncodeNeverInserts) {
+  ValueDict d;
+  EXPECT_FALSE(d.TryEncode(Value("unseen")).has_value());
+  EXPECT_FALSE(d.TryEncode(Value(int64_t{1} << 60)).has_value());
+  EXPECT_EQ(d.num_strings(), 0u);
+  // Inline values always encode.
+  EXPECT_TRUE(d.TryEncode(Value(static_cast<int64_t>(7))).has_value());
+  EXPECT_TRUE(d.TryEncode(Value(1.5)).has_value());
+  EXPECT_TRUE(d.TryEncode(Value()).has_value());
+  d.Intern("seen");
+  EXPECT_TRUE(d.TryEncode(Value("seen")).has_value());
+}
+
+TEST(ValueDictTest, PrivateDictCompareUsesOwnRanks) {
+  ValueDict d;
+  ValueRef b = d.Encode(Value("bravo"));
+  ValueRef a = d.Encode(Value("alpha"));  // out-of-order insert
+  EXPECT_EQ(d.Compare(a, b), std::strong_ordering::less);
+  EXPECT_EQ(d.Compare(b, a), std::strong_ordering::greater);
+  EXPECT_EQ(d.Compare(a, a), std::strong_ordering::equal);
+  // Numeric comparisons (inline and big-int pool) also resolve locally.
+  ValueRef big = d.Encode(Value(std::numeric_limits<int64_t>::max()));
+  ValueRef small = d.Encode(Value(static_cast<int64_t>(5)));
+  EXPECT_EQ(d.Compare(small, big), std::strong_ordering::less);
+  EXPECT_EQ(d.Compare(d.Encode(Value()), small), std::strong_ordering::less);
+}
+
+TEST(ValueRefTest, OrderKeyIsMonotone) {
+  ValueDict& dict = ValueDict::Default();
+  std::vector<Value> vals = SampleValues();
+  std::vector<ValueRef> refs;
+  for (const Value& v : vals) refs.push_back(dict.Encode(v));
+  for (const ValueRef& a : refs) {
+    for (const ValueRef& b : refs) {
+      if (a.OrderKey() < b.OrderKey()) {
+        EXPECT_TRUE((a <=> b) == std::strong_ordering::less)
+            << a.ToString() << " vs " << b.ToString();
+      }
+      if (a == b) EXPECT_EQ(a.OrderKey(), b.OrderKey());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fdb
