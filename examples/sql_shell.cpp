@@ -4,10 +4,13 @@
 // the \rdb toggle.
 //
 // Usage: sql_shell [scale]               (default scale 2)
-// Commands:  \rdb      toggle evaluation with the relational baseline
-//            \plan     toggle printing the f-plan
-//            \stats    per-node union statistics of the view R1
-//            \q        quit
+// Commands:  \rdb           toggle evaluation with the relational baseline
+//            \plan          toggle printing the f-plan
+//            \stats         per-node union statistics of the view R1
+//            \save <path>   snapshot the whole database to a *.fdbs file
+//            \open <path>   replace the database with a saved snapshot
+//                           (views reopen lazily, zero-copy via mmap)
+//            \q             quit
 
 #include <cstdlib>
 #include <iostream>
@@ -50,7 +53,34 @@ int main(int argc, char** argv) {
       continue;
     }
     if (line == "\\stats") {
-      std::cout << FactStatsToString(*db.view("R1"), db.registry());
+      // After \open the database may lack a view named R1.
+      const Factorisation* r1 = db.view("R1");
+      if (r1 != nullptr) {
+        std::cout << FactStatsToString(*r1, db.registry());
+      } else {
+        std::cout << "error: no view R1 in the current database\n";
+      }
+      continue;
+    }
+    if (line.rfind("\\save ", 0) == 0 || line.rfind("\\open ", 0) == 0) {
+      std::string path = line.substr(6);
+      try {
+        if (line[1] == 's') {
+          db.Save(path);
+          std::cout << "saved to " << path << "\n";
+        } else {
+          db = Database::Open(path);
+          std::cout << "opened " << path << " — views:";
+          for (const std::string& v : db.ViewNames()) std::cout << " " << v;
+          std::cout << "; relations:";
+          for (const std::string& r : db.RelationNames()) {
+            std::cout << " " << r;
+          }
+          std::cout << "\n";
+        }
+      } catch (const std::exception& e) {
+        std::cout << "error: " << e.what() << "\n";
+      }
       continue;
     }
     try {

@@ -73,7 +73,8 @@ int64_t CountStoredRec(const FactNode* n,
 
 void CompressInPlace(Factorisation* f) {
   // Compression rebuilds every reachable node, so the result lives in a
-  // fresh arena and drops the (possibly much larger) source arena.
+  // fresh arena and drops the (possibly much larger) source arena —
+  // ReplaceArena also resets the generational-compaction watermark.
   auto arena = std::make_shared<FactArena>();
   Compressor c(*arena);
   for (FactPtr& root : f->mutable_roots()) {

@@ -18,6 +18,11 @@ namespace fdb {
 /// they may simply re-duplicate shared nodes they rewrite. Only memory and
 /// cache footprint shrink: repeated subexpressions (e.g. identical price
 /// lists under many packages) are stored once.
+///
+/// Like Factorisation::Compact (which copies without canonicalising),
+/// compression rebuilds every live node into a fresh arena, so it doubles
+/// as a generational compaction step: dead node versions are dropped and
+/// the live-size watermark used by MaybeCompact is reset.
 void CompressInPlace(Factorisation* f);
 
 /// The number of singletons physically stored, counting each shared

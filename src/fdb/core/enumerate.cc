@@ -9,7 +9,7 @@ namespace fdb {
 
 Enumerator::Enumerator(const Factorisation& f, std::vector<int> visit_order,
                        std::vector<SortDir> dirs)
-    : f_(&f) {
+    : f_(&f), arena_(f.arena()), roots_(f.roots()) {
   if (visit_order.size() != dirs.size()) {
     throw std::invalid_argument("Enumerator: order/dirs size mismatch");
   }
@@ -57,7 +57,7 @@ Enumerator::Enumerator(const Factorisation& f)
 void Enumerator::Reset(int p) {
   Pos& pos = order_[p];
   if (pos.parent_pos < 0) {
-    pos.cur = f_->roots()[pos.slot];
+    pos.cur = roots_[pos.slot];
   } else {
     const Pos& par = order_[pos.parent_pos];
     pos.cur = par.cur->child(par.idx, par.k, pos.slot);

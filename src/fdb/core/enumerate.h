@@ -20,6 +20,14 @@ namespace fdb {
 /// lexicographic order of the visit sequence, honouring the per-node
 /// direction (ascending or descending); by Theorem 2 this realises any
 /// order-by list whose attributes sit suitably high in the f-tree.
+///
+/// The enumerator snapshots the factorisation at construction: it pins
+/// the arena and captures the root pointers, so persistent updates on the
+/// source (which replace roots and may trigger generational compaction,
+/// retiring old arenas) cannot invalidate an enumeration in progress — it
+/// keeps enumerating the construction-time version. The Factorisation
+/// object must still outlive the enumerator, and restructuring its f-tree
+/// mid-enumeration remains unsupported.
 class Enumerator {
  public:
   /// `visit_order` must contain every live node exactly once, parents before
@@ -70,6 +78,11 @@ class Enumerator {
   void Reset(int p);
 
   const Factorisation* f_;
+  // Construction-time snapshot: the arena pin keeps the nodes alive
+  // across compaction, the captured roots keep Reset() off roots swapped
+  // in (and possibly compacted away) by later updates.
+  std::shared_ptr<const FactArena> arena_;
+  std::vector<FactPtr> roots_;
   std::vector<Pos> order_;
   RelSchema schema_;
   bool started_ = false;

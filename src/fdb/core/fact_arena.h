@@ -68,9 +68,16 @@ struct FactNode {
 /// union scan touches one contiguous block instead of three heap objects.
 /// Allocation never frees individually: operators append new versions and
 /// whole arenas die with the last Factorisation that references them.
+/// Long op/update chains reclaim dead versions via generational compaction
+/// (Factorisation::Compact copies the live roots into a fresh arena).
+///
+/// storage::MappedArena subclasses this to serve nodes straight out of an
+/// mmapped snapshot segment; new nodes allocated into such an arena (e.g.
+/// by updates on an opened view) land in ordinary heap chunks as usual.
 class FactArena {
  public:
   FactArena() = default;
+  virtual ~FactArena() = default;
   FactArena(const FactArena&) = delete;
   FactArena& operator=(const FactArena&) = delete;
 
@@ -93,6 +100,13 @@ class FactArena {
   int64_t bytes_used() const { return bytes_; }
   int64_t num_nodes() const { return nodes_; }
 
+ protected:
+  // Subclasses with out-of-chunk node storage (MappedArena) account for it
+  // here so bytes_used()/num_nodes() stay meaningful for stats and the
+  // compaction policy.
+  int64_t bytes_ = 0;
+  int64_t nodes_ = 0;
+
  private:
   void* Allocate(size_t bytes);
 
@@ -103,8 +117,6 @@ class FactArena {
   std::vector<std::shared_ptr<const FactArena>> parents_;
   size_t used_ = 0;
   size_t cap_ = 0;
-  int64_t bytes_ = 0;
-  int64_t nodes_ = 0;
 };
 
 /// Scratch vectors for assembling one union before freezing it into an

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <sstream>
+#include <unordered_map>
 
 namespace fdb {
 namespace {
@@ -42,6 +43,51 @@ FactArena& Factorisation::ArenaForWrite() {
   if (arena_ != nullptr) fresh->Adopt(arena_);
   arena_ = std::move(fresh);
   return *arena_;
+}
+
+namespace {
+
+// Recursion depth is the f-tree height, not the data size.
+FactPtr CopyInto(FactPtr n, FactArena& arena,
+                 std::unordered_map<FactPtr, FactPtr>* copied) {
+  if (n->values.empty() && n->children.empty()) {
+    return FactArena::EmptyNode();
+  }
+  auto it = copied->find(n);
+  if (it != copied->end()) return it->second;
+  std::vector<FactPtr> kids;
+  kids.reserve(n->children.size());
+  for (FactPtr c : n->children) kids.push_back(CopyInto(c, arena, copied));
+  FactPtr out = arena.NewNode(n->values.ptr, n->values.len, kids.data(),
+                              kids.size());
+  copied->emplace(n, out);
+  return out;
+}
+
+// Below this much garbage a compaction copy costs more than it frees.
+constexpr int64_t kCompactSlackBytes = 64 << 10;
+
+}  // namespace
+
+void Factorisation::Compact() {
+  auto fresh = std::make_shared<FactArena>();
+  std::unordered_map<FactPtr, FactPtr> copied;
+  for (FactPtr& r : roots_) {
+    if (r != nullptr) r = CopyInto(r, *fresh, &copied);
+  }
+  ReplaceArena(std::move(fresh));
+}
+
+bool Factorisation::MaybeCompact() {
+  if (arena_ == nullptr) return false;
+  int64_t used = arena_->bytes_used();
+  if (compacted_bytes_ < 0) {
+    compacted_bytes_ = used;
+    return false;
+  }
+  if (used <= 4 * compacted_bytes_ + kCompactSlackBytes) return false;
+  Compact();
+  return true;
 }
 
 bool Factorisation::empty() const {

@@ -66,10 +66,29 @@ class Factorisation {
   FactArena& ArenaForWrite();
 
   /// Replaces the attached arena wholesale. Only valid when every root
-  /// points into `arena` (e.g. after a full rebuild such as compression).
+  /// points into `arena` (e.g. after a full rebuild such as compression or
+  /// compaction). Records the arena's size as the live-data watermark that
+  /// MaybeCompact() measures garbage against.
   void ReplaceArena(std::shared_ptr<FactArena> arena) {
     arena_ = std::move(arena);
+    compacted_bytes_ = arena_ == nullptr ? 0 : arena_->bytes_used();
   }
+
+  /// Generational compaction: copies every node reachable from the roots
+  /// into a fresh arena and drops the old one (and, transitively, every
+  /// arena it kept alive), so dead node versions left behind by persistent
+  /// updates and op chains stop pinning memory. DAG sharing is preserved
+  /// (shared subexpressions are copied once); the represented relation is
+  /// unchanged. Copies of this factorisation that share the old arena keep
+  /// it alive and are unaffected.
+  void Compact();
+
+  /// Compacts when the attached arena has grown past 4x the last known
+  /// live size (plus fixed slack, so small views never bother). The first
+  /// call on a never-compacted factorisation records the current size as
+  /// the baseline — a freshly built arena holds no garbage. Returns true
+  /// if it compacted. Called by the update path after each mutation.
+  bool MaybeCompact();
 
   /// The value dictionary used by this factorisation's ValueRefs.
   ValueDict& dict() const { return ValueDict::Default(); }
@@ -105,6 +124,8 @@ class Factorisation {
   FTree tree_;
   std::vector<FactPtr> roots_;
   std::shared_ptr<FactArena> arena_;
+  // Live bytes at the last compaction/rebuild; -1 = never measured.
+  int64_t compacted_bytes_ = -1;
 };
 
 }  // namespace fdb

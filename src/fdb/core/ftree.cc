@@ -380,6 +380,80 @@ void FTree::RestoreWiring(const std::vector<bool>& alive,
   roots_ = std::move(roots);
 }
 
+FTree FTree::Restore(std::vector<RestoredNode> nodes, std::vector<int> roots,
+                     AttributeRegistry* reg) {
+  FTree tree;
+  for (RestoredNode& n : nodes) {
+    if (n.agg.has_value()) {
+      std::sort(n.agg->over.begin(), n.agg->over.end());
+      tree.AddAggregateNode(std::move(*n.agg), -1);
+    } else if (n.attrs.empty()) {
+      // Only tombstoned nodes may have lost their class; a live one would
+      // leak the placeholder into schemas.
+      if (n.alive) {
+        throw std::invalid_argument(
+            "FTree::Restore: live atomic node without attributes");
+      }
+      tree.AddNode({reg->Intern("__tombstone")}, -1);
+    } else {
+      tree.AddNode(std::move(n.attrs), -1);
+    }
+  }
+  std::vector<bool> alive;
+  std::vector<int> parents;
+  std::vector<std::vector<int>> children;
+  for (RestoredNode& n : nodes) {
+    alive.push_back(n.alive);
+    parents.push_back(n.parent);
+    children.push_back(std::move(n.children));
+  }
+  tree.RestoreWiring(alive, parents, children, std::move(roots));
+  std::string why;
+  if (!tree.ValidateWiring(&why)) {
+    throw std::invalid_argument("FTree::Restore: inconsistent wiring: " + why);
+  }
+  return tree;
+}
+
+bool FTree::ValidateWiring(std::string* why) const {
+  auto fail = [why](const std::string& what) {
+    if (why) *why = what;
+    return false;
+  };
+  int n = num_nodes();
+  std::vector<bool> seen(nodes_.size(), false);
+  // Iterative DFS: corrupt input may chain thousands of nodes in a line.
+  std::vector<int> stack;
+  for (int r : roots_) {
+    if (r < 0 || r >= n) return fail("root id out of range");
+    if (nodes_[r].parent != -1) return fail("root with a parent");
+    if (seen[r]) return fail("duplicate root");
+    seen[r] = true;
+    stack.push_back(r);
+  }
+  while (!stack.empty()) {
+    int u = stack.back();
+    stack.pop_back();
+    if (!nodes_[u].alive) return fail("dead node reachable from a root");
+    for (int c : nodes_[u].children) {
+      if (c < 0 || c >= n) return fail("child id out of range");
+      if (nodes_[c].parent != u) return fail("child/parent mismatch");
+      if (seen[c]) return fail("node reached twice (shared or cyclic)");
+      seen[c] = true;
+      stack.push_back(c);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    if (nodes_[i].alive && !seen[i]) {
+      return fail("live node unreachable from the roots");
+    }
+    if (!nodes_[i].alive && !nodes_[i].children.empty()) {
+      return fail("tombstoned node with children");
+    }
+  }
+  return true;
+}
+
 void FTree::RenameAggregate(int u, AttrId new_id) {
   FTreeNode& n = nodes_[u];
   if (!n.is_aggregate()) {

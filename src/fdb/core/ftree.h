@@ -155,13 +155,45 @@ class FTree {
   /// Renames the aggregate attribute of node `u` to fresh id `new_id`.
   void RenameAggregate(int u, AttrId new_id);
 
-  /// Deserialisation support (core/io.cc): overwrites liveness, parentage,
-  /// child order and the root list wholesale. All vectors must be sized to
-  /// num_nodes(); the caller guarantees structural consistency.
+  /// Deserialisation support (core/io.cc, storage/): overwrites liveness,
+  /// parentage, child order and the root list wholesale. All vectors must
+  /// be sized to num_nodes(); callers restoring untrusted input must run
+  /// ValidateWiring() afterwards.
   void RestoreWiring(const std::vector<bool>& alive,
                      const std::vector<int>& parents,
                      const std::vector<std::vector<int>>& children,
                      std::vector<int> roots);
+
+  /// One deserialised node as parsed by a reader (core/io.cc text format,
+  /// storage/ snapshots): either an aggregate (agg set) or an atomic class
+  /// (attrs; empty means a tombstoned node that lost its class).
+  struct RestoredNode {
+    bool alive = true;
+    int parent = -1;
+    std::optional<AggregateLabel> agg;
+    std::vector<AttrId> attrs;
+    std::vector<int> children;
+  };
+
+  /// Rebuilds a forest from deserialised nodes: creates them in id order
+  /// (preserving ids), restores wiring wholesale and validates it with
+  /// ValidateWiring. `agg.over` sets are re-sorted defensively; tombstoned
+  /// atomic nodes that lost their class get a placeholder interned in
+  /// `reg` (never observed through the public API). Readers keep their
+  /// format-specific parsing and range checks; the rebuild-and-validate
+  /// dance lives only here. Throws std::invalid_argument on inconsistent
+  /// wiring.
+  static FTree Restore(std::vector<RestoredNode> nodes,
+                       std::vector<int> roots, AttributeRegistry* reg);
+
+  /// Structural soundness check for wiring read from untrusted input:
+  /// all root/child ids in range, roots live with parent -1, every child's
+  /// parent field matches, each node reached at most once (no sharing, no
+  /// cycles), every live node reachable from the roots, and tombstoned
+  /// nodes childless. Guarantees that the traversal/ancestor walks used by
+  /// the rest of the engine terminate. Returns false and fills *why on
+  /// violation; never indexes out of range itself.
+  bool ValidateWiring(std::string* why = nullptr) const;
 
   /// Renders the forest, e.g. for test diagnostics.
   std::string ToString(const AttributeRegistry& reg) const;

@@ -65,6 +65,13 @@ class Cursor {
     }
   }
 
+  /// A non-negative element count.
+  int64_t Count() {
+    int64_t n = Int();
+    if (n < 0) Corrupt("negative count");
+    return n;
+  }
+
   Value ReadValue() {
     SkipSpace();
     if (i_ >= s_.size()) Corrupt("expected value");
@@ -75,21 +82,36 @@ class Cursor {
       case 'i': {
         size_t start = i_;
         while (i_ < s_.size() && s_[i_] != ' ') ++i_;
-        return Value(
-            static_cast<int64_t>(std::stoll(s_.substr(start, i_ - start))));
+        try {
+          return Value(
+              static_cast<int64_t>(std::stoll(s_.substr(start, i_ - start))));
+        } catch (...) {
+          Corrupt("bad integer value");
+        }
       }
       case 'd': {
         size_t start = i_;
         while (i_ < s_.size() && s_[i_] != ' ') ++i_;
-        return Value(std::stod(s_.substr(start, i_ - start)));
+        try {
+          return Value(std::stod(s_.substr(start, i_ - start)));
+        } catch (...) {
+          Corrupt("bad double value");
+        }
       }
       case 's': {
         size_t start = i_;
         while (i_ < s_.size() && s_[i_] != ':') ++i_;
         if (i_ >= s_.size()) Corrupt("unterminated string length");
-        size_t len = std::stoull(s_.substr(start, i_ - start));
+        size_t len = 0;
+        try {
+          len = std::stoull(s_.substr(start, i_ - start));
+        } catch (...) {
+          Corrupt("bad string length");
+        }
         ++i_;  // ':'
-        if (i_ + len > s_.size()) Corrupt("string runs past end of line");
+        if (len > s_.size() || i_ + len > s_.size()) {
+          Corrupt("string runs past end of line");
+        }
         std::string payload = s_.substr(i_, len);
         i_ += len;
         return Value(std::move(payload));
@@ -185,41 +207,38 @@ Factorisation ReadFactorisation(std::istream& in, AttributeRegistry* reg) {
 
   Cursor header(NextLine(in));
   if (header.Token() != "nodes") Corrupt("expected 'nodes'");
-  int64_t num_nodes = header.Int();
+  int64_t num_nodes = header.Count();
 
-  // Rebuild the tree through its public API in two passes: create the
-  // nodes in id order (AddNode assigns sequential ids), then fix parents
-  // and child order, liveness, roots and edges via a fresh construction.
-  struct RawNode {
-    bool alive;
-    int parent;
-    bool is_agg;
-    AggregateLabel agg;
-    std::vector<AttrId> attrs;
-    std::vector<int> children;
-  };
-  std::vector<RawNode> raw(static_cast<size_t>(num_nodes));
+  // Parse node records into FTree::RestoredNodes; the rebuild-and-validate
+  // step is shared with the snapshot reader (FTree::Restore). Grown per
+  // record read, so a corrupt count fails at EOF instead of attempting a
+  // giant allocation up front.
+  std::vector<FTree::RestoredNode> raw;
   for (int64_t i = 0; i < num_nodes; ++i) {
     Cursor c(NextLine(in));
     if (c.Token() != "node") Corrupt("expected 'node'");
-    RawNode& n = raw[i];
+    FTree::RestoredNode& n = raw.emplace_back();
     n.alive = c.Int() != 0;
-    n.parent = static_cast<int>(c.Int());
+    int64_t parent = c.Int();
+    if (parent < -1 || parent >= num_nodes) Corrupt("parent out of range");
+    n.parent = static_cast<int>(parent);
     std::string kind = c.Token();
     if (kind == "agg") {
-      n.is_agg = true;
-      n.agg.fn = static_cast<AggFn>(c.Int());
-      std::string src = c.Token();
-      n.agg.source = src == "-" ? kInvalidAttr : reg->Intern(src);
-      n.agg.id = reg->Intern(c.Token());
-      int64_t over = c.Int();
-      for (int64_t k = 0; k < over; ++k) {
-        n.agg.over.push_back(reg->Intern(c.Token()));
+      AggregateLabel& agg = n.agg.emplace();
+      int64_t fn = c.Int();
+      if (fn < 0 || fn > static_cast<int64_t>(AggFn::kMax)) {
+        Corrupt("unknown aggregate function");
       }
-      std::sort(n.agg.over.begin(), n.agg.over.end());
+      agg.fn = static_cast<AggFn>(fn);
+      std::string src = c.Token();
+      agg.source = src == "-" ? kInvalidAttr : reg->Intern(src);
+      agg.id = reg->Intern(c.Token());
+      int64_t over = c.Count();
+      for (int64_t k = 0; k < over; ++k) {
+        agg.over.push_back(reg->Intern(c.Token()));
+      }
     } else if (kind == "atomic") {
-      n.is_agg = false;
-      int64_t na = c.Int();
+      int64_t na = c.Count();
       for (int64_t k = 0; k < na; ++k) {
         n.attrs.push_back(reg->Intern(c.Token()));
       }
@@ -228,55 +247,39 @@ Factorisation ReadFactorisation(std::istream& in, AttributeRegistry* reg) {
     }
     Cursor cc(NextLine(in));
     if (cc.Token() != "children") Corrupt("expected 'children'");
-    int64_t nc = cc.Int();
+    int64_t nc = cc.Count();
     for (int64_t k = 0; k < nc; ++k) {
-      n.children.push_back(static_cast<int>(cc.Int()));
+      int64_t child = cc.Int();
+      if (child < 0 || child >= num_nodes) Corrupt("child id out of range");
+      n.children.push_back(static_cast<int>(child));
     }
   }
   Cursor roots_line(NextLine(in));
   if (roots_line.Token() != "roots") Corrupt("expected 'roots'");
-  int64_t nroots = roots_line.Int();
+  int64_t nroots = roots_line.Count();
   std::vector<int> root_nodes;
   for (int64_t k = 0; k < nroots; ++k) {
-    root_nodes.push_back(static_cast<int>(roots_line.Int()));
+    int64_t r = roots_line.Int();
+    if (r < 0 || r >= num_nodes) Corrupt("root id out of range");
+    root_nodes.push_back(static_cast<int>(r));
   }
 
-  // Create all nodes with their final ids. Tombstoned or reparented nodes
-  // are created as roots first, then wired below via the raw description.
-  FTree tree;
-  for (int64_t i = 0; i < num_nodes; ++i) {
-    if (raw[i].is_agg) {
-      tree.AddAggregateNode(raw[i].agg, -1);
-    } else {
-      // Tombstoned atomic nodes may have lost their attrs; give them a
-      // placeholder class (never observed through the public API).
-      std::vector<AttrId> attrs = raw[i].attrs;
-      if (attrs.empty()) attrs.push_back(reg->Intern("__tombstone"));
-      tree.AddNode(attrs, -1);
-    }
-  }
-  {
-    std::vector<bool> alive;
-    std::vector<int> parents;
-    std::vector<std::vector<int>> children;
-    for (const RawNode& n : raw) {
-      alive.push_back(n.alive);
-      parents.push_back(n.parent);
-      children.push_back(n.children);
-    }
-    tree.RestoreWiring(alive, parents, children, root_nodes);
-  }
+  FTree tree = FTree::Restore(std::move(raw), std::move(root_nodes), reg);
 
   Cursor edges_line(NextLine(in));
   if (edges_line.Token() != "edges") Corrupt("expected 'edges'");
-  int64_t nedges = edges_line.Int();
+  int64_t nedges = edges_line.Count();
   for (int64_t e = 0; e < nedges; ++e) {
     std::string line = NextLine(in);
     Cursor c(line);
     if (c.Token() != "edge") Corrupt("expected 'edge'");
     Hyperedge edge;
-    edge.weight = std::stod(c.Token());
-    int64_t na = c.Int();
+    try {
+      edge.weight = std::stod(c.Token());
+    } catch (...) {
+      Corrupt("bad edge weight");
+    }
+    int64_t na = c.Count();
     for (int64_t k = 0; k < na; ++k) {
       edge.attrs.push_back(reg->Intern(c.Token()));
     }
@@ -289,7 +292,7 @@ Factorisation ReadFactorisation(std::istream& in, AttributeRegistry* reg) {
 
   Cursor facts_line(NextLine(in));
   if (facts_line.Token() != "facts") Corrupt("expected 'facts'");
-  int64_t nfacts = facts_line.Int();
+  int64_t nfacts = facts_line.Count();
   auto arena = std::make_shared<FactArena>();
   ValueDict& dict = ValueDict::Default();
   // Parse all fact records first and bulk-intern their string cells in
@@ -299,20 +302,24 @@ Factorisation ReadFactorisation(std::istream& in, AttributeRegistry* reg) {
     std::vector<Value> values;
     std::vector<int64_t> kids;
   };
-  std::vector<RawFact> raw_facts(static_cast<size_t>(nfacts));
+  std::vector<RawFact> raw_facts;
   std::vector<std::string_view> strs;
   for (int64_t i = 0; i < nfacts; ++i) {
     Cursor c(NextLine(in));
     if (c.Token() != "f") Corrupt("expected 'f'");
-    RawFact& rf = raw_facts[i];
-    int64_t nv = c.Int();
+    RawFact& rf = raw_facts.emplace_back();
+    int64_t nv = c.Count();
     for (int64_t k = 0; k < nv; ++k) rf.values.push_back(c.ReadValue());
-    int64_t nc = c.Int();
+    int64_t nc = c.Count();
     for (int64_t k = 0; k < nc; ++k) {
       int64_t ref = c.Int();
       if (ref < 0 || ref >= i) Corrupt("fact reference out of range");
       rf.kids.push_back(ref);
     }
+  }
+  // Collected only once all records are parsed: growing raw_facts above
+  // would invalidate string_views into moved Values.
+  for (const RawFact& rf : raw_facts) {
     for (const Value& v : rf.values) {
       if (v.is_string()) strs.push_back(v.as_string());
     }
@@ -329,7 +336,7 @@ Factorisation ReadFactorisation(std::istream& in, AttributeRegistry* reg) {
   }
   Cursor rd(NextLine(in));
   if (rd.Token() != "rootdata") Corrupt("expected 'rootdata'");
-  int64_t nrd = rd.Int();
+  int64_t nrd = rd.Count();
   std::vector<FactPtr> roots;
   for (int64_t k = 0; k < nrd; ++k) {
     int64_t ref = rd.Int();

@@ -9,9 +9,10 @@ namespace {
 
 // Updates are persistent: each insert/delete copies the root-to-leaf path
 // unions into the factorisation's write arena and the previous versions
-// become unreachable garbage that the arena retains until the whole arena
-// dies (or a CompressInPlace rebuilds into a fresh one). Arena compaction
-// for update-heavy workloads is a ROADMAP open item.
+// become unreachable garbage. Generational compaction keeps that garbage
+// bounded: after every mutation, Factorisation::MaybeCompact copies the
+// live roots into a fresh generation once the arena has grown past 4x the
+// live size, so sustained update chains run in O(live) memory.
 
 // Validates the path shape and returns the node chain root → leaf.
 std::vector<int> PathChain(const FTree& tree, size_t arity) {
@@ -133,6 +134,7 @@ void InsertTuple(Factorisation* f, const Tuple& tuple) {
   const FactNode* root =
       f->empty() ? nullptr : f->roots().empty() ? nullptr : f->roots()[0];
   f->mutable_roots()[0] = InsertRec(root, key, 0, f->ArenaForWrite());
+  f->MaybeCompact();
 }
 
 bool DeleteTuple(Factorisation* f, const Tuple& tuple) {
@@ -147,6 +149,7 @@ bool DeleteTuple(Factorisation* f, const Tuple& tuple) {
   if (!found) return false;
   f->mutable_roots()[0] =
       updated == nullptr ? FactArena::EmptyNode() : updated;
+  f->MaybeCompact();
   return true;
 }
 

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "fdb/storage/snapshot.h"
+
 namespace fdb {
 
 void Database::AddRelation(const std::string& name, Relation rel) {
@@ -31,7 +33,15 @@ void Database::AddView(const std::string& name, Factorisation f) {
 
 const Factorisation* Database::view(const std::string& name) const {
   auto it = views_.find(name);
-  return it == views_.end() ? nullptr : &it->second;
+  if (it != views_.end()) return &it->second;
+  if (snapshot_ != nullptr) {
+    std::optional<Factorisation> f =
+        storage::MaterialiseSnapshotView(*snapshot_, name);
+    if (f.has_value()) {
+      return &views_.emplace(name, *std::move(f)).first->second;
+    }
+  }
+  return nullptr;
 }
 
 std::vector<std::string> Database::RelationNames() const {
@@ -43,6 +53,12 @@ std::vector<std::string> Database::RelationNames() const {
 std::vector<std::string> Database::ViewNames() const {
   std::vector<std::string> out;
   for (const auto& [name, f] : views_) out.push_back(name);
+  if (snapshot_ != nullptr) {
+    for (const auto& [name, desc] : snapshot_->views) {
+      if (views_.find(name) == views_.end()) out.push_back(name);
+    }
+    std::sort(out.begin(), out.end());
+  }
   return out;
 }
 

@@ -12,9 +12,24 @@
 
 namespace fdb {
 
+namespace storage {
+class SnapshotMapping;
+struct SnapshotState;
+}  // namespace storage
+
 /// A database: an attribute registry shared by all relations, flat base
 /// relations, and materialised views stored as factorisations (the
 /// read-optimised scenario of §1/§6). Names are case-sensitive.
+///
+/// Databases persist as single-file binary snapshots (storage/): Save()
+/// writes the whole database, Open() mmaps a snapshot and materialises
+/// views lazily and zero-copy on first access. Copying a Database is
+/// cheap-ish and safe: factorisations share their arenas and an opened
+/// database's copies share the snapshot mapping (each copy materialises
+/// views independently). A view opened from a snapshot keeps the mapping
+/// alive through its arena, and operators that derive new factorisations
+/// from it adopt that arena — so results of ops on mapped views stay
+/// valid after the Database (and the last mapped view) are gone.
 class Database {
  public:
   AttributeRegistry& registry() { return reg_; }
@@ -35,11 +50,28 @@ class Database {
   const Relation* relation(const std::string& name) const;
 
   void AddView(const std::string& name, Factorisation f);
-  /// The named factorised view, or nullptr.
+  /// The named factorised view, or nullptr. On a database opened from a
+  /// snapshot this materialises the view on first access (one fix-up pass
+  /// over the mapped segment; value data is served from the mapping).
   const Factorisation* view(const std::string& name) const;
 
   std::vector<std::string> RelationNames() const;
   std::vector<std::string> ViewNames() const;
+
+  /// Writes the database as a binary snapshot (*.fdbs): registry, value
+  /// dictionary, flat relations and all views. View segments contain only
+  /// nodes reachable from the roots — saved data is always compacted.
+  /// Throws std::invalid_argument on I/O failure.
+  void Save(const std::string& path) const;
+
+  /// Opens a snapshot written by Save(): mmaps the file, decodes catalog,
+  /// registry, dictionary and flat relations eagerly, and defers view
+  /// data to first access. Throws std::invalid_argument on corrupt input.
+  static Database Open(const std::string& path);
+
+  /// Open() on an already-constructed mapping (tests, in-memory buffers).
+  static Database OpenSnapshot(
+      std::shared_ptr<storage::SnapshotMapping> mapping);
 
   /// Builds a flat relation from rows of int64 values (test/bench helper).
   Relation MakeRelation(const std::vector<std::string>& attrs,
@@ -51,7 +83,10 @@ class Database {
   std::shared_ptr<ValueDict> dict_{std::shared_ptr<ValueDict>(),
                                    &ValueDict::Default()};
   std::map<std::string, Relation> relations_;
-  std::map<std::string, Factorisation> views_;
+  // Materialised views; mutable so view() can lazily admit snapshot views.
+  mutable std::map<std::string, Factorisation> views_;
+  // Set when this database was opened from a snapshot; shared with copies.
+  std::shared_ptr<storage::SnapshotState> snapshot_;
 };
 
 /// Chooses an f-tree for the natural join of `relations` (used when a query

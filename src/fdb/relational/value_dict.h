@@ -50,6 +50,8 @@ class ValueRef {
   bool is_double() const { return !is_boxed() || top16() == kTagNaN; }
   bool is_string() const { return top16() == kTagStr; }
   bool is_numeric() const { return is_int() || is_double(); }
+  /// True for pooled integers (|i| >= 2^47); a subset of is_int().
+  bool is_big_int() const { return top16() == kTagBigInt; }
 
   /// The integer payload. Requires is_int(). Big integers resolve through
   /// the default dictionary's pool.
@@ -60,6 +62,14 @@ class ValueRef {
   const std::string& as_string() const;  // inline below
   /// The dictionary code of a string ref. Requires is_string().
   uint32_t string_code() const { return payload32(); }
+  /// The big-int pool slot of a pooled integer ref. Requires is_big_int().
+  uint32_t big_int_slot() const { return payload32(); }
+
+  /// Rebuilds a string ref from a dictionary code / a pooled-integer ref
+  /// from a pool slot (the storage layer's code-remapping path; everything
+  /// else goes through ValueDict::Encode).
+  static ValueRef StringRef(uint32_t code) { return Boxed(kTagStr, code); }
+  static ValueRef BigIntRef(uint32_t slot) { return Boxed(kTagBigInt, slot); }
 
   /// Numeric view (int widened to double). Requires is_numeric().
   double numeric() const {
@@ -167,6 +177,7 @@ class ValueDict {
 
   uint32_t InternBigInt(int64_t v);
   int64_t big_int(uint32_t slot) const { return big_ints_[slot]; }
+  size_t num_big_ints() const { return big_ints_.size(); }
 
   // --- boxed <-> ref ------------------------------------------------------
 

@@ -1,0 +1,55 @@
+#include "fdb/storage/mapped_arena.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace fdb {
+namespace storage {
+
+std::shared_ptr<SnapshotMapping> SnapshotMapping::FromFile(
+    const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::invalid_argument("snapshot: cannot open " + path);
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+    ::close(fd);
+    throw std::invalid_argument("snapshot: cannot stat (or empty) " + path);
+  }
+  size_t size = static_cast<size_t>(st.st_size);
+  void* p = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference
+  if (p == MAP_FAILED) {
+    throw std::invalid_argument("snapshot: mmap failed for " + path);
+  }
+  auto m = std::shared_ptr<SnapshotMapping>(new SnapshotMapping());
+  m->data_ = static_cast<std::byte*>(p);
+  m->size_ = size;
+  m->mapped_ = true;
+  return m;
+}
+
+std::shared_ptr<SnapshotMapping> SnapshotMapping::FromBuffer(const void* data,
+                                                             size_t size) {
+  auto m = std::shared_ptr<SnapshotMapping>(new SnapshotMapping());
+  m->owned_ = std::make_unique<std::byte[]>(size);  // new[]: 8-aligned
+  if (size > 0) std::memcpy(m->owned_.get(), data, size);
+  m->data_ = m->owned_.get();
+  m->size_ = size;
+  return m;
+}
+
+SnapshotMapping::~SnapshotMapping() {
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(data_, size_);
+  }
+}
+
+}  // namespace storage
+}  // namespace fdb

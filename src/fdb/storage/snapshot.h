@@ -1,0 +1,84 @@
+#ifndef FDB_STORAGE_SNAPSHOT_H_
+#define FDB_STORAGE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fdb/core/ftree.h"
+#include "fdb/storage/mapped_arena.h"
+
+namespace fdb {
+
+class Database;
+class Factorisation;
+
+namespace storage {
+
+/// Serialises the whole database — registry, value dictionary, flat
+/// relations, and every factorised view — into the snapshot format
+/// (storage/format.h). View segments contain exactly the nodes reachable
+/// from the roots, so a snapshot is always compacted regardless of how
+/// much garbage the in-memory arenas carry.
+std::string SerialiseDatabase(const Database& db);
+
+/// Writes SerialiseDatabase(db) to `path`. Throws std::invalid_argument
+/// if the file cannot be written.
+void SaveSnapshot(const Database& db, const std::string& path);
+
+/// Everything an opened Database shares with the views it has yet to
+/// materialise. Held by shared_ptr: copies of the Database share the
+/// mapping and the dictionary remap tables, and each copy materialises
+/// views independently (the one-time value-pool remap is guarded by the
+/// shared per-view flag).
+struct SnapshotState {
+  std::shared_ptr<SnapshotMapping> mapping;
+
+  // Snapshot-local string ids are save-time ranks; pooled-int ids are
+  // save-time slots. These tables take them to codes/slots of the live
+  // process dictionary; when they are the identity (e.g. opening in a
+  // fresh process) the value pools are served without a single write.
+  std::vector<uint32_t> string_codes;
+  std::vector<uint32_t> bigint_slots;
+  bool strings_identity = true;
+  bool bigints_identity = true;
+
+  struct ViewDesc {
+    FTree tree;
+    uint64_t nodes_off = 0;
+    uint64_t roots_off = 0;
+    uint64_t values_off = 0;
+    uint64_t children_off = 0;
+    uint64_t num_nodes = 0;
+    uint64_t num_values = 0;
+    uint64_t num_children = 0;
+    uint64_t num_roots = 0;
+    bool fixed_up = false;  ///< value pool validated and remapped once
+  };
+  std::map<std::string, ViewDesc> views;
+};
+
+/// Parses the snapshot in `mapping` eagerly up to the view catalog:
+/// registry and dictionary are interned into the process state, flat
+/// relations are decoded, f-trees are rebuilt and validated. View data
+/// segments are only range-checked; their nodes materialise lazily via
+/// MaterialiseSnapshotView. Throws std::invalid_argument on any corrupt
+/// or truncated input.
+std::shared_ptr<SnapshotState> ParseSnapshot(
+    std::shared_ptr<SnapshotMapping> mapping, Database* db);
+
+/// Materialises one view out of the snapshot: a single fix-up pass turns
+/// the segment's node records into FactNodes (value spans zero-copy into
+/// the mapping, child offsets widened to pointers) backed by a
+/// MappedArena that keeps the mapping alive. Returns std::nullopt if the
+/// snapshot has no view of that name.
+std::optional<Factorisation> MaterialiseSnapshotView(SnapshotState& state,
+                                                     const std::string& name);
+
+}  // namespace storage
+}  // namespace fdb
+
+#endif  // FDB_STORAGE_SNAPSHOT_H_

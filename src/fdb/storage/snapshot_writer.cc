@@ -1,0 +1,311 @@
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "fdb/core/factorisation.h"
+#include "fdb/engine/database.h"
+#include "fdb/storage/format.h"
+#include "fdb/storage/snapshot.h"
+
+namespace fdb {
+namespace storage {
+namespace {
+
+[[noreturn]] void TooLarge(const std::string& what) {
+  throw std::invalid_argument("snapshot: " + what +
+                              " exceeds the 32-bit segment limit");
+}
+
+/// Append-only byte buffer with little bookkeeping for patching the
+/// header and section table once all offsets are known. Multi-byte
+/// appends go through memcpy, so the buffer itself needs no alignment;
+/// Align8() keeps the *file offsets* of pools and section starts aligned
+/// (the reader serves value pools in place, straight from the mapping).
+class Buf {
+ public:
+  template <typename T>
+  void Pod(const T& v) {
+    const char* p = reinterpret_cast<const char*>(&v);
+    b_.append(p, sizeof(T));
+  }
+  void U8(uint8_t v) { Pod(v); }
+  void U32(uint32_t v) { Pod(v); }
+  void U64(uint64_t v) { Pod(v); }
+  void I32(int32_t v) { Pod(v); }
+  void I64(int64_t v) { Pod(v); }
+  void F64(double v) { Pod(v); }
+  void Str32(const std::string& s) {
+    if (s.size() > std::numeric_limits<uint32_t>::max()) TooLarge("string");
+    U32(static_cast<uint32_t>(s.size()));
+    b_.append(s);
+  }
+  void Bytes(const void* p, size_t n) {
+    b_.append(static_cast<const char*>(p), n);
+  }
+  void Align8() { b_.append((8 - b_.size() % 8) % 8, '\0'); }
+
+  template <typename T>
+  void PatchAt(size_t offset, const T& v) {
+    std::memcpy(b_.data() + offset, &v, sizeof(T));
+  }
+
+  size_t size() const { return b_.size(); }
+  std::string Take() { return std::move(b_); }
+
+ private:
+  std::string b_;
+};
+
+void WriteValueCell(Buf* out, const Value& v) {
+  if (v.is_null()) {
+    out->U8(kValNull);
+  } else if (v.is_int()) {
+    out->U8(kValInt);
+    out->I64(v.as_int());
+  } else if (v.is_double()) {
+    out->U8(kValDouble);
+    out->F64(v.as_double());
+  } else {
+    out->U8(kValString);
+    out->Str32(v.as_string());
+  }
+}
+
+void WriteFTree(Buf* out, const FTree& tree) {
+  out->U32(static_cast<uint32_t>(tree.num_nodes()));
+  for (int i = 0; i < tree.num_nodes(); ++i) {
+    const FTreeNode& n = tree.node(i);
+    out->U8(n.alive ? 1 : 0);
+    out->U8(n.is_aggregate() ? 1 : 0);
+    out->I32(n.parent);
+    if (n.is_aggregate()) {
+      out->U8(static_cast<uint8_t>(n.agg->fn));
+      out->I32(n.agg->source);
+      out->I32(n.agg->id);
+      out->U32(static_cast<uint32_t>(n.agg->over.size()));
+      for (AttrId a : n.agg->over) out->I32(a);
+    } else {
+      out->U32(static_cast<uint32_t>(n.attrs.size()));
+      for (AttrId a : n.attrs) out->I32(a);
+    }
+    out->U32(static_cast<uint32_t>(n.children.size()));
+    for (int c : n.children) out->I32(c);
+  }
+  out->U32(static_cast<uint32_t>(tree.roots().size()));
+  for (int r : tree.roots()) out->I32(r);
+  out->U32(static_cast<uint32_t>(tree.edges().size()));
+  for (const Hyperedge& e : tree.edges()) {
+    out->F64(e.weight);
+    out->U32(static_cast<uint32_t>(e.attrs.size()));
+    for (AttrId a : e.attrs) out->I32(a);
+    out->Str32(e.name);
+  }
+}
+
+/// Flattens one view's live data into the relocatable segment arrays:
+/// children-first node order (so child indices always point backwards),
+/// DAG sharing preserved via the memo, per-node pool ranges contiguous.
+/// String refs are rewritten to save-time ranks and pooled-int refs keep
+/// their save-time slots — both snapshot-local ids that the reader maps
+/// back to live dictionary codes.
+class SegmentBuilder {
+ public:
+  explicit SegmentBuilder(const ValueDict& dict) : dict_(dict) {}
+
+  int64_t Emit(FactPtr n) {
+    auto it = index_.find(n);
+    if (it != index_.end()) return it->second;
+    std::vector<int64_t> kid_ids;
+    kid_ids.reserve(n->children.size());
+    for (FactPtr c : n->children) kid_ids.push_back(Emit(c));
+
+    NodeRec rec;
+    if (values_.size() > std::numeric_limits<uint32_t>::max() ||
+        children_.size() > std::numeric_limits<uint32_t>::max()) {
+      TooLarge("view data");
+    }
+    rec.value_off = static_cast<uint32_t>(values_.size());
+    rec.num_values = static_cast<uint32_t>(n->values.size());
+    rec.child_off = static_cast<uint32_t>(children_.size());
+    rec.num_children = static_cast<uint32_t>(n->children.size());
+    for (const ValueRef& v : n->values) {
+      ValueRef stored = v;
+      if (v.is_string()) {
+        stored = ValueRef::StringRef(dict_.rank(v.string_code()));
+      }
+      values_.push_back(stored.bits());
+    }
+    for (int64_t k : kid_ids) {
+      children_.push_back(static_cast<uint32_t>(k));
+    }
+    if (nodes_.size() > std::numeric_limits<uint32_t>::max()) {
+      TooLarge("node count");
+    }
+    int64_t id = static_cast<int64_t>(nodes_.size());
+    nodes_.push_back(rec);
+    index_.emplace(n, id);
+    return id;
+  }
+
+  void EmitRoot(FactPtr r) {
+    if (r == nullptr || (r->values.empty() && r->children.empty())) {
+      roots_.push_back(-1);
+    } else {
+      roots_.push_back(Emit(r));
+    }
+  }
+
+  void WriteTo(Buf* out) const {
+    out->Align8();
+    SegmentHeader h;
+    h.num_nodes = nodes_.size();
+    h.num_values = values_.size();
+    h.num_children = children_.size();
+    h.num_roots = roots_.size();
+    out->Pod(h);
+    out->Bytes(nodes_.data(), nodes_.size() * sizeof(NodeRec));
+    out->Bytes(roots_.data(), roots_.size() * sizeof(int64_t));
+    out->Bytes(values_.data(), values_.size() * sizeof(uint64_t));
+    out->Bytes(children_.data(), children_.size() * sizeof(uint32_t));
+    out->Align8();
+  }
+
+ private:
+  const ValueDict& dict_;
+  std::unordered_map<FactPtr, int64_t> index_;
+  std::vector<NodeRec> nodes_;
+  std::vector<int64_t> roots_;
+  std::vector<uint64_t> values_;
+  std::vector<uint32_t> children_;
+};
+
+}  // namespace
+
+std::string SerialiseDatabase(const Database& db) {
+  const ValueDict& dict = db.dict();
+  Buf out;
+
+  FileHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.version = kVersion;
+  header.endian = kEndianProbe;
+  header.section_count = 5;
+  out.Pod(header);
+
+  const uint32_t kinds[5] = {kSectionRegistry, kSectionDictStrings,
+                             kSectionDictBigInts, kSectionRelations,
+                             kSectionViews};
+  size_t table_at = out.size();
+  for (uint32_t kind : kinds) {
+    SectionEntry e{kind, 0, 0, 0};
+    out.Pod(e);
+  }
+
+  size_t offsets[5];
+  size_t sizes[5];
+  for (int s = 0; s < 5; ++s) {
+    out.Align8();
+    offsets[s] = out.size();
+    switch (kinds[s]) {
+      case kSectionRegistry: {
+        const AttributeRegistry& reg = db.registry();
+        out.U64(static_cast<uint64_t>(reg.size()));
+        for (AttrId id = 0; id < reg.size(); ++id) out.Str32(reg.Name(id));
+        break;
+      }
+      case kSectionDictStrings: {
+        // In rank order: the snapshot-local id of a string is its rank.
+        size_t n = dict.num_strings();
+        std::vector<uint32_t> by_rank(n);
+        for (uint32_t code = 0; code < n; ++code) {
+          by_rank[dict.rank(code)] = code;
+        }
+        out.U64(n);
+        for (uint32_t code : by_rank) out.Str32(dict.str(code));
+        break;
+      }
+      case kSectionDictBigInts: {
+        out.U64(dict.num_big_ints());
+        for (uint32_t i = 0; i < dict.num_big_ints(); ++i) {
+          out.I64(dict.big_int(i));
+        }
+        break;
+      }
+      case kSectionRelations: {
+        std::vector<std::string> names = db.RelationNames();
+        out.U64(names.size());
+        for (const std::string& name : names) {
+          const Relation& rel = *db.relation(name);
+          out.Str32(name);
+          out.U64(static_cast<uint64_t>(rel.schema().arity()));
+          for (AttrId a : rel.schema().attrs()) out.I32(a);
+          out.U64(static_cast<uint64_t>(rel.size()));
+          for (const Tuple& row : rel.rows()) {
+            for (const Value& v : row) WriteValueCell(&out, v);
+          }
+        }
+        break;
+      }
+      case kSectionViews: {
+        std::vector<std::string> names = db.ViewNames();
+        out.U64(names.size());
+        for (const std::string& name : names) {
+          const Factorisation& f = *db.view(name);
+          out.Str32(name);
+          WriteFTree(&out, f.tree());
+          SegmentBuilder seg(dict);
+          for (FactPtr r : f.roots()) seg.EmitRoot(r);
+          seg.WriteTo(&out);
+        }
+        break;
+      }
+    }
+    sizes[s] = out.size() - offsets[s];
+  }
+
+  for (int s = 0; s < 5; ++s) {
+    SectionEntry e{kinds[s], 0, offsets[s], sizes[s]};
+    out.PatchAt(table_at + s * sizeof(SectionEntry), e);
+  }
+  header.file_size = out.size();
+  out.PatchAt(0, header);
+  return out.Take();
+}
+
+void SaveSnapshot(const Database& db, const std::string& path) {
+  std::string bytes = SerialiseDatabase(db);
+  // Write-then-rename: the snapshot at `path` is replaced atomically, a
+  // crash mid-write cannot destroy the previous snapshot, and saving over
+  // a currently-mapped snapshot is safe — live MAP_PRIVATE mappings keep
+  // the old inode alive instead of seeing the new bytes (or a SIGBUS past
+  // a shorter file's end).
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::invalid_argument("snapshot: cannot open " + path +
+                                  " for writing");
+    }
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw std::invalid_argument("snapshot: short write to " + path);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::invalid_argument("snapshot: cannot replace " + path);
+  }
+}
+
+}  // namespace storage
+
+void Database::Save(const std::string& path) const {
+  storage::SaveSnapshot(*this, path);
+}
+
+}  // namespace fdb

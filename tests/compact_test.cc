@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "fdb/core/build.h"
+#include "fdb/core/compress.h"
+#include "fdb/core/enumerate.h"
+#include "fdb/core/update.h"
+#include "fdb/engine/database.h"
+#include "test_util.h"
+
+namespace fdb {
+namespace {
+
+using testing::Row;
+
+Factorisation MakePathView(Database* db, const std::string& prefix,
+                           int64_t rows) {
+  AttrId a = db->Attr(prefix + "_a"), b = db->Attr(prefix + "_b");
+  Relation r{RelSchema({a, b})};
+  for (int64_t x = 0; x < rows; ++x) r.Add({Value(x), Value(x * 2)});
+  return FactoriseRelation(r, {a, b});
+}
+
+TEST(CompactTest, CompactPreservesDataAndDropsGarbage) {
+  Database db;
+  Factorisation f = MakePathView(&db, "cpd", 30);
+  Relation before = f.Flatten();
+  // Persistent updates leave dead path copies behind.
+  for (int64_t i = 0; i < 50; ++i) {
+    InsertTuple(&f, Row({500 + i, 1}));
+    DeleteTuple(&f, Row({500 + i, 1}));
+  }
+  int64_t dirty = f.arena()->bytes_used();
+  f.Compact();
+  EXPECT_LT(f.arena()->bytes_used(), dirty);
+  EXPECT_TRUE(f.Validate());
+  EXPECT_TRUE(testing::SameBag(f.Flatten(), before, db.registry()));
+}
+
+TEST(CompactTest, CompactPreservesDagSharing) {
+  Database db;
+  AttrId a = db.Attr("cps_a"), b = db.Attr("cps_b");
+  Relation r{RelSchema({a, b})};
+  for (int64_t x : {1, 2, 3, 4}) {
+    for (int64_t y : {10, 20, 30}) r.Add({Value(x), Value(y)});
+  }
+  Factorisation f = FactoriseRelation(r, {a, b});
+  CompressInPlace(&f);
+  int64_t stored = CountStoredSingletons(f);
+  f.Compact();
+  EXPECT_EQ(CountStoredSingletons(f), stored);
+  EXPECT_EQ(f.roots()[0]->child(0, 1, 0), f.roots()[0]->child(1, 1, 0));
+  EXPECT_EQ(f.CountTuples(), 12);
+}
+
+TEST(CompactTest, CompactHandlesEmptyRoots) {
+  Database db;
+  AttrId a = db.Attr("ce_a");
+  FTree t;
+  t.AddNode({a}, -1);
+  Factorisation f(t, {MakeLeaf({})});
+  f.Compact();
+  EXPECT_TRUE(f.empty());
+  EXPECT_EQ(f.CountTuples(), 0);
+}
+
+TEST(CompactTest, SharedArenasStayIntactAcrossCompaction) {
+  Database db;
+  Factorisation f = MakePathView(&db, "csh", 20);
+  Factorisation copy = f;  // shares the arena
+  InsertTuple(&f, Row({999, 999}));
+  f.Compact();
+  // The copy still reads the original arena (kept alive by its own ref).
+  EXPECT_EQ(copy.CountTuples(), 20);
+  EXPECT_EQ(f.CountTuples(), 21);
+  EXPECT_TRUE(ContainsTuple(f, Row({999, 999})));
+  EXPECT_FALSE(ContainsTuple(copy, Row({999, 999})));
+}
+
+TEST(CompactTest, EnumerationSurvivesCompactionMidStream) {
+  // The enumerator pins the arena it started on, so updates that trigger
+  // generational compaction (retiring that arena from the factorisation)
+  // must not invalidate an enumeration in progress.
+  Database db;
+  Factorisation f = MakePathView(&db, "cen", 50);
+  Enumerator e(f);
+  Tuple row(static_cast<size_t>(e.schema().arity()));
+  ASSERT_TRUE(e.Next());
+  e.Fill(&row);
+  // Mutate hard enough that MaybeCompact fires at least once, then force
+  // one more compaction explicitly.
+  for (int64_t i = 0; i < 3000; ++i) {
+    InsertTuple(&f, Row({5000 + (i % 40), i}));
+    DeleteTuple(&f, Row({5000 + (i % 40), i}));
+  }
+  f.Compact();
+  int64_t produced = 1;
+  while (e.Next()) {
+    e.Fill(&row);  // reads the pinned pre-update version; UAF under ASan
+    ++produced;
+  }
+  EXPECT_EQ(produced, 50);
+  EXPECT_EQ(f.CountTuples(), 50);
+
+  // Same guarantee when the first Next() happens only after updates have
+  // already swapped the roots: the enumerator captured the roots at
+  // construction, so it still walks (and keeps alive) that version.
+  Enumerator e2(f);
+  InsertTuple(&f, Row({123456, 1}));
+  for (int64_t i = 0; i < 3000; ++i) {
+    InsertTuple(&f, Row({7000 + (i % 40), i}));
+    DeleteTuple(&f, Row({7000 + (i % 40), i}));
+  }
+  f.Compact();
+  int64_t produced2 = 0;
+  while (e2.Next()) {
+    e2.Fill(&row);
+    ++produced2;
+  }
+  EXPECT_EQ(produced2, 50);  // construction-time version: no 123456 row
+  EXPECT_EQ(f.CountTuples(), 51);
+}
+
+TEST(CompactTest, SustainedUpdatesRunInBoundedMemory) {
+  // The generational trigger in the update path keeps the arena within a
+  // constant factor of the live size: without it this loop would retain
+  // one dead root-to-leaf path copy per operation (tens of MB).
+  Database db;
+  Factorisation f = MakePathView(&db, "csu", 100);
+  for (int64_t i = 0; i < 20000; ++i) {
+    InsertTuple(&f, Row({100000 + (i % 50), i}));
+    DeleteTuple(&f, Row({100000 + (i % 50), i}));
+  }
+  EXPECT_EQ(f.CountTuples(), 100);
+  EXPECT_LT(f.arena()->bytes_used(), int64_t{2} << 20);
+  EXPECT_TRUE(f.Validate());
+}
+
+}  // namespace
+}  // namespace fdb

@@ -145,6 +145,62 @@ TEST(IoTest, CorruptInputsThrow) {
   EXPECT_THROW(ReadFactorisation(bad3, &reg), std::invalid_argument);
 }
 
+// Every index and count in the stream is bounds-checked: out-of-range
+// ids, inconsistent wiring and overflowing literals must all surface as
+// std::invalid_argument, never as a crash or a foreign exception type.
+TEST(IoTest, CorruptIndicesAndCountsThrow) {
+  auto expect_bad = [](const std::string& stream) {
+    AttributeRegistry reg;
+    std::istringstream in(stream);
+    EXPECT_THROW(ReadFactorisation(in, &reg), std::invalid_argument)
+        << stream;
+  };
+  // Negative node count.
+  expect_bad("FDB-FACT 1\nnodes -3\n");
+  // Parent id out of range.
+  expect_bad("FDB-FACT 1\nnodes 1\nnode 1 5 atomic 1 a\nchildren 0\n");
+  // Child id out of range.
+  expect_bad(
+      "FDB-FACT 1\nnodes 1\nnode 1 -1 atomic 1 a\nchildren 1 9\n");
+  // Root id out of range.
+  expect_bad(
+      "FDB-FACT 1\nnodes 1\nnode 1 -1 atomic 1 a\nchildren 0\nroots 1 7\n");
+  // Self-parenting cycle: node 0's child is itself.
+  expect_bad(
+      "FDB-FACT 1\nnodes 1\nnode 1 0 atomic 1 a\nchildren 1 0\n"
+      "roots 1 0\nedges 0\nfacts 0\nrootdata 1 0\n");
+  // Two roots naming the same node.
+  expect_bad(
+      "FDB-FACT 1\nnodes 1\nnode 1 -1 atomic 1 a\nchildren 0\n"
+      "roots 2 0 0\nedges 0\nfacts 0\nrootdata 2 0 0\n");
+  // Child whose parent field disagrees.
+  expect_bad(
+      "FDB-FACT 1\nnodes 2\nnode 1 -1 atomic 1 a\nchildren 1 1\n"
+      "node 1 -1 atomic 1 b\nchildren 0\n"
+      "roots 1 0\nedges 0\nfacts 0\nrootdata 1 0\n");
+  // Unknown aggregate function id.
+  expect_bad(
+      "FDB-FACT 1\nnodes 1\nnode 1 -1 agg 9 - x 0\nchildren 0\n");
+  // Live atomic node without attributes (only tombstones may lose theirs).
+  expect_bad(
+      "FDB-FACT 1\nnodes 1\nnode 1 -1 atomic 0\nchildren 0\n"
+      "roots 1 0\nedges 0\nfacts 0\nrootdata 1 0\n");
+  // Integer literal overflowing int64 inside a value.
+  expect_bad(
+      "FDB-FACT 1\nnodes 1\nnode 1 -1 atomic 1 a\nchildren 0\n"
+      "roots 1 0\nedges 0\nfacts 1\n"
+      "f 1 i99999999999999999999999999 0\nrootdata 1 0\n");
+  // String length overflowing / running past the line.
+  expect_bad(
+      "FDB-FACT 1\nnodes 1\nnode 1 -1 atomic 1 a\nchildren 0\n"
+      "roots 1 0\nedges 0\nfacts 1\n"
+      "f 1 s99999999999999999999:x 0\nrootdata 1 0\n");
+  // Non-numeric edge weight.
+  expect_bad(
+      "FDB-FACT 1\nnodes 1\nnode 1 -1 atomic 1 a\nchildren 0\n"
+      "roots 1 0\nedges 1\nedge pancake 1 a R\n");
+}
+
 TEST(IoTest, FileRoundTripOfWorkloadView) {
   Database db;
   InstallWorkload(&db, SmallParams(1), "R1");

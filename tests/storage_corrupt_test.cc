@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <random>
+#include <string>
+
+#include "fdb/core/build.h"
+#include "fdb/core/compress.h"
+#include "fdb/engine/database.h"
+#include "fdb/storage/format.h"
+#include "fdb/storage/snapshot.h"
+#include "test_util.h"
+
+namespace fdb {
+namespace {
+
+// A small but representative snapshot: strings, a DAG view, a flat
+// relation, several value types.
+std::string MakeSnapshotBytes() {
+  Database db;
+  AttrId a = db.Attr("cor_a"), b = db.Attr("cor_b");
+  Relation r{RelSchema({a, b})};
+  for (int64_t x : {1, 2, 3}) {
+    for (int64_t y : {10, 20}) r.Add({Value(x), Value(y)});
+  }
+  Factorisation f = FactoriseRelation(r, {a, b});
+  CompressInPlace(&f);
+  db.AddView("V", std::move(f));
+  AttrId c = db.Attr("cor_c");
+  Relation s{RelSchema({c})};
+  s.Add({Value("corrupt test string")});
+  s.Add({Value(2.75)});
+  s.Add({Value()});
+  db.AddRelation("S", std::move(s));
+  return storage::SerialiseDatabase(db);
+}
+
+// Opening must either succeed or throw std::invalid_argument — never
+// crash, hang, or surface another exception type. Materialises every
+// view, where most of the bounds checks live.
+enum class OpenResult { kOk, kRejected };
+
+OpenResult TryOpen(const std::string& bytes) {
+  try {
+    Database db = Database::OpenSnapshot(
+        storage::SnapshotMapping::FromBuffer(bytes.data(), bytes.size()));
+    for (const std::string& name : db.ViewNames()) {
+      const Factorisation* v = db.view(name);
+      if (v != nullptr) v->CountTuples();
+    }
+    return OpenResult::kOk;
+  } catch (const std::invalid_argument&) {
+    return OpenResult::kRejected;
+  }
+}
+
+TEST(StorageCorruptTest, IntactSnapshotOpens) {
+  EXPECT_EQ(TryOpen(MakeSnapshotBytes()), OpenResult::kOk);
+}
+
+TEST(StorageCorruptTest, TruncationsAreRejected) {
+  std::string good = MakeSnapshotBytes();
+  // Every truncation changes file_size vs the header, or cuts the header
+  // itself; all must throw.
+  for (size_t len = 0; len < good.size(); len += 7) {
+    EXPECT_EQ(TryOpen(good.substr(0, len)), OpenResult::kRejected)
+        << "truncated to " << len << " of " << good.size();
+  }
+}
+
+TEST(StorageCorruptTest, HeaderFieldCorruptionsAreRejected) {
+  std::string good = MakeSnapshotBytes();
+
+  std::string bad = good;
+  bad[0] = 'X';  // magic
+  EXPECT_EQ(TryOpen(bad), OpenResult::kRejected);
+
+  bad = good;
+  uint32_t version = 99;
+  std::memcpy(bad.data() + 8, &version, sizeof(version));
+  EXPECT_EQ(TryOpen(bad), OpenResult::kRejected);
+
+  bad = good;
+  uint32_t endian = 0x04030201;
+  std::memcpy(bad.data() + 12, &endian, sizeof(endian));
+  EXPECT_EQ(TryOpen(bad), OpenResult::kRejected);
+
+  bad = good;
+  uint64_t size = good.size() + 1;
+  std::memcpy(bad.data() + 16, &size, sizeof(size));
+  EXPECT_EQ(TryOpen(bad), OpenResult::kRejected);
+
+  // Section table entries start right after the 32-byte header; blow up
+  // the first section's offset.
+  bad = good;
+  uint64_t offset = uint64_t{1} << 60;
+  std::memcpy(bad.data() + 32 + 8, &offset, sizeof(offset));
+  EXPECT_EQ(TryOpen(bad), OpenResult::kRejected);
+}
+
+TEST(StorageCorruptTest, ByteFlipFuzzNeverCrashes) {
+  std::string good = MakeSnapshotBytes();
+  std::mt19937 rng(20260730);
+  std::uniform_int_distribution<size_t> pos(0, good.size() - 1);
+  std::uniform_int_distribution<int> bit(0, 7);
+  int rejected = 0;
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string bad = good;
+    bad[pos(rng)] ^= static_cast<char>(1 << bit(rng));
+    if (TryOpen(bad) == OpenResult::kRejected) ++rejected;
+  }
+  // Most flips land in load-bearing bytes; some (value payloads, edge
+  // weights, names) legitimately still parse.
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(StorageCorruptTest, MissingFileThrows) {
+  EXPECT_THROW(Database::Open("/nonexistent/fdb.fdbs"), std::invalid_argument);
+}
+
+TEST(StorageCorruptTest, EmptyBufferThrows) {
+  EXPECT_EQ(TryOpen(std::string()), OpenResult::kRejected);
+}
+
+}  // namespace
+}  // namespace fdb
