@@ -7,6 +7,8 @@
 // Commands:  \rdb           toggle evaluation with the relational baseline
 //            \plan          toggle printing the f-plan
 //            \stats         per-node union statistics of the view R1
+//            \threads N     resize the execution pool (parallel build,
+//                           enumeration and aggregation; 1 = serial)
 //            \save <path>   snapshot the whole database to a *.fdbs file
 //            \open <path>   replace the database with a saved snapshot
 //                           (views reopen lazily, zero-copy via mmap)
@@ -19,6 +21,7 @@
 #include "fdb/core/stats.h"
 #include "fdb/engine/fdb_engine.h"
 #include "fdb/engine/rdb_engine.h"
+#include "fdb/exec/task_pool.h"
 #include "fdb/workload/generator.h"
 
 using namespace fdb;
@@ -50,6 +53,19 @@ int main(int argc, char** argv) {
     }
     if (line == "\\plan") {
       show_plan = !show_plan;
+      continue;
+    }
+    if (line.rfind("\\threads", 0) == 0) {
+      int n = line.size() > 9 ? std::atoi(line.c_str() + 9) : 0;
+      if (n >= 1) {
+        exec::TaskPool::SetDefaultThreads(n);
+        std::cout << "execution pool resized to " << n << " thread"
+                  << (n == 1 ? "" : "s") << "\n";
+      } else {
+        std::cout << "pool width: "
+                  << exec::TaskPool::Default().num_threads()
+                  << " (usage: \\threads N)\n";
+      }
       continue;
     }
     if (line == "\\stats") {

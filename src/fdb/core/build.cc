@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "fdb/core/fact_arena.h"
+#include "fdb/exec/task_pool.h"
 
 namespace fdb {
 namespace {
@@ -29,31 +30,40 @@ struct RelState {
 
 class TrieBuilder {
  public:
-  TrieBuilder(const FTree& tree, const std::vector<const Relation*>& relations,
-              FactArena& arena)
-      : tree_(tree), arena_(arena) {
+  struct Frame {
+    std::vector<RelState> here, waiting, routed;
+    std::vector<int> ends;
+    std::vector<FactPtr> kid_nodes;
+    FactBuilder out;
+  };
+
+  TrieBuilder(const FTree& tree, const std::vector<const Relation*>& relations)
+      : tree_(tree) {
     depth_.assign(tree.num_nodes(), 0);
     for (int n : tree.TopologicalOrder()) {
       depth_[n] = tree.parent(n) < 0 ? 0 : depth_[tree.parent(n)] + 1;
     }
-    frames_.resize(tree.num_nodes() + 1);
     Prepare(relations);
   }
 
-  std::vector<FactPtr> BuildRoots() {
-    std::vector<RelState> states;
-    for (size_t r = 0; r < rels_.size(); ++r) {
-      states.push_back({static_cast<int>(r), 0, 0,
-                        static_cast<int>(rels_[r].num_rows())});
+  // Per-thread build state: the arena new nodes freeze into plus one
+  // scratch frame per recursion depth. The prepared relations and the
+  // f-tree are shared read-only across contexts.
+  struct Ctx {
+    explicit Ctx(const FTree& tree, FactArena* a) : arena(a) {
+      frames.resize(tree.num_nodes() + 1);
     }
+    FactArena* arena;
+    std::vector<Frame> frames;
+  };
+
+  std::vector<FactPtr> BuildRoots(FactArena& arena) {
+    Ctx ctx(tree_, &arena);
     std::vector<FactPtr> roots;
     bool empty = false;
     for (int root : tree_.roots()) {
-      std::vector<RelState> routed;
-      for (const RelState& s : states) {
-        if (NextNodeIn(s, root)) routed.push_back(s);
-      }
-      FactPtr f = BuildNode(root, routed, 0);
+      std::vector<RelState> routed = RouteInitial(root);
+      FactPtr f = BuildNode(root, routed, 0, ctx);
       if (f->values.empty()) empty = true;
       roots.push_back(f);
     }
@@ -64,7 +74,66 @@ class TrieBuilder {
     return roots;
   }
 
+  /// Parallel build: the entries of each root union are scanned up front
+  /// (one leapfrog pass that records, per matched root value, the row
+  /// range of that value's run in every participating relation) and their
+  /// child subtrees are built concurrently, each worker freezing nodes
+  /// into its own private arena. The root unions themselves go into
+  /// `main`, which must Adopt() every arena returned in `*worker_arenas`
+  /// that allocated nodes. The produced factorisation is structurally
+  /// identical to BuildRoots(): value order, pruning decisions and child
+  /// wiring are all decided per candidate, independent of the number of
+  /// threads executing — only which arena holds which subtree differs.
+  std::vector<FactPtr> BuildRootsParallel(
+      exec::TaskPool& pool, FactArena& main,
+      std::vector<std::shared_ptr<FactArena>>* worker_arenas) {
+    int parts = pool.num_threads();
+    std::vector<std::shared_ptr<FactArena>> arenas;
+    std::vector<Ctx> ctxs;
+    ctxs.reserve(parts);
+    for (int p = 0; p < parts; ++p) {
+      arenas.push_back(std::make_shared<FactArena>());
+      ctxs.emplace_back(tree_, arenas[p].get());
+    }
+    std::vector<FactPtr> roots;
+    bool empty = false;
+    for (int root : tree_.roots()) {
+      std::vector<RelState> routed = RouteInitial(root);
+      FactPtr f = BuildRootUnion(root, routed, pool, ctxs, main);
+      if (f->values.empty()) empty = true;
+      roots.push_back(f);
+    }
+    if (empty) {
+      for (FactPtr& r : roots) r = FactArena::EmptyNode();
+    }
+    for (std::shared_ptr<FactArena>& a : arenas) {
+      if (a->num_nodes() > 0) worker_arenas->push_back(std::move(a));
+    }
+    return roots;
+  }
+
+  /// Total prepared input rows — the work estimate FactoriseJoin gates
+  /// the parallel path on (tiny query-time joins stay serial: spinning
+  /// up per-worker arenas costs more than the build).
+  int64_t TotalRows() const {
+    int64_t total = 0;
+    for (const PreparedRel& p : rels_) {
+      total += static_cast<int64_t>(p.num_rows());
+    }
+    return total;
+  }
+
  private:
+  std::vector<RelState> RouteInitial(int root) const {
+    std::vector<RelState> routed;
+    for (size_t r = 0; r < rels_.size(); ++r) {
+      RelState s{static_cast<int>(r), 0, 0,
+                 static_cast<int>(rels_[r].num_rows())};
+      if (NextNodeIn(s, root)) routed.push_back(s);
+    }
+    return routed;
+  }
+
   void Prepare(const std::vector<const Relation*>& relations) {
     ValueDict& dict = ValueDict::Default();
     for (const Relation* rel : relations) {
@@ -126,14 +195,23 @@ class TrieBuilder {
       size_t steps = p.node_path.size();
       size_t nrows = kept.size();
       std::vector<std::vector<ValueRef>> cols(steps);
-      std::vector<uint64_t> rowkeys(nrows * steps);
       for (size_t s = 0; s < steps; ++s) {
         int c = p.node_cols[s][0];
         cols[s].reserve(nrows);
         for (size_t r = 0; r < nrows; ++r) {
-          ValueRef ref = dict.Encode((*kept[r])[c]);
-          cols[s].push_back(ref);
-          rowkeys[r * steps + s] = ref.OrderKey();
+          cols[s].push_back(dict.Encode((*kept[r])[c]));  // may intern
+        }
+      }
+      // The rank keys and every sort consuming them run with rank shifts
+      // frozen: a concurrent out-of-order intern (e.g. InsertTuple on
+      // another view) must not move string ranks between two key reads
+      // or mid-sort. All interning for this relation happened above, and
+      // the freeze is shared — only writers are excluded.
+      auto frozen = dict.FreezeRanks();
+      std::vector<uint64_t> rowkeys(nrows * steps);
+      for (size_t s = 0; s < steps; ++s) {
+        for (size_t r = 0; r < nrows; ++r) {
+          rowkeys[r * steps + s] = cols[s][r].OrderKey();
         }
       }
       // Column-at-a-time run refinement: sort contiguous (key, row) pairs
@@ -231,6 +309,41 @@ class TrieBuilder {
     return lo;
   }
 
+  // One step of the sorted leapfrog intersection, shared by BuildNode
+  // and the parallel root scan so the two paths cannot drift: advances
+  // `here` to the next value every participant agrees on. On true, *cand
+  // is that value, each here[i].lo sits at the start of its run and
+  // ends[i] at the run's end; the caller moves lo to ends[i] once done
+  // with the value. Returns false when any participant is exhausted.
+  bool NextAgreedValue(std::vector<RelState>& here, ValueRef* cand,
+                       std::vector<int>& ends) const {
+    while (true) {
+      for (const RelState& s : here) {
+        if (s.lo >= s.hi) return false;
+      }
+      // Candidate: the maximum of the current heads.
+      ValueRef c = ValueAt(here[0], here[0].lo);
+      for (size_t i = 1; i < here.size(); ++i) {
+        ValueRef v = ValueAt(here[i], here[i].lo);
+        if (c < v) c = v;
+      }
+      // Advance everyone to >= c; restart if someone jumps past it.
+      bool agreed = true;
+      for (RelState& s : here) {
+        s.lo = LowerBound(s, c);
+        if (s.lo >= s.hi || !(ValueAt(s, s.lo) == c)) agreed = false;
+      }
+      if (!agreed) continue;
+      // The end of each participant's run of `c`, computed once and
+      // reused for every child slot and for the final advance.
+      for (size_t i = 0; i < here.size(); ++i) {
+        ends[i] = UpperBound(here[i], c);
+      }
+      *cand = c;
+      return true;
+    }
+  }
+
   // First row in [lo, hi) with column value > v, galloping from the cursor.
   int UpperBound(const RelState& s, ValueRef v) const {
     const ValueRef* col = rels_[s.rel].cols[s.step].data();
@@ -256,10 +369,11 @@ class TrieBuilder {
 
   // Builds the union at node u constrained by `states` (all of which have
   // their next node in u's subtree). Returns a (possibly empty) FactNode
-  // frozen into the arena. Per-depth frames keep all scratch state free of
-  // per-call allocation.
-  FactPtr BuildNode(int u, const std::vector<RelState>& states, int depth) {
-    Frame& fr = frames_[depth];
+  // frozen into the context's arena. Per-depth frames keep all scratch
+  // state free of per-call allocation.
+  FactPtr BuildNode(int u, const std::vector<RelState>& states, int depth,
+                    Ctx& ctx) {
+    Frame& fr = ctx.frames[depth];
     // Split the states into those constraining u itself and the waiters.
     fr.here.clear();
     fr.waiting.clear();
@@ -281,35 +395,8 @@ class TrieBuilder {
     fr.kid_nodes.assign(k, nullptr);
     fr.ends.resize(fr.here.size());
     // Leapfrog-style sorted intersection over the participants.
-    while (true) {
-      bool exhausted = false;
-      for (const RelState& s : fr.here) {
-        if (s.lo >= s.hi) {
-          exhausted = true;
-          break;
-        }
-      }
-      if (exhausted) break;
-      // Candidate: the maximum of the current heads.
-      ValueRef cand = ValueAt(fr.here[0], fr.here[0].lo);
-      for (size_t i = 1; i < fr.here.size(); ++i) {
-        ValueRef v = ValueAt(fr.here[i], fr.here[i].lo);
-        if (cand < v) cand = v;
-      }
-      // Advance everyone to >= cand; restart if someone jumps past it.
-      bool agreed = true;
-      for (RelState& s : fr.here) {
-        s.lo = LowerBound(s, cand);
-        if (s.lo >= s.hi || !(ValueAt(s, s.lo) == cand)) agreed = false;
-      }
-      if (!agreed) continue;
-
-      // The end of each participant's `cand` run, computed once and reused
-      // for every child slot and for the final advance.
-      for (size_t i = 0; i < fr.here.size(); ++i) {
-        fr.ends[i] = UpperBound(fr.here[i], cand);
-      }
-
+    ValueRef cand;
+    while (NextAgreedValue(fr.here, &cand, fr.ends)) {
       // Matched value `cand`: recurse into children with narrowed ranges.
       bool all_ok = true;
       for (int c = 0; c < k && all_ok; ++c) {
@@ -324,7 +411,7 @@ class TrieBuilder {
         for (const RelState& s : fr.waiting) {
           if (NextNodeIn(s, kids[c])) fr.routed.push_back(s);
         }
-        FactPtr f = BuildNode(kids[c], fr.routed, depth + 1);
+        FactPtr f = BuildNode(kids[c], fr.routed, depth + 1, ctx);
         if (f->values.empty()) {
           all_ok = false;
         } else {
@@ -342,30 +429,144 @@ class TrieBuilder {
         fr.here[i].lo = fr.ends[i];
       }
     }
-    return fr.out.Finish(arena_);
+    return fr.out.Finish(*ctx.arena);
   }
 
-  struct Frame {
-    std::vector<RelState> here, waiting, routed;
-    std::vector<int> ends;
-    std::vector<FactPtr> kid_nodes;
-    FactBuilder out;
+  // One matched value of a root union: the row range of its run in every
+  // `here` participant (waiting participants are unconstrained at the
+  // root and shared by all candidates).
+  struct RootCand {
+    ValueRef v;
+    std::vector<std::pair<int, int>> ranges;  // per here-state [lo, hi)
   };
 
+  // Builds the union at root node u like BuildNode, but runs the
+  // value-matching leapfrog as a standalone scan first and then builds
+  // each matched value's child subtrees in parallel across the contexts.
+  // Per-candidate results land in slots indexed by candidate, so the
+  // assembled union is identical no matter how chunks map to threads.
+  FactPtr BuildRootUnion(int u, const std::vector<RelState>& states,
+                         exec::TaskPool& pool, std::vector<Ctx>& ctxs,
+                         FactArena& main) {
+    std::vector<RelState> here, waiting;
+    for (const RelState& s : states) {
+      if (rels_[s.rel].node_path[s.step] == u) {
+        here.push_back(s);
+      } else {
+        waiting.push_back(s);
+      }
+    }
+    if (here.empty()) {
+      throw std::invalid_argument(
+          "FactoriseJoin: f-tree node not covered by any relation");
+    }
+    const std::vector<int>& kids = tree_.children(u);
+    int k = static_cast<int>(kids.size());
+
+    // --- scan: the leapfrog of BuildNode without the recursion ----------
+    std::vector<RootCand> cands;
+    std::vector<int> ends(here.size());
+    ValueRef cand;
+    while (NextAgreedValue(here, &cand, ends)) {
+      RootCand rc;
+      rc.v = cand;
+      rc.ranges.reserve(here.size());
+      for (size_t i = 0; i < here.size(); ++i) {
+        rc.ranges.emplace_back(here[i].lo, ends[i]);
+      }
+      cands.push_back(std::move(rc));
+      for (size_t i = 0; i < here.size(); ++i) here[i].lo = ends[i];
+    }
+
+    // Routing of participants into child slots depends only on (rel,
+    // step), so it is shared by every candidate.
+    std::vector<std::vector<int>> here_route(k);
+    std::vector<std::vector<RelState>> waiting_route(k);
+    for (int c = 0; c < k; ++c) {
+      for (size_t i = 0; i < here.size(); ++i) {
+        RelState t = here[i];
+        t.step++;
+        if (NextNodeIn(t, kids[c])) here_route[c].push_back(int(i));
+      }
+      for (const RelState& s : waiting) {
+        if (NextNodeIn(s, kids[c])) waiting_route[c].push_back(s);
+      }
+    }
+
+    // --- fork: per-candidate subtree builds into worker arenas ----------
+    int64_t n = static_cast<int64_t>(cands.size());
+    std::vector<FactPtr> kid_results(cands.size() * k, nullptr);
+    std::vector<uint8_t> ok(cands.size(), 0);
+    pool.ParallelFor(n, /*grain=*/1, [&](int part, int64_t lo, int64_t hi) {
+      Ctx& ctx = ctxs[part];
+      std::vector<RelState> routed;
+      for (int64_t ci = lo; ci < hi; ++ci) {
+        const RootCand& rc = cands[ci];
+        bool all_ok = true;
+        for (int c = 0; c < k && all_ok; ++c) {
+          routed.clear();
+          for (int i : here_route[c]) {
+            RelState t = here[i];
+            t.step++;
+            t.lo = rc.ranges[i].first;
+            t.hi = rc.ranges[i].second;
+            routed.push_back(t);
+          }
+          routed.insert(routed.end(), waiting_route[c].begin(),
+                        waiting_route[c].end());
+          FactPtr f = BuildNode(kids[c], routed, 0, ctx);
+          if (f->values.empty()) {
+            all_ok = false;
+          } else {
+            kid_results[ci * k + c] = f;
+          }
+        }
+        ok[ci] = all_ok;
+      }
+    });
+
+    // --- join: assemble the root union in candidate order ---------------
+    FactBuilder out;
+    for (size_t ci = 0; ci < cands.size(); ++ci) {
+      if (!ok[ci]) continue;
+      out.values.push_back(cands[ci].v);
+      for (int c = 0; c < k; ++c) {
+        out.children.push_back(kid_results[ci * k + c]);
+      }
+    }
+    return out.Finish(main);
+  }
+
   const FTree& tree_;
-  FactArena& arena_;
   std::vector<int> depth_;
   std::vector<PreparedRel> rels_;
-  std::vector<Frame> frames_;  // one per recursion depth
 };
 
+}  // namespace
+
+namespace {
+// Below this many total input rows a build is too small to fork.
+constexpr int64_t kMinParallelBuildRows = 256;
 }  // namespace
 
 Factorisation FactoriseJoin(const FTree& tree,
                             const std::vector<const Relation*>& relations) {
   auto arena = std::make_shared<FactArena>();
-  TrieBuilder b(tree, relations, *arena);
-  std::vector<FactPtr> roots = b.BuildRoots();
+  TrieBuilder b(tree, relations);
+  exec::TaskPool& pool = exec::TaskPool::Default();
+  std::vector<FactPtr> roots;
+  if (pool.num_threads() > 1 && b.TotalRows() >= kMinParallelBuildRows) {
+    // Root union entries are built concurrently, each worker allocating
+    // into a private arena the result adopts: workers never contend on
+    // allocation, and subtrees handed over stay alive with the result.
+    std::vector<std::shared_ptr<FactArena>> worker_arenas;
+    roots = b.BuildRootsParallel(pool, *arena, &worker_arenas);
+    for (const std::shared_ptr<FactArena>& a : worker_arenas) {
+      arena->Adopt(a);
+    }
+  } else {
+    roots = b.BuildRoots(*arena);
+  }
   return Factorisation(tree, std::move(roots), std::move(arena));
 }
 

@@ -5,6 +5,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "fdb/exec/task_pool.h"
+
 namespace fdb {
 
 Enumerator::Enumerator(const Factorisation& f, std::vector<int> visit_order,
@@ -54,6 +56,20 @@ Enumerator::Enumerator(const Factorisation& f)
                  std::vector<SortDir>(f.tree().TopologicalOrder().size(),
                                       SortDir::kAsc)) {}
 
+void Enumerator::RestrictRoot(int64_t lo, int64_t hi) {
+  if (started_) {
+    throw std::logic_error("Enumerator: RestrictRoot after enumeration began");
+  }
+  root_lo_ = std::max<int64_t>(0, lo);
+  root_hi_ = hi;
+}
+
+// The effective end rank of position 0's window given its current union.
+static int64_t RootWindowEnd(const FactNode& top, int64_t root_hi) {
+  int64_t size = top.size();
+  return root_hi < 0 ? size : std::min(size, root_hi);
+}
+
 void Enumerator::Reset(int p) {
   Pos& pos = order_[p];
   if (pos.parent_pos < 0) {
@@ -62,7 +78,15 @@ void Enumerator::Reset(int p) {
     const Pos& par = order_[pos.parent_pos];
     pos.cur = par.cur->child(par.idx, par.k, pos.slot);
   }
-  pos.idx = pos.dir == SortDir::kAsc ? 0 : pos.cur->size() - 1;
+  if (p == 0) {
+    // Position 0 starts at its window's first rank, not the union's.
+    root_rank_ = root_lo_;
+    pos.idx = pos.dir == SortDir::kAsc
+                  ? static_cast<int>(root_rank_)
+                  : static_cast<int>(pos.cur->size() - 1 - root_rank_);
+  } else {
+    pos.idx = pos.dir == SortDir::kAsc ? 0 : pos.cur->size() - 1;
+  }
 }
 
 bool Enumerator::Next() {
@@ -70,12 +94,18 @@ bool Enumerator::Next() {
   if (!started_) {
     started_ = true;
     changed_from_ = 0;
+    // Check each position right after its Reset, before resetting any
+    // child off it: an empty union (only possible for an empty root,
+    // which f.empty() caught, or an empty root window — stay defensive)
+    // must not be indexed by a dependent Reset.
     for (size_t p = 0; p < order_.size(); ++p) {
       Reset(static_cast<int>(p));
       if (order_[p].cur->values.empty()) {
-        // Only possible for an empty root union; f.empty() caught the
-        // single-root case, but stay defensive.
         done_ = true;
+        return false;
+      }
+      if (p == 0 && root_rank_ >= RootWindowEnd(*order_[0].cur, root_hi_)) {
+        done_ = true;  // empty root window
         return false;
       }
     }
@@ -85,7 +115,11 @@ bool Enumerator::Next() {
   while (p >= 0) {
     Pos& pos = order_[p];
     int next = pos.idx + (pos.dir == SortDir::kAsc ? 1 : -1);
-    if (next >= 0 && next < pos.cur->size()) {
+    bool in_range =
+        p == 0 ? root_rank_ + 1 < RootWindowEnd(*pos.cur, root_hi_)
+               : next >= 0 && next < pos.cur->size();
+    if (in_range) {
+      if (p == 0) ++root_rank_;
       pos.idx = next;
       for (size_t q = p + 1; q < order_.size(); ++q) {
         Reset(static_cast<int>(q));
@@ -194,12 +228,71 @@ void GroupAggEnumerator::Fill(Tuple* out) const {
   }
 }
 
+namespace {
+
+// Below this many top-union entries, forking costs more than it saves.
+constexpr int64_t kMinParallelRootEntries = 64;
+
+// Entries of the union enumeration splits on: position 0's root union.
+// visit_order[0] is always a root (the Enumerator ctor rejects orders
+// listing a child before its parent).
+int64_t RootUnionEntries(const Factorisation& f,
+                         const std::vector<int>& visit_order) {
+  if (visit_order.empty() || f.empty()) return 0;
+  return f.roots()[f.tree().SlotOf(visit_order[0])]->size();
+}
+
+// Splits [0, n) root ranks into a few chunks per pool thread (via
+// ParallelFor's own grain partitioning), runs `fill(chunk_rows, lo, hi)`
+// per chunk, and concatenates the per-chunk rows in rank order. The
+// chunk→thread assignment is dynamic but the output order is rank order
+// regardless.
+void ChunkedEnumerate(
+    exec::TaskPool& pool, int64_t n, Relation* out,
+    const std::function<void(std::vector<Tuple>*, int64_t, int64_t)>& fill) {
+  int64_t chunks = std::min<int64_t>(n, pool.num_threads() * int64_t{4});
+  int64_t grain = (n + chunks - 1) / chunks;
+  std::vector<std::vector<Tuple>> rows((n + grain - 1) / grain);
+  pool.ParallelFor(n, grain, [&](int, int64_t lo, int64_t hi) {
+    fill(&rows[lo / grain], lo, hi);
+  });
+  size_t total = 0;
+  for (const std::vector<Tuple>& chunk : rows) total += chunk.size();
+  out->mutable_rows().reserve(total);
+  for (std::vector<Tuple>& chunk : rows) {
+    for (Tuple& t : chunk) out->Add(std::move(t));
+  }
+}
+
+}  // namespace
+
 Relation EnumerateToRelation(const Factorisation& f,
                              const std::vector<int>& visit_order,
                              const std::vector<SortDir>& dirs,
                              std::optional<int64_t> limit) {
   Enumerator e(f, visit_order, dirs);
   Relation out(e.schema());
+  exec::TaskPool& pool = exec::TaskPool::Default();
+  int64_t top = RootUnionEntries(f, visit_order);
+  if (!limit.has_value() && pool.num_threads() > 1 &&
+      top >= kMinParallelRootEntries) {
+    ChunkedEnumerate(
+        pool, top, &out,
+        [&](std::vector<Tuple>* dst, int64_t lo, int64_t hi) {
+          // The schema probe `e` is still unstarted; the (single) chunk
+          // beginning at rank 0 reuses it instead of building a new one.
+          std::optional<Enumerator> local;
+          if (lo != 0) local.emplace(f, visit_order, dirs);
+          Enumerator& ce = lo == 0 ? e : *local;
+          ce.RestrictRoot(lo, hi);
+          Tuple row(ce.schema().arity());
+          while (ce.Next()) {
+            ce.FillFrom(&row, ce.ChangedFrom());
+            dst->push_back(row);
+          }
+        });
+    return out;
+  }
   // Reserve the output rows up front (bounded, in case of huge products).
   constexpr int64_t kMaxReserve = int64_t{1} << 20;
   int64_t expect = limit.has_value() ? *limit : f.CountTuples();
@@ -214,6 +307,47 @@ Relation EnumerateToRelation(const Factorisation& f,
     e.FillFrom(&row, e.ChangedFrom());
     out.Add(row);
     ++n;
+  }
+  return out;
+}
+
+Relation GroupAggToRelation(const Factorisation& f,
+                            const std::vector<int>& visit_order,
+                            const std::vector<SortDir>& dirs,
+                            const std::vector<AggTask>& tasks,
+                            const std::vector<AttrId>& task_ids,
+                            std::optional<int64_t> limit) {
+  GroupAggEnumerator e(f, visit_order, dirs, tasks, task_ids);
+  Relation out(e.schema());
+  exec::TaskPool& pool = exec::TaskPool::Default();
+  int64_t top = RootUnionEntries(f, visit_order);
+  if (!limit.has_value() && pool.num_threads() > 1 &&
+      top >= kMinParallelRootEntries) {
+    ChunkedEnumerate(
+        pool, top, &out,
+        [&](std::vector<Tuple>* dst, int64_t lo, int64_t hi) {
+          // Reuse the unstarted probe (and its per-task composition
+          // analyses) for the chunk at rank 0.
+          std::optional<GroupAggEnumerator> local;
+          if (lo != 0) local.emplace(f, visit_order, dirs, tasks, task_ids);
+          GroupAggEnumerator& ce = lo == 0 ? e : *local;
+          ce.RestrictRoot(lo, hi);
+          Tuple row(ce.schema().arity());
+          while (ce.Next()) {
+            ce.Fill(&row);
+            dst->push_back(row);
+          }
+        });
+    return out;
+  }
+  Tuple row(e.schema().arity());
+  while (e.Next()) {
+    if (limit.has_value() &&
+        static_cast<int64_t>(out.size()) >= *limit) {
+      break;
+    }
+    e.Fill(&row);
+    out.Add(row);
   }
   return out;
 }

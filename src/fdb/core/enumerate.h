@@ -59,6 +59,15 @@ class Enumerator {
   /// of once per tuple.
   void FillFrom(Tuple* out, int from_pos) const;
 
+  /// Restricts enumeration to ranks [lo, hi) of the first visit
+  /// position's union, where rank 0 is that position's first entry in its
+  /// visit direction. Successive tuples differ in a suffix of the visit
+  /// order, so partitioning the top union's ranks partitions the output
+  /// into contiguous runs: enumerating [0,c1), [c1,c2), … and
+  /// concatenating reproduces the unrestricted sequence exactly — the
+  /// parallel enumeration hook. Must be called before the first Next().
+  void RestrictRoot(int64_t lo, int64_t hi);
+
  private:
   friend class GroupAggEnumerator;
 
@@ -88,6 +97,11 @@ class Enumerator {
   bool started_ = false;
   bool done_ = false;
   int changed_from_ = 0;
+  // Rank window of position 0 (RestrictRoot) and the current rank within
+  // it; root_hi_ < 0 means unbounded.
+  int64_t root_lo_ = 0;
+  int64_t root_hi_ = -1;
+  int64_t root_rank_ = 0;
 };
 
 /// Enumerates the distinct bindings of a set of *grouping* nodes that form a
@@ -108,6 +122,12 @@ class GroupAggEnumerator {
   bool Next();
   void Fill(Tuple* out) const;
 
+  /// Restricts the grouping enumeration to ranks [lo, hi) of the first
+  /// grouping position's union (see Enumerator::RestrictRoot). Groups
+  /// never straddle the boundary: each top-union entry owns a contiguous
+  /// run of groups, so chunked enumerations concatenate exactly.
+  void RestrictRoot(int64_t lo, int64_t hi) { inner_.RestrictRoot(lo, hi); }
+
  private:
   Enumerator inner_;  // over the grouping nodes only
   std::vector<AggTask> tasks_;
@@ -126,10 +146,30 @@ class GroupAggEnumerator {
 
 /// Enumerates `f` into a flat relation using the given visit order and
 /// directions, stopping after `limit` tuples if provided (operator λ_k).
+///
+/// Unlimited enumerations of large factorisations run in parallel on
+/// TaskPool::Default(): the first visit position's union is split into
+/// rank chunks, each worker enumerates its chunk with a root-restricted
+/// Enumerator, and the per-chunk rows are concatenated in rank order —
+/// the output is identical (same rows, same order) for any thread count.
 Relation EnumerateToRelation(const Factorisation& f,
                              const std::vector<int>& visit_order,
                              const std::vector<SortDir>& dirs,
                              std::optional<int64_t> limit = std::nullopt);
+
+/// Enumerates the grouping fragment with on-the-fly aggregate evaluation
+/// (GroupAggEnumerator) into a flat relation, stopping after `limit`
+/// groups if provided. Like EnumerateToRelation, unlimited enumerations
+/// split the first grouping position's union into rank chunks across
+/// TaskPool::Default(), one GroupAggEnumerator per chunk; aggregates are
+/// evaluated wholly within the chunk that owns the group, so the output
+/// is thread-count independent.
+Relation GroupAggToRelation(const Factorisation& f,
+                            const std::vector<int>& visit_order,
+                            const std::vector<SortDir>& dirs,
+                            const std::vector<AggTask>& tasks,
+                            const std::vector<AttrId>& task_ids,
+                            std::optional<int64_t> limit = std::nullopt);
 
 }  // namespace fdb
 

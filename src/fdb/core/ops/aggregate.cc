@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "fdb/core/ops/restructure.h"
+#include "fdb/exec/task_pool.h"
 
 namespace fdb {
 namespace {
@@ -171,6 +172,21 @@ DenseTables MakeDense(const FTree& tree, const Analysis& a) {
 }
 
 int64_t CountRec(const FTree& tree, int node, const FactNode& n,
+                 const DenseAnalysis& a);
+
+// One entry's multiplicity product. Shared by the recursive loop and the
+// chunked top-level reduction so the two bodies cannot drift.
+int64_t CountEntry(const FTree& tree, const std::vector<int>& kids, int k,
+                   bool use_value, const FactNode& n, int i,
+                   const DenseAnalysis& a) {
+  int64_t prod = use_value ? n.values[i].as_int() : 1;
+  for (int c = 0; c < k && prod != 0; ++c) {
+    prod *= CountRec(tree, kids[c], *n.child(i, k, c), a);
+  }
+  return prod;
+}
+
+int64_t CountRec(const FTree& tree, int node, const FactNode& n,
                  const DenseAnalysis& a) {
   const FTreeNode& nd = tree.node(node);
   const std::vector<int>& kids = tree.children(node);
@@ -178,11 +194,7 @@ int64_t CountRec(const FTree& tree, int node, const FactNode& n,
   bool use_value = nd.is_aggregate() && a.is_value[node];
   int64_t total = 0;
   for (int i = 0; i < n.size(); ++i) {
-    int64_t prod = use_value ? n.values[i].as_int() : 1;
-    for (int c = 0; c < k && prod != 0; ++c) {
-      prod *= CountRec(tree, kids[c], *n.child(i, k, c), a);
-    }
-    total += prod;
+    total += CountEntry(tree, kids, k, use_value, n, i, a);
   }
   return total;
 }
@@ -225,38 +237,84 @@ struct Num {
 };
 
 Num SumRec(const FTree& tree, int node, const FactNode& n,
+           const DenseAnalysis& a);
+
+// Accumulates one entry's sum contribution into *total: at the carrier,
+// vᵢ · Π_c count(child); elsewhere the weighted recursion towards the
+// carrier slot. Shared by SumRec and the chunked top-level reduction.
+void AddSumEntry(const FTree& tree, const std::vector<int>& kids, int k,
+                 bool at_carrier, int cstar, bool use_value,
+                 const FactNode& n, int i, const DenseAnalysis& a,
+                 Num* total) {
+  if (at_carrier) {
+    // The children never contain the source.
+    int64_t cnt = 1;
+    for (int c = 0; c < k; ++c) {
+      cnt *= CountRec(tree, kids[c], *n.child(i, k, c), a);
+    }
+    total->AddScaled(Num::OfRef(n.values[i]), cnt);
+    return;
+  }
+  int64_t w = use_value ? n.values[i].as_int() : 1;
+  for (int c = 0; c < k; ++c) {
+    if (c != cstar) w *= CountRec(tree, kids[c], *n.child(i, k, c), a);
+  }
+  total->AddScaled(SumRec(tree, kids[cstar], *n.child(i, k, cstar), a), w);
+}
+
+Num SumRec(const FTree& tree, int node, const FactNode& n,
            const DenseAnalysis& a) {
   const FTreeNode& nd = tree.node(node);
   const std::vector<int>& kids = tree.children(node);
   int k = static_cast<int>(kids.size());
-
-  if (node == a.carrier) {
-    // Σᵢ vᵢ · Π_c count(child); the children never contain the source.
-    Num total;
-    for (int i = 0; i < n.size(); ++i) {
-      int64_t cnt = 1;
-      for (int c = 0; c < k; ++c) {
-        cnt *= CountRec(tree, kids[c], *n.child(i, k, c), a);
-      }
-      total.AddScaled(Num::OfRef(n.values[i]), cnt);
-    }
-    return total;
-  }
-
-  // Exactly one child subtree contains the carrier.
-  int cstar = a.cstar[node];
-  if (cstar < 0) BadComposition("sum: carrier not below node");
-
+  bool at_carrier = node == a.carrier;
+  // Exactly one child subtree contains the carrier below a non-carrier.
+  int cstar = at_carrier ? -1 : a.cstar[node];
+  if (!at_carrier && cstar < 0) BadComposition("sum: carrier not below node");
   bool use_value = nd.is_aggregate() && a.is_value[node];
   Num total;
   for (int i = 0; i < n.size(); ++i) {
-    int64_t w = use_value ? n.values[i].as_int() : 1;
-    for (int c = 0; c < k; ++c) {
-      if (c != cstar) w *= CountRec(tree, kids[c], *n.child(i, k, c), a);
-    }
-    Num s = SumRec(tree, kids[cstar], *n.child(i, k, cstar), a);
-    total.AddScaled(s, w);
+    AddSumEntry(tree, kids, k, at_carrier, cstar, use_value, n, i, a,
+                &total);
   }
+  return total;
+}
+
+// --- chunked top-level evaluation -----------------------------------------
+//
+// The per-entry bodies of CountRec/SumRec are independent, so the top
+// union of a (potentially huge) part can be reduced in fixed-size chunks
+// across TaskPool::Default(). Partials are stored per chunk and combined
+// in chunk order, and the chunk boundaries depend only on the data, so
+// the result is identical for every thread count — including one, where
+// the same chunked loop runs sequentially. Below the size threshold the
+// plain recursion runs untouched.
+
+constexpr int64_t kAggChunkEntries = 256;
+constexpr int64_t kAggParallelMin = 2048;
+
+int64_t CountTop(const FTree& tree, int node, const FactNode& n,
+                 const DenseAnalysis& a) {
+  int64_t size = n.size();
+  if (size < kAggParallelMin) return CountRec(tree, node, n, a);
+  const FTreeNode& nd = tree.node(node);
+  const std::vector<int>& kids = tree.children(node);
+  int k = static_cast<int>(kids.size());
+  bool use_value = nd.is_aggregate() && a.is_value[node];
+  std::vector<int64_t> partial((size + kAggChunkEntries - 1) /
+                               kAggChunkEntries);
+  exec::ParallelForOrSerial(
+      size, kAggChunkEntries, /*min_n=*/0,
+      [&](int, int64_t lo, int64_t hi) {
+        int64_t total = 0;
+        for (int64_t i = lo; i < hi; ++i) {
+          total += CountEntry(tree, kids, k, use_value, n,
+                              static_cast<int>(i), a);
+        }
+        partial[lo / kAggChunkEntries] = total;
+      });
+  int64_t total = 0;
+  for (int64_t p : partial) total += p;
   return total;
 }
 
@@ -283,16 +341,78 @@ ValueRef MinMaxRec(const FTree& tree, int node, const FactNode& n,
   return best;
 }
 
+Num SumTop(const FTree& tree, int node, const FactNode& n,
+           const DenseAnalysis& a) {
+  int64_t size = n.size();
+  if (size < kAggParallelMin) return SumRec(tree, node, n, a);
+  const FTreeNode& nd = tree.node(node);
+  const std::vector<int>& kids = tree.children(node);
+  int k = static_cast<int>(kids.size());
+  bool at_carrier = node == a.carrier;
+  int cstar = at_carrier ? -1 : a.cstar[node];
+  if (!at_carrier && cstar < 0) BadComposition("sum: carrier not below node");
+  bool use_value = nd.is_aggregate() && a.is_value[node];
+  std::vector<Num> partial((size + kAggChunkEntries - 1) / kAggChunkEntries);
+  exec::ParallelForOrSerial(
+      size, kAggChunkEntries, /*min_n=*/0,
+      [&](int, int64_t lo, int64_t hi) {
+        Num total;
+        for (int64_t j = lo; j < hi; ++j) {
+          AddSumEntry(tree, kids, k, at_carrier, cstar, use_value, n,
+                      static_cast<int>(j), a, &total);
+        }
+        partial[lo / kAggChunkEntries] = total;
+      });
+  Num total;
+  for (const Num& p : partial) total.AddScaled(p, 1);
+  return total;
+}
+
+ValueRef MinMaxTop(const FTree& tree, int node, const FactNode& n,
+                   const DenseAnalysis& a, bool is_min) {
+  int64_t size = n.size();
+  if (node == a.carrier || size < kAggParallelMin) {
+    return MinMaxRec(tree, node, n, a, is_min);
+  }
+  const std::vector<int>& kids = tree.children(node);
+  int k = static_cast<int>(kids.size());
+  int cstar = a.cstar[node];
+  if (cstar < 0) BadComposition("min/max: carrier not below node");
+  std::vector<ValueRef> partial((size + kAggChunkEntries - 1) /
+                                kAggChunkEntries);
+  exec::ParallelForOrSerial(
+      size, kAggChunkEntries, /*min_n=*/0,
+      [&](int, int64_t lo, int64_t hi) {
+        ValueRef best;
+        for (int64_t j = lo; j < hi; ++j) {
+          int i = static_cast<int>(j);
+          ValueRef v =
+              MinMaxRec(tree, kids[cstar], *n.child(i, k, cstar), a, is_min);
+          if (j == lo) {
+            best = v;
+          } else if (is_min ? (v < best) : (best < v)) {
+            best = v;
+          }
+        }
+        partial[lo / kAggChunkEntries] = best;
+      });
+  ValueRef best = partial[0];
+  for (size_t p = 1; p < partial.size(); ++p) {
+    if (is_min ? (partial[p] < best) : (best < partial[p])) best = partial[p];
+  }
+  return best;
+}
+
 Value Eval(const FTree& tree, int node, const FactNode& n, const AggTask& task,
            const DenseAnalysis& a) {
   switch (task.fn) {
     case AggFn::kCount:
-      return Value(CountRec(tree, node, n, a));
+      return Value(CountTop(tree, node, n, a));
     case AggFn::kSum:
-      return SumRec(tree, node, n, a).ToValue();
+      return SumTop(tree, node, n, a).ToValue();
     case AggFn::kMin:
     case AggFn::kMax:
-      return MinMaxRec(tree, node, n, a, task.fn == AggFn::kMin).ToValue();
+      return MinMaxTop(tree, node, n, a, task.fn == AggFn::kMin).ToValue();
   }
   throw std::logic_error("EvalAggregate: unreachable");
 }
@@ -317,7 +437,7 @@ void CheckComposable(const FTree& tree, int u, const AggTask& task) {
 int64_t EvalCount(const FTree& tree, int node, const FactNode& n) {
   Analysis a = Analyze(tree, {node}, {AggFn::kCount, kInvalidAttr});
   DenseTables t = MakeDense(tree, a);
-  return CountRec(tree, node, n, t.View(a.carrier));
+  return CountTop(tree, node, n, t.View(a.carrier));
 }
 
 Value EvalAggregate(const FTree& tree, int node, const FactNode& n,
@@ -376,25 +496,25 @@ Value ProductAggEvaluator::Eval(
     case AggFn::kCount: {
       int64_t prod = 1;
       for (const auto& [node, n] : parts) {
-        prod *= CountRec(*tree_, node, *n, a);
+        prod *= CountTop(*tree_, node, *n, a);
       }
       return Value(prod);
     }
     case AggFn::kSum: {
       // Exactly one part carries the source; the rest contribute counts.
-      Num s = SumRec(*tree_, parts[carrier_part_].first,
+      Num s = SumTop(*tree_, parts[carrier_part_].first,
                      *parts[carrier_part_].second, a);
       int64_t cnt = 1;
       for (size_t p = 0; p < parts.size(); ++p) {
         if (static_cast<int>(p) == carrier_part_) continue;
-        cnt *= CountRec(*tree_, parts[p].first, *parts[p].second, a);
+        cnt *= CountTop(*tree_, parts[p].first, *parts[p].second, a);
       }
       s.Scale(cnt);
       return s.ToValue();
     }
     case AggFn::kMin:
     case AggFn::kMax: {
-      return MinMaxRec(*tree_, parts[carrier_part_].first,
+      return MinMaxTop(*tree_, parts[carrier_part_].first,
                        *parts[carrier_part_].second, a,
                        task_.fn == AggFn::kMin)
           .ToValue();

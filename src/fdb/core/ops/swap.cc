@@ -42,7 +42,10 @@ void ApplySwap(Factorisation* f, int b) {
   };
   auto rewriter = [&](const FactNode& ua) -> FactPtr {
     // Collect (b_value, a_entry, b_entry) triples and sort by (value, a),
-    // comparing precomputed 64-bit order keys instead of refs.
+    // comparing precomputed 64-bit order keys instead of refs. Rank
+    // shifts are frozen across the key batch and its sorts (concurrent
+    // interns must not reorder keys mid-sort); nothing below interns.
+    auto frozen = ValueDict::Default().FreezeRanks();
     occs.clear();
     size_t total = 0;
     for (int i = 0; i < ua.size(); ++i) {

@@ -4,10 +4,74 @@
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "fdb/storage/snapshot.h"
 
 namespace fdb {
+
+Database::Database(const Database& other)
+    : reg_(other.reg_),
+      dict_(other.dict_),
+      relations_(other.relations_),
+      snapshot_(other.snapshot_) {
+  std::lock_guard<std::mutex> g(other.mu_);
+  views_ = other.views_;
+}
+
+Database& Database::operator=(const Database& other) {
+  if (this == &other) return *this;
+  reg_ = other.reg_;
+  dict_ = other.dict_;
+  relations_ = other.relations_;
+  snapshot_ = other.snapshot_;
+  std::shared_ptr<const ViewMap> v;
+  {
+    std::lock_guard<std::mutex> g(other.mu_);
+    v = other.views_;
+  }
+  std::lock_guard<std::mutex> g(mu_);
+  views_ = std::move(v);
+  return *this;
+}
+
+namespace {
+
+// The member default: a non-owning alias of the process dictionary.
+// Moved-from databases are restored to it so they stay valid.
+std::shared_ptr<ValueDict> DefaultDictAlias() {
+  return {std::shared_ptr<ValueDict>(), &ValueDict::Default()};
+}
+
+}  // namespace
+
+Database::Database(Database&& other) noexcept
+    : reg_(std::move(other.reg_)),
+      dict_(std::exchange(other.dict_, DefaultDictAlias())),
+      relations_(std::move(other.relations_)),
+      snapshot_(std::move(other.snapshot_)) {
+  std::lock_guard<std::mutex> g(other.mu_);
+  views_ = std::exchange(other.views_,
+                         std::make_shared<const ViewMap>());
+}
+
+Database& Database::operator=(Database&& other) noexcept {
+  if (this == &other) return *this;
+  reg_ = std::move(other.reg_);
+  dict_ = std::exchange(other.dict_, DefaultDictAlias());
+  relations_ = std::move(other.relations_);
+  snapshot_ = std::move(other.snapshot_);
+  std::shared_ptr<const ViewMap> v;
+  {
+    std::lock_guard<std::mutex> g(other.mu_);
+    // Leave the moved-from database as a valid empty one (views_ is
+    // dereferenced unconditionally by every accessor).
+    v = std::exchange(other.views_, std::make_shared<const ViewMap>());
+  }
+  std::lock_guard<std::mutex> g(mu_);
+  views_ = std::move(v);
+  return *this;
+}
 
 void Database::AddRelation(const std::string& name, Relation rel) {
   // Bulk-intern incoming string cells in sorted order so dictionary codes
@@ -27,21 +91,70 @@ const Relation* Database::relation(const std::string& name) const {
   return it == relations_.end() ? nullptr : &it->second;
 }
 
+void Database::PublishView(const std::string& name,
+                           std::shared_ptr<const Factorisation> fp) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto next = std::make_shared<ViewMap>(*views_);
+  (*next)[name] = std::move(fp);
+  views_ = std::move(next);
+}
+
 void Database::AddView(const std::string& name, Factorisation f) {
-  views_.insert_or_assign(name, std::move(f));
+  auto fp = std::make_shared<const Factorisation>(std::move(f));
+  // Serialised with UpdateView: a direct AddView must not land inside
+  // another writer's read-modify-publish window and get overwritten.
+  std::lock_guard<std::mutex> wg(writer_mu_);
+  PublishView(name, std::move(fp));
+}
+
+std::shared_ptr<const Factorisation> Database::FindOrAdmit(
+    const std::string& name) const {
+  std::shared_ptr<const ViewMap> epoch;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    epoch = views_;
+  }
+  auto it = epoch->find(name);
+  if (it != epoch->end()) return it->second;
+  if (snapshot_ == nullptr) return nullptr;
+  // Lazy snapshot admission. The materialisation pass runs *outside*
+  // mu_ (snapshot_->mu serialises the one-time segment fix-up), so
+  // readers of other views never stall behind it; mu_ is retaken only
+  // to publish, and a racing admitter's copy wins harmlessly.
+  std::optional<Factorisation> f =
+      storage::MaterialiseSnapshotView(*snapshot_, name);
+  if (!f.has_value()) return nullptr;
+  auto fp = std::make_shared<const Factorisation>(*std::move(f));
+  std::lock_guard<std::mutex> g(mu_);
+  it = views_->find(name);
+  if (it != views_->end()) return it->second;
+  auto next = std::make_shared<ViewMap>(*views_);
+  next->emplace(name, fp);
+  views_ = std::move(next);
+  return fp;
 }
 
 const Factorisation* Database::view(const std::string& name) const {
-  auto it = views_.find(name);
-  if (it != views_.end()) return &it->second;
-  if (snapshot_ != nullptr) {
-    std::optional<Factorisation> f =
-        storage::MaterialiseSnapshotView(*snapshot_, name);
-    if (f.has_value()) {
-      return &views_.emplace(name, *std::move(f)).first->second;
-    }
-  }
-  return nullptr;
+  return FindOrAdmit(name).get();
+}
+
+std::shared_ptr<const Factorisation> Database::ViewSnapshot(
+    const std::string& name) const {
+  return FindOrAdmit(name);
+}
+
+bool Database::UpdateView(const std::string& name,
+                          const std::function<void(Factorisation*)>& mutate) {
+  std::lock_guard<std::mutex> wg(writer_mu_);
+  std::shared_ptr<const Factorisation> cur = FindOrAdmit(name);
+  if (cur == nullptr) return false;
+  // Build off-line on a private copy: the copy shares the current arenas,
+  // so mutators allocating through ArenaForWrite land in a fresh arena
+  // that adopts them — concurrent readers of `cur` are never touched.
+  Factorisation next = *cur;
+  mutate(&next);
+  PublishView(name, std::make_shared<const Factorisation>(std::move(next)));
+  return true;
 }
 
 std::vector<std::string> Database::RelationNames() const {
@@ -51,11 +164,16 @@ std::vector<std::string> Database::RelationNames() const {
 }
 
 std::vector<std::string> Database::ViewNames() const {
+  std::shared_ptr<const ViewMap> epoch;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    epoch = views_;
+  }
   std::vector<std::string> out;
-  for (const auto& [name, f] : views_) out.push_back(name);
+  for (const auto& [name, f] : *epoch) out.push_back(name);
   if (snapshot_ != nullptr) {
     for (const auto& [name, desc] : snapshot_->views) {
-      if (views_.find(name) == views_.end()) out.push_back(name);
+      if (epoch->find(name) == epoch->end()) out.push_back(name);
     }
     std::sort(out.begin(), out.end());
   }

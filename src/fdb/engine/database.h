@@ -1,8 +1,10 @@
 #ifndef FDB_ENGINE_DATABASE_H_
 #define FDB_ENGINE_DATABASE_H_
 
+#include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,8 +32,28 @@ struct SnapshotState;
 /// alive through its arena, and operators that derive new factorisations
 /// from it adopt that arena — so results of ops on mapped views stay
 /// valid after the Database (and the last mapped view) are gone.
+///
+/// Concurrency: views live in an epoch-style versioned map. The map is an
+/// immutable std::map published through a shared_ptr; readers grab the
+/// current epoch (ViewSnapshot / view) with one brief pointer-copy lock
+/// and then never block, no matter how long they enumerate. Writers
+/// (AddView, UpdateView) build the new factorisation off-line, copy the
+/// map, and swap the pointer — queries running against older epochs keep
+/// their Factorisation (and, through its arena chain, every node they
+/// can reach) alive until they drop it, so updates and generational
+/// compaction proceed without ever invalidating an in-flight reader.
+/// Many threads may query one Database while one or more threads update
+/// its views. Base relations and the registry are not versioned: load
+/// them before spinning up concurrent readers (AddRelation concurrent
+/// with queries on the *same relation name* is not supported).
 class Database {
  public:
+  Database() = default;
+  Database(const Database& other);
+  Database& operator=(const Database& other);
+  Database(Database&& other) noexcept;
+  Database& operator=(Database&& other) noexcept;
+
   AttributeRegistry& registry() { return reg_; }
   const AttributeRegistry& registry() const { return reg_; }
 
@@ -49,11 +71,31 @@ class Database {
   /// The named base relation, or nullptr.
   const Relation* relation(const std::string& name) const;
 
+  /// Publishes `f` as the new version of view `name` (a new epoch of the
+  /// view map). Readers holding the previous version keep it alive.
   void AddView(const std::string& name, Factorisation f);
   /// The named factorised view, or nullptr. On a database opened from a
   /// snapshot this materialises the view on first access (one fix-up pass
   /// over the mapped segment; value data is served from the mapping).
+  /// The pointer stays valid until this name is re-published (AddView /
+  /// UpdateView) — concurrent readers should hold a ViewSnapshot instead.
   const Factorisation* view(const std::string& name) const;
+
+  /// The current version of view `name` as a shared snapshot (nullptr if
+  /// absent): never blocks on writers, and keeps that version — arenas,
+  /// nodes, mapped segments — alive for as long as the caller holds it,
+  /// across any number of subsequent updates, swaps and compactions.
+  std::shared_ptr<const Factorisation> ViewSnapshot(
+      const std::string& name) const;
+
+  /// Read-copy-update on one view: copies the current version (cheap —
+  /// arenas are shared; mutators allocate into a fresh arena via
+  /// ArenaForWrite), applies `mutate` to the private copy off-line, then
+  /// publishes it. Writers are serialised among themselves; readers are
+  /// never blocked and keep whichever version they hold. Returns false
+  /// (without calling `mutate`) if the view does not exist.
+  bool UpdateView(const std::string& name,
+                  const std::function<void(Factorisation*)>& mutate);
 
   std::vector<std::string> RelationNames() const;
   std::vector<std::string> ViewNames() const;
@@ -78,13 +120,34 @@ class Database {
                         const std::vector<std::vector<int64_t>>& rows);
 
  private:
+  // One epoch of the versioned view map: an immutable name → version
+  // mapping. Epochs share the Factorisation objects of untouched views.
+  using ViewMap = std::map<std::string, std::shared_ptr<const Factorisation>>;
+
+  // Finds the current version, lazily admitting snapshot views
+  // (materialised outside mu_, published under it); shared by view(),
+  // ViewSnapshot() and UpdateView().
+  std::shared_ptr<const Factorisation> FindOrAdmit(
+      const std::string& name) const;
+
+  // Swaps `fp` in as the new epoch's version of `name`. Callers must
+  // hold writer_mu_ (AddView takes it; UpdateView already holds it).
+  void PublishView(const std::string& name,
+                   std::shared_ptr<const Factorisation> fp);
+
   AttributeRegistry reg_;
   // Non-owning alias of the immortal process-default dictionary.
   std::shared_ptr<ValueDict> dict_{std::shared_ptr<ValueDict>(),
                                    &ValueDict::Default()};
   std::map<std::string, Relation> relations_;
-  // Materialised views; mutable so view() can lazily admit snapshot views.
-  mutable std::map<std::string, Factorisation> views_;
+  // Guards the views_ pointer (epoch swaps, snapshot admissions). Held
+  // only for pointer copies and map clones — never across query work.
+  mutable std::mutex mu_;
+  // Serialises UpdateView writers (their off-line build phases).
+  std::mutex writer_mu_;
+  // Current epoch; mutable so view() can lazily admit snapshot views.
+  mutable std::shared_ptr<const ViewMap> views_ =
+      std::make_shared<const ViewMap>();
   // Set when this database was opened from a snapshot; shared with copies.
   std::shared_ptr<storage::SnapshotState> snapshot_;
 };

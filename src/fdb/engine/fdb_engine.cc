@@ -93,7 +93,10 @@ Relation FullAggregation(const Factorisation& f, const BoundQuery& q) {
 
 Factorisation FdbEngine::InputFactorisation(const BoundQuery& q) {
   if (q.from.size() == 1) {
-    if (const Factorisation* v = db_->view(q.from[0])) {
+    // Hold the snapshot while copying: a concurrent UpdateView swap must
+    // not retire this version under us (the copy then co-owns the arenas).
+    if (std::shared_ptr<const Factorisation> v =
+            db_->ViewSnapshot(q.from[0])) {
       return *v;  // cheap: shares all union nodes
     }
   }
@@ -101,7 +104,7 @@ Factorisation FdbEngine::InputFactorisation(const BoundQuery& q) {
   for (const std::string& name : q.from) {
     const Relation* r = db_->relation(name);
     if (r == nullptr) {
-      if (db_->view(name) != nullptr) {
+      if (db_->ViewSnapshot(name) != nullptr) {
         throw std::invalid_argument(
             "FdbEngine: views can only be queried alone: '" + name + "'");
       }
@@ -193,16 +196,12 @@ FdbResult FdbEngine::Execute(const BoundQuery& q, const FdbOptions& options) {
       GroupVisitOrder(fact.tree(), q.group,
                       order_via_result ? std::vector<SortKey>{} : q.order_by,
                       &visit, &dirs);
-      GroupAggEnumerator e(fact, visit, dirs, q.tasks, q.task_ids);
-      raw = Relation(e.schema());
-      Tuple row(e.schema().arity());
       std::optional<int64_t> raw_limit;
       if (!order_via_result) raw_limit = enum_limit;
-      while (e.Next()) {
-        if (raw_limit.has_value() && raw.size() >= *raw_limit) break;
-        e.Fill(&row);
-        raw.Add(row);
-      }
+      // Unlimited group enumerations fork per root-union chunk on the
+      // default pool (see GroupAggToRelation).
+      raw = GroupAggToRelation(fact, visit, dirs, q.tasks, q.task_ids,
+                               raw_limit);
     }
     Relation out = AssembleOutputs(q, raw, order_via_result
                                                ? std::nullopt

@@ -23,7 +23,10 @@ RdbResult RdbEngine::Execute(const BoundQuery& q, const RdbOptions& options) {
   for (const std::string& name : q.from) {
     if (const Relation* r = db_->relation(name)) {
       inputs.push_back(*r);
-    } else if (const Factorisation* v = db_->view(name)) {
+    } else if (std::shared_ptr<const Factorisation> v =
+                   db_->ViewSnapshot(name)) {
+      // Snapshot held across Flatten: concurrent view swaps cannot
+      // retire this version mid-enumeration.
       inputs.push_back(v->Flatten());
     } else {
       throw std::invalid_argument("RdbEngine: unknown relation '" + name +

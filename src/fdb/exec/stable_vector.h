@@ -1,0 +1,102 @@
+#ifndef FDB_EXEC_STABLE_VECTOR_H_
+#define FDB_EXEC_STABLE_VECTOR_H_
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace fdb {
+namespace exec {
+
+/// An append-only sequence with stable element addresses and lock-free
+/// reads of published elements.
+///
+/// Storage is a fixed ladder of geometrically growing blocks (1 KiB
+/// elements, then 2 KiB, 4 KiB, …), so elements never move and a block
+/// pointer, once published with release ordering, is immutable. The
+/// single-writer contract matches ValueDict's intern path: all mutations
+/// (push_back, and in-place updates the element type itself allows, e.g.
+/// std::atomic members) happen under the owner's exclusive lock, while
+/// any number of readers call operator[] / size() with no lock at all.
+/// A reader may only index elements at positions < a size() value it has
+/// observed (or codes received from data published to it, which the
+/// release/acquire pair on size_ orders after the element write).
+template <typename T>
+class StableVector {
+ public:
+  StableVector() = default;
+  ~StableVector() {
+    size_t remaining = size_.load(std::memory_order_relaxed);
+    for (int b = 0; b < kMaxBlocks && remaining > 0; ++b) {
+      T* block = blocks_[b].load(std::memory_order_relaxed);
+      if (block == nullptr) break;
+      size_t cap = BlockCap(b);
+      size_t used = remaining < cap ? remaining : cap;
+      for (size_t i = 0; i < used; ++i) block[i].~T();
+      ::operator delete[](block, std::align_val_t(alignof(T)));
+      remaining -= used;
+    }
+  }
+  StableVector(const StableVector&) = delete;
+  StableVector& operator=(const StableVector&) = delete;
+
+  size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// Appends (single writer). The element is fully constructed before the
+  /// new size is published, so readers never observe a half-built slot.
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    size_t i = size_.load(std::memory_order_relaxed);
+    int b = BlockOf(i);
+    T* block = blocks_[b].load(std::memory_order_relaxed);
+    if (block == nullptr) {
+      block = static_cast<T*>(::operator new[](BlockCap(b) * sizeof(T),
+                                               std::align_val_t(alignof(T))));
+      blocks_[b].store(block, std::memory_order_release);
+    }
+    T* slot = block + (i - BlockStart(b));
+    ::new (slot) T(std::forward<Args>(args)...);
+    size_.store(i + 1, std::memory_order_release);
+    return *slot;
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  /// Lock-free read of a published element.
+  const T& operator[](size_t i) const {
+    int b = BlockOf(i);
+    return blocks_[b].load(std::memory_order_acquire)[i - BlockStart(b)];
+  }
+  T& operator[](size_t i) {
+    int b = BlockOf(i);
+    return blocks_[b].load(std::memory_order_acquire)[i - BlockStart(b)];
+  }
+
+  const T& back() const { return (*this)[size() - 1]; }
+  bool empty() const { return size() == 0; }
+
+ private:
+  static constexpr size_t kFirstBlock = size_t{1} << 10;
+  static constexpr int kMaxBlocks = 44;  // kFirstBlock << 43 overflows any use
+
+  // Block b covers [kFirstBlock·(2^b − 1), kFirstBlock·(2^{b+1} − 1)).
+  static int BlockOf(size_t i) {
+    return std::bit_width(i / kFirstBlock + 1) - 1;
+  }
+  static size_t BlockStart(int b) {
+    return kFirstBlock * ((size_t{1} << b) - 1);
+  }
+  static size_t BlockCap(int b) { return kFirstBlock << b; }
+
+  std::atomic<T*> blocks_[kMaxBlocks] = {};
+  std::atomic<size_t> size_{0};
+};
+
+}  // namespace exec
+}  // namespace fdb
+
+#endif  // FDB_EXEC_STABLE_VECTOR_H_

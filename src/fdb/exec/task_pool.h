@@ -1,0 +1,103 @@
+#ifndef FDB_EXEC_TASK_POOL_H_
+#define FDB_EXEC_TASK_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fdb {
+namespace exec {
+
+/// A work-stealing thread pool with structured fork/join.
+///
+/// The pool owns `threads - 1` worker threads; the thread that calls
+/// ParallelFor always participates as well, so `threads == 1` means no
+/// workers at all and every parallel construct degenerates to a plain
+/// sequential loop on the caller — the hot paths gate on num_threads()
+/// and stay byte-identical to their pre-parallel behaviour in that case.
+///
+/// Scheduling: each worker owns a deque of tasks (LIFO for its own pops,
+/// so nested forks run hot in cache) and steals FIFO from a random victim
+/// when its deque runs dry. Submit() distributes round-robin. ParallelFor
+/// partitions an index range into fixed-size chunks claimed off one shared
+/// atomic cursor — dynamic load balancing without splitting state per
+/// thread count, so chunk boundaries (and therefore any chunk-ordered
+/// reduction) are identical no matter how many threads execute them.
+class TaskPool {
+ public:
+  /// A pool executing on `threads` threads total (callers + workers);
+  /// values < 1 are clamped to 1.
+  explicit TaskPool(int threads);
+  ~TaskPool();
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Total execution width: worker threads + the participating caller.
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// The process-default pool used by the engine hot paths. Sized by the
+  /// FDB_THREADS environment variable when set, else by
+  /// std::thread::hardware_concurrency().
+  static TaskPool& Default();
+
+  /// Re-sizes the default pool (e.g. the shell's \threads command, bench
+  /// sweeps). Must not be called while parallel work is in flight.
+  static void SetDefaultThreads(int threads);
+
+  /// Fire-and-forget: enqueues `task` for any worker (or runs it inline
+  /// when the pool has no workers). The caller is responsible for its own
+  /// completion tracking.
+  void Submit(std::function<void()> task);
+
+  /// Structured fork/join over [0, n): invokes `body(part, lo, hi)` for
+  /// consecutive chunks of at most `grain` indices until the range is
+  /// exhausted, on up to num_threads() threads including the caller, and
+  /// returns when every chunk has finished. `part` is a dense slot in
+  /// [0, num_threads()) stable for one participating thread within this
+  /// call — use it to index per-worker state (arenas, scratch buffers).
+  /// Chunk boundaries depend only on (n, grain), never on the thread
+  /// count. The first exception thrown by any chunk is rethrown on the
+  /// caller after all chunks drain. Nested calls are safe: the inner
+  /// caller participates in its own range, so progress never depends on
+  /// the pool having idle workers.
+  void ParallelFor(int64_t n, int64_t grain,
+                   const std::function<void(int part, int64_t lo, int64_t hi)>&
+                       body);
+
+ private:
+  struct Worker {
+    std::deque<std::function<void()>> tasks;
+    std::mutex mu;
+  };
+
+  void WorkerLoop(int self);
+  bool RunOneTask(int self);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::mutex sleep_mu_;
+  std::condition_variable wake_;
+  bool stop_ = false;
+  int64_t pending_ = 0;      // queued-but-unclaimed tasks (sleep_mu_)
+  unsigned next_queue_ = 0;  // round-robin Submit target
+};
+
+/// Convenience wrapper over TaskPool::Default() for the common reduction
+/// shape: when the default pool is wider than one thread and `n` is at
+/// least `min_n`, runs `body` chunked in parallel; otherwise runs the
+/// same chunks sequentially in order with part 0, so chunk-ordered
+/// reductions produce identical results either way. Returns the number
+/// of threads used (size per-part state with Default().num_threads()
+/// before calling).
+int ParallelForOrSerial(int64_t n, int64_t grain, int64_t min_n,
+                        const std::function<void(int, int64_t, int64_t)>& body);
+
+}  // namespace exec
+}  // namespace fdb
+
+#endif  // FDB_EXEC_TASK_POOL_H_

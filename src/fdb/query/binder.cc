@@ -63,7 +63,9 @@ BoundQuery Bind(const ParsedQuery& q, Database* db) {
     std::vector<AttrId> attrs;
     if (const Relation* r = db->relation(name)) {
       attrs = r->schema().attrs();
-    } else if (const Factorisation* v = db->view(name)) {
+    } else if (std::shared_ptr<const Factorisation> v =
+                   db->ViewSnapshot(name)) {
+      // Snapshot held across the schema read (concurrent swap safety).
       attrs = v->OutputSchema().attrs();
     } else {
       BindError("unknown relation or view '" + name + "'");

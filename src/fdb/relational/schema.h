@@ -2,7 +2,9 @@
 #define FDB_RELATIONAL_SCHEMA_H_
 
 #include <cstdint>
+#include <deque>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -15,8 +17,20 @@ constexpr AttrId kInvalidAttr = -1;
 
 /// Maps attribute names to dense AttrIds shared by all relations, f-trees
 /// and queries of one database. Attribute names are case-sensitive.
+///
+/// Thread-safe like ValueDict's intern path: Intern is exclusive, Find /
+/// Name / size take a shared lock — queries binding aliases (and
+/// aggregate executions naming their outputs) may run from many threads.
+/// Names live in a deque, so the reference Name() returns stays valid
+/// after the lock drops, across any number of later interns.
 class AttributeRegistry {
  public:
+  AttributeRegistry() = default;
+  AttributeRegistry(const AttributeRegistry& other);
+  AttributeRegistry& operator=(const AttributeRegistry& other);
+  AttributeRegistry(AttributeRegistry&& other) noexcept;
+  AttributeRegistry& operator=(AttributeRegistry&& other) noexcept;
+
   /// Returns the id for `name`, creating it if necessary.
   AttrId Intern(const std::string& name);
 
@@ -24,12 +38,20 @@ class AttributeRegistry {
   std::optional<AttrId> Find(const std::string& name) const;
 
   /// Name of an interned attribute id.
-  const std::string& Name(AttrId id) const { return names_.at(id); }
+  const std::string& Name(AttrId id) const {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    return names_.at(id);
+  }
 
-  int size() const { return static_cast<int>(names_.size()); }
+  int size() const {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    return static_cast<int>(names_.size());
+  }
 
  private:
-  std::vector<std::string> names_;
+  mutable std::shared_mutex mu_;
+  // Stable element addresses (deque): Name() references never dangle.
+  std::deque<std::string> names_;
   std::unordered_map<std::string, AttrId> ids_;
 };
 

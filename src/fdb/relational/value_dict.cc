@@ -5,7 +5,9 @@
 #include <cmath>
 #include <functional>
 #include <limits>
+#include <mutex>
 #include <ostream>
+#include <shared_mutex>
 
 namespace fdb {
 namespace {
@@ -54,45 +56,60 @@ bool EvalCmpRef(const ValueRef& a, CmpOp op, const ValueRef& b) {
 // --- ValueDict -------------------------------------------------------------
 
 std::optional<uint32_t> ValueDict::Find(std::string_view s) const {
+  std::shared_lock<std::shared_mutex> lk(mu_);
   auto it = index_.find(s);
   if (it == index_.end()) return std::nullopt;
   return it->second;
 }
 
 uint32_t ValueDict::Intern(std::string_view s) {
-  auto it = index_.find(s);
+  {
+    // Fast path: already interned (the common case on query paths).
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lk(mu_);
+  auto it = index_.find(s);  // re-check: another writer may have won
   if (it != index_.end()) return it->second;
   return InternInOrder(s);
 }
 
 uint32_t ValueDict::InternInOrder(std::string_view s) {
   uint32_t code = static_cast<uint32_t>(strings_.size());
-  strings_.emplace_back(s);
-  index_.emplace(strings_.back(), code);
+  const std::string& stored = strings_.emplace_back(s.data(), s.size());
+  index_.emplace(stored, code);
   if (by_rank_.empty() || strings_[by_rank_.back()] < s) {
     // Common case (bulk-sorted loading): append rank.
-    rank_.push_back(code);
     by_rank_.push_back(code);
-    rank_[code] = static_cast<uint32_t>(by_rank_.size()) - 1;
+    rank_.emplace_back(static_cast<uint32_t>(by_rank_.size()) - 1);
     return code;
   }
   // Out-of-order insertion: splice into the rank order and shift the ranks
-  // of everything after the insertion point.
+  // of everything after the insertion point. The seqlock generation goes
+  // odd for the duration so concurrent CompareStringRanks readers retry
+  // instead of observing a half-shifted permutation.
   auto pos = std::lower_bound(
       by_rank_.begin(), by_rank_.end(), s,
       [this](uint32_t c, std::string_view v) { return strings_[c] < v; });
   size_t p = static_cast<size_t>(pos - by_rank_.begin());
   by_rank_.insert(pos, code);
-  rank_.push_back(0);
+  rank_.emplace_back(0u);
+  uint32_t gen = rank_gen_.load(std::memory_order_relaxed);
+  rank_gen_.store(gen + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
   for (size_t i = p; i < by_rank_.size(); ++i) {
-    rank_[by_rank_[i]] = static_cast<uint32_t>(i);
+    rank_[by_rank_[i]].store(static_cast<uint32_t>(i),
+                             std::memory_order_relaxed);
   }
+  rank_gen_.store(gen + 2, std::memory_order_release);
   return code;
 }
 
 void ValueDict::InternBulk(std::vector<std::string_view> strs) {
   std::sort(strs.begin(), strs.end());
   strs.erase(std::unique(strs.begin(), strs.end()), strs.end());
+  std::unique_lock<std::shared_mutex> lk(mu_);
   // Append all new strings first, then rebuild the rank permutation once:
   // a single O(old + new) merge instead of one O(#strings) rank shift per
   // out-of-order insertion.
@@ -100,9 +117,9 @@ void ValueDict::InternBulk(std::vector<std::string_view> strs) {
   for (std::string_view s : strs) {
     if (index_.find(s) != index_.end()) continue;
     uint32_t code = static_cast<uint32_t>(strings_.size());
-    strings_.emplace_back(s);
-    index_.emplace(strings_.back(), code);
-    rank_.push_back(0);
+    const std::string& stored = strings_.emplace_back(s.data(), s.size());
+    index_.emplace(stored, code);
+    rank_.emplace_back(0u);
     fresh.push_back(code);  // sorted by string, since strs is
   }
   if (fresh.empty()) return;
@@ -113,12 +130,23 @@ void ValueDict::InternBulk(std::vector<std::string_view> strs) {
                return strings_[a] < strings_[b];
              });
   by_rank_ = std::move(merged);
+  uint32_t gen = rank_gen_.load(std::memory_order_relaxed);
+  rank_gen_.store(gen + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
   for (size_t i = 0; i < by_rank_.size(); ++i) {
-    rank_[by_rank_[i]] = static_cast<uint32_t>(i);
+    rank_[by_rank_[i]].store(static_cast<uint32_t>(i),
+                             std::memory_order_relaxed);
   }
+  rank_gen_.store(gen + 2, std::memory_order_release);
 }
 
 uint32_t ValueDict::InternBigInt(int64_t v) {
+  {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    auto it = big_index_.find(v);
+    if (it != big_index_.end()) return it->second;
+  }
+  std::unique_lock<std::shared_mutex> lk(mu_);
   auto it = big_index_.find(v);
   if (it != big_index_.end()) return it->second;
   uint32_t slot = static_cast<uint32_t>(big_ints_.size());
@@ -152,6 +180,7 @@ std::optional<ValueRef> ValueDict::TryEncode(const Value& v) const {
     if (i >= ValueRef::kInlineIntMin && i <= ValueRef::kInlineIntMax) {
       return ValueRef::Boxed(ValueRef::kTagInt, static_cast<uint64_t>(i));
     }
+    std::shared_lock<std::shared_mutex> lk(mu_);
     auto it = big_index_.find(i);
     if (it == big_index_.end()) return std::nullopt;
     return ValueRef::Boxed(ValueRef::kTagBigInt, it->second);
@@ -162,9 +191,10 @@ std::optional<ValueRef> ValueDict::TryEncode(const Value& v) const {
     if (d == 0.0) d = 0.0;  // canonicalise -0.0 (equal values, equal bits)
     return ValueRef::FromBits(std::bit_cast<uint64_t>(d));
   }
-  std::optional<uint32_t> code = Find(v.as_string());
-  if (!code.has_value()) return std::nullopt;
-  return ValueRef::Boxed(ValueRef::kTagStr, *code);
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  auto it = index_.find(v.as_string());
+  if (it == index_.end()) return std::nullopt;
+  return ValueRef::Boxed(ValueRef::kTagStr, it->second);
 }
 
 Value ValueDict::Decode(const ValueRef& r) const {
@@ -191,7 +221,7 @@ std::strong_ordering ValueDict::Compare(const ValueRef& a,
   if (ra == 0) return std::strong_ordering::equal;
   if (ra == 2) {
     if (a.bits() == b.bits()) return std::strong_ordering::equal;
-    return rank(a.payload32()) <=> rank(b.payload32());
+    return CompareStringRanks(a.payload32(), b.payload32());
   }
   // Numeric: resolve big integers through *this* pool, not Default().
   auto int_of = [this](const ValueRef& r) {

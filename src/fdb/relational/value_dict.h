@@ -1,16 +1,18 @@
 #ifndef FDB_RELATIONAL_VALUE_DICT_H_
 #define FDB_RELATIONAL_VALUE_DICT_H_
 
+#include <atomic>
 #include <compare>
 #include <cstdint>
-#include <deque>
 #include <iosfwd>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "fdb/exec/stable_vector.h"
 #include "fdb/relational/value.h"
 
 namespace fdb {
@@ -146,8 +148,21 @@ bool EvalCmpRef(const ValueRef& a, CmpOp op, const ValueRef& b);
 ///
 /// `Default()` is the process-wide dictionary used by all ValueRef
 /// accessors and comparisons; `Database` hands out a shared handle to it.
-/// Not thread-safe for concurrent interning; concurrent readers are fine
-/// once loading has finished.
+///
+/// Thread safety: the intern path is exclusive (one writer at a time,
+/// serialised on an internal shared_mutex), lookups that walk the hash
+/// indexes (Find, TryEncode, the found-fast-path of Intern) take a shared
+/// lock, and the hot code→value reads — str(), rank(), big_int(),
+/// Decode(), Compare() and every ValueRef comparison — are lock-free:
+/// strings and pool slots live in append-only stable storage, and rank
+/// entries are atomics. An *out-of-order* intern (a new string that is
+/// not last in sort order — e.g. an InsertTuple racing readers) shifts
+/// the ranks of larger strings; pairwise string comparisons stay correct
+/// through a seqlock (CompareStringRanks retries while a shift is in
+/// flight), so concurrent queries never observe a misordering. Only the
+/// single-value rank() accessor and OrderKey() sort keys are
+/// shift-transient, as their contracts already state: compute keys after
+/// bulk interning and use them within one sort.
 class ValueDict {
  public:
   ValueDict() = default;
@@ -170,7 +185,25 @@ class ValueDict {
   /// rank rebuild happens. Use on bulk-load paths (CSV, relation encoding).
   void InternBulk(std::vector<std::string_view> strs);
   const std::string& str(uint32_t code) const { return strings_[code]; }
-  uint32_t rank(uint32_t code) const { return rank_[code]; }
+  /// A single rank read: lock-free, but transient while an out-of-order
+  /// intern shifts ranks. Use CompareStringRanks for ordering decisions.
+  uint32_t rank(uint32_t code) const {
+    return rank_[code].load(std::memory_order_relaxed);
+  }
+  /// Orders two string codes by rank, consistently even while a
+  /// concurrent out-of-order intern is shifting the rank permutation:
+  /// seqlock reads retry on instability, falling back to a shared lock
+  /// (i.e. waiting out the writer) after a bounded spin.
+  std::strong_ordering CompareStringRanks(uint32_t a, uint32_t b) const;
+  /// Blocks interning — and with it rank shifts — for the guard's
+  /// lifetime (shared mode: other readers and freezers are unaffected).
+  /// Hold around batch rank-key computations (OrderKey) together with
+  /// the sorts consuming them, so all keys in the batch are mutually
+  /// consistent even while concurrent updates intern new strings. The
+  /// holder must not intern through this dictionary (self-deadlock).
+  std::shared_lock<std::shared_mutex> FreezeRanks() const {
+    return std::shared_lock<std::shared_mutex>(mu_);
+  }
   size_t num_strings() const { return strings_.size(); }
 
   // --- big integer pool ---------------------------------------------------
@@ -194,18 +227,44 @@ class ValueDict {
   std::strong_ordering Compare(const ValueRef& a, const ValueRef& b) const;
 
  private:
+  // Callers hold mu_ exclusively.
   uint32_t InternInOrder(std::string_view s);
 
-  // Element addresses are stable (deque), so index_ keys can view into it.
-  std::deque<std::string> strings_;
+  // Guards the hash indexes and by_rank_, and serialises writers. The
+  // stable vectors are written only under exclusive mu_ but read without
+  // it (see the class comment).
+  mutable std::shared_mutex mu_;
+  // Element addresses are stable, so index_ keys can view into it and
+  // readers resolve published codes lock-free.
+  exec::StableVector<std::string> strings_;
   std::unordered_map<std::string_view, uint32_t> index_;
-  std::vector<uint32_t> rank_;     // code -> rank
-  std::vector<uint32_t> by_rank_;  // rank -> code
-  std::vector<int64_t> big_ints_;
+  exec::StableVector<std::atomic<uint32_t>> rank_;  // code -> rank
+  std::vector<uint32_t> by_rank_;                   // rank -> code
+  // Seqlock generation for rank shifts: odd while a writer (holding mu_
+  // exclusively) is rewriting existing rank entries.
+  std::atomic<uint32_t> rank_gen_{0};
+  exec::StableVector<int64_t> big_ints_;
   std::unordered_map<int64_t, uint32_t> big_index_;
 };
 
 // --- hot-path inline definitions (ValueRef needs ValueDict) ----------------
+
+inline std::strong_ordering ValueDict::CompareStringRanks(uint32_t a,
+                                                          uint32_t b) const {
+  for (int spin = 0; spin < 64; ++spin) {
+    uint32_t g1 = rank_gen_.load(std::memory_order_acquire);
+    if (g1 & 1u) continue;  // shift in flight
+    uint32_t ra = rank_[a].load(std::memory_order_relaxed);
+    uint32_t rb = rank_[b].load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (rank_gen_.load(std::memory_order_relaxed) == g1) return ra <=> rb;
+  }
+  // A shift writer persists (e.g. preempted mid-rebuild): wait it out on
+  // the lock instead of spinning.
+  std::shared_lock<std::shared_mutex> lk(mu_);
+  return rank_[a].load(std::memory_order_relaxed) <=>
+         rank_[b].load(std::memory_order_relaxed);
+}
 
 inline int64_t ValueRef::as_int() const {
   if (top16() == kTagInt) return inline_int();
@@ -243,8 +302,8 @@ inline std::strong_ordering ValueRef::operator<=>(const ValueRef& o) const {
   }
   if (ta == kTagStr && tb == kTagStr) {
     if (bits_ == o.bits_) return std::strong_ordering::equal;
-    const ValueDict& d = ValueDict::Default();
-    return d.rank(payload32()) <=> d.rank(o.payload32());
+    return ValueDict::Default().CompareStringRanks(payload32(),
+                                                   o.payload32());
   }
   int ra = TypeRank(), rb = o.TypeRank();
   if (ra != rb) return ra <=> rb;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -59,6 +60,11 @@ struct SnapshotState {
     bool fixed_up = false;  ///< value pool validated and remapped once
   };
   std::map<std::string, ViewDesc> views;
+
+  // Serialises MaterialiseSnapshotView across Database copies sharing
+  // this state (each copy also admits under its own view-map lock, but
+  // the fixed_up remap pass must be once-only process-wide).
+  std::mutex mu;
 };
 
 /// Parses the snapshot in `mapping` eagerly up to the view catalog:

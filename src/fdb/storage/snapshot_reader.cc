@@ -354,6 +354,7 @@ std::shared_ptr<SnapshotState> ParseSnapshot(
 
 std::optional<Factorisation> MaterialiseSnapshotView(SnapshotState& state,
                                                      const std::string& name) {
+  std::lock_guard<std::mutex> g(state.mu);
   auto it = state.views.find(name);
   if (it == state.views.end()) return std::nullopt;
   SnapshotState::ViewDesc& d = it->second;

@@ -186,6 +186,13 @@ class SegmentBuilder {
 
 std::string SerialiseDatabase(const Database& db) {
   const ValueDict& dict = db.dict();
+  // Interning — and with it rank shifts and new codes — is frozen for
+  // the whole serialisation: the rank-ordered string table, the
+  // rank-encoded refs in every view segment, and the big-int pool must
+  // all describe one consistent dictionary state even while concurrent
+  // updates intern (shared mode: readers are unaffected; nothing below
+  // interns).
+  auto frozen = dict.FreezeRanks();
   Buf out;
 
   FileHeader header{};
@@ -253,11 +260,13 @@ std::string SerialiseDatabase(const Database& db) {
         std::vector<std::string> names = db.ViewNames();
         out.U64(names.size());
         for (const std::string& name : names) {
-          const Factorisation& f = *db.view(name);
+          // Hold the version across serialisation: a concurrent view
+          // swap must not retire these nodes mid-walk.
+          std::shared_ptr<const Factorisation> f = db.ViewSnapshot(name);
           out.Str32(name);
-          WriteFTree(&out, f.tree());
+          WriteFTree(&out, f->tree());
           SegmentBuilder seg(dict);
-          for (FactPtr r : f.roots()) seg.EmitRoot(r);
+          for (FactPtr r : f->roots()) seg.EmitRoot(r);
           seg.WriteTo(&out);
         }
         break;

@@ -1,0 +1,156 @@
+#include "fdb/exec/task_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+namespace fdb {
+namespace exec {
+namespace {
+
+TEST(TaskPoolTest, ParallelForCoversRangeExactlyOnce) {
+  TaskPool pool(4);
+  constexpr int64_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(kN, 7, [&](int, int64_t lo, int64_t hi) {
+    int64_t s = 0;
+    for (int64_t i = lo; i < hi; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+      s += i;
+    }
+    sum.fetch_add(s, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), kN * (kN - 1) / 2);
+  for (int64_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(TaskPoolTest, PartSlotsAreDenseAndBounded) {
+  TaskPool pool(4);
+  std::mutex mu;
+  std::set<int> parts;
+  pool.ParallelFor(64, 1, [&](int part, int64_t, int64_t) {
+    std::lock_guard<std::mutex> g(mu);
+    parts.insert(part);
+  });
+  ASSERT_FALSE(parts.empty());
+  EXPECT_GE(*parts.begin(), 0);
+  EXPECT_LT(*parts.rbegin(), pool.num_threads());
+  // Dense: slots are handed out 0, 1, 2, … in claim order.
+  EXPECT_EQ(*parts.rbegin(), static_cast<int>(parts.size()) - 1);
+}
+
+TEST(TaskPoolTest, ChunkBoundariesIndependentOfThreadCount) {
+  auto chunks_of = [](int threads) {
+    TaskPool pool(threads);
+    std::mutex mu;
+    std::set<std::pair<int64_t, int64_t>> chunks;
+    pool.ParallelFor(1000, 64, [&](int, int64_t lo, int64_t hi) {
+      std::lock_guard<std::mutex> g(mu);
+      chunks.emplace(lo, hi);
+    });
+    return chunks;
+  };
+  EXPECT_EQ(chunks_of(1), chunks_of(4));
+}
+
+TEST(TaskPoolTest, SingleThreadPoolRunsInline) {
+  TaskPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  int64_t sum = 0;
+  pool.ParallelFor(100, 9, [&](int part, int64_t lo, int64_t hi) {
+    EXPECT_EQ(part, 0);
+    for (int64_t i = lo; i < hi; ++i) sum += i;
+  });
+  EXPECT_EQ(sum, 100 * 99 / 2);
+}
+
+TEST(TaskPoolTest, ExceptionPropagatesAfterDraining) {
+  TaskPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      pool.ParallelFor(100, 1,
+                       [&](int, int64_t lo, int64_t) {
+                         ran.fetch_add(1);
+                         if (lo == 42) {
+                           throw std::runtime_error("chunk 42 failed");
+                         }
+                       }),
+      std::runtime_error);
+  // All chunks were still claimed and finished before the rethrow.
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(TaskPoolTest, NestedParallelForCompletes) {
+  TaskPool pool(4);
+  std::atomic<int64_t> total{0};
+  pool.ParallelFor(8, 1, [&](int, int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      int64_t inner = 0;
+      pool.ParallelFor(50, 5, [&](int, int64_t l, int64_t h) {
+        // The inner caller participates in its own range, so this cannot
+        // deadlock even with every worker busy in the outer loop.
+        for (int64_t j = l; j < h; ++j) inner += 1;
+      });
+      total.fetch_add(inner);
+    }
+  });
+  EXPECT_EQ(total.load(), 8 * 50);
+}
+
+TEST(TaskPoolTest, SubmitRunsEveryTask) {
+  TaskPool pool(3);
+  constexpr int kTasks = 200;
+  std::mutex mu;
+  std::condition_variable cv;
+  int done = 0;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      std::lock_guard<std::mutex> g(mu);
+      if (++done == kTasks) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lk(mu);
+  ASSERT_TRUE(cv.wait_for(lk, std::chrono::seconds(30),
+                          [&] { return done == kTasks; }));
+}
+
+TEST(TaskPoolTest, SetDefaultThreadsResizes) {
+  int before = TaskPool::Default().num_threads();
+  TaskPool::SetDefaultThreads(3);
+  EXPECT_EQ(TaskPool::Default().num_threads(), 3);
+  TaskPool::SetDefaultThreads(before);
+  EXPECT_EQ(TaskPool::Default().num_threads(), before);
+}
+
+TEST(TaskPoolTest, ParallelForOrSerialMatchesAcrossWidths) {
+  // The serial fallback uses the same chunk boundaries as the parallel
+  // path, so a chunk-ordered reduction is bit-identical either way.
+  auto run = [](int threads) {
+    TaskPool::SetDefaultThreads(threads);
+    std::vector<double> partial((1000 + 63) / 64);
+    ParallelForOrSerial(1000, 64, 0, [&](int, int64_t lo, int64_t hi) {
+      double s = 0;
+      for (int64_t i = lo; i < hi; ++i) s += 1.0 / (1.0 + double(i));
+      partial[lo / 64] = s;
+    });
+    double total = 0;
+    for (double p : partial) total += p;
+    return total;
+  };
+  int before = TaskPool::Default().num_threads();
+  double serial = run(1);
+  double parallel = run(4);
+  TaskPool::SetDefaultThreads(before);
+  EXPECT_EQ(serial, parallel);  // exact: same chunks, same combine order
+}
+
+}  // namespace
+}  // namespace exec
+}  // namespace fdb
