@@ -11,10 +11,19 @@
 // fast path exactly as a fresh process would (nothing to intern either
 // way) — the comparison is fair, just not a disk-latency measurement.
 //
+// A second phase measures incremental checkpointing: a grouped trie view
+// receives K updates, Database::Checkpoint appends a delta, and the
+// per-checkpoint bytes/time are recorded against K — demonstrating that
+// a checkpoint costs O(changes) (the unions along the updated paths),
+// not O(database). The streaming writer's peak transient allocation is
+// recorded alongside the file size (the pre-streaming writer buffered
+// the whole file plus the segment arrays: ~3x file size).
+//
 // Usage: bench_storage [scale]          (default 8)
-// Emits BENCH_storage_open.json in the working directory. No
-// google-benchmark dependency: one timed run per phase is the honest
-// measurement here (save/open are I/O-shaped, rebuild dominates by far).
+// Emits BENCH_storage_open.json and BENCH_storage_checkpoint.json in the
+// working directory. No google-benchmark dependency: one timed run per
+// phase is the honest measurement here (save/open are I/O-shaped,
+// rebuild dominates by far).
 
 #include <chrono>
 #include <cstdio>
@@ -22,10 +31,13 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "fdb/core/build.h"
+#include "fdb/core/update.h"
 #include "fdb/engine/csv.h"
 #include "fdb/engine/database.h"
+#include "fdb/storage/snapshot.h"
 #include "fdb/workload/generator.h"
 
 using namespace fdb;
@@ -67,9 +79,10 @@ int main(int argc, char** argv) {
   }
   serving.AddView("R1", *db.view("R1"));
 
-  // --- save ---------------------------------------------------------------
+  // --- save (streamed; record the writer's peak transient allocation) -----
   auto t0 = std::chrono::steady_clock::now();
-  serving.Save(snap_path);
+  storage::SaveStats save_stats;
+  storage::SaveSnapshot(serving, snap_path, &save_stats);
   double save_seconds = Seconds(t0);
   auto save_bytes = static_cast<int64_t>(fs::file_size(snap_path));
 
@@ -125,6 +138,15 @@ int main(int argc, char** argv) {
        << "  \"scale\": " << scale << ",\n"
        << "  \"view_singletons\": " << singletons << ",\n"
        << "  \"save_bytes\": " << save_bytes << ",\n"
+       << "  \"save_peak_transient_bytes\": "
+       << save_stats.peak_transient_bytes << ",\n"
+       << "  \"save_peak_to_file_ratio\": "
+       << (save_bytes > 0 ? static_cast<double>(
+                                save_stats.peak_transient_bytes) /
+                                static_cast<double>(save_bytes)
+                          : 0)
+       << ",\n"
+       << "  \"save_peak_includes_fixed_buffer_bytes\": 65536,\n"
        << "  \"save_seconds\": " << save_seconds << ",\n"
        << "  \"rebuild_from_csv_seconds\": " << rebuild_seconds << ",\n"
        << "  \"cold_open_seconds\": " << open_seconds << ",\n"
@@ -136,11 +158,102 @@ int main(int argc, char** argv) {
        << "}\n";
 
   std::cout << "scale " << scale << ": " << singletons << " singletons, save "
-            << save_bytes << " B in " << save_seconds * 1e3 << " ms; rebuild "
+            << save_bytes << " B in " << save_seconds * 1e3
+            << " ms (peak transient "
+            << save_stats.peak_transient_bytes << " B); rebuild "
             << rebuild_seconds * 1e3 << " ms vs cold open "
             << open_seconds * 1e3 << " ms (" << speedup << "x)"
             << (ok ? "" : "  [MISMATCH]") << "\n";
 
+  // --- incremental checkpointing: delta cost vs update count --------------
+  // A grouped trie (100 tuples per root value) localises updates: an
+  // insert rewrites the root union, one group's subtree and a leaf, so a
+  // checkpoint's delta covers the touched unions, not the database.
+  std::string ckpt_path = (dir / "ckpt.fdbs").string();
+  int64_t rows = int64_t{20000} * scale;
+  Database ckdb;
+  {
+    AttrId a = ckdb.Attr("ck_a"), b = ckdb.Attr("ck_b");
+    Relation r{RelSchema({a, b})};
+    for (int64_t x = 0; x < rows; ++x) {
+      r.Add({Value(x / 100), Value(x)});
+    }
+    ckdb.AddView("U", FactoriseRelation(r, {a, b}));
+  }
+  t0 = std::chrono::steady_clock::now();
+  storage::CheckpointInfo base_info = ckdb.Checkpoint(ckpt_path);
+  double base_seconds = Seconds(t0);
+
+  struct CkptRow {
+    int64_t updates;
+    uint64_t bytes;
+    double seconds;
+  };
+  std::vector<CkptRow> rows_out;
+  int64_t next_b = rows + 1000;
+  bool ckpt_ok = base_info.kind == storage::CheckpointInfo::kBase;
+  int64_t total_inserted = 0;
+  for (int64_t k : {16, 64, 256, 1024}) {
+    // K updates spread over 8 groups: the touched-union set stays small
+    // while K grows, so delta bytes track the changes.
+    for (int64_t i = 0; i < k; ++i) {
+      ckdb.UpdateView("U", [&](Factorisation* f) {
+        InsertTuple(f, {Value(i % 8), Value(next_b++)});
+      });
+    }
+    total_inserted += k;
+    t0 = std::chrono::steady_clock::now();
+    storage::CheckpointInfo info = ckdb.Checkpoint(ckpt_path);
+    double secs = Seconds(t0);
+    ckpt_ok = ckpt_ok && info.kind == storage::CheckpointInfo::kDelta &&
+              info.bytes * 4 < base_info.bytes;
+    rows_out.push_back({k, info.bytes, secs});
+  }
+  {
+    Database reloaded = Database::Open(ckpt_path);
+    const Factorisation* u = reloaded.view("U");
+    ckpt_ok = ckpt_ok && u != nullptr &&
+              u->CountTuples() == rows + total_inserted;
+  }
+
+  std::ofstream cj("BENCH_storage_checkpoint.json");
+  cj << "{\n"
+     << "  \"name\": \"storage_checkpoint\",\n"
+     << "  \"scale\": " << scale << ",\n"
+     << "  \"view_rows\": " << rows << ",\n"
+     << "  \"base_bytes\": " << base_info.bytes << ",\n"
+     << "  \"base_seconds\": " << base_seconds << ",\n"
+     << "  \"checkpoints\": [\n";
+  for (size_t i = 0; i < rows_out.size(); ++i) {
+    cj << "    {\"updates\": " << rows_out[i].updates
+       << ", \"delta_bytes\": " << rows_out[i].bytes
+       << ", \"seconds\": " << rows_out[i].seconds
+       << ", \"delta_to_base_ratio\": "
+       << static_cast<double>(rows_out[i].bytes) /
+              static_cast<double>(base_info.bytes)
+       << "}" << (i + 1 < rows_out.size() ? "," : "") << "\n";
+  }
+  cj << "  ],\n"
+     << "  \"consistent\": " << (ckpt_ok ? "true" : "false") << ",\n"
+     << "  \"note\": \"delta bytes cover the unions along the updated "
+        "paths (root union + touched groups + new leaves), so they grow "
+        "with the update count and stay far below the base size; the "
+        "streaming writer's peak transient allocation is reported in "
+        "BENCH_storage_open.json (save_peak_transient_bytes: node index "
+        "+ emission order + a fixed 64 KiB write buffer, vs the "
+        "~3x-file-size peak of the old build-then-write path — at small "
+        "scales the constant buffer floor dominates the ratio, so "
+        "compare against files well above 64 KiB)\"\n"
+     << "}\n";
+
+  std::cout << "checkpoint: base " << base_info.bytes << " B in "
+            << base_seconds * 1e3 << " ms";
+  for (const CkptRow& r : rows_out) {
+    std::cout << "; K=" << r.updates << " -> " << r.bytes << " B in "
+              << r.seconds * 1e3 << " ms";
+  }
+  std::cout << (ckpt_ok ? "" : "  [MISMATCH]") << "\n";
+
   fs::remove_all(dir);
-  return ok ? 0 : 1;
+  return ok && ckpt_ok ? 0 : 1;
 }

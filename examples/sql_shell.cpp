@@ -12,6 +12,11 @@
 //            \save <path>   snapshot the whole database to a *.fdbs file
 //            \open <path>   replace the database with a saved snapshot
 //                           (views reopen lazily, zero-copy via mmap)
+//            \checkpoint <path>
+//                           incremental persistence: the first call (or a
+//                           fold) writes a base snapshot, later calls
+//                           append only what changed since (a delta file
+//                           <path>.delta-N) — O(changes), not O(database)
 //            \q             quit
 
 #include <cstdlib>
@@ -75,6 +80,29 @@ int main(int argc, char** argv) {
         std::cout << FactStatsToString(*r1, db.registry());
       } else {
         std::cout << "error: no view R1 in the current database\n";
+      }
+      continue;
+    }
+    if (line.rfind("\\checkpoint ", 0) == 0) {
+      std::string path = line.substr(12);
+      try {
+        storage::CheckpointInfo info = db.Checkpoint(path);
+        switch (info.kind) {
+          case storage::CheckpointInfo::kBase:
+            std::cout << "checkpoint: wrote base " << path << " ("
+                      << info.bytes << " bytes)\n";
+            break;
+          case storage::CheckpointInfo::kDelta:
+            std::cout << "checkpoint: appended "
+                      << storage::DeltaPath(path, info.seq) << " ("
+                      << info.bytes << " bytes)\n";
+            break;
+          case storage::CheckpointInfo::kNoop:
+            std::cout << "checkpoint: no changes since the last one\n";
+            break;
+        }
+      } catch (const std::exception& e) {
+        std::cout << "error: " << e.what() << "\n";
       }
       continue;
     }

@@ -236,6 +236,13 @@ struct Num {
   Value ToValue() const { return is_int ? Value(i) : Value(d); }
 };
 
+// Fixed reduction granularity for double sums: partials are accumulated
+// per 256-entry chunk and combined in chunk order *everywhere* — the
+// serial recursion and the parallel top-level reduction share the same
+// association — so a SUM over doubles is bit-identical at every thread
+// count and on either side of the parallel-dispatch threshold.
+constexpr int64_t kAggChunkEntries = 256;
+
 Num SumRec(const FTree& tree, int node, const FactNode& n,
            const DenseAnalysis& a);
 
@@ -272,11 +279,23 @@ Num SumRec(const FTree& tree, int node, const FactNode& n,
   int cstar = at_carrier ? -1 : a.cstar[node];
   if (!at_carrier && cstar < 0) BadComposition("sum: carrier not below node");
   bool use_value = nd.is_aggregate() && a.is_value[node];
+  // Accumulate with the fixed chunk association (see kAggChunkEntries):
+  // integer sums are exact either way, but double sums must associate
+  // identically to the chunked top-level reduction so serial and
+  // parallel evaluations agree to the last bit.
   Num total;
+  Num chunk;
+  int64_t in_chunk = 0;
   for (int i = 0; i < n.size(); ++i) {
     AddSumEntry(tree, kids, k, at_carrier, cstar, use_value, n, i, a,
-                &total);
+                &chunk);
+    if (++in_chunk == kAggChunkEntries) {
+      total.AddScaled(chunk, 1);
+      chunk = Num();
+      in_chunk = 0;
+    }
   }
+  if (in_chunk > 0) total.AddScaled(chunk, 1);
   return total;
 }
 
@@ -288,9 +307,9 @@ Num SumRec(const FTree& tree, int node, const FactNode& n,
 // in chunk order, and the chunk boundaries depend only on the data, so
 // the result is identical for every thread count — including one, where
 // the same chunked loop runs sequentially. Below the size threshold the
-// plain recursion runs untouched.
+// plain recursion runs instead; SumRec shares the chunk association, so
+// the threshold is purely a dispatch decision, never a numeric one.
 
-constexpr int64_t kAggChunkEntries = 256;
 constexpr int64_t kAggParallelMin = 2048;
 
 int64_t CountTop(const FTree& tree, int node, const FactNode& n,

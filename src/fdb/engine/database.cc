@@ -10,10 +10,15 @@
 
 namespace fdb {
 
+// Copies do not share checkpoint state (persist_): the retained node
+// index is mutated by Checkpoint, and two databases appending to one
+// delta chain would corrupt it. A copy starts a fresh chain on its
+// first Checkpoint.
 Database::Database(const Database& other)
     : reg_(other.reg_),
       dict_(other.dict_),
       relations_(other.relations_),
+      relation_versions_(other.relation_versions_),
       snapshot_(other.snapshot_) {
   std::lock_guard<std::mutex> g(other.mu_);
   views_ = other.views_;
@@ -24,6 +29,11 @@ Database& Database::operator=(const Database& other) {
   reg_ = other.reg_;
   dict_ = other.dict_;
   relations_ = other.relations_;
+  relation_versions_ = other.relation_versions_;
+  {
+    std::lock_guard<std::mutex> g(persist_mu_);
+    persist_.reset();
+  }
   snapshot_ = other.snapshot_;
   std::shared_ptr<const ViewMap> v;
   {
@@ -49,7 +59,12 @@ Database::Database(Database&& other) noexcept
     : reg_(std::move(other.reg_)),
       dict_(std::exchange(other.dict_, DefaultDictAlias())),
       relations_(std::move(other.relations_)),
+      relation_versions_(std::move(other.relation_versions_)),
       snapshot_(std::move(other.snapshot_)) {
+  {
+    std::lock_guard<std::mutex> g(other.persist_mu_);
+    persist_ = std::move(other.persist_);
+  }
   std::lock_guard<std::mutex> g(other.mu_);
   views_ = std::exchange(other.views_,
                          std::make_shared<const ViewMap>());
@@ -60,6 +75,16 @@ Database& Database::operator=(Database&& other) noexcept {
   reg_ = std::move(other.reg_);
   dict_ = std::exchange(other.dict_, DefaultDictAlias());
   relations_ = std::move(other.relations_);
+  relation_versions_ = std::move(other.relation_versions_);
+  {
+    std::shared_ptr<storage::PersistState> p;
+    {
+      std::lock_guard<std::mutex> g(other.persist_mu_);
+      p = std::move(other.persist_);
+    }
+    std::lock_guard<std::mutex> g(persist_mu_);
+    persist_ = std::move(p);
+  }
   snapshot_ = std::move(other.snapshot_);
   std::shared_ptr<const ViewMap> v;
   {
@@ -84,11 +109,17 @@ void Database::AddRelation(const std::string& name, Relation rel) {
   }
   if (!strs.empty()) dict_->InternBulk(std::move(strs));
   relations_.insert_or_assign(name, std::move(rel));
+  ++relation_versions_[name];
 }
 
 const Relation* Database::relation(const std::string& name) const {
   auto it = relations_.find(name);
   return it == relations_.end() ? nullptr : &it->second;
+}
+
+uint64_t Database::relation_version(const std::string& name) const {
+  auto it = relation_versions_.find(name);
+  return it == relation_versions_.end() ? 0 : it->second;
 }
 
 void Database::PublishView(const std::string& name,

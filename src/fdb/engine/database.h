@@ -11,6 +11,7 @@
 #include "fdb/core/factorisation.h"
 #include "fdb/relational/relation.h"
 #include "fdb/relational/value_dict.h"
+#include "fdb/storage/snapshot.h"
 
 namespace fdb {
 
@@ -70,6 +71,10 @@ class Database {
   void AddRelation(const std::string& name, Relation rel);
   /// The named base relation, or nullptr.
   const Relation* relation(const std::string& name) const;
+  /// How many times the named relation has been (re)published via
+  /// AddRelation — the change detector incremental checkpoints use to
+  /// decide whether a relation needs re-dumping. 0 if absent.
+  uint64_t relation_version(const std::string& name) const;
 
   /// Publishes `f` as the new version of view `name` (a new epoch of the
   /// view map). Readers holding the previous version keep it alive.
@@ -103,8 +108,27 @@ class Database {
   /// Writes the database as a binary snapshot (*.fdbs): registry, value
   /// dictionary, flat relations and all views. View segments contain only
   /// nodes reachable from the roots — saved data is always compacted.
-  /// Throws std::invalid_argument on I/O failure.
+  /// Streams with bounded buffers (peak memory is the writer's node
+  /// bookkeeping, not the file size) and publishes crash-safely:
+  /// write-to-temp, fsync, rename, fsync the directory. Any delta files
+  /// a previous Checkpoint() left next to `path` are superseded and
+  /// removed. Throws std::invalid_argument on I/O failure.
   void Save(const std::string& path) const;
+
+  /// Incremental persistence: appends a delta file
+  /// (`path.delta-1`, `-2`, ...) holding only what changed since the
+  /// last Save/Checkpoint of `path` from this Database — new view nodes
+  /// (by arena generation: updates append nodes next to the persisted
+  /// ones), dictionary/registry growth, and re-published relations — so
+  /// a checkpoint costs O(changes), not O(database). Falls back to a
+  /// fresh base when there is nothing to delta against (first call, a
+  /// different path, a rebuild) or when the chain trips the fold
+  /// threshold (storage::kMaxDeltaChain deltas or half the base's size).
+  /// Open() replays the chain. Between checkpoints the Database retains
+  /// the persisted node index and pins the last persisted view versions
+  /// (memory traded for O(changes) I/O; dropped at each fold). Throws
+  /// std::invalid_argument on I/O failure.
+  storage::CheckpointInfo Checkpoint(const std::string& path) const;
 
   /// Opens a snapshot written by Save(): mmaps the file, decodes catalog,
   /// registry, dictionary and flat relations eagerly, and defers view
@@ -140,6 +164,7 @@ class Database {
   std::shared_ptr<ValueDict> dict_{std::shared_ptr<ValueDict>(),
                                    &ValueDict::Default()};
   std::map<std::string, Relation> relations_;
+  std::map<std::string, uint64_t> relation_versions_;
   // Guards the views_ pointer (epoch swaps, snapshot admissions). Held
   // only for pointer copies and map clones — never across query work.
   mutable std::mutex mu_;
@@ -150,6 +175,12 @@ class Database {
       std::make_shared<const ViewMap>();
   // Set when this database was opened from a snapshot; shared with copies.
   std::shared_ptr<storage::SnapshotState> snapshot_;
+  // Incremental-checkpoint state (Save/Checkpoint): the retained node
+  // index and pinned versions of the last base/delta written. Mutable
+  // cache — the logical database is untouched. Not shared with copies
+  // (each Database owns its own checkpoint chain).
+  mutable std::mutex persist_mu_;
+  mutable std::shared_ptr<storage::PersistState> persist_;
 };
 
 /// Chooses an f-tree for the natural join of `relations` (used when a query

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "fdb/core/fact_arena.h"
 
@@ -50,27 +51,30 @@ class SnapshotMapping {
 
 /// The arena behind a view materialised from a snapshot. Node headers and
 /// the widened child-pointer array live in memory (built by the reader's
-/// fix-up pass); the value spans point straight into the mapping, which
-/// this arena keeps alive. It is a fully functional FactArena: operators
-/// that write into it (updates on an opened view) allocate ordinary heap
-/// chunks, and operators that switch to a fresh arena adopt this one,
-/// chaining the mapping's lifetime to their results.
+/// fix-up pass); the value spans point straight into the mappings — the
+/// base file plus any replayed delta files — which this arena keeps
+/// alive. It is a fully functional FactArena: operators that write into
+/// it (updates on an opened view) allocate ordinary heap chunks, and
+/// operators that switch to a fresh arena adopt this one, chaining the
+/// mappings' lifetimes to their results.
 class MappedArena : public FactArena {
  public:
-  MappedArena(std::shared_ptr<SnapshotMapping> mapping,
+  MappedArena(std::vector<std::shared_ptr<SnapshotMapping>> mappings,
               std::unique_ptr<FactNode[]> nodes, int64_t num_nodes,
               std::unique_ptr<FactPtr[]> children, int64_t mapped_bytes)
-      : mapping_(std::move(mapping)),
+      : mappings_(std::move(mappings)),
         nodes_mem_(std::move(nodes)),
         child_mem_(std::move(children)) {
     bytes_ = mapped_bytes;
     nodes_ = num_nodes;
   }
 
-  const SnapshotMapping& mapping() const { return *mapping_; }
+  /// The base mapping (first of the chain).
+  const SnapshotMapping& mapping() const { return *mappings_.front(); }
+  size_t num_mappings() const { return mappings_.size(); }
 
  private:
-  std::shared_ptr<SnapshotMapping> mapping_;
+  std::vector<std::shared_ptr<SnapshotMapping>> mappings_;
   std::unique_ptr<FactNode[]> nodes_mem_;
   std::unique_ptr<FactPtr[]> child_mem_;
 };

@@ -1,3 +1,5 @@
+#include <unistd.h>
+
 #include <cstring>
 #include <stdexcept>
 #include <string_view>
@@ -19,8 +21,8 @@ namespace {
 
 /// Bounds-checked cursor over a byte range of the mapping. Every read is
 /// a memcpy load, so nothing here requires alignment; alignment only
-/// matters for the value pools served in place, which ParseSnapshot
-/// checks explicitly.
+/// matters for the value pools served in place, which the section
+/// parsers check explicitly.
 class Reader {
  public:
   Reader(const std::byte* base, size_t begin, size_t end)
@@ -180,12 +182,13 @@ struct Section {
   bool present = false;
 };
 
-}  // namespace
-
-std::shared_ptr<SnapshotState> ParseSnapshot(
-    std::shared_ptr<SnapshotMapping> mapping, Database* db) {
-  const std::byte* base = mapping->data();
-  size_t size = mapping->size();
+/// Validates the file envelope and fills the per-kind section ranges.
+/// `lo..hi` are the section kinds this file type requires (base: 1..5
+/// plus meta for v2; delta: 7..12). Returns the header.
+FileHeader ReadEnvelope(const SnapshotMapping& mapping, uint32_t lo,
+                        uint32_t hi, Section* sections) {
+  const std::byte* base = mapping.data();
+  size_t size = mapping.size();
   if (size < sizeof(FileHeader)) Corrupt("file shorter than its header");
   FileHeader header;
   std::memcpy(&header, base, sizeof(header));
@@ -195,32 +198,94 @@ std::shared_ptr<SnapshotState> ParseSnapshot(
   if (header.endian != kEndianProbe) {
     Corrupt("endianness mismatch (snapshot written on a foreign machine)");
   }
-  if (header.version != kVersion) Corrupt("unsupported version");
+  if (header.version < kMinVersion || header.version > kVersion) {
+    Corrupt("unsupported version");
+  }
   if (header.file_size != size) Corrupt("header size disagrees with file");
   if (header.section_count > 64) Corrupt("implausible section count");
 
-  Section sections[6];  // indexed by SectionKind
-  {
-    Reader table(base, sizeof(FileHeader), size);
-    for (uint64_t s = 0; s < header.section_count; ++s) {
-      SectionEntry e = table.Pod<SectionEntry>();
-      if (e.kind < 1 || e.kind > 5) Corrupt("unknown section kind");
-      Section& sec = sections[e.kind];
-      if (sec.present) Corrupt("duplicate section");
-      if (e.offset % 8 != 0 || e.offset > size || e.size > size - e.offset) {
-        Corrupt("section out of range");
-      }
-      sec.begin = e.offset;
-      sec.end = e.offset + e.size;
-      sec.present = true;
+  Reader table(base, sizeof(FileHeader), size);
+  for (uint64_t s = 0; s < header.section_count; ++s) {
+    SectionEntry e = table.Pod<SectionEntry>();
+    if (e.kind < lo || e.kind > hi) Corrupt("unknown section kind");
+    Section& sec = sections[e.kind];
+    if (sec.present) Corrupt("duplicate section");
+    if (e.offset % 8 != 0 || e.offset > size || e.size > size - e.offset) {
+      Corrupt("section out of range");
     }
+    sec.begin = e.offset;
+    sec.end = e.offset + e.size;
+    sec.present = true;
   }
-  for (uint32_t k = 1; k <= 5; ++k) {
+  return header;
+}
+
+/// Range-checks one view data segment starting at the reader's position
+/// and records its layout (the reader is advanced past it).
+SnapshotState::SegDesc ReadSegmentDesc(
+    Reader* in, const std::shared_ptr<SnapshotMapping>& mapping,
+    uint64_t first_node) {
+  SnapshotState::SegDesc desc;
+  desc.mapping = mapping;
+  desc.first_node = first_node;
+  in->Align8();
+  SegmentHeader seg = in->Pod<SegmentHeader>();
+  desc.num_nodes = seg.num_nodes;
+  desc.num_values = seg.num_values;
+  desc.num_children = seg.num_children;
+  desc.num_roots = seg.num_roots;
+  if (first_node + seg.num_nodes > uint64_t{1} << 32) {
+    Corrupt("node count out of range");
+  }
+  if (seg.num_nodes > in->remaining() / sizeof(NodeRec)) {
+    Corrupt("node table out of range");
+  }
+  desc.nodes_off = in->pos();
+  in->Skip(seg.num_nodes * sizeof(NodeRec));
+  if (seg.num_roots > in->remaining() / sizeof(int64_t)) {
+    Corrupt("root table out of range");
+  }
+  desc.roots_off = in->pos();
+  in->Skip(seg.num_roots * sizeof(int64_t));
+  if (seg.num_values > in->remaining() / sizeof(uint64_t)) {
+    Corrupt("value pool out of range");
+  }
+  desc.values_off = in->pos();
+  if (desc.values_off % 8 != 0) Corrupt("misaligned value pool");
+  in->Skip(seg.num_values * sizeof(uint64_t));
+  if (seg.num_children > in->remaining() / sizeof(uint32_t)) {
+    Corrupt("child pool out of range");
+  }
+  desc.children_off = in->pos();
+  in->Skip(seg.num_children * sizeof(uint32_t));
+  in->Align8();
+  return desc;
+}
+
+}  // namespace
+
+std::shared_ptr<SnapshotState> ParseSnapshot(
+    std::shared_ptr<SnapshotMapping> mapping, Database* db) {
+  const std::byte* base = mapping->data();
+  Section sections[kSectionKindMax + 1];
+  FileHeader header =
+      ReadEnvelope(*mapping, kSectionRegistry, kSectionMeta, sections);
+  for (uint32_t k = kSectionRegistry; k <= kSectionViews; ++k) {
     if (!sections[k].present) Corrupt("missing section");
+  }
+  if (header.version >= 2 && !sections[kSectionMeta].present) {
+    Corrupt("missing section");
+  }
+  if (header.version < 2 && sections[kSectionMeta].present) {
+    Corrupt("unknown section kind");
   }
 
   auto state = std::make_shared<SnapshotState>();
   state->mapping = mapping;
+  if (sections[kSectionMeta].present) {
+    Reader in(base, sections[kSectionMeta].begin, sections[kSectionMeta].end);
+    state->epoch = in.U64();
+  }
 
   // --- registry: interning names in id order reproduces the saved ids in
   // the opened database's fresh registry.
@@ -316,34 +381,7 @@ std::shared_ptr<SnapshotState> ParseSnapshot(
       std::string name = in.Str32();
       SnapshotState::ViewDesc desc;
       desc.tree = ReadFTreeBlob(&in, &db->registry(), num_attrs);
-      in.Align8();
-      SegmentHeader seg = in.Pod<SegmentHeader>();
-      desc.num_nodes = seg.num_nodes;
-      desc.num_values = seg.num_values;
-      desc.num_children = seg.num_children;
-      desc.num_roots = seg.num_roots;
-      if (seg.num_nodes > in.remaining() / sizeof(NodeRec)) {
-        Corrupt("node table out of range");
-      }
-      desc.nodes_off = in.pos();
-      in.Skip(seg.num_nodes * sizeof(NodeRec));
-      if (seg.num_roots > in.remaining() / sizeof(int64_t)) {
-        Corrupt("root table out of range");
-      }
-      desc.roots_off = in.pos();
-      in.Skip(seg.num_roots * sizeof(int64_t));
-      if (seg.num_values > in.remaining() / sizeof(uint64_t)) {
-        Corrupt("value pool out of range");
-      }
-      desc.values_off = in.pos();
-      if (desc.values_off % 8 != 0) Corrupt("misaligned value pool");
-      in.Skip(seg.num_values * sizeof(uint64_t));
-      if (seg.num_children > in.remaining() / sizeof(uint32_t)) {
-        Corrupt("child pool out of range");
-      }
-      desc.children_off = in.pos();
-      in.Skip(seg.num_children * sizeof(uint32_t));
-      in.Align8();
+      desc.segs.push_back(ReadSegmentDesc(&in, mapping, 0));
       if (!state->views.emplace(std::move(name), std::move(desc)).second) {
         Corrupt("duplicate view name");
       }
@@ -352,103 +390,265 @@ std::shared_ptr<SnapshotState> ParseSnapshot(
   return state;
 }
 
+bool ParseDeltaSnapshot(std::shared_ptr<SnapshotMapping> mapping,
+                        Database* db, SnapshotState* state, uint64_t seq) {
+  const std::byte* base = mapping->data();
+  Section sections[kSectionKindMax + 1];
+  ReadEnvelope(*mapping, kSectionDeltaManifest, kSectionViewDeltas, sections);
+  for (uint32_t k = kSectionDeltaManifest; k <= kSectionViewDeltas; ++k) {
+    if (!sections[k].present) Corrupt("missing section");
+  }
+
+  // --- manifest: a delta belongs to exactly one base epoch and slot in
+  // the chain. A mismatch is a stale leftover (e.g. a crash between a
+  // base fold's rename and its delta cleanup), not corruption: skip it.
+  {
+    Reader in(base, sections[kSectionDeltaManifest].begin,
+              sections[kSectionDeltaManifest].end);
+    uint64_t epoch = in.U64();
+    uint64_t dseq = in.U64();
+    if (state->epoch == 0 || epoch != state->epoch || dseq != seq) {
+      return false;
+    }
+  }
+
+  // --- registry delta: appended names continue the id sequence.
+  int num_attrs = 0;
+  {
+    Reader in(base, sections[kSectionRegistryDelta].begin,
+              sections[kSectionRegistryDelta].end);
+    uint64_t first = in.U64();
+    uint64_t count = in.U64();
+    if (first != static_cast<uint64_t>(db->registry().size())) {
+      Corrupt("registry delta out of sequence");
+    }
+    for (uint64_t i = 0; i < count; ++i) {
+      AttrId id = db->registry().Intern(in.Str32());
+      if (id != static_cast<AttrId>(first + i)) {
+        Corrupt("duplicate attribute name in registry");
+      }
+    }
+    num_attrs = db->registry().size();
+  }
+
+  // --- dictionary deltas: appended strings in code order (interned one
+  // by one so a fresh process assigns code == snapshot id and the value
+  // pools keep the zero-rewrite identity path), appended big-int slots.
+  {
+    Reader in(base, sections[kSectionDictStringsDelta].begin,
+              sections[kSectionDictStringsDelta].end);
+    uint64_t first = in.U64();
+    uint64_t count = in.U64();
+    if (first != state->string_codes.size()) {
+      Corrupt("string delta out of sequence");
+    }
+    ValueDict& dict = ValueDict::Default();
+    for (uint64_t i = 0; i < count; ++i) {
+      uint32_t code = dict.Intern(in.Str32());
+      state->string_codes.push_back(code);
+      if (code != first + i) state->strings_identity = false;
+    }
+  }
+  {
+    Reader in(base, sections[kSectionDictBigIntsDelta].begin,
+              sections[kSectionDictBigIntsDelta].end);
+    uint64_t first = in.U64();
+    uint64_t count = in.U64();
+    if (first != state->bigint_slots.size()) {
+      Corrupt("big-int delta out of sequence");
+    }
+    if (count > in.remaining() / sizeof(int64_t)) {
+      Corrupt("big-int pool out of range");
+    }
+    ValueDict& dict = ValueDict::Default();
+    for (uint64_t i = 0; i < count; ++i) {
+      uint32_t slot = dict.InternBigInt(in.I64());
+      state->bigint_slots.push_back(slot);
+      if (slot != first + i) state->bigints_identity = false;
+    }
+  }
+
+  // --- changed relations, re-dumped whole: replace in place.
+  {
+    Reader in(base, sections[kSectionRelationsDelta].begin,
+              sections[kSectionRelationsDelta].end);
+    uint64_t count = in.U64();
+    for (uint64_t r = 0; r < count; ++r) {
+      std::string name = in.Str32();
+      uint64_t arity = in.U64();
+      if (arity > 65535) Corrupt("implausible relation arity");
+      std::vector<AttrId> attrs;
+      for (uint64_t a = 0; a < arity; ++a) {
+        int32_t id = in.I32();
+        if (id < 0 || id >= num_attrs) Corrupt("attribute id out of range");
+        attrs.push_back(id);
+      }
+      uint64_t rows = in.U64();
+      if (rows > in.remaining()) Corrupt("row count out of range");
+      Relation rel{RelSchema(std::move(attrs))};
+      for (uint64_t i = 0; i < rows; ++i) {
+        Tuple t;
+        t.reserve(arity);
+        for (uint64_t a = 0; a < arity; ++a) t.push_back(ReadValueCell(&in));
+        rel.Add(std::move(t));
+      }
+      db->AddRelation(name, std::move(rel));
+    }
+  }
+
+  // --- view deltas: full replacements restart a view's segment chain;
+  // incremental segments append to it.
+  {
+    Reader in(base, sections[kSectionViewDeltas].begin,
+              sections[kSectionViewDeltas].end);
+    uint64_t count = in.U64();
+    for (uint64_t v = 0; v < count; ++v) {
+      std::string name = in.Str32();
+      uint8_t mode = in.U8();
+      if (mode == kViewDeltaFull) {
+        SnapshotState::ViewDesc desc;
+        desc.tree = ReadFTreeBlob(&in, &db->registry(), num_attrs);
+        desc.segs.push_back(ReadSegmentDesc(&in, mapping, 0));
+        state->views[name] = std::move(desc);
+      } else if (mode == kViewDeltaIncremental) {
+        uint64_t prior = in.U64();
+        auto it = state->views.find(name);
+        if (it == state->views.end()) {
+          Corrupt("incremental delta for unknown view");
+        }
+        SnapshotState::ViewDesc& desc = it->second;
+        uint64_t have = desc.segs.back().first_node +
+                        desc.segs.back().num_nodes;
+        if (prior != have) Corrupt("view delta out of sequence");
+        desc.segs.push_back(ReadSegmentDesc(&in, mapping, prior));
+      } else {
+        Corrupt("unknown view delta mode");
+      }
+    }
+  }
+  ++state->deltas_replayed;
+  return true;
+}
+
 std::optional<Factorisation> MaterialiseSnapshotView(SnapshotState& state,
                                                      const std::string& name) {
   std::lock_guard<std::mutex> g(state.mu);
   auto it = state.views.find(name);
   if (it == state.views.end()) return std::nullopt;
   SnapshotState::ViewDesc& d = it->second;
-  const std::byte* base = state.mapping->data();
 
-  // Pass 1 (once per segment, shared across Database copies): validate
-  // every dictionary payload, then remap snapshot-local ids to live
-  // codes. Validation completes before the first write, so a corrupt
-  // pool throws without leaving a half-remapped segment behind. With
-  // identity maps nothing is written and the pool's pages stay clean,
-  // file-backed, and demand-paged.
+  // Pass 1 (once per view, shared across Database copies): validate
+  // every dictionary payload in every segment of the chain, then remap
+  // snapshot-local ids to live codes. Validation completes before the
+  // first write, so a corrupt pool throws without leaving a half-remapped
+  // segment behind. With identity maps nothing is written and the pools'
+  // pages stay clean, file-backed, and demand-paged.
   if (!d.fixed_up) {
-    const ValueRef* ro =
-        reinterpret_cast<const ValueRef*>(base + d.values_off);
-    for (uint64_t i = 0; i < d.num_values; ++i) {
-      if (ro[i].is_string()) {
-        if (ro[i].string_code() >= state.string_codes.size()) {
-          Corrupt("string id out of range");
-        }
-      } else if (ro[i].is_big_int()) {
-        if (ro[i].big_int_slot() >= state.bigint_slots.size()) {
-          Corrupt("big-int slot out of range");
+    for (const SnapshotState::SegDesc& seg : d.segs) {
+      const ValueRef* ro = reinterpret_cast<const ValueRef*>(
+          seg.mapping->data() + seg.values_off);
+      for (uint64_t i = 0; i < seg.num_values; ++i) {
+        if (ro[i].is_string()) {
+          if (ro[i].string_code() >= state.string_codes.size()) {
+            Corrupt("string id out of range");
+          }
+        } else if (ro[i].is_big_int()) {
+          if (ro[i].big_int_slot() >= state.bigint_slots.size()) {
+            Corrupt("big-int slot out of range");
+          }
         }
       }
     }
     if (!state.strings_identity || !state.bigints_identity) {
-      ValueRef* pool = reinterpret_cast<ValueRef*>(
-          state.mapping->mutable_data() + d.values_off);
-      for (uint64_t i = 0; i < d.num_values; ++i) {
-        ValueRef v = pool[i];
-        // Per-kind guards: an identity kind is not stored back, so its
-        // (byte-identical) writes don't COW-dirty otherwise clean pages.
-        if (v.is_string() && !state.strings_identity) {
-          pool[i] = ValueRef::StringRef(state.string_codes[v.string_code()]);
-        } else if (v.is_big_int() && !state.bigints_identity) {
-          pool[i] = ValueRef::BigIntRef(state.bigint_slots[v.big_int_slot()]);
+      for (const SnapshotState::SegDesc& seg : d.segs) {
+        ValueRef* pool = reinterpret_cast<ValueRef*>(
+            seg.mapping->mutable_data() + seg.values_off);
+        for (uint64_t i = 0; i < seg.num_values; ++i) {
+          ValueRef v = pool[i];
+          // Per-kind guards: an identity kind is not stored back, so its
+          // (byte-identical) writes don't COW-dirty otherwise clean pages.
+          if (v.is_string() && !state.strings_identity) {
+            pool[i] = ValueRef::StringRef(state.string_codes[v.string_code()]);
+          } else if (v.is_big_int() && !state.bigints_identity) {
+            pool[i] = ValueRef::BigIntRef(state.bigint_slots[v.big_int_slot()]);
+          }
         }
       }
     }
     d.fixed_up = true;
   }
 
-  // Pass 2: offsets -> pointers. Node headers and the widened child
-  // pointer array are the only per-open allocations; value spans point
-  // into the mapping.
-  const ValueRef* vpool =
-      reinterpret_cast<const ValueRef*>(base + d.values_off);
-  auto nodes = std::make_unique<FactNode[]>(d.num_nodes);
-  auto kids = std::make_unique<FactPtr[]>(d.num_children);
-  {
-    Reader recs(base, d.nodes_off, d.nodes_off + d.num_nodes * sizeof(NodeRec));
-    for (uint64_t n = 0; n < d.num_nodes; ++n) {
+  // Pass 2: offsets -> pointers, across the whole segment chain. Node
+  // headers and the widened child pointer array are the only per-open
+  // allocations; value spans point into the owning segment's mapping.
+  // Node ids are global (base first, then each delta), and children-first
+  // order holds globally: every child id is below its parent's.
+  uint64_t total_nodes = 0;
+  uint64_t total_children = 0;
+  for (const SnapshotState::SegDesc& seg : d.segs) {
+    if (seg.first_node != total_nodes) Corrupt("segment chain out of order");
+    total_nodes += seg.num_nodes;
+    total_children += seg.num_children;
+  }
+  auto nodes = std::make_unique<FactNode[]>(total_nodes);
+  auto kids = std::make_unique<FactPtr[]>(total_children);
+  uint64_t child_base = 0;
+  for (const SnapshotState::SegDesc& seg : d.segs) {
+    const std::byte* base = seg.mapping->data();
+    const ValueRef* vpool =
+        reinterpret_cast<const ValueRef*>(base + seg.values_off);
+    Reader recs(base, seg.nodes_off,
+                seg.nodes_off + seg.num_nodes * sizeof(NodeRec));
+    for (uint64_t n = 0; n < seg.num_nodes; ++n) {
+      uint64_t gid = seg.first_node + n;
       NodeRec rec = recs.Pod<NodeRec>();
-      if (uint64_t{rec.value_off} + rec.num_values > d.num_values) {
+      if (uint64_t{rec.value_off} + rec.num_values > seg.num_values) {
         Corrupt("value span out of range");
       }
-      if (uint64_t{rec.child_off} + rec.num_children > d.num_children) {
+      if (uint64_t{rec.child_off} + rec.num_children > seg.num_children) {
         Corrupt("child span out of range");
       }
       const ValueRef* vals = vpool + rec.value_off;
       for (uint32_t i = 1; i < rec.num_values; ++i) {
         if (!(vals[i - 1] < vals[i])) Corrupt("union not strictly sorted");
       }
-      nodes[n].values = {vals, rec.num_values};
-      nodes[n].children = {kids.get() + rec.child_off, rec.num_children};
+      nodes[gid].values = {vals, rec.num_values};
+      nodes[gid].children = {kids.get() + child_base + rec.child_off,
+                             rec.num_children};
       const uint32_t* span = reinterpret_cast<const uint32_t*>(
-          base + d.children_off + uint64_t{rec.child_off} * sizeof(uint32_t));
+          base + seg.children_off + uint64_t{rec.child_off} * sizeof(uint32_t));
       for (uint32_t i = 0; i < rec.num_children; ++i) {
         uint32_t idx;
         std::memcpy(&idx, span + i, sizeof(idx));
         // Children-first order makes cycles unrepresentable.
-        if (idx >= n) Corrupt("child index not below parent");
-        kids[rec.child_off + i] = &nodes[idx];
+        if (idx >= gid) Corrupt("child index not below parent");
+        kids[child_base + rec.child_off + i] = &nodes[idx];
       }
     }
+    child_base += seg.num_children;
   }
 
-  // Roots, then a memoised shape check against the f-tree: every
-  // (data node, f-tree node) pair is visited once, so DAG sharing cannot
-  // blow this up, and enumeration/ops can trust child-matrix extents.
+  // Roots come from the last segment of the chain (each delta re-states
+  // the full root array). Then a memoised shape check against the
+  // f-tree: every (data node, f-tree node) pair is visited once, so DAG
+  // sharing cannot blow this up, and enumeration/ops can trust
+  // child-matrix extents.
   std::vector<FactPtr> roots;
   std::vector<std::pair<uint64_t, int>> work;
   {
-    Reader rr(base, d.roots_off, d.roots_off + d.num_roots * sizeof(int64_t));
-    if (d.num_roots != d.tree.roots().size()) {
+    const SnapshotState::SegDesc& seg = d.segs.back();
+    Reader rr(seg.mapping->data(), seg.roots_off,
+              seg.roots_off + seg.num_roots * sizeof(int64_t));
+    if (seg.num_roots != d.tree.roots().size()) {
       Corrupt("root count disagrees with f-tree");
     }
-    for (uint64_t r = 0; r < d.num_roots; ++r) {
+    for (uint64_t r = 0; r < seg.num_roots; ++r) {
       int64_t idx = rr.I64();
       if (idx == -1) {
         roots.push_back(FactArena::EmptyNode());
         continue;
       }
-      if (idx < 0 || static_cast<uint64_t>(idx) >= d.num_nodes) {
+      if (idx < 0 || static_cast<uint64_t>(idx) >= total_nodes) {
         Corrupt("root index out of range");
       }
       roots.push_back(&nodes[idx]);
@@ -458,8 +658,6 @@ std::optional<Factorisation> MaterialiseSnapshotView(SnapshotState& state,
   }
   {
     std::unordered_set<uint64_t> seen;
-    const uint32_t* child_pool =
-        reinterpret_cast<const uint32_t*>(base + d.children_off);
     while (!work.empty()) {
       auto [n, tn] = work.back();
       work.pop_back();
@@ -469,12 +667,11 @@ std::optional<Factorisation> MaterialiseSnapshotView(SnapshotState& state,
       if (node.children.size() != node.values.size() * k) {
         Corrupt("child matrix disagrees with f-tree fan-out");
       }
-      uint64_t child_off =
-          static_cast<uint64_t>(node.children.ptr - kids.get());
       for (size_t i = 0; i < node.values.size(); ++i) {
         for (size_t c = 0; c < k; ++c) {
-          uint64_t idx = child_pool[child_off + i * k + c];
-          if (nodes[idx].values.empty()) {
+          FactPtr child = node.children[i * k + c];
+          uint64_t idx = static_cast<uint64_t>(child - nodes.get());
+          if (child->values.empty()) {
             Corrupt("unpruned empty child union");
           }
           work.emplace_back(idx, d.tree.children(tn)[c]);
@@ -483,14 +680,20 @@ std::optional<Factorisation> MaterialiseSnapshotView(SnapshotState& state,
     }
   }
 
-  int64_t mapped_bytes =
-      static_cast<int64_t>(d.num_nodes * sizeof(NodeRec) +
-                           d.num_roots * sizeof(int64_t) +
-                           d.num_values * sizeof(uint64_t) +
-                           d.num_children * sizeof(uint32_t));
+  int64_t mapped_bytes = 0;
+  std::vector<std::shared_ptr<SnapshotMapping>> mappings;
+  for (const SnapshotState::SegDesc& seg : d.segs) {
+    mapped_bytes += static_cast<int64_t>(
+        seg.num_nodes * sizeof(NodeRec) + seg.num_roots * sizeof(int64_t) +
+        seg.num_values * sizeof(uint64_t) +
+        seg.num_children * sizeof(uint32_t));
+    if (mappings.empty() || mappings.back() != seg.mapping) {
+      mappings.push_back(seg.mapping);
+    }
+  }
   auto arena = std::make_shared<MappedArena>(
-      state.mapping, std::move(nodes), static_cast<int64_t>(d.num_nodes),
-      std::move(kids), mapped_bytes);
+      std::move(mappings), std::move(nodes),
+      static_cast<int64_t>(total_nodes), std::move(kids), mapped_bytes);
   return Factorisation(d.tree, std::move(roots), std::move(arena));
 }
 
@@ -504,7 +707,19 @@ Database Database::OpenSnapshot(
 }
 
 Database Database::Open(const std::string& path) {
-  return OpenSnapshot(storage::SnapshotMapping::FromFile(path));
+  Database db = OpenSnapshot(storage::SnapshotMapping::FromFile(path));
+  // Replay the delta chain, stopping at the first gap or stale epoch
+  // (leftovers of a crashed fold are skipped, never misapplied).
+  for (uint64_t seq = 1;; ++seq) {
+    std::string dp = storage::DeltaPath(path, seq);
+    if (::access(dp.c_str(), F_OK) != 0) break;
+    auto mapping = storage::SnapshotMapping::FromFile(dp);
+    if (!storage::ParseDeltaSnapshot(std::move(mapping), &db,
+                                     db.snapshot_.get(), seq)) {
+      break;
+    }
+  }
+  return db;
 }
 
 }  // namespace fdb

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "fdb/core/build.h"
 #include "fdb/core/ops/swap.h"
+#include "fdb/engine/database.h"
+#include "fdb/exec/task_pool.h"
 #include "test_util.h"
 
 namespace fdb {
@@ -266,6 +270,45 @@ TEST(EvalAggregateProductTest, EmptyPartsCountIsOne) {
             1);
   EXPECT_THROW(EvalAggregateProduct(t, {}, {AggFn::kSum, 0}),
                std::invalid_argument);
+}
+
+// Double SUMs must be bit-identical at every thread count and on either
+// side of the parallel-dispatch threshold: the serial recursion and the
+// chunked top-level reduction share one fixed 256-entry association.
+// (Regression for the PR-4 known-FP note: the serial reducer used a
+// different association, so results drifted by an ulp across paths.)
+TEST(EvalAggregateTest, DoubleSumBitIdenticalAcrossThreadCounts) {
+  auto sum_with_threads = [](int n, int threads) {
+    int before = exec::TaskPool::Default().num_threads();
+    exec::TaskPool::SetDefaultThreads(threads);
+    Database db;
+    AttrId a = db.Attr("fp_a"), b = db.Attr("fp_b");
+    FTree t;
+    int na = t.AddNode({a}, -1);
+    t.AddNode({b}, na);
+    // Irrational-ish doubles make the accumulation order visible in the
+    // last bits; one leaf per top entry keeps the carrier below the root
+    // (the cstar recursion path).
+    std::vector<Value> top;
+    std::vector<FactPtr> leaves;
+    for (int i = 0; i < n; ++i) {
+      top.push_back(Value(int64_t{i}));
+      leaves.push_back(MakeLeaf({Value(std::sqrt(i + 1.0))}));
+    }
+    Factorisation f(t, {MakeNode(top, leaves)});
+    Value v = EvalAggregate(f.tree(), f.tree().roots()[0], *f.roots()[0],
+                            {AggFn::kSum, b});
+    exec::TaskPool::SetDefaultThreads(before);
+    return v.as_double();
+  };
+  // Above the parallel threshold (2500 entries) and below it (600):
+  // exact double equality, i.e. the same bits.
+  double serial_big = sum_with_threads(2500, 1);
+  double parallel_big = sum_with_threads(2500, 4);
+  EXPECT_EQ(serial_big, parallel_big);
+  double serial_small = sum_with_threads(600, 1);
+  double parallel_small = sum_with_threads(600, 4);
+  EXPECT_EQ(serial_small, parallel_small);
 }
 
 TEST(FindCarrierNodeTest, FindsAtomicAndAggregateCarriers) {
