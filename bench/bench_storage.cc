@@ -19,9 +19,13 @@
 // recorded alongside the file size (the pre-streaming writer buffered
 // the whole file plus the segment arrays: ~3x file size).
 //
+// A third phase measures WAL group commit: single-op autocommits (one
+// fsync each) vs Begin/Commit groups (one fsync per group), plus the
+// cold-open replay cost of the resulting log.
+//
 // Usage: bench_storage [scale]          (default 8)
-// Emits BENCH_storage_open.json and BENCH_storage_checkpoint.json in the
-// working directory. No google-benchmark dependency: one timed run per
+// Emits BENCH_storage_open.json, BENCH_storage_checkpoint.json and
+// BENCH_storage_wal.json in the working directory. No google-benchmark dependency: one timed run per
 // phase is the honest measurement here (save/open are I/O-shaped,
 // rebuild dominates by far).
 
@@ -37,6 +41,7 @@
 #include "fdb/core/update.h"
 #include "fdb/engine/csv.h"
 #include "fdb/engine/database.h"
+#include "fdb/storage/io_env.h"
 #include "fdb/storage/snapshot.h"
 #include "fdb/workload/generator.h"
 
@@ -254,6 +259,94 @@ int main(int argc, char** argv) {
   }
   std::cout << (ckpt_ok ? "" : "  [MISMATCH]") << "\n";
 
+  // --- WAL group commit: durable throughput, one fsync per group ----------
+  // Single-op autocommits pay one frame write + one fsync each; grouping G
+  // ops into a Begin/Commit pays the same two calls for the whole group,
+  // so durable throughput scales with G until the frame write dominates.
+  std::string wal_path = (dir / "wal.fdbs").string();
+  const int64_t kSingles = 500;
+  const int64_t kGroup = 100;
+  const int64_t kGroups = 50;
+  storage::IoEnv& io = storage::IoEnv::Instance();
+
+  Database wdb;
+  {
+    AttrId a = wdb.Attr("w_a"), b = wdb.Attr("w_b");
+    Relation r{RelSchema({a, b})};
+    for (int64_t x = 0; x < 1000; ++x) r.Add({Value(x / 10), Value(x)});
+    wdb.AddView("W", FactoriseRelation(r, {a, b}));
+  }
+  wdb.EnableWal(wal_path);
+  int64_t next_key = 100000;
+
+  io.ResetCounts();
+  t0 = std::chrono::steady_clock::now();
+  for (int64_t i = 0; i < kSingles; ++i) {
+    int64_t x = next_key++;
+    wdb.Insert("W", {Value(x / 10), Value(x)});  // autocommit: 1 fsync each
+  }
+  double single_seconds = Seconds(t0);
+  uint64_t single_fsyncs = io.Count("wal_fsync");
+
+  io.ResetCounts();
+  t0 = std::chrono::steady_clock::now();
+  for (int64_t g = 0; g < kGroups; ++g) {
+    wdb.Begin();
+    for (int64_t i = 0; i < kGroup; ++i) {
+      int64_t x = next_key++;
+      wdb.Insert("W", {Value(x / 10), Value(x)});
+    }
+    wdb.Commit();
+  }
+  double batched_seconds = Seconds(t0);
+  uint64_t batched_fsyncs = io.Count("wal_fsync");
+  uint64_t wal_bytes = wdb.WalStatus().wal_bytes;
+
+  // Replay cost: a cold open re-reads base + the whole log.
+  t0 = std::chrono::steady_clock::now();
+  Database wre = Database::Open(wal_path);
+  int64_t replayed_tuples = wre.view("W")->CountTuples();
+  double replay_seconds = Seconds(t0);
+
+  double single_tput = kSingles / single_seconds;
+  double batched_tput = kGroup * kGroups / batched_seconds;
+  double wal_speedup = batched_tput / single_tput;
+  bool wal_ok = single_fsyncs == static_cast<uint64_t>(kSingles) &&
+                batched_fsyncs == static_cast<uint64_t>(kGroups) &&
+                replayed_tuples == 1000 + kSingles + kGroup * kGroups &&
+                wal_speedup >= 10.0;
+
+  std::ofstream wj("BENCH_storage_wal.json");
+  wj << "{\n"
+     << "  \"name\": \"storage_wal\",\n"
+     << "  \"scale\": " << scale << ",\n"
+     << "  \"single_commits\": " << kSingles << ",\n"
+     << "  \"single_seconds\": " << single_seconds << ",\n"
+     << "  \"single_ops_per_second\": " << single_tput << ",\n"
+     << "  \"single_fsyncs\": " << single_fsyncs << ",\n"
+     << "  \"group_size\": " << kGroup << ",\n"
+     << "  \"groups\": " << kGroups << ",\n"
+     << "  \"batched_seconds\": " << batched_seconds << ",\n"
+     << "  \"batched_ops_per_second\": " << batched_tput << ",\n"
+     << "  \"batched_fsyncs\": " << batched_fsyncs << ",\n"
+     << "  \"batched_speedup\": " << wal_speedup << ",\n"
+     << "  \"wal_bytes\": " << wal_bytes << ",\n"
+     << "  \"replay_seconds\": " << replay_seconds << ",\n"
+     << "  \"replayed_tuples\": " << replayed_tuples << ",\n"
+     << "  \"consistent\": " << (wal_ok ? "true" : "false") << ",\n"
+     << "  \"note\": \"one wal fsync per commit group (verified by the "
+        "I/O shim's call counters); batched throughput also gains from "
+        "the one-sorted-merge batch apply, which rebuilds each affected "
+        "union once per group instead of once per op\"\n"
+     << "}\n";
+
+  std::cout << "wal: " << single_tput << " ops/s single-commit ("
+            << single_fsyncs << " fsyncs) vs " << batched_tput
+            << " ops/s batched x" << kGroup << " (" << batched_fsyncs
+            << " fsyncs) = " << wal_speedup << "x; replay " << wal_bytes
+            << " B in " << replay_seconds * 1e3 << " ms"
+            << (wal_ok ? "" : "  [MISMATCH]") << "\n";
+
   fs::remove_all(dir);
-  return ok && ckpt_ok ? 0 : 1;
+  return ok && ckpt_ok && wal_ok ? 0 : 1;
 }

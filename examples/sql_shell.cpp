@@ -17,11 +17,23 @@
 //                           fold) writes a base snapshot, later calls
 //                           append only what changed since (a delta file
 //                           <path>.delta-N) — O(changes), not O(database)
+//            \wal <path>    enable the write-ahead log bound to <path>
+//                           (checkpoints there first; every commit is
+//                           durable with one fsync)
+//            \begin / \commit / \rollback
+//                           group \insert/\delete ops into one atomic,
+//                           durably-logged commit group
+//            \insert V v1,v2,...   insert a tuple into view V
+//                                  (autocommits outside \begin)
+//            \delete V v1,v2,...   delete a tuple from view V
+//            \wal-status    log path, pending ops/bytes, committed groups
 //            \q             quit
 
 #include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "fdb/core/stats.h"
 #include "fdb/engine/fdb_engine.h"
@@ -30,6 +42,30 @@
 #include "fdb/workload/generator.h"
 
 using namespace fdb;
+
+// Parses "V 1,2,foo" into a view name and a tuple (integers where the
+// whole cell parses as one, strings otherwise).
+static bool ParseTupleArg(const std::string& arg, std::string* view,
+                          Tuple* tuple) {
+  std::istringstream in(arg);
+  std::string cells;
+  if (!(in >> *view) || !(in >> cells)) return false;
+  std::istringstream cs(cells);
+  std::string cell;
+  while (std::getline(cs, cell, ',')) {
+    try {
+      size_t used = 0;
+      int64_t v = std::stoll(cell, &used);
+      if (used == cell.size()) {
+        tuple->push_back(Value(v));
+        continue;
+      }
+    } catch (const std::exception&) {
+    }
+    tuple->push_back(Value(cell));
+  }
+  return !tuple->empty();
+}
 
 int main(int argc, char** argv) {
   int scale = argc > 1 ? std::atoi(argv[1]) : 2;
@@ -101,6 +137,68 @@ int main(int argc, char** argv) {
             std::cout << "checkpoint: no changes since the last one\n";
             break;
         }
+      } catch (const std::exception& e) {
+        std::cout << "error: " << e.what() << "\n";
+      }
+      continue;
+    }
+    if (line.rfind("\\wal ", 0) == 0) {
+      try {
+        db.EnableWal(line.substr(5));
+        std::cout << "wal: logging to " << db.WalStatus().path << "\n";
+      } catch (const std::exception& e) {
+        std::cout << "error: " << e.what() << "\n";
+      }
+      continue;
+    }
+    if (line == "\\wal-status") {
+      storage::WalStatus st = db.WalStatus();
+      if (!st.enabled) {
+        std::cout << "wal: disabled (use \\wal <path>)\n";
+      } else {
+        std::cout << "wal: " << st.path << (st.broken ? " [BROKEN]" : "")
+                  << "\n  committed groups: " << st.committed_groups
+                  << ", log bytes: " << st.wal_bytes << "\n  txn: "
+                  << (st.in_txn ? "open" : "none") << ", pending ops: "
+                  << st.pending_ops << " (" << st.pending_bytes
+                  << " bytes)\n";
+      }
+      continue;
+    }
+    if (line == "\\begin" || line == "\\commit" || line == "\\rollback") {
+      try {
+        if (line == "\\begin") {
+          db.Begin();
+          std::cout << "txn: begun\n";
+        } else if (line == "\\commit") {
+          uint64_t seq = db.Commit();
+          std::cout << "txn: committed"
+                    << (seq != 0 ? " (group #" + std::to_string(seq) + ")"
+                                 : " (empty)")
+                    << "\n";
+        } else {
+          db.Rollback();
+          std::cout << "txn: rolled back\n";
+        }
+      } catch (const std::exception& e) {
+        std::cout << "error: " << e.what() << "\n";
+      }
+      continue;
+    }
+    if (line.rfind("\\insert ", 0) == 0 || line.rfind("\\delete ", 0) == 0) {
+      std::string view;
+      Tuple tuple;
+      if (!ParseTupleArg(line.substr(8), &view, &tuple)) {
+        std::cout << "usage: " << line.substr(0, 7) << " <view> v1,v2,...\n";
+        continue;
+      }
+      try {
+        if (line[1] == 'i') {
+          db.Insert(view, tuple);
+        } else {
+          db.Delete(view, tuple);
+        }
+        std::cout << (db.WalStatus().in_txn ? "buffered\n" : "applied\n");
       } catch (const std::exception& e) {
         std::cout << "error: " << e.what() << "\n";
       }

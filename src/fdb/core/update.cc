@@ -1,6 +1,7 @@
 #include "fdb/core/update.h"
 
 #include <algorithm>
+#include <map>
 #include <optional>
 #include <stdexcept>
 
@@ -123,7 +124,152 @@ FactPtr DeleteRec(const FactNode& n, const std::vector<ValueRef>& key,
   return out.Finish(arena);
 }
 
+// --- batch apply ----------------------------------------------------------
+//
+// A batch is reduced to its final membership first: ordered application of
+// idempotent inserts and deletes means only the last op per key matters.
+// The survivors, sorted by encoded key (ValueRef order — the same order
+// the trie unions use), are then merged against the existing trie in one
+// recursive pass, so a union crossed by k keys is copied once instead of
+// k times. Subtrees no batch key reaches are returned by pointer,
+// preserving node identity for the incremental checkpointer.
+
+// One resolved batch key: final membership `insert` for `*key`.
+struct BatchEntry {
+  const std::vector<ValueRef>* key;
+  bool insert;
+};
+
+// Builds a fresh subtree from the inserts in [lo, hi) (all sharing the
+// key prefix above `depth`); nullptr when the range holds only deletes.
+FactPtr BuildRec(const BatchEntry* lo, const BatchEntry* hi, size_t depth,
+                 size_t arity, FactArena& arena) {
+  bool leaf = depth + 1 == arity;
+  FactBuilder out;
+  for (const BatchEntry* e = lo; e < hi;) {
+    ValueRef v = (*e->key)[depth];
+    const BatchEntry* ge = e;
+    while (ge < hi && (*ge->key)[depth] == v) ++ge;
+    if (leaf) {
+      if (e->insert) out.values.push_back(v);  // keys unique: ge == e + 1
+    } else {
+      FactPtr child = BuildRec(e, ge, depth + 1, arity, arena);
+      if (child != nullptr) {
+        out.values.push_back(v);
+        out.children.push_back(child);
+      }
+    }
+    e = ge;
+  }
+  if (out.values.empty()) return nullptr;
+  return out.Finish(arena);
+}
+
+// Merges the sorted entries [lo, hi) into `n`'s union. Returns `n` itself
+// when nothing below changed, nullptr when the union emptied.
+FactPtr MergeRec(const FactNode* n, const BatchEntry* lo,
+                 const BatchEntry* hi, size_t depth, size_t arity,
+                 FactArena& arena) {
+  bool leaf = depth + 1 == arity;
+  bool changed = false;
+  FactBuilder out;
+  size_t i = 0;
+  const BatchEntry* e = lo;
+  while (i < n->values.size() || e < hi) {
+    if (e == hi ||
+        (i < n->values.size() && n->values[i] < (*e->key)[depth])) {
+      out.values.push_back(n->values[i]);
+      if (!leaf) out.children.push_back(n->children[i]);
+      ++i;
+      continue;
+    }
+    ValueRef v = (*e->key)[depth];
+    const BatchEntry* ge = e;
+    while (ge < hi && (*ge->key)[depth] == v) ++ge;
+    bool present = i < n->values.size() && n->values[i] == v;
+    if (leaf) {
+      if (present) {
+        if (e->insert) {
+          out.values.push_back(v);  // already a member: no-op
+        } else {
+          changed = true;  // deleted
+        }
+        ++i;
+      } else if (e->insert) {
+        out.values.push_back(v);
+        changed = true;
+      }
+    } else if (present) {
+      FactPtr updated = MergeRec(n->children[i], e, ge, depth + 1, arity,
+                                 arena);
+      if (updated == nullptr) {
+        changed = true;  // branch emptied: drop this entry too
+      } else {
+        out.values.push_back(v);
+        out.children.push_back(updated);
+        if (updated != n->children[i]) changed = true;
+      }
+      ++i;
+    } else {
+      FactPtr built = BuildRec(e, ge, depth + 1, arity, arena);
+      if (built != nullptr) {
+        out.values.push_back(v);
+        out.children.push_back(built);
+        changed = true;
+      }
+    }
+    e = ge;
+  }
+  if (!changed) return n;
+  if (out.values.empty()) return nullptr;
+  return out.Finish(arena);
+}
+
 }  // namespace
+
+void ApplyBatch(Factorisation* f, const std::vector<BatchOp>& ops) {
+  if (ops.empty()) return;
+  std::vector<int> chain = PathChain(f->tree(), ops.front().tuple.size());
+  size_t arity = chain.size();
+  ValueDict& dict = f->dict();
+  // Resolve final membership per key, processing in order: a delete of a
+  // value only interned by an earlier insert in the same batch must see
+  // that encoding (sequential semantics).
+  std::map<std::vector<ValueRef>, bool> final_op;
+  for (const BatchOp& op : ops) {
+    if (op.tuple.size() != arity) {
+      throw std::invalid_argument("update: tuple arity does not match view");
+    }
+    if (op.insert) {
+      std::vector<ValueRef> key;
+      key.reserve(arity);
+      for (const Value& v : op.tuple) key.push_back(dict.Encode(v));
+      final_op[std::move(key)] = true;
+    } else {
+      std::optional<std::vector<ValueRef>> key =
+          TryEncodeTuple(dict, op.tuple);
+      if (!key.has_value()) continue;  // value never stored: delete no-ops
+      final_op[*std::move(key)] = false;
+    }
+  }
+  if (final_op.empty()) return;
+  std::vector<BatchEntry> entries;
+  entries.reserve(final_op.size());
+  for (const auto& [key, insert] : final_op) {
+    entries.push_back(BatchEntry{&key, insert});
+  }
+  const FactNode* root =
+      f->empty() ? nullptr : f->roots().empty() ? nullptr : f->roots()[0];
+  FactPtr updated =
+      root == nullptr
+          ? BuildRec(entries.data(), entries.data() + entries.size(), 0,
+                     arity, f->ArenaForWrite())
+          : MergeRec(root, entries.data(), entries.data() + entries.size(),
+                     0, arity, f->ArenaForWrite());
+  f->mutable_roots()[0] =
+      updated == nullptr ? FactArena::EmptyNode() : updated;
+  f->MaybeCompact();
+}
 
 void InsertTuple(Factorisation* f, const Tuple& tuple) {
   PathChain(f->tree(), tuple.size());  // shape validation

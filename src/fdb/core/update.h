@@ -29,6 +29,24 @@ bool DeleteTuple(Factorisation* f, const Tuple& tuple);
 /// True if the view contains the tuple (O(depth · log union size)).
 bool ContainsTuple(const Factorisation& f, const Tuple& tuple);
 
+/// One mutation in a batch: insert (`insert == true`) or delete of `tuple`.
+struct BatchOp {
+  bool insert = true;
+  Tuple tuple;
+};
+
+/// Applies `ops` with sequential semantics — the result is exactly what
+/// calling InsertTuple/DeleteTuple in order would produce — but rebuilds
+/// each affected union once per batch instead of once per op: the final
+/// membership of every key is resolved first (last op wins), then one
+/// sorted merge walks the trie alongside the sorted batch. A commit group
+/// of k tuples sharing a root prefix copies that prefix once, not k
+/// times, and untouched subtrees keep their node identity (so the
+/// incremental checkpointer sees a coalesced diff).
+/// Throws std::invalid_argument on shape/arity mismatch, in which case
+/// the view is unchanged (validation happens before any mutation).
+void ApplyBatch(Factorisation* f, const std::vector<BatchOp>& ops);
+
 }  // namespace fdb
 
 #endif  // FDB_CORE_UPDATE_H_

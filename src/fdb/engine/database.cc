@@ -1,19 +1,23 @@
 #include "fdb/engine/database.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
+#include "fdb/core/update.h"
 #include "fdb/storage/snapshot.h"
+#include "fdb/storage/wal.h"
 
 namespace fdb {
 
-// Copies do not share checkpoint state (persist_): the retained node
-// index is mutated by Checkpoint, and two databases appending to one
-// delta chain would corrupt it. A copy starts a fresh chain on its
-// first Checkpoint.
+// Copies do not share checkpoint state (persist_) or the WAL: the
+// retained node index is mutated by Checkpoint, and two databases
+// appending to one delta chain or one log would corrupt it. A copy
+// starts a fresh chain on its first Checkpoint and logs nothing until
+// EnableWal.
 Database::Database(const Database& other)
     : reg_(other.reg_),
       dict_(other.dict_),
@@ -33,6 +37,15 @@ Database& Database::operator=(const Database& other) {
   {
     std::lock_guard<std::mutex> g(persist_mu_);
     persist_.reset();
+  }
+  {
+    // The old logical state is being replaced wholesale: a log bound to
+    // it must not keep recording on behalf of the new one.
+    std::lock_guard<std::mutex> g(txn_mu_);
+    wal_.reset();
+    wal_base_.clear();
+    in_txn_ = false;
+    pending_.clear();
   }
   snapshot_ = other.snapshot_;
   std::shared_ptr<const ViewMap> v;
@@ -65,6 +78,14 @@ Database::Database(Database&& other) noexcept
     std::lock_guard<std::mutex> g(other.persist_mu_);
     persist_ = std::move(other.persist_);
   }
+  {
+    std::lock_guard<std::mutex> g(other.txn_mu_);
+    wal_ = std::move(other.wal_);
+    wal_base_ = std::exchange(other.wal_base_, {});
+    in_txn_ = std::exchange(other.in_txn_, false);
+    pending_ = std::move(other.pending_);
+    other.pending_.clear();
+  }
   std::lock_guard<std::mutex> g(other.mu_);
   views_ = std::exchange(other.views_,
                          std::make_shared<const ViewMap>());
@@ -84,6 +105,25 @@ Database& Database::operator=(Database&& other) noexcept {
     }
     std::lock_guard<std::mutex> g(persist_mu_);
     persist_ = std::move(p);
+  }
+  {
+    std::unique_ptr<storage::Wal> w;
+    std::string base;
+    bool in_txn = false;
+    std::vector<storage::WalOp> pending;
+    {
+      std::lock_guard<std::mutex> g(other.txn_mu_);
+      w = std::move(other.wal_);
+      base = std::exchange(other.wal_base_, {});
+      in_txn = std::exchange(other.in_txn_, false);
+      pending = std::move(other.pending_);
+      other.pending_.clear();
+    }
+    std::lock_guard<std::mutex> g(txn_mu_);
+    wal_ = std::move(w);
+    wal_base_ = std::move(base);
+    in_txn_ = in_txn;
+    pending_ = std::move(pending);
   }
   snapshot_ = std::move(other.snapshot_);
   std::shared_ptr<const ViewMap> v;
@@ -186,6 +226,138 @@ bool Database::UpdateView(const std::string& name,
   mutate(&next);
   PublishView(name, std::make_shared<const Factorisation>(std::move(next)));
   return true;
+}
+
+// --- transactions / write-ahead logging -----------------------------------
+
+void Database::EnableWal(const std::string& raw_path) {
+  std::string path = storage::CanonicalSnapshotPath(raw_path);
+  std::lock_guard<std::mutex> t(txn_mu_);
+  if (in_txn_) {
+    throw std::invalid_argument(
+        "txn: cannot enable the WAL inside an open transaction");
+  }
+  // Fold the current state (including anything a previous log replay
+  // contributed) into the chain first, so the fresh log applies on top
+  // of exactly what is durable.
+  CheckpointLocked(path);
+  uint64_t epoch = 0;
+  uint64_t chain_pos = 0;
+  {
+    std::lock_guard<std::mutex> g(persist_mu_);
+    epoch = persist_->epoch;
+    chain_pos = persist_->next_seq - 1;
+  }
+  wal_ = storage::Wal::Create(path, epoch, chain_pos);
+  wal_base_ = path;
+}
+
+void Database::DisableWal() {
+  std::lock_guard<std::mutex> t(txn_mu_);
+  if (in_txn_) {
+    throw std::invalid_argument(
+        "txn: cannot disable the WAL inside an open transaction");
+  }
+  if (wal_ == nullptr) return;
+  // Fold outstanding groups into the chain; after that the log holds
+  // nothing the chain does not, so the file can go.
+  CheckpointLocked(wal_base_);
+  std::string wp = wal_->path();
+  wal_.reset();
+  wal_base_.clear();
+  std::remove(wp.c_str());
+}
+
+bool Database::wal_enabled() const {
+  std::lock_guard<std::mutex> t(txn_mu_);
+  return wal_ != nullptr;
+}
+
+storage::WalStatus Database::WalStatus() const {
+  std::lock_guard<std::mutex> t(txn_mu_);
+  storage::WalStatus s;
+  s.enabled = wal_ != nullptr;
+  s.in_txn = in_txn_;
+  if (wal_ != nullptr) {
+    s.broken = wal_->broken();
+    s.path = wal_->path();
+    s.committed_groups = wal_->last_seq();
+    s.wal_bytes = wal_->bytes();
+  }
+  s.pending_ops = pending_.size();
+  s.pending_bytes = storage::Wal::PayloadBytes(pending_);
+  return s;
+}
+
+void Database::Begin() {
+  std::lock_guard<std::mutex> t(txn_mu_);
+  if (in_txn_) {
+    throw std::invalid_argument("txn: a transaction is already open");
+  }
+  in_txn_ = true;
+}
+
+uint64_t Database::Commit() {
+  std::lock_guard<std::mutex> t(txn_mu_);
+  if (!in_txn_) throw std::invalid_argument("txn: no open transaction");
+  uint64_t seq = CommitGroupLocked(&pending_);  // throws → txn stays open
+  in_txn_ = false;
+  return seq;
+}
+
+void Database::Rollback() {
+  std::lock_guard<std::mutex> t(txn_mu_);
+  if (!in_txn_) throw std::invalid_argument("txn: no open transaction");
+  pending_.clear();
+  in_txn_ = false;
+}
+
+void Database::Insert(const std::string& view, const Tuple& tuple) {
+  std::lock_guard<std::mutex> t(txn_mu_);
+  BufferOpLocked(storage::WalOp{storage::WalOp::kInsert, view, tuple});
+}
+
+void Database::Delete(const std::string& view, const Tuple& tuple) {
+  std::lock_guard<std::mutex> t(txn_mu_);
+  BufferOpLocked(storage::WalOp{storage::WalOp::kDelete, view, tuple});
+}
+
+void Database::BufferOpLocked(storage::WalOp op) {
+  std::shared_ptr<const Factorisation> f = ViewSnapshot(op.view);
+  if (f == nullptr) {
+    throw std::invalid_argument("txn: no view named '" + op.view + "'");
+  }
+  // Shape/arity validation up front, so Commit's apply cannot fail after
+  // the group is already durable in the log.
+  ContainsTuple(*f, op.tuple);
+  if (in_txn_) {
+    pending_.push_back(std::move(op));
+    return;
+  }
+  std::vector<storage::WalOp> one;
+  one.push_back(std::move(op));
+  CommitGroupLocked(&one);  // autocommit: a one-op durable group
+}
+
+uint64_t Database::CommitGroupLocked(std::vector<storage::WalOp>* ops) {
+  if (ops->empty()) return 0;
+  // Durable first: the group is acknowledged only once its frame is
+  // fsync'd. A log failure throws here, before any in-memory change.
+  uint64_t seq = 0;
+  if (wal_ != nullptr) seq = wal_->Append(*ops);
+  // Apply, one batch per affected view: each union along the touched
+  // paths is rebuilt once per group, not once per tuple, and the delta
+  // checkpointer later sees one coalesced diff.
+  std::map<std::string, std::vector<BatchOp>> per_view;
+  for (storage::WalOp& op : *ops) {
+    per_view[op.view].push_back(
+        BatchOp{op.kind == storage::WalOp::kInsert, std::move(op.tuple)});
+  }
+  for (auto& [name, batch] : per_view) {
+    UpdateView(name, [&batch](Factorisation* f) { ApplyBatch(f, batch); });
+  }
+  ops->clear();
+  return seq;
 }
 
 std::vector<std::string> Database::RelationNames() const {

@@ -12,6 +12,7 @@
 #include "fdb/relational/relation.h"
 #include "fdb/relational/value_dict.h"
 #include "fdb/storage/snapshot.h"
+#include "fdb/storage/wal.h"
 
 namespace fdb {
 
@@ -130,9 +131,61 @@ class Database {
   /// std::invalid_argument on I/O failure.
   storage::CheckpointInfo Checkpoint(const std::string& path) const;
 
+  // --- durability: write-ahead logging and transactions ------------------
+  //
+  // EnableWal(path) binds a write-ahead log (`<path>.wal`) to the
+  // snapshot chain at `path`: the current state is checkpointed into the
+  // chain, and every committed mutation is then made durable by a single
+  // appended, CRC32-framed log record (one write + one fsync per commit
+  // group) before it is applied in memory. Open(path) replays the chain
+  // and then the log, so a crash loses at most the in-flight commit and
+  // never an acknowledged one. Save/Checkpoint of `path` fold the logged
+  // groups into the chain and reset the log.
+  //
+  // Scope: the log records view tuple mutations (Insert/Delete) only.
+  // Schema changes — AddRelation, AddView, a view's shape — are not
+  // logged; checkpoint after DDL, and only mutate views that exist in
+  // the chain. Commit groups are durably atomic; concurrent readers see
+  // each view's update as it is published (per-view visibility).
+
+  /// Binds the WAL as described above. Checkpoints into `path` first
+  /// (throws on I/O failure, leaving durability as it was). Must not be
+  /// called inside an open transaction.
+  void EnableWal(const std::string& path);
+  /// Folds any logged groups into the chain, then unbinds and removes
+  /// the (now empty) log file.
+  void DisableWal();
+  bool wal_enabled() const;
+  /// Transaction/log state (pending ops, durable groups, log size).
+  storage::WalStatus WalStatus() const;
+
+  /// Opens a transaction: subsequent Insert/Delete calls buffer into one
+  /// commit group. Throws if one is already open (no nesting).
+  void Begin();
+  /// Makes the buffered group durable (one WAL frame, one fsync), then
+  /// applies it — each affected view updated in a single batch. Returns
+  /// the group's log sequence number (0 when nothing was pending or no
+  /// WAL is bound). On a log I/O failure throws and leaves the
+  /// transaction open, nothing applied: retry Commit() or Rollback().
+  uint64_t Commit();
+  /// Discards the buffered group.
+  void Rollback();
+
+  /// Inserts `tuple` into view `view` — buffered if a transaction is
+  /// open, otherwise an autocommitted single-op group. Validates
+  /// eagerly: throws std::invalid_argument if the view does not exist or
+  /// the tuple does not fit its shape (so Commit cannot fail on apply).
+  /// Inserting an existing tuple is a no-op.
+  void Insert(const std::string& view, const Tuple& tuple);
+  /// Deletes `tuple` from view `view`; same buffering and validation as
+  /// Insert. Deleting an absent tuple is a no-op.
+  void Delete(const std::string& view, const Tuple& tuple);
+
   /// Opens a snapshot written by Save(): mmaps the file, decodes catalog,
   /// registry, dictionary and flat relations eagerly, and defers view
-  /// data to first access. Throws std::invalid_argument on corrupt input.
+  /// data to first access. Then replays the delta chain and finally the
+  /// WAL (committed groups only — recovery is prefix-consistent). Throws
+  /// std::invalid_argument on corrupt input.
   static Database Open(const std::string& path);
 
   /// Open() on an already-constructed mapping (tests, in-memory buffers).
@@ -159,6 +212,23 @@ class Database {
   void PublishView(const std::string& name,
                    std::shared_ptr<const Factorisation> fp);
 
+  // Validates `op` against the live view (throws), then buffers it into
+  // the open transaction or autocommits it as a one-op group. Requires
+  // txn_mu_.
+  void BufferOpLocked(storage::WalOp op);
+  // Appends `ops` as one WAL frame (when a log is bound) and applies
+  // them, one ApplyBatch per affected view; clears `ops`. Requires
+  // txn_mu_. Throws without applying if the log append fails.
+  uint64_t CommitGroupLocked(std::vector<storage::WalOp>* ops);
+  // Save/Checkpoint internals, callable with txn_mu_ already held
+  // (EnableWal checkpoints under it). Lock order: txn_mu_ → persist_mu_,
+  // txn_mu_ → writer_mu_.
+  void SaveLocked(const std::string& path) const;
+  storage::CheckpointInfo CheckpointLocked(const std::string& path) const;
+  // Re-stamps a WAL bound to `path` after a fold made its contents
+  // durable in the chain. Requires txn_mu_.
+  void ResetWalAfterFoldLocked(const std::string& path) const;
+
   AttributeRegistry reg_;
   // Non-owning alias of the immortal process-default dictionary.
   std::shared_ptr<ValueDict> dict_{std::shared_ptr<ValueDict>(),
@@ -181,6 +251,18 @@ class Database {
   // (each Database owns its own checkpoint chain).
   mutable std::mutex persist_mu_;
   mutable std::shared_ptr<storage::PersistState> persist_;
+  // Transaction/WAL state. txn_mu_ serialises Begin/Commit/Rollback,
+  // autocommits, EnableWal/DisableWal and the public Save/Checkpoint (a
+  // fold must not interleave with a commit's log append). The log itself
+  // is mutable because a (const) Save/Checkpoint folds and re-stamps it
+  // — like persist_, it is durability bookkeeping, not logical state.
+  // Not copied (two databases appending to one log would corrupt it);
+  // moves transfer it.
+  mutable std::mutex txn_mu_;
+  mutable std::unique_ptr<storage::Wal> wal_;
+  std::string wal_base_;  ///< canonical snapshot path the log is bound to
+  bool in_txn_ = false;
+  std::vector<storage::WalOp> pending_;
 };
 
 /// Chooses an f-tree for the natural join of `relations` (used when a query

@@ -1,0 +1,273 @@
+#include "fdb/storage/io_env.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace fdb {
+namespace storage {
+namespace {
+
+enum class FaultMode { kError, kShort, kFlip };
+
+struct Failpoint {
+  std::string site;  ///< "any" matches every site
+  uint64_t trigger = 0;  ///< 1-based call index that fires the fault
+  FaultMode mode = FaultMode::kError;
+  uint64_t seen = 0;  ///< matching calls observed so far
+};
+
+FaultMode ParseMode(const std::string& m) {
+  if (m.empty() || m == "error") return FaultMode::kError;
+  if (m == "short") return FaultMode::kShort;
+  if (m == "flip") return FaultMode::kFlip;
+  throw std::invalid_argument("io_env: unknown failpoint mode '" + m + "'");
+}
+
+std::vector<Failpoint> ParseSpec(const std::string& spec) {
+  std::vector<Failpoint> points;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string::npos) end = spec.size();
+    std::string point = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (point.empty()) continue;
+    size_t c1 = point.find(':');
+    if (c1 == std::string::npos || c1 == 0) {
+      throw std::invalid_argument("io_env: bad failpoint spec '" + point +
+                                  "' (want site:count[:mode])");
+    }
+    size_t c2 = point.find(':', c1 + 1);
+    Failpoint fp;
+    fp.site = point.substr(0, c1);
+    std::string count = point.substr(
+        c1 + 1, c2 == std::string::npos ? std::string::npos : c2 - c1 - 1);
+    char* rest = nullptr;
+    fp.trigger = std::strtoull(count.c_str(), &rest, 10);
+    if (rest == nullptr || *rest != '\0' || fp.trigger == 0) {
+      throw std::invalid_argument("io_env: bad failpoint count in '" + point +
+                                  "'");
+    }
+    fp.mode = ParseMode(c2 == std::string::npos ? "" : point.substr(c2 + 1));
+    points.push_back(std::move(fp));
+  }
+  return points;
+}
+
+}  // namespace
+
+struct IoEnv::Impl {
+  mutable std::mutex mu;
+  std::vector<Failpoint> points;
+  bool dead = false;  ///< a sticky fault fired; everything fails now
+  std::map<std::string, uint64_t> counts;
+  uint64_t total = 0;
+  // Lock-free fast path: production runs never take mu on I/O calls.
+  std::atomic<bool> armed{false};
+
+  /// Counts the call and decides its fate. Returns the triggered mode,
+  /// or nullopt to proceed normally.
+  enum class Fate { kOk, kFail, kShort, kFlip };
+  Fate Enter(const char* site) {
+    if (!armed.load(std::memory_order_relaxed)) return Fate::kOk;
+    std::lock_guard<std::mutex> g(mu);
+    ++counts[site];
+    ++total;
+    if (dead) return Fate::kFail;
+    for (Failpoint& fp : points) {
+      if (fp.site != "any" && fp.site != site) continue;
+      if (++fp.seen != fp.trigger) continue;
+      switch (fp.mode) {
+        case FaultMode::kError:
+          dead = true;
+          return Fate::kFail;
+        case FaultMode::kShort:
+          dead = true;
+          return Fate::kShort;
+        case FaultMode::kFlip:
+          return Fate::kFlip;
+      }
+    }
+    return Fate::kOk;
+  }
+
+  void Bump(const char* site) {
+    // Counter-only path when armed (Enter already bumped) vs unarmed.
+    if (armed.load(std::memory_order_relaxed)) return;
+    std::lock_guard<std::mutex> g(mu);
+    ++counts[site];
+    ++total;
+  }
+};
+
+IoEnv::IoEnv() : impl_(new Impl) {
+  const char* env = std::getenv("FDB_FAILPOINT");
+  if (env != nullptr && *env != '\0') SetFailpoints(env);
+}
+
+IoEnv& IoEnv::Instance() {
+  static IoEnv* env = new IoEnv;  // immortal: storage code may run in atexit
+  return *env;
+}
+
+void IoEnv::SetFailpoints(const std::string& spec) {
+  std::vector<Failpoint> points = ParseSpec(spec);  // may throw; parse first
+  std::lock_guard<std::mutex> g(impl_->mu);
+  impl_->points = std::move(points);
+  impl_->dead = false;
+  impl_->armed.store(!impl_->points.empty(), std::memory_order_relaxed);
+}
+
+bool IoEnv::armed() const {
+  return impl_->armed.load(std::memory_order_relaxed);
+}
+
+uint64_t IoEnv::Count(const std::string& site) const {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  if (site == "any") return impl_->total;
+  auto it = impl_->counts.find(site);
+  return it == impl_->counts.end() ? 0 : it->second;
+}
+
+void IoEnv::ResetCounts() {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  impl_->counts.clear();
+  impl_->total = 0;
+}
+
+int IoEnv::Open(const char* site, const char* path, int flags, int mode) {
+  impl_->Bump(site);
+  switch (impl_->Enter(site)) {
+    case Impl::Fate::kOk:
+    case Impl::Fate::kFlip:
+      break;
+    default:
+      errno = EIO;
+      return -1;
+  }
+  return ::open(path, flags, mode);
+}
+
+ssize_t IoEnv::Write(const char* site, int fd, const void* buf, size_t n) {
+  impl_->Bump(site);
+  switch (impl_->Enter(site)) {
+    case Impl::Fate::kOk:
+      break;
+    case Impl::Fate::kFail:
+      errno = EIO;
+      return -1;
+    case Impl::Fate::kShort: {
+      // A torn write: half the bytes land, then the environment is dead
+      // (the caller's retry loop hits EIO instead of quietly healing it).
+      size_t half = n / 2;
+      if (half == 0) {
+        errno = EIO;
+        return -1;
+      }
+      return ::write(fd, buf, half);
+    }
+    case Impl::Fate::kFlip: {
+      std::vector<char> copy(static_cast<const char*>(buf),
+                             static_cast<const char*>(buf) + n);
+      if (!copy.empty()) copy[copy.size() / 2] ^= 0x10;
+      return ::write(fd, copy.data(), copy.size());
+    }
+  }
+  return ::write(fd, buf, n);
+}
+
+ssize_t IoEnv::Pwrite(const char* site, int fd, const void* buf, size_t n,
+                      int64_t off) {
+  impl_->Bump(site);
+  switch (impl_->Enter(site)) {
+    case Impl::Fate::kOk:
+      break;
+    case Impl::Fate::kFail:
+      errno = EIO;
+      return -1;
+    case Impl::Fate::kShort: {
+      size_t half = n / 2;
+      if (half == 0) {
+        errno = EIO;
+        return -1;
+      }
+      return ::pwrite(fd, buf, half, static_cast<off_t>(off));
+    }
+    case Impl::Fate::kFlip: {
+      std::vector<char> copy(static_cast<const char*>(buf),
+                             static_cast<const char*>(buf) + n);
+      if (!copy.empty()) copy[copy.size() / 2] ^= 0x10;
+      return ::pwrite(fd, copy.data(), copy.size(), static_cast<off_t>(off));
+    }
+  }
+  return ::pwrite(fd, buf, n, static_cast<off_t>(off));
+}
+
+int IoEnv::Fsync(const char* site, int fd) {
+  impl_->Bump(site);
+  switch (impl_->Enter(site)) {
+    case Impl::Fate::kOk:
+    case Impl::Fate::kFlip:
+      break;
+    default:
+      errno = EIO;
+      return -1;
+  }
+  return ::fsync(fd);
+}
+
+int IoEnv::Ftruncate(const char* site, int fd, int64_t len) {
+  impl_->Bump(site);
+  switch (impl_->Enter(site)) {
+    case Impl::Fate::kOk:
+    case Impl::Fate::kFlip:
+      break;
+    default:
+      errno = EIO;
+      return -1;
+  }
+  return ::ftruncate(fd, static_cast<off_t>(len));
+}
+
+int IoEnv::Rename(const char* site, const char* from, const char* to) {
+  impl_->Bump(site);
+  switch (impl_->Enter(site)) {
+    case Impl::Fate::kOk:
+    case Impl::Fate::kFlip:
+      break;
+    default:
+      errno = EIO;
+      return -1;
+  }
+  return std::rename(from, to);
+}
+
+int IoEnv::Close(const char* site, int fd) {
+  impl_->Bump(site);
+  switch (impl_->Enter(site)) {
+    case Impl::Fate::kOk:
+    case Impl::Fate::kFlip:
+      break;
+    default:
+      // Still release the descriptor: a "failed" close that leaks fds
+      // would starve the 200+-iteration crash harness, and a real crash
+      // releases them too.
+      ::close(fd);
+      errno = EIO;
+      return -1;
+  }
+  return ::close(fd);
+}
+
+}  // namespace storage
+}  // namespace fdb

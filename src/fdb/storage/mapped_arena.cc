@@ -32,6 +32,7 @@ std::shared_ptr<SnapshotMapping> SnapshotMapping::FromFile(
   m->data_ = static_cast<std::byte*>(p);
   m->size_ = size;
   m->mapped_ = true;
+  m->source_ = path;
   return m;
 }
 

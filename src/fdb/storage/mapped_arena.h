@@ -39,12 +39,17 @@ class SnapshotMapping {
   const std::byte* data() const { return data_; }
   std::byte* mutable_data() { return data_; }
   size_t size() const { return size_; }
+  /// Where the bytes came from: the file path, or "<memory>" for
+  /// FromBuffer. Parse errors cite it so corrupt-file triage names the
+  /// actual file.
+  const std::string& source() const { return source_; }
 
  private:
   SnapshotMapping() = default;
 
   std::byte* data_ = nullptr;
   size_t size_ = 0;
+  std::string source_ = "<memory>";
   bool mapped_ = false;                  // true: munmap on destruction
   std::unique_ptr<std::byte[]> owned_;   // FromBuffer storage
 };

@@ -34,6 +34,13 @@ struct SaveStats {
 /// `path`: `<path>.delta-<seq>`.
 std::string DeltaPath(const std::string& path, uint64_t seq);
 
+/// Canonicalises `path` so chain-identity checks (checkpoint retention,
+/// WAL binding) cannot be fooled by alias spellings ("db.fdbs" vs
+/// "./db.fdbs" vs a symlinked directory). Falls back to the raw string
+/// when resolution fails (e.g. a parent that does not exist yet; the
+/// subsequent open() reports the real error).
+std::string CanonicalSnapshotPath(const std::string& path);
+
 /// Checkpoint folds the chain into a fresh base once it reaches this
 /// many deltas (or once cumulative delta bytes exceed half the base).
 inline constexpr uint64_t kMaxDeltaChain = 8;

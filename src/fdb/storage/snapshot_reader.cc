@@ -1,22 +1,47 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <map>
 #include <stdexcept>
 #include <string_view>
 #include <unordered_set>
 #include <vector>
 
 #include "fdb/core/factorisation.h"
+#include "fdb/core/update.h"
 #include "fdb/engine/database.h"
 #include "fdb/storage/format.h"
 #include "fdb/storage/snapshot.h"
+#include "fdb/storage/wal.h"
 
 namespace fdb {
 namespace storage {
 namespace {
 
+// The file (or "<memory>") the current parse reads from, so every
+// rejection names its source — corrupt-file triage should never have to
+// guess which of base, delta-N or log is damaged. Thread-local because
+// parses of different snapshots may run concurrently.
+thread_local const std::string* g_parse_source = nullptr;
+
+struct ParseSourceScope {
+  explicit ParseSourceScope(const std::string& source)
+      : prev(g_parse_source) {
+    g_parse_source = &source;
+  }
+  ~ParseSourceScope() { g_parse_source = prev; }
+  const std::string* prev;
+};
+
 [[noreturn]] void Corrupt(const std::string& what) {
-  throw std::invalid_argument("snapshot: " + what);
+  std::string msg = "snapshot: ";
+  if (g_parse_source != nullptr) msg += *g_parse_source + ": ";
+  msg += what;
+  throw std::invalid_argument(msg);
+}
+
+[[noreturn]] void CorruptAt(uint64_t off, const std::string& what) {
+  Corrupt("at byte " + std::to_string(off) + ": " + what);
 }
 
 /// Bounds-checked cursor over a byte range of the mapping. Every read is
@@ -66,7 +91,11 @@ class Reader {
   uint64_t remaining() const { return end_ - pos_; }
 
   void Require(uint64_t n) const {
-    if (n > end_ - pos_) Corrupt("truncated input");
+    if (n > end_ - pos_) {
+      CorruptAt(pos_, "truncated input (need " + std::to_string(n) +
+                          " more bytes, section ends at " +
+                          std::to_string(end_) + ")");
+    }
   }
 
  private:
@@ -266,6 +295,7 @@ SnapshotState::SegDesc ReadSegmentDesc(
 
 std::shared_ptr<SnapshotState> ParseSnapshot(
     std::shared_ptr<SnapshotMapping> mapping, Database* db) {
+  ParseSourceScope src(mapping->source());
   const std::byte* base = mapping->data();
   Section sections[kSectionKindMax + 1];
   FileHeader header =
@@ -392,6 +422,7 @@ std::shared_ptr<SnapshotState> ParseSnapshot(
 
 bool ParseDeltaSnapshot(std::shared_ptr<SnapshotMapping> mapping,
                         Database* db, SnapshotState* state, uint64_t seq) {
+  ParseSourceScope src(mapping->source());
   const std::byte* base = mapping->data();
   Section sections[kSectionKindMax + 1];
   ReadEnvelope(*mapping, kSectionDeltaManifest, kSectionViewDeltas, sections);
@@ -545,6 +576,7 @@ std::optional<Factorisation> MaterialiseSnapshotView(SnapshotState& state,
   // pages stay clean, file-backed, and demand-paged.
   if (!d.fixed_up) {
     for (const SnapshotState::SegDesc& seg : d.segs) {
+      ParseSourceScope src(seg.mapping->source());
       const ValueRef* ro = reinterpret_cast<const ValueRef*>(
           seg.mapping->data() + seg.values_off);
       for (uint64_t i = 0; i < seg.num_values; ++i) {
@@ -594,6 +626,7 @@ std::optional<Factorisation> MaterialiseSnapshotView(SnapshotState& state,
   auto kids = std::make_unique<FactPtr[]>(total_children);
   uint64_t child_base = 0;
   for (const SnapshotState::SegDesc& seg : d.segs) {
+    ParseSourceScope src(seg.mapping->source());
     const std::byte* base = seg.mapping->data();
     const ValueRef* vpool =
         reinterpret_cast<const ValueRef*>(base + seg.values_off);
@@ -717,6 +750,32 @@ Database Database::Open(const std::string& path) {
     if (!storage::ParseDeltaSnapshot(std::move(mapping), &db,
                                      db.snapshot_.get(), seq)) {
       break;
+    }
+  }
+  // Finally the write-ahead log: committed groups only (ReadWal dropped
+  // any torn tail), applied in commit order, and only when the log's
+  // (epoch, chain position) stamp matches the chain just replayed — a
+  // mismatched log predates a fold that already captured it.
+  std::optional<storage::WalRecovery> rec = storage::ReadWal(
+      path, db.snapshot_->epoch, db.snapshot_->deltas_replayed);
+  if (rec.has_value()) {
+    for (const std::vector<storage::WalOp>& group : rec->groups) {
+      std::map<std::string, std::vector<BatchOp>> per_view;
+      for (const storage::WalOp& op : group) {
+        per_view[op.view].push_back(
+            BatchOp{op.kind == storage::WalOp::kInsert, op.tuple});
+      }
+      for (auto& [name, batch] : per_view) {
+        if (!db.UpdateView(name, [&batch](Factorisation* f) {
+              ApplyBatch(f, batch);
+            })) {
+          // Commits only ever log existing views, and EnableWal
+          // checkpointed them into the chain — a missing one is damage.
+          throw std::invalid_argument("wal: " + storage::WalPath(path) +
+                                      ": log references unknown view '" +
+                                      name + "'");
+        }
+      }
     }
   }
   return db;

@@ -18,7 +18,9 @@
 #include "fdb/core/factorisation.h"
 #include "fdb/engine/database.h"
 #include "fdb/storage/format.h"
+#include "fdb/storage/io_env.h"
 #include "fdb/storage/snapshot.h"
+#include "fdb/storage/wal.h"
 
 namespace fdb {
 namespace storage {
@@ -63,14 +65,17 @@ class BufferSink : public Sink {
   std::string b_;
 };
 
-/// Buffered raw-fd sink. Close() flushes, fsyncs and verifies every
-/// write — success is only declared once the bytes are durably on disk,
-/// so the caller's rename can never publish a short or cached-only file.
+/// Buffered fd sink over the fault-injectable IoEnv (sites
+/// "snapshot_open", "snapshot_write", "snapshot_fsync",
+/// "snapshot_close"). Close() flushes, fsyncs and verifies every write —
+/// success is only declared once the bytes are durably on disk, so the
+/// caller's rename can never publish a short or cached-only file.
 class FileSink : public Sink {
  public:
   explicit FileSink(const std::string& path) : path_(path) {
-    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
-                 0644);
+    fd_ = IoEnv::Instance().Open("snapshot_open", path.c_str(),
+                                 O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                                 0644);
     if (fd_ < 0) {
       throw std::invalid_argument("snapshot: cannot open " + path +
                                   " for writing");
@@ -78,7 +83,7 @@ class FileSink : public Sink {
     buf_.reserve(kBufCap);
   }
   ~FileSink() override {
-    if (fd_ >= 0) ::close(fd_);
+    if (fd_ >= 0) IoEnv::Instance().Close("snapshot_close", fd_);
   }
 
   void Write(const void* p, size_t n) override {
@@ -94,9 +99,11 @@ class FileSink : public Sink {
 
   void PatchAt(uint64_t off, const void* p, size_t n) override {
     Flush();
+    IoEnv& io = IoEnv::Instance();
     const char* c = static_cast<const char*>(p);
     while (n > 0) {
-      ssize_t w = ::pwrite(fd_, c, n, static_cast<off_t>(off));
+      ssize_t w = io.Pwrite("snapshot_write", fd_, c, n,
+                            static_cast<int64_t>(off));
       if (w < 0) {
         if (errno == EINTR) continue;
         IoError("write to", path_);
@@ -110,20 +117,22 @@ class FileSink : public Sink {
   /// Flush + fsync + close; throws if any byte may not have reached disk.
   void Close() {
     Flush();
-    if (::fsync(fd_) != 0) IoError("fsync of", path_);
+    IoEnv& io = IoEnv::Instance();
+    if (io.Fsync("snapshot_fsync", fd_) != 0) IoError("fsync of", path_);
     int fd = fd_;
     fd_ = -1;
-    if (::close(fd) != 0) IoError("close of", path_);
+    if (io.Close("snapshot_close", fd) != 0) IoError("close of", path_);
   }
 
   uint64_t buffer_bytes() const override { return kBufCap; }
 
  private:
   void Flush() {
+    IoEnv& io = IoEnv::Instance();
     const char* c = buf_.data();
     size_t n = buf_.size();
     while (n > 0) {
-      ssize_t w = ::write(fd_, c, n);
+      ssize_t w = io.Write("snapshot_write", fd_, c, n);
       if (w < 0) {
         if (errno == EINTR) continue;
         IoError("write to", path_);
@@ -569,15 +578,17 @@ void FsyncParentDir(const std::string& path) {
   size_t slash = path.find_last_of('/');
   std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
   if (dir.empty()) dir = "/";
-  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  IoEnv& io = IoEnv::Instance();
+  int fd = io.Open("dir_open", dir.c_str(),
+                   O_RDONLY | O_DIRECTORY | O_CLOEXEC, 0);
   if (fd < 0) IoError("open of directory", dir);
-  if (::fsync(fd) != 0) {
+  if (io.Fsync("dir_fsync", fd) != 0) {
     int saved = errno;
-    ::close(fd);
+    io.Close("dir_close", fd);
     errno = saved;
     IoError("fsync of directory", dir);
   }
-  ::close(fd);
+  io.Close("dir_close", fd);
 }
 
 /// Streams `write` into `path + ".tmp"`, fsyncs, atomically renames over
@@ -595,9 +606,11 @@ void WriteFileAtomically(const std::string& path,
     std::remove(tmp.c_str());
     throw;
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (IoEnv::Instance().Rename("snapshot_rename", tmp.c_str(),
+                               path.c_str()) != 0) {
     std::remove(tmp.c_str());
-    throw std::invalid_argument("snapshot: cannot replace " + path);
+    throw std::invalid_argument("snapshot: cannot replace " + path + ": " +
+                                std::strerror(errno));
   }
   FsyncParentDir(path);
 }
@@ -631,22 +644,16 @@ std::optional<uint64_t> ReadBaseEpoch(const std::string& path) {
   return std::nullopt;
 }
 
-/// Canonicalises `path` so the checkpoint-chain identity check cannot be
-/// fooled by alias spellings ("db.fdbs" vs "./db.fdbs" vs a symlinked
-/// directory) — a Save through an alias must fold the chain, not orphan
-/// it. Falls back to the raw string if resolution fails (e.g. a parent
-/// that does not exist yet; the subsequent open() reports the real
-/// error).
-std::string CanonicalPath(const std::string& path) {
-  std::error_code ec;
-  std::filesystem::path canon = std::filesystem::weakly_canonical(path, ec);
-  return ec ? path : canon.string();
-}
-
 }  // namespace
 
 std::string DeltaPath(const std::string& path, uint64_t seq) {
   return path + ".delta-" + std::to_string(seq);
+}
+
+std::string CanonicalSnapshotPath(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::path canon = std::filesystem::weakly_canonical(path, ec);
+  return ec ? path : canon.string();
 }
 
 int64_t PtrIdMap::Find(const void* p) const {
@@ -859,12 +866,62 @@ CheckpointInfo AppendCheckpoint(const Database& db, PersistState* st,
 
 }  // namespace storage
 
+// Public Save/Checkpoint take txn_mu_ first (a fold must not interleave
+// with a commit's log append, and the *Locked internals let EnableWal
+// checkpoint while already holding txn_mu_), then reset a bound WAL once
+// the chain durably holds everything the log did.
+
 void Database::Save(const std::string& raw_path) const {
-  std::string path = storage::CanonicalPath(raw_path);
+  std::string path = storage::CanonicalSnapshotPath(raw_path);
+  std::lock_guard<std::mutex> t(txn_mu_);
+  SaveLocked(path);
+  ResetWalAfterFoldLocked(path);
+}
+
+storage::CheckpointInfo Database::Checkpoint(
+    const std::string& raw_path) const {
+  std::string path = storage::CanonicalSnapshotPath(raw_path);
+  std::lock_guard<std::mutex> t(txn_mu_);
+  storage::CheckpointInfo info = CheckpointLocked(path);
+  // On kNoop the log is necessarily empty and still correctly stamped
+  // (every committed group makes HasChangesSince true until folded), so
+  // only an actual write needs the reset.
+  if (info.kind != storage::CheckpointInfo::kNoop) {
+    ResetWalAfterFoldLocked(path);
+  }
+  return info;
+}
+
+// Re-stamps a WAL bound to `path` after the chain at `path` was rewritten
+// or extended: everything the log held is now durable in the chain, so
+// the log restarts empty at the new (epoch, chain position). Requires
+// txn_mu_. A failed reset marks the log broken — durability is unaffected
+// (the chain already has it all), the next Commit reports it, and
+// EnableWal recovers — so the fold's success is not retracted.
+void Database::ResetWalAfterFoldLocked(const std::string& path) const {
+  if (wal_ == nullptr || wal_base_ != path) return;
+  uint64_t epoch = 0;
+  uint64_t chain_pos = 0;
+  {
+    std::lock_guard<std::mutex> g(persist_mu_);
+    if (persist_ == nullptr) return;  // checkpoint failed; stamp still valid
+    epoch = persist_->epoch;
+    chain_pos = persist_->next_seq - 1;
+  }
+  try {
+    wal_->Reset(epoch, chain_pos);
+  } catch (const std::exception&) {
+    // wal_->broken() is now set; surfaced by WalStatus and the next Commit.
+  }
+}
+
+void Database::SaveLocked(const std::string& path) const {
   std::lock_guard<std::mutex> g(persist_mu_);
-  if (persist_ != nullptr && persist_->path == path) {
-    // Rewriting the base a checkpoint chain hangs off: fold — refresh the
-    // retained state against the new base (the old deltas are removed).
+  if ((persist_ != nullptr && persist_->path == path) ||
+      (wal_ != nullptr && wal_base_ == path)) {
+    // Rewriting the base a checkpoint chain (or WAL) hangs off: fold —
+    // refresh the retained state against the new base (the old deltas
+    // are removed), so the caller can re-stamp the log.
     auto fresh = std::make_shared<storage::PersistState>();
     persist_.reset();
     storage::SaveSnapshot(*this, path, nullptr, fresh.get());
@@ -874,8 +931,8 @@ void Database::Save(const std::string& raw_path) const {
   }
 }
 
-storage::CheckpointInfo Database::Checkpoint(const std::string& raw_path) const {
-  std::string path = storage::CanonicalPath(raw_path);
+storage::CheckpointInfo Database::CheckpointLocked(
+    const std::string& path) const {
   std::lock_guard<std::mutex> g(persist_mu_);
   if (persist_ != nullptr && persist_->path == path &&
       !storage::HasChangesSince(*this, *persist_)) {

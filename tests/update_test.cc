@@ -160,5 +160,131 @@ TEST_P(UpdateProperty, RandomInsertDeleteMatchesOracle) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, UpdateProperty, ::testing::Range(0, 8));
 
+// --- ApplyBatch: one sorted merge must equal op-by-op application. ---
+
+TEST_F(UpdateTest, ApplyBatchMatchesSequentialApplication) {
+  std::vector<BatchOp> ops = {
+      {true, Row({3, 30, 300})},  {true, Row({1, 10, 101})},
+      {false, Row({2, 10, 200})}, {true, Row({1, 20, 150})},
+      {false, Row({9, 9, 9})},  // delete of absent tuple: no-op
+  };
+  Factorisation seq = view_;
+  for (const BatchOp& op : ops) {
+    if (op.insert) {
+      InsertTuple(&seq, op.tuple);
+    } else {
+      DeleteTuple(&seq, op.tuple);
+    }
+  }
+  ApplyBatch(&view_, ops);
+  ASSERT_TRUE(view_.Validate());
+  EXPECT_EQ(view_.CountTuples(), seq.CountTuples());
+  EXPECT_TRUE(SameSet(view_.Flatten(), seq.Flatten(), {a_, b_, c_}, reg_));
+}
+
+TEST_F(UpdateTest, ApplyBatchLastOpWinsPerKey) {
+  // insert then delete of the same tuple cancels; delete then re-insert
+  // keeps it. Net membership is decided by the final op per key.
+  ApplyBatch(&view_, {{true, Row({7, 70, 700})},
+                      {false, Row({7, 70, 700})},
+                      {false, Row({1, 10, 100})},
+                      {true, Row({1, 10, 100})}});
+  ASSERT_TRUE(view_.Validate());
+  EXPECT_FALSE(ContainsTuple(view_, Row({7, 70, 700})));
+  EXPECT_TRUE(ContainsTuple(view_, Row({1, 10, 100})));
+  EXPECT_EQ(view_.CountTuples(), 3);
+}
+
+TEST_F(UpdateTest, ApplyBatchPreservesUntouchedSubtreeIdentity) {
+  // The root union is rebuilt, but children under keys the batch never
+  // touches must keep their node pointers (the incremental checkpointer
+  // relies on this to skip unchanged segments).
+  ASSERT_FALSE(view_.roots().empty());
+  const FactNode* root = view_.roots()[0];
+  ASSERT_NE(root, nullptr);
+  std::vector<std::pair<ValueRef, FactPtr>> before;
+  for (int i = 0; i < root->size(); ++i) {
+    before.emplace_back(root->values[static_cast<size_t>(i)],
+                        root->child(i, 1, 0));
+  }
+  ApplyBatch(&view_, {{true, Row({50, 51, 52})}});  // new key, new branch
+  const FactNode* after = view_.roots()[0];
+  for (const auto& [val, child] : before) {
+    bool found = false;
+    for (int i = 0; i < after->size(); ++i) {
+      if (after->values[static_cast<size_t>(i)] == val) {
+        EXPECT_EQ(after->child(i, 1, 0), child) << "child rebuilt needlessly";
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(UpdateTest, ApplyBatchEmptyAndErrorCases) {
+  Relation before = view_.Flatten();
+  ApplyBatch(&view_, {});  // no-op
+  EXPECT_TRUE(SameSet(view_.Flatten(), before, {a_, b_, c_}, reg_));
+  EXPECT_THROW(ApplyBatch(&view_, {{true, Row({1, 2})}}),
+               std::invalid_argument);  // arity mismatch
+  // Validation precedes mutation: the failed batch changed nothing.
+  EXPECT_TRUE(SameSet(view_.Flatten(), before, {a_, b_, c_}, reg_));
+}
+
+TEST_F(UpdateTest, ApplyBatchCanEmptyAndRefillTheView) {
+  std::vector<BatchOp> wipe;
+  for (const auto& t :
+       {Row({1, 10, 100}), Row({1, 20, 100}), Row({2, 10, 200})}) {
+    wipe.push_back({false, t});
+  }
+  ApplyBatch(&view_, wipe);
+  EXPECT_TRUE(view_.empty());
+  ApplyBatch(&view_, {{true, Row({4, 40, 400})}});
+  ASSERT_TRUE(view_.Validate());
+  EXPECT_EQ(view_.CountTuples(), 1);
+  EXPECT_TRUE(ContainsTuple(view_, Row({4, 40, 400})));
+}
+
+class BatchProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchProperty, RandomBatchesMatchSequentialReplay) {
+  AttributeRegistry reg;
+  AttrId a = reg.Intern("bpa" + std::to_string(GetParam()));
+  AttrId b = reg.Intern("bpb" + std::to_string(GetParam()));
+  Relation empty{RelSchema({a, b})};
+  Factorisation batched = FactoriseRelation(empty, {a, b});
+  Factorisation seq = FactoriseRelation(empty, {a, b});
+
+  std::mt19937_64 rng(static_cast<uint64_t>(GetParam()) + 4242);
+  for (int round = 0; round < 25; ++round) {
+    std::vector<BatchOp> ops;
+    size_t n = 1 + rng() % 10;
+    for (size_t i = 0; i < n; ++i) {
+      BatchOp op;
+      op.insert = rng() % 2 == 0;
+      op.tuple = Row({static_cast<int64_t>(rng() % 6),
+                      static_cast<int64_t>(rng() % 6)});
+      ops.push_back(std::move(op));
+    }
+    ApplyBatch(&batched, ops);
+    for (const BatchOp& op : ops) {
+      if (op.insert) {
+        InsertTuple(&seq, op.tuple);
+      } else {
+        DeleteTuple(&seq, op.tuple);
+      }
+    }
+    ASSERT_TRUE(batched.Validate()) << "round " << round;
+    ASSERT_EQ(batched.CountTuples(), seq.CountTuples()) << "round " << round;
+  }
+  if (!seq.empty()) {
+    EXPECT_TRUE(SameSet(batched.Flatten(), seq.Flatten(), {a, b}, reg));
+  } else {
+    EXPECT_TRUE(batched.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchProperty, ::testing::Range(0, 6));
+
 }  // namespace
 }  // namespace fdb
