@@ -3,16 +3,11 @@
 
 #include <benchmark/benchmark.h>
 
-#include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "fdb/core/build.h"
-#include "fdb/engine/fdb_engine.h"
-#include "fdb/engine/rdb_engine.h"
-#include "fdb/query/parser.h"
-#include "fdb/workload/generator.h"
+#include "bench_metrics.h"
+#include "bench_queries.h"
 
 namespace fdb {
 namespace bench {
@@ -24,6 +19,11 @@ namespace bench {
 /// per-benchmark wall time in the declared unit plus registered counters
 /// such as scale, view_singletons and flat_tuples) so perf trajectories can
 /// be tracked across commits.
+///
+/// Workload fixtures and query texts live in bench_queries.h; the
+/// registry-backed timing helpers (used by the self-timed binaries so
+/// their JSON fields come from the metrics registry, not local
+/// stopwatches) live in bench_metrics.h.
 inline int RunBenchmarks(const std::string& name, int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   bool has_out = false;
@@ -43,123 +43,14 @@ inline int RunBenchmarks(const std::string& name, int argc, char** argv) {
   return 0;
 }
 
-// One benchmark database instance at a given scale, holding:
-//   Orders/Packages/Items      base relations (§6 workload, SmallParams)
-//   R1                         the factorised materialised view over T
-//   R1flat                     the flat join (for the relational engines)
-//   R2                         R1 factorised by (package, date, item, …)
-//   R3                         Orders factorised by (date, customer, package)
-struct BenchDb {
-  std::unique_ptr<Database> db;
-  int64_t view_singletons = 0;
-  int64_t flat_tuples = 0;
-};
-
-inline BenchDb MakeBenchDb(int scale) {
-  BenchDb b;
-  b.db = std::make_unique<Database>();
-  WorkloadParams params = SmallParams(scale);
-  b.view_singletons = InstallWorkload(b.db.get(), params, "R1");
-
-  Relation flat = b.db->view("R1")->Flatten();
-  b.flat_tuples = flat.size();
-  AttributeRegistry& reg = b.db->registry();
-  AttrId customer = *reg.Find("customer"), date = *reg.Find("date"),
-         package = *reg.Find("package"), item = *reg.Find("item"),
-         price = *reg.Find("price");
-  b.db->AddView("R2", FactoriseRelation(
-                          flat, {package, date, item, customer, price}));
-  b.db->AddView("R3", FactoriseRelation(*b.db->relation("Orders"),
-                                        {date, customer, package}));
-  // The flat side of the ORD experiments: materialised pre-sorted by
-  // (package, date, item), the order of view R2 in the paper.
-  Relation r2flat = flat;
-  r2flat.SortBy({{package, SortDir::kAsc},
-                 {date, SortDir::kAsc},
-                 {item, SortDir::kAsc},
-                 {customer, SortDir::kAsc},
-                 {price, SortDir::kAsc}});
-  b.db->AddRelation("R2flat", std::move(r2flat));
-  b.db->AddRelation("R1flat", std::move(flat));
-  return b;
-}
-
-// Scale-keyed cache so repeated benchmarks share the generated data.
-inline BenchDb& GetBenchDb(int scale) {
-  static std::map<int, BenchDb>* cache = new std::map<int, BenchDb>();
-  auto it = cache->find(scale);
-  if (it == cache->end()) {
-    it = cache->emplace(scale, MakeBenchDb(scale)).first;
-  }
-  return it->second;
-}
-
-// The queries of Figure 3, phrased over `source` ("R1" or "R1flat").
-inline std::string AggSql(int q, const std::string& source) {
-  switch (q) {
-    case 1:
-      return "SELECT package, date, customer, sum(price) FROM " + source +
-             " GROUP BY package, date, customer";
-    case 2:
-      return "SELECT customer, sum(price) AS revenue FROM " + source +
-             " GROUP BY customer";
-    case 3:
-      return "SELECT date, package, sum(price) FROM " + source +
-             " GROUP BY date, package";
-    case 4:
-      return "SELECT package, sum(price) FROM " + source +
-             " GROUP BY package";
-    case 5:
-      return "SELECT sum(price) FROM " + source;
-    default:
-      return "";
-  }
-}
-
-inline std::string AggOrdSql(int q, const std::string& source) {
-  switch (q) {
-    case 6:
-      return "SELECT customer, sum(price) AS revenue FROM " + source +
-             " GROUP BY customer ORDER BY customer";
-    case 7:
-      return "SELECT customer, sum(price) AS revenue FROM " + source +
-             " GROUP BY customer ORDER BY revenue";
-    case 8:
-      return "SELECT date, package, sum(price) AS s FROM " + source +
-             " GROUP BY date, package ORDER BY date, package";
-    case 9:
-      return "SELECT date, package, sum(price) AS s FROM " + source +
-             " GROUP BY date, package ORDER BY package, date";
-    default:
-      return "";
-  }
-}
-
-// ORD queries (Experiment 4). For FDB, Q10–Q12 run over the T-shaped view
-// R1, which simultaneously supports the (package, date, item) and
-// (package, item, date) orders (the paper's R2); the relational engines get
-// the flat view pre-sorted by (package, date, item). Q13 re-sorts the
-// sorted Orders view R3.
-inline std::string OrdSql(int q, bool factorised, bool limit10) {
-  std::string src = q == 13 ? (factorised ? "R3" : "Orders")
-                            : (factorised ? "R1" : "R2flat");
-  std::string sql;
-  switch (q) {
-    case 10:
-      sql = "SELECT * FROM " + src + " ORDER BY package, date, item";
-      break;
-    case 11:
-      sql = "SELECT * FROM " + src + " ORDER BY package, item, date";
-      break;
-    case 12:
-      sql = "SELECT * FROM " + src + " ORDER BY date, package, item";
-      break;
-    case 13:
-      sql = "SELECT * FROM " + src + " ORDER BY customer, date, package";
-      break;
-  }
-  if (limit10) sql += " LIMIT 10";
-  return sql;
+/// Attaches the engine-side counters that moved since `before` (a
+/// Registry snapshot is overkill here: callers name the counters they
+/// care about) to a google-benchmark State, so the sidecar JSON reports
+/// the same numbers a live \metrics dump would.
+inline void ReportCounterDelta(benchmark::State& state,
+                               const std::string& metric, uint64_t before) {
+  state.counters[metric] =
+      static_cast<double>(CounterValue(metric) - before);
 }
 
 }  // namespace bench

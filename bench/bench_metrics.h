@@ -1,0 +1,60 @@
+#ifndef FDB_BENCH_BENCH_METRICS_H_
+#define FDB_BENCH_BENCH_METRICS_H_
+
+// Registry-backed timing for the bench emitters: every duration written
+// into a BENCH_*.json comes out of the metrics registry (histogram sum
+// deltas), never a bench-local stopwatch, so the JSON fields and a live
+// \metrics dump can never disagree. Callers must have metrics enabled
+// (obs::SetMetricsEnabled(true)) or every delta reads back as zero.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "fdb/obs/metrics.h"
+
+namespace fdb {
+namespace bench {
+
+/// Seconds accumulated in `hist` since `before` was snapshotted.
+inline double HistDeltaSeconds(const obs::HistogramSnapshot& before,
+                               const obs::Histogram& hist) {
+  return static_cast<double>(hist.Snapshot().sum - before.sum) / 1e9;
+}
+
+/// Runs `fn` once, recording its wall time into the registry histogram
+/// `bench.<name>_ns`, and returns the duration as read back from the
+/// registry rather than from a local stopwatch.
+template <typename Fn>
+inline double TimedIntoRegistry(const std::string& name, Fn&& fn) {
+  obs::Histogram& hist = obs::Registry::Instance().GetHistogram(
+      "bench." + name + "_ns", "ns", "self-timed bench section");
+  obs::HistogramSnapshot before = hist.Snapshot();
+  {
+    obs::ScopedLatency lat(hist);
+    std::forward<Fn>(fn)();
+  }
+  return HistDeltaSeconds(before, hist);
+}
+
+/// Runs `fn` once and returns the seconds the *engine's own* histogram
+/// `metric` accumulated while it ran — the bench then reports exactly
+/// what the instrumented subsystem measured about itself (e.g.
+/// storage.checkpoint_ns around a Database::Checkpoint call).
+template <typename Fn>
+inline double SubsystemSeconds(const std::string& metric, Fn&& fn) {
+  obs::Histogram& hist = obs::Registry::Instance().GetHistogram(metric);
+  obs::HistogramSnapshot before = hist.Snapshot();
+  std::forward<Fn>(fn)();
+  return HistDeltaSeconds(before, hist);
+}
+
+/// Current value of a registry counter (0 before first registration).
+inline uint64_t CounterValue(const std::string& name) {
+  return obs::Registry::Instance().GetCounter(name).Value();
+}
+
+}  // namespace bench
+}  // namespace fdb
+
+#endif  // FDB_BENCH_BENCH_METRICS_H_

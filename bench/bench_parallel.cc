@@ -13,17 +13,18 @@
 // hardware_concurrency is recorded in the JSON.
 
 #include <algorithm>
-#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "bench_metrics.h"
 #include "fdb/core/build.h"
 #include "fdb/core/enumerate.h"
 #include "fdb/engine/fdb_engine.h"
 #include "fdb/exec/task_pool.h"
+#include "fdb/obs/metrics.h"
 #include "fdb/query/parser.h"
 #include "fdb/workload/generator.h"
 
@@ -31,21 +32,15 @@ using namespace fdb;
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double Seconds(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-
-// Median of `reps` timed runs of fn (first run warms caches, not timed).
+// Median of `reps` runs of fn (first run warms caches, not timed). Each
+// rep's wall time is recorded into — and read back out of — the registry
+// histogram bench.<name>_ns, so the JSON and live metrics agree.
 template <typename Fn>
-double MedianSeconds(int reps, Fn fn) {
+double MedianSeconds(const std::string& name, int reps, Fn fn) {
   fn();
   std::vector<double> times;
   for (int r = 0; r < reps; ++r) {
-    auto t0 = Clock::now();
-    fn();
-    times.push_back(Seconds(t0));
+    times.push_back(bench::TimedIntoRegistry(name, fn));
   }
   std::sort(times.begin(), times.end());
   return times[times.size() / 2];
@@ -56,11 +51,14 @@ struct PhaseTimes {
   double build_s = 0;
   double agg_s = 0;
   double enumerate_s = 0;
+  uint64_t tasks_run = 0;
+  uint64_t steals = 0;
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::SetMetricsEnabled(true);  // timings are read back from the registry
   int scale = argc > 1 ? std::atoi(argv[1]) : 8;
   if (scale < 1) scale = 1;
   int reps = argc > 2 ? std::atoi(argv[2]) : 5;
@@ -88,15 +86,17 @@ int main(int argc, char** argv) {
     exec::TaskPool::SetDefaultThreads(threads);
     PhaseTimes pt;
     pt.threads = threads;
+    uint64_t tasks0 = bench::CounterValue("taskpool.tasks_run");
+    uint64_t steals0 = bench::CounterValue("taskpool.steals");
 
     Factorisation built;
-    pt.build_s = MedianSeconds(reps, [&] {
+    pt.build_s = MedianSeconds("parallel_build", reps, [&] {
       built = FactoriseJoin(w.ftree, rels);
     });
     consistent = consistent && built.CountSingletons() == singletons;
 
     Relation agg;
-    pt.agg_s = MedianSeconds(reps, [&] {
+    pt.agg_s = MedianSeconds("parallel_aggregate", reps, [&] {
       agg = engine.Execute(agg_query).flat;
     });
     consistent = consistent && agg.rows() == ref_agg.rows();
@@ -104,15 +104,21 @@ int main(int argc, char** argv) {
     Relation flat;
     std::vector<int> visit = built.tree().TopologicalOrder();
     std::vector<SortDir> dirs(visit.size(), SortDir::kAsc);
-    pt.enumerate_s = MedianSeconds(reps, [&] {
+    pt.enumerate_s = MedianSeconds("parallel_enumerate", reps, [&] {
       flat = EnumerateToRelation(built, visit, dirs);
     });
     consistent = consistent && flat.rows() == ref_flat.rows();
 
+    // Work-distribution counters for this width, from the TaskPool's own
+    // registry instrumentation.
+    pt.tasks_run = bench::CounterValue("taskpool.tasks_run") - tasks0;
+    pt.steals = bench::CounterValue("taskpool.steals") - steals0;
+
     sweep.push_back(pt);
     std::cout << "threads " << threads << ": build " << pt.build_s * 1e3
               << " ms, agg " << pt.agg_s * 1e3 << " ms, enumerate "
-              << pt.enumerate_s * 1e3 << " ms"
+              << pt.enumerate_s * 1e3 << " ms (" << pt.tasks_run
+              << " tasks, " << pt.steals << " steals)"
               << (consistent ? "" : "  [MISMATCH]") << "\n";
   }
   exec::TaskPool::SetDefaultThreads(1);
@@ -139,6 +145,8 @@ int main(int argc, char** argv) {
          << ", \"aggregate_speedup\": " << (pt.agg_s > 0 ? base.agg_s / pt.agg_s : 0)
          << ", \"enumerate_speedup\": "
          << (pt.enumerate_s > 0 ? base.enumerate_s / pt.enumerate_s : 0)
+         << ", \"tasks_run\": " << pt.tasks_run
+         << ", \"steals\": " << pt.steals
          << "}" << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
   json << "  ]\n}\n";

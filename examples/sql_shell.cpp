@@ -27,9 +27,21 @@
 //                                  (autocommits outside \begin)
 //            \delete V v1,v2,...   delete a tuple from view V
 //            \wal-status    log path, pending ops/bytes, committed groups
+//            \timing on|off per-statement wall time and row count (psql
+//                           style; default off)
+//            \metrics       dump the metrics registry (counters, gauges,
+//                           latency histograms with p50/p95/p99)
+//            \metrics-json  the same, machine-readable
+//            \profile <path>
+//                           write the last traced query (EXPLAIN ANALYZE)
+//                           as a chrome://tracing JSON file
 //            \q             quit
+//
+// Prefix any query with EXPLAIN ANALYZE to run it and print the per-phase
+// trace: wall time, cardinalities, and the factorised-vs-flat size gap.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -39,6 +51,8 @@
 #include "fdb/engine/fdb_engine.h"
 #include "fdb/engine/rdb_engine.h"
 #include "fdb/exec/task_pool.h"
+#include "fdb/obs/metrics.h"
+#include "fdb/obs/trace.h"
 #include "fdb/workload/generator.h"
 
 using namespace fdb;
@@ -68,6 +82,12 @@ static bool ParseTupleArg(const std::string& arg, std::string* view,
 }
 
 int main(int argc, char** argv) {
+  // The shell is a diagnostic surface, not a benchmark: run with metrics
+  // on so \metrics has something to show. FDB_METRICS=0 keeps them off.
+  const char* menv = std::getenv("FDB_METRICS");
+  if (menv == nullptr || std::string(menv) != "0") {
+    obs::SetMetricsEnabled(true);
+  }
   int scale = argc > 1 ? std::atoi(argv[1]) : 2;
   Database db;
   int64_t singletons = InstallWorkload(&db, SmallParams(scale), "R1");
@@ -82,6 +102,8 @@ int main(int argc, char** argv) {
   RdbEngine rdb_engine(&db);
   bool use_rdb = false;
   bool show_plan = false;
+  bool timing = false;
+  std::shared_ptr<obs::Trace> last_trace;
 
   std::string line;
   while (std::cout << (use_rdb ? "rdb> " : "fdb> ") && std::cout.flush() &&
@@ -94,6 +116,47 @@ int main(int argc, char** argv) {
     }
     if (line == "\\plan") {
       show_plan = !show_plan;
+      continue;
+    }
+    if (line.rfind("\\timing", 0) == 0) {
+      std::string arg = line.size() > 8 ? line.substr(8) : "";
+      if (arg == "on") {
+        timing = true;
+      } else if (arg == "off") {
+        timing = false;
+      } else if (arg.empty()) {
+        timing = !timing;
+      } else {
+        std::cout << "usage: \\timing [on|off]\n";
+        continue;
+      }
+      std::cout << "timing " << (timing ? "on" : "off") << "\n";
+      continue;
+    }
+    if (line == "\\metrics") {
+      std::cout << obs::Registry::Instance().RenderText();
+      continue;
+    }
+    if (line == "\\metrics-json") {
+      std::cout << obs::Registry::Instance().RenderJson() << "\n";
+      continue;
+    }
+    if (line.rfind("\\profile ", 0) == 0) {
+      std::string path = line.substr(9);
+      if (last_trace == nullptr) {
+        std::cout << "error: no trace yet — run an EXPLAIN ANALYZE query "
+                     "first\n";
+        continue;
+      }
+      std::ofstream out(path);
+      if (!out) {
+        std::cout << "error: cannot write " << path << "\n";
+        continue;
+      }
+      out << last_trace->ToChromeJson();
+      std::cout << "wrote " << path
+                << " — open chrome://tracing (or https://ui.perfetto.dev) "
+                   "and load it\n";
       continue;
     }
     if (line.rfind("\\threads", 0) == 0) {
@@ -226,20 +289,37 @@ int main(int argc, char** argv) {
       continue;
     }
     try {
+      int64_t t0 = obs::NowNs();
+      int64_t rows = 0;
       if (use_rdb) {
         RdbResult r = rdb_engine.ExecuteSql(line);
+        rows = r.flat.size();
+        if (r.trace != nullptr) {
+          last_trace = r.trace;
+          std::cout << obs::ExplainReport(*r.trace);
+        }
         std::cout << r.flat.ToString(db.registry(), 25)
                   << "(" << r.seconds * 1e3 << " ms)\n";
       } else {
         FdbResult r = fdb_engine.ExecuteSql(line);
+        rows = r.flat.size();
         if (show_plan) {
           std::cout << "plan: " << PlanToString(r.plan, db.registry())
                     << "\n";
+        }
+        if (r.trace != nullptr) {
+          last_trace = r.trace;
+          std::cout << obs::ExplainReport(*r.trace);
         }
         std::cout << r.flat.ToString(db.registry(), 25) << "("
                   << (r.plan_seconds + r.exec_seconds + r.enum_seconds) *
                          1e3
                   << " ms)\n";
+      }
+      if (timing) {
+        std::cout << "Time: " << static_cast<double>(obs::NowNs() - t0) / 1e6
+                  << " ms (" << rows << " row" << (rows == 1 ? "" : "s")
+                  << ")\n";
       }
     } catch (const std::exception& e) {
       std::cout << "error: " << e.what() << "\n";

@@ -4,6 +4,7 @@
 #include <iomanip>
 #include <sstream>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace fdb {
 namespace {
@@ -19,6 +20,20 @@ void Walk(const FTree& tree, int node, const FactNode& n,
   for (int i = 0; i < n.size(); ++i) {
     for (int c = 0; c < k; ++c) {
       Walk(tree, tree.children(node)[c], *n.child(i, k, c), acc);
+    }
+  }
+}
+
+void WalkDistinct(const FTree& tree, int node, const FactNode& n,
+                  std::unordered_set<const FactNode*>* seen,
+                  FactFootprint* fp) {
+  if (!seen->insert(&n).second) return;
+  fp->unions += 1;
+  fp->singletons += n.size();
+  int k = static_cast<int>(tree.children(node).size());
+  for (int i = 0; i < n.size(); ++i) {
+    for (int c = 0; c < k; ++c) {
+      WalkDistinct(tree, tree.children(node)[c], *n.child(i, k, c), seen, fp);
     }
   }
 }
@@ -42,6 +57,23 @@ std::vector<FactNodeStats> ComputeFactStats(const Factorisation& f) {
     out.push_back(s);
   }
   return out;
+}
+
+FactFootprint ComputeFootprint(const Factorisation& f) {
+  FactFootprint fp;
+  std::unordered_set<const FactNode*> seen;
+  for (size_t r = 0; r < f.roots().size(); ++r) {
+    if (f.roots()[r] != nullptr) {
+      WalkDistinct(f.tree(), f.tree().roots()[r], *f.roots()[r], &seen, &fp);
+    }
+  }
+  fp.tuples = f.CountTuples();
+  fp.flat_values =
+      fp.tuples * static_cast<int64_t>(f.OutputSchema().attrs().size());
+  if (f.arena() != nullptr) {
+    fp.arena_bytes = static_cast<int64_t>(f.arena()->bytes_used());
+  }
+  return fp;
 }
 
 std::string FactStatsToString(const Factorisation& f,

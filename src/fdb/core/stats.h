@@ -24,6 +24,28 @@ struct FactNodeStats {
 /// Computes statistics for every live node, in topological order.
 std::vector<FactNodeStats> ComputeFactStats(const Factorisation& f);
 
+/// Whole-factorisation size summary for observability: distinct union
+/// nodes and singletons (DAG-aware — shared subexpressions counted once),
+/// the represented flat relation's tuple/value counts, arena bytes, and
+/// the paper's headline compression ratio (flat values per stored
+/// singleton).
+struct FactFootprint {
+  int64_t unions = 0;      ///< distinct union nodes reachable from the roots
+  int64_t singletons = 0;  ///< distinct stored singletons (size measure)
+  int64_t tuples = 0;      ///< tuples in the represented relation
+  int64_t flat_values = 0; ///< tuples x output arity
+  int64_t arena_bytes = 0; ///< bytes used by the attached arena
+
+  double CompressionRatio() const {
+    return singletons == 0
+               ? 0.0
+               : static_cast<double>(flat_values) /
+                     static_cast<double>(singletons);
+  }
+};
+
+FactFootprint ComputeFootprint(const Factorisation& f);
+
 /// Renders a small table, e.g. for EXPLAIN-style diagnostics.
 std::string FactStatsToString(const Factorisation& f,
                               const AttributeRegistry& reg);

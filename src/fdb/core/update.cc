@@ -5,8 +5,15 @@
 #include <optional>
 #include <stdexcept>
 
+#include "fdb/obs/metrics.h"
+
 namespace fdb {
 namespace {
+
+// Unions rebuilt (copied or freshly built) by the current ApplyBatch merge
+// pass. Thread-local so concurrent batches on different views don't need
+// to thread a counter through the recursion.
+thread_local int64_t g_unions_rebuilt = 0;
 
 // Updates are persistent: each insert/delete copies the root-to-leaf path
 // unions into the factorisation's write arena and the previous versions
@@ -162,6 +169,7 @@ FactPtr BuildRec(const BatchEntry* lo, const BatchEntry* hi, size_t depth,
     e = ge;
   }
   if (out.values.empty()) return nullptr;
+  ++g_unions_rebuilt;
   return out.Finish(arena);
 }
 
@@ -222,6 +230,7 @@ FactPtr MergeRec(const FactNode* n, const BatchEntry* lo,
   }
   if (!changed) return n;
   if (out.values.empty()) return nullptr;
+  ++g_unions_rebuilt;
   return out.Finish(arena);
 }
 
@@ -253,6 +262,19 @@ void ApplyBatch(Factorisation* f, const std::vector<BatchOp>& ops) {
     }
   }
   if (final_op.empty()) return;
+  static obs::Counter& batches = obs::Registry::Instance().GetCounter(
+      "update.batches", "batches", "ApplyBatch invocations with work");
+  static obs::Counter& batch_ops = obs::Registry::Instance().GetCounter(
+      "update.batch_ops", "ops", "operations submitted to ApplyBatch");
+  static obs::Counter& ops_deduped = obs::Registry::Instance().GetCounter(
+      "update.ops_deduped", "ops",
+      "batch ops collapsed by last-op-wins dedup before the merge");
+  static obs::Counter& unions_merged = obs::Registry::Instance().GetCounter(
+      "update.unions_merged", "unions",
+      "unions rebuilt by batch merges (shared paths copied once per batch)");
+  batches.Inc();
+  batch_ops.Inc(ops.size());
+  ops_deduped.Inc(ops.size() - final_op.size());
   std::vector<BatchEntry> entries;
   entries.reserve(final_op.size());
   for (const auto& [key, insert] : final_op) {
@@ -260,12 +282,14 @@ void ApplyBatch(Factorisation* f, const std::vector<BatchOp>& ops) {
   }
   const FactNode* root =
       f->empty() ? nullptr : f->roots().empty() ? nullptr : f->roots()[0];
+  g_unions_rebuilt = 0;
   FactPtr updated =
       root == nullptr
           ? BuildRec(entries.data(), entries.data() + entries.size(), 0,
                      arity, f->ArenaForWrite())
           : MergeRec(root, entries.data(), entries.data() + entries.size(),
                      0, arity, f->ArenaForWrite());
+  unions_merged.Inc(static_cast<uint64_t>(g_unions_rebuilt));
   f->mutable_roots()[0] =
       updated == nullptr ? FactArena::EmptyNode() : updated;
   f->MaybeCompact();

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "fdb/core/update.h"
+#include "fdb/obs/metrics.h"
 #include "fdb/storage/snapshot.h"
 #include "fdb/storage/wal.h"
 
@@ -341,10 +342,21 @@ void Database::BufferOpLocked(storage::WalOp op) {
 
 uint64_t Database::CommitGroupLocked(std::vector<storage::WalOp>* ops) {
   if (ops->empty()) return 0;
+  static obs::Counter& commit_groups = obs::Registry::Instance().GetCounter(
+      "wal.commit_groups", "groups", "commit groups applied");
+  static obs::Histogram& group_ops = obs::Registry::Instance().GetHistogram(
+      "wal.commit_group_ops", "ops", "operations per commit group");
+  static obs::Histogram& append_hist = obs::Registry::Instance().GetHistogram(
+      "wal.append_ns", "ns", "WAL frame append+fsync wall time");
+  commit_groups.Inc();
+  group_ops.Record(ops->size());
   // Durable first: the group is acknowledged only once its frame is
   // fsync'd. A log failure throws here, before any in-memory change.
   uint64_t seq = 0;
-  if (wal_ != nullptr) seq = wal_->Append(*ops);
+  if (wal_ != nullptr) {
+    obs::ScopedLatency latency(append_hist);
+    seq = wal_->Append(*ops);
+  }
   // Apply, one batch per affected view: each union along the touched
   // paths is rebuilt once per group, not once per tuple, and the delta
   // checkpointer later sees one coalesced diff.

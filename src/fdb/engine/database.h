@@ -223,7 +223,8 @@ class Database {
   // Save/Checkpoint internals, callable with txn_mu_ already held
   // (EnableWal checkpoints under it). Lock order: txn_mu_ → persist_mu_,
   // txn_mu_ → writer_mu_.
-  void SaveLocked(const std::string& path) const;
+  void SaveLocked(const std::string& path,
+                  storage::SaveStats* stats = nullptr) const;
   storage::CheckpointInfo CheckpointLocked(const std::string& path) const;
   // Re-stamps a WAL bound to `path` after a fold made its contents
   // durable in the chain. Requires txn_mu_.

@@ -9,6 +9,9 @@
 #include "fdb/core/compress.h"
 #include "fdb/core/order.h"
 #include "fdb/core/ops/project.h"
+#include "fdb/core/stats.h"
+#include "fdb/obs/metrics.h"
+#include "fdb/obs/trace.h"
 #include "fdb/query/parser.h"
 #include "fdb/relational/rdb_ops.h"
 
@@ -19,6 +22,37 @@ using Clock = std::chrono::steady_clock;
 
 double Since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+const char* FOpKindName(FOpKind k) {
+  switch (k) {
+    case FOpKind::kSwap:
+      return "swap";
+    case FOpKind::kMerge:
+      return "merge";
+    case FOpKind::kAbsorb:
+      return "absorb";
+    case FOpKind::kSelectConst:
+      return "select";
+    case FOpKind::kAggregate:
+      return "aggregate";
+    case FOpKind::kRename:
+      return "rename";
+  }
+  return "?";
+}
+
+// Attaches the factorisation's size summary to a trace span — the paper's
+// per-query size gap (factorised vs. flat), visible in EXPLAIN ANALYZE.
+void NoteFootprint(obs::SpanScope& span, const Factorisation& f) {
+  if (span.trace() == nullptr) return;
+  FactFootprint fp = ComputeFootprint(f);
+  span.NoteInt("unions", fp.unions);
+  span.NoteInt("singletons", fp.singletons);
+  span.NoteInt("flat_tuples", fp.tuples);
+  span.NoteInt("flat_values", fp.flat_values);
+  span.NoteInt("arena_bytes", fp.arena_bytes);
+  span.NoteDouble("compression", fp.CompressionRatio());
 }
 
 // True if any order-by key references a task output (an aggregate alias):
@@ -119,15 +153,63 @@ Factorisation FdbEngine::InputFactorisation(const BoundQuery& q) {
 
 FdbResult FdbEngine::ExecuteSql(const std::string& sql,
                                 const FdbOptions& options) {
-  return Execute(Bind(ParseSql(sql), db_), options);
+  int64_t parse_t0 = obs::NowNs();
+  ParsedQuery pq = ParseSql(sql);
+  int64_t parse_dur = obs::NowNs() - parse_t0;
+
+  FdbOptions opts = options;
+  std::shared_ptr<obs::Trace> owned;
+  if (pq.explain_analyze && opts.trace == nullptr) {
+    owned = std::make_shared<obs::Trace>();
+    opts.trace = owned.get();
+  }
+  if (opts.trace != nullptr) {
+    // The parse span is recorded retroactively: whether this query wants
+    // a trace is only known after parsing it.
+    opts.trace->AddComplete("parse", parse_t0, parse_dur);
+  }
+
+  BoundQuery bq;
+  {
+    obs::SpanScope span(opts.trace, "bind");
+    bq = Bind(pq, db_);
+  }
+  FdbResult result = Execute(bq, opts);
+  if (owned != nullptr) result.trace = std::move(owned);
+  return result;
 }
 
 FdbResult FdbEngine::Execute(const BoundQuery& q, const FdbOptions& options) {
+  static obs::Histogram& query_hist = obs::Registry::Instance().GetHistogram(
+      "engine.query_ns", "ns", "FDB query end-to-end latency");
+  obs::ScopedLatency query_latency(query_hist);
+
+  obs::Trace* tr = options.trace;
+  std::shared_ptr<obs::Trace> owned;
+  if (q.explain_analyze && tr == nullptr) {
+    owned = std::make_shared<obs::Trace>();
+    tr = owned.get();
+  }
+
   FdbResult result;
-  Factorisation fact = InputFactorisation(q);
+  Factorisation fact;
+  {
+    obs::SpanScope span(tr, "input");
+    fact = InputFactorisation(q);
+    if (tr != nullptr) {
+      std::string from;
+      for (const std::string& name : q.from) {
+        if (!from.empty()) from += ",";
+        from += name;
+      }
+      span.NoteStr("from", from);
+      NoteFootprint(span, fact);
+    }
+  }
   AttributeRegistry* reg = &db_->registry();
 
   // --- plan ---------------------------------------------------------------
+  int plan_span = tr != nullptr ? tr->Begin("optimise") : -1;
   auto t0 = Clock::now();
   PlannerQuery pq;
   pq.eq_selections = q.eq_selections;
@@ -150,14 +232,42 @@ FdbResult FdbEngine::Execute(const BoundQuery& q, const FdbOptions& options) {
     result.plan = GreedyPlan(fact.tree(), *reg, pq);
   }
   result.plan_seconds = Since(t0);
+  if (tr != nullptr) {
+    tr->NoteStr(plan_span, "planner",
+                result.used_exhaustive ? "exhaustive" : "greedy");
+    tr->NoteInt(plan_span, "plan_ops",
+                static_cast<int64_t>(result.plan.size()));
+    tr->NoteStr(plan_span, "plan", PlanToString(result.plan, *reg));
+    tr->End(plan_span);
+  }
 
   // --- execute the f-plan --------------------------------------------------
-  t0 = Clock::now();
-  ExecutePlan(&fact, reg, result.plan,
-              options.collect_stats ? &result.op_stats : nullptr);
-  result.exec_seconds = Since(t0);
+  {
+    obs::SpanScope ops_span(tr, "ops");
+    int64_t ops_t0 = tr != nullptr ? obs::NowNs() : 0;
+    t0 = Clock::now();
+    // EXPLAIN ANALYZE always collects per-operator stats — that is the
+    // point of running it, even though the per-op singleton counts cost
+    // extra walks.
+    ExecutePlan(&fact, reg, result.plan,
+                options.collect_stats || tr != nullptr ? &result.op_stats
+                                                       : nullptr);
+    result.exec_seconds = Since(t0);
+    if (tr != nullptr) {
+      // Per-op child spans reconstructed from the operator stats: the ops
+      // ran sequentially, so chain their durations from the phase start.
+      int64_t cursor = ops_t0;
+      for (const FOpStats& s : result.op_stats) {
+        int64_t dur = static_cast<int64_t>(s.seconds * 1e9);
+        int id = tr->AddComplete(FOpKindName(s.kind), cursor, dur);
+        tr->NoteInt(id, "singletons_after", s.singletons_after);
+        cursor += dur;
+      }
+    }
+  }
 
   if (options.factorised_output) {
+    obs::SpanScope span(tr, "factorised-output");
     if (!q.has_aggregates() && q.distinct_projection) {
       // Distinct projections materialise as the projected top fragment.
       std::vector<int> keep;
@@ -175,11 +285,17 @@ FdbResult FdbEngine::Execute(const BoundQuery& q, const FdbOptions& options) {
     } else {
       result.result_singletons = fact.CountSingletons();
     }
+    if (tr != nullptr) {
+      span.NoteInt("result_singletons", result.result_singletons);
+      NoteFootprint(span, fact);
+    }
     result.factorised = std::move(fact);
+    if (owned != nullptr) result.trace = std::move(owned);
     return result;
   }
 
   // --- enumerate -----------------------------------------------------------
+  obs::SpanScope enum_span(tr, q.has_aggregates() ? "aggregate" : "enumerate");
   t0 = Clock::now();
   // Enumeration may stop early at LIMIT only when no HAVING filter runs
   // afterwards (HAVING drops rows, so the limit must apply post-filter).
@@ -262,9 +378,14 @@ FdbResult FdbEngine::Execute(const BoundQuery& q, const FdbOptions& options) {
     result.flat = Project(rows, want, /*dedup=*/false);
   }
   result.enum_seconds = Since(t0);
-  if (options.collect_stats) {
+  if (tr != nullptr) {
+    enum_span.NoteInt("rows", result.flat.size());
+    if (q.limit.has_value()) enum_span.NoteInt("limit", *q.limit);
+  }
+  if (options.collect_stats || tr != nullptr) {
     result.result_singletons = fact.CountSingletons();
   }
+  if (owned != nullptr) result.trace = std::move(owned);
   return result;
 }
 

@@ -1,6 +1,7 @@
 #ifndef FDB_ENGINE_FDB_ENGINE_H_
 #define FDB_ENGINE_FDB_ENGINE_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -11,6 +12,10 @@
 #include "fdb/query/binder.h"
 
 namespace fdb {
+
+namespace obs {
+class Trace;
+}  // namespace obs
 
 /// Options controlling FDB query evaluation.
 struct FdbOptions {
@@ -30,6 +35,11 @@ struct FdbOptions {
   /// (CompressInPlace): a step toward the §8 "beyond f-trees"
   /// representations. Only meaningful with factorised_output.
   bool compress_output = false;
+  /// Record per-phase spans (with cardinalities and factorisation stats)
+  /// into this trace. Null = tracing off: the execution path pays nothing.
+  /// ExecuteSql creates and attaches one automatically for
+  /// EXPLAIN ANALYZE queries.
+  obs::Trace* trace = nullptr;
 };
 
 /// The result of FDB evaluation: a flat relation (default) or the result
@@ -44,6 +54,9 @@ struct FdbResult {
   double enum_seconds = 0.0;   ///< result enumeration
   int64_t result_singletons = 0;
   bool used_exhaustive = false;
+  /// The execution trace for EXPLAIN ANALYZE queries (null otherwise).
+  /// Render with obs::ExplainReport or obs::Trace::ToChromeJson.
+  std::shared_ptr<obs::Trace> trace;
 };
 
 /// The FDB query engine (paper §1–§5): evaluates bound queries over

@@ -1,12 +1,17 @@
 #ifndef FDB_ENGINE_RDB_ENGINE_H_
 #define FDB_ENGINE_RDB_ENGINE_H_
 
+#include <memory>
 #include <string>
 
 #include "fdb/engine/database.h"
 #include "fdb/query/binder.h"
 
 namespace fdb {
+
+namespace obs {
+class Trace;
+}  // namespace obs
 
 /// Options for the RDB baseline engine.
 struct RdbOptions {
@@ -17,12 +22,17 @@ struct RdbOptions {
   /// Use the manually optimised eager-aggregation plan (Yan–Larson [31])
   /// instead of join-then-aggregate (Experiment 2, "man" bars of Fig. 6).
   bool eager = false;
+  /// Record per-phase spans into this trace (null = off). ExecuteSql
+  /// creates one automatically for EXPLAIN ANALYZE queries.
+  obs::Trace* trace = nullptr;
 };
 
 /// Result of RDB evaluation.
 struct RdbResult {
   Relation flat;
   double seconds = 0.0;
+  /// The execution trace for EXPLAIN ANALYZE queries (null otherwise).
+  std::shared_ptr<obs::Trace> trace;
 };
 
 /// The flat relational baseline engine standing in for SQLite/PostgreSQL:

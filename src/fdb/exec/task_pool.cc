@@ -5,9 +5,39 @@
 #include <cstdlib>
 #include <exception>
 
+#include "fdb/obs/metrics.h"
+
 namespace fdb {
 namespace exec {
 namespace {
+
+// Pool-wide metrics (shared across Default() pool rebuilds — the registry
+// outlives every pool instance).
+obs::Counter& TasksRunCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter(
+      "taskpool.tasks_run", "tasks", "tasks executed by pool workers");
+  return c;
+}
+
+obs::Counter& StealsCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter(
+      "taskpool.steals", "tasks", "tasks taken from another worker's deque");
+  return c;
+}
+
+obs::Gauge& QueueDepthHwm() {
+  static obs::Gauge& g = obs::Registry::Instance().GetGauge(
+      "taskpool.queue_depth_hwm", "tasks",
+      "high-water mark of a single worker deque");
+  return g;
+}
+
+obs::Counter& IdleNsCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter(
+      "taskpool.worker_idle_ns", "ns",
+      "total time workers spent asleep waiting for work");
+  return c;
+}
 
 int DefaultThreadCount() {
   if (const char* env = std::getenv("FDB_THREADS")) {
@@ -122,6 +152,7 @@ void TaskPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> g(workers_[w]->mu);
     workers_[w]->tasks.push_back(std::move(task));
+    QueueDepthHwm().UpdateMax(static_cast<int64_t>(workers_[w]->tasks.size()));
   }
   {
     // Publish under the sleep lock: a worker between a failed sweep and
@@ -135,6 +166,7 @@ void TaskPool::Submit(std::function<void()> task) {
 bool TaskPool::RunOneTask(int self) {
   int w = static_cast<int>(workers_.size());
   std::function<void()> task;
+  bool stolen = false;
   // Own deque from the back (LIFO: newest fork, hottest cache), then
   // sweep the other deques from the front (FIFO steal: oldest, largest
   // remaining work first).
@@ -148,9 +180,12 @@ bool TaskPool::RunOneTask(int self) {
     } else {
       task = std::move(v.tasks.front());
       v.tasks.pop_front();
+      stolen = true;
     }
   }
   if (task == nullptr) return false;
+  TasksRunCounter().Inc();
+  if (stolen) StealsCounter().Inc();
   {
     std::lock_guard<std::mutex> g(sleep_mu_);
     --pending_;
@@ -162,13 +197,19 @@ bool TaskPool::RunOneTask(int self) {
 void TaskPool::WorkerLoop(int self) {
   for (;;) {
     if (RunOneTask(self)) continue;
-    std::unique_lock<std::mutex> lk(sleep_mu_);
-    // pending_ > 0 covers the race where a task landed after our failed
-    // sweep: the predicate is re-evaluated under the lock Submit
-    // publishes under, so sleeps never miss work and idle workers wake
-    // only on notify (no polling).
-    wake_.wait(lk, [&] { return stop_ || pending_ > 0; });
-    if (stop_) return;
+    int64_t idle_t0 = obs::MetricsEnabled() ? obs::NowNs() : -1;
+    {
+      std::unique_lock<std::mutex> lk(sleep_mu_);
+      // pending_ > 0 covers the race where a task landed after our failed
+      // sweep: the predicate is re-evaluated under the lock Submit
+      // publishes under, so sleeps never miss work and idle workers wake
+      // only on notify (no polling).
+      wake_.wait(lk, [&] { return stop_ || pending_ > 0; });
+      if (stop_) return;
+    }
+    if (idle_t0 >= 0) {
+      IdleNsCounter().Inc(static_cast<uint64_t>(obs::NowNs() - idle_t0));
+    }
   }
 }
 

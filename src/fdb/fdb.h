@@ -24,6 +24,8 @@
 #include "fdb/engine/database.h"     // IWYU pragma: export
 #include "fdb/engine/fdb_engine.h"   // IWYU pragma: export
 #include "fdb/engine/rdb_engine.h"   // IWYU pragma: export
+#include "fdb/obs/metrics.h"         // IWYU pragma: export
+#include "fdb/obs/trace.h"           // IWYU pragma: export
 #include "fdb/optimizer/exhaustive.h"  // IWYU pragma: export
 #include "fdb/optimizer/greedy.h"    // IWYU pragma: export
 #include "fdb/query/parser.h"        // IWYU pragma: export

@@ -1,0 +1,331 @@
+#include "fdb/obs/metrics.h"
+
+#include <bit>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <sstream>
+
+namespace fdb {
+namespace obs {
+
+namespace detail {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+int ThreadSlot() {
+  static std::atomic<int> next{0};
+  thread_local int slot = next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+}  // namespace detail
+
+void SetMetricsEnabled(bool on) {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// ---------------------------------------------------------------- Counter
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+void Counter::Reset() {
+  for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+}
+
+// -------------------------------------------------------------- Histogram
+
+int Histogram::BucketIndex(uint64_t v) {
+  // std::bit_width(v) is 0 for v==0 and floor(log2(v))+1 otherwise, which
+  // lands v in the bucket whose range is [2^(i-1), 2^i - 1].
+  return std::bit_width(v);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot out;
+  for (const Shard& s : shards_) {
+    for (int i = 0; i < detail::kHistBuckets; ++i) {
+      out.buckets[i] += s.buckets[i].load(std::memory_order_relaxed);
+    }
+    out.count += s.count.load(std::memory_order_relaxed);
+    out.sum += s.sum.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (Shard& s : shards_) {
+    for (int i = 0; i < detail::kHistBuckets; ++i) {
+      s.buckets[i].store(0, std::memory_order_relaxed);
+    }
+    s.count.store(0, std::memory_order_relaxed);
+    s.sum.store(0, std::memory_order_relaxed);
+  }
+}
+
+uint64_t HistogramSnapshot::BucketLo(int i) {
+  return i == 0 ? 0 : uint64_t{1} << (i - 1);
+}
+
+uint64_t HistogramSnapshot::BucketHi(int i) {
+  if (i == 0) return 0;
+  if (i == detail::kHistBuckets - 1) return UINT64_MAX;
+  return (uint64_t{1} << i) - 1;
+}
+
+double HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank in [0, count-1]; walk buckets until the cumulative count covers
+  // it, then interpolate linearly across the hit bucket's value range.
+  double rank = q * static_cast<double>(count - 1);
+  uint64_t seen = 0;
+  for (int i = 0; i < detail::kHistBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    double lo_rank = static_cast<double>(seen);
+    seen += buckets[i];
+    double hi_rank = static_cast<double>(seen - 1);
+    if (rank <= hi_rank) {
+      double lo = static_cast<double>(BucketLo(i));
+      double hi = static_cast<double>(BucketHi(i));
+      if (hi_rank <= lo_rank) return lo;  // single sample in the bucket
+      double frac = (rank - lo_rank) / (hi_rank - lo_rank);
+      if (frac < 0.0) frac = 0.0;  // rank fell in the gap before this bucket
+      return lo + frac * (hi - lo);
+    }
+  }
+  return static_cast<double>(BucketHi(detail::kHistBuckets - 1));
+}
+
+// --------------------------------------------------------------- Registry
+
+struct Registry::Impl {
+  mutable std::shared_mutex mu;
+  // Name → metric. unique_ptr keeps addresses stable across rehashing so
+  // call sites can cache references forever; std::map keeps Snapshot()
+  // sorted for free.
+  struct Entry {
+    MetricRow::Type type;
+    std::string unit, help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> hist;
+  };
+  std::map<std::string, Entry> metrics;
+};
+
+Registry::Registry() : impl_(new Impl) {
+  const char* env = std::getenv("FDB_METRICS");
+  if (env != nullptr && std::strcmp(env, "0") != 0 && env[0] != '\0') {
+    SetMetricsEnabled(true);
+  }
+}
+
+Registry& Registry::Instance() {
+  static Registry* r = new Registry;  // immortal: no static-destruction race
+  return *r;
+}
+
+Counter& Registry::GetCounter(const std::string& name, const std::string& unit,
+                              const std::string& help) {
+  {
+    std::shared_lock lock(impl_->mu);
+    auto it = impl_->metrics.find(name);
+    if (it != impl_->metrics.end() && it->second.counter) {
+      return *it->second.counter;
+    }
+  }
+  std::unique_lock lock(impl_->mu);
+  Impl::Entry& e = impl_->metrics[name];
+  if (!e.counter) {
+    e.type = MetricRow::Type::kCounter;
+    e.unit = unit;
+    e.help = help;
+    e.counter = std::make_unique<Counter>();
+  }
+  return *e.counter;
+}
+
+Gauge& Registry::GetGauge(const std::string& name, const std::string& unit,
+                          const std::string& help) {
+  {
+    std::shared_lock lock(impl_->mu);
+    auto it = impl_->metrics.find(name);
+    if (it != impl_->metrics.end() && it->second.gauge) {
+      return *it->second.gauge;
+    }
+  }
+  std::unique_lock lock(impl_->mu);
+  Impl::Entry& e = impl_->metrics[name];
+  if (!e.gauge) {
+    e.type = MetricRow::Type::kGauge;
+    e.unit = unit;
+    e.help = help;
+    e.gauge = std::make_unique<Gauge>();
+  }
+  return *e.gauge;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name,
+                                  const std::string& unit,
+                                  const std::string& help) {
+  {
+    std::shared_lock lock(impl_->mu);
+    auto it = impl_->metrics.find(name);
+    if (it != impl_->metrics.end() && it->second.hist) {
+      return *it->second.hist;
+    }
+  }
+  std::unique_lock lock(impl_->mu);
+  Impl::Entry& e = impl_->metrics[name];
+  if (!e.hist) {
+    e.type = MetricRow::Type::kHistogram;
+    e.unit = unit;
+    e.help = help;
+    e.hist = std::make_unique<Histogram>();
+  }
+  return *e.hist;
+}
+
+std::vector<MetricRow> Registry::Snapshot() const {
+  std::shared_lock lock(impl_->mu);
+  std::vector<MetricRow> rows;
+  rows.reserve(impl_->metrics.size());
+  for (const auto& [name, e] : impl_->metrics) {
+    MetricRow row;
+    row.type = e.type;
+    row.name = name;
+    row.unit = e.unit;
+    row.help = e.help;
+    if (e.counter) {
+      row.value = static_cast<int64_t>(e.counter->Value());
+    } else if (e.gauge) {
+      row.value = e.gauge->Value();
+    } else if (e.hist) {
+      row.hist = e.hist->Snapshot();
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+namespace {
+
+const char* TypeName(MetricRow::Type t) {
+  switch (t) {
+    case MetricRow::Type::kCounter:
+      return "counter";
+    case MetricRow::Type::kGauge:
+      return "gauge";
+    case MetricRow::Type::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Registry::RenderText() const {
+  std::ostringstream out;
+  out << "metrics " << (MetricsEnabled() ? "enabled" : "disabled") << "\n";
+  for (const MetricRow& row : Snapshot()) {
+    out << "  " << row.name;
+    if (!row.unit.empty()) out << " [" << row.unit << "]";
+    if (row.type == MetricRow::Type::kHistogram) {
+      const HistogramSnapshot& h = row.hist;
+      out << "  count=" << h.count;
+      if (h.count > 0) {
+        out << " mean=" << static_cast<uint64_t>(h.Mean())
+            << " p50=" << static_cast<uint64_t>(h.Percentile(0.50))
+            << " p95=" << static_cast<uint64_t>(h.Percentile(0.95))
+            << " p99=" << static_cast<uint64_t>(h.Percentile(0.99))
+            << " sum=" << h.sum;
+      }
+    } else {
+      out << "  " << row.value;
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string Registry::RenderJson() const {
+  std::ostringstream out;
+  out << "{\"enabled\":" << (MetricsEnabled() ? "true" : "false")
+      << ",\"metrics\":[";
+  bool first = true;
+  for (const MetricRow& row : Snapshot()) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << JsonEscape(row.name) << "\",\"type\":\""
+        << TypeName(row.type) << "\"";
+    if (!row.unit.empty()) {
+      out << ",\"unit\":\"" << JsonEscape(row.unit) << "\"";
+    }
+    if (!row.help.empty()) {
+      out << ",\"help\":\"" << JsonEscape(row.help) << "\"";
+    }
+    if (row.type == MetricRow::Type::kHistogram) {
+      const HistogramSnapshot& h = row.hist;
+      out << ",\"count\":" << h.count << ",\"sum\":" << h.sum;
+      if (h.count > 0) {
+        out << ",\"mean\":" << h.Mean() << ",\"p50\":" << h.Percentile(0.50)
+            << ",\"p95\":" << h.Percentile(0.95)
+            << ",\"p99\":" << h.Percentile(0.99);
+      }
+    } else {
+      out << ",\"value\":" << row.value;
+    }
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+void Registry::ResetAll() {
+  std::shared_lock lock(impl_->mu);
+  for (auto& [name, e] : impl_->metrics) {
+    if (e.counter) e.counter->Reset();
+    if (e.gauge) e.gauge->Reset();
+    if (e.hist) e.hist->Reset();
+  }
+}
+
+}  // namespace obs
+}  // namespace fdb

@@ -31,6 +31,7 @@ std::string ConstToSql(const Value& v) {
 
 std::string ToSql(const ParsedQuery& q) {
   std::ostringstream os;
+  if (q.explain_analyze) os << "EXPLAIN ANALYZE ";
   os << "SELECT ";
   if (q.distinct) os << "DISTINCT ";
   if (q.select_star) {

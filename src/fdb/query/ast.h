@@ -54,6 +54,9 @@ struct OrderItem {
 /// FROM names are natural-joined (shared attribute names are equated),
 /// matching the paper's query class (§2).
 struct ParsedQuery {
+  /// Query was prefixed with EXPLAIN ANALYZE: execute it and attach a
+  /// per-phase trace to the result.
+  bool explain_analyze = false;
   bool distinct = false;
   bool select_star = false;
   std::vector<SelectItem> items;

@@ -55,6 +55,7 @@ BoundQuery Bind(const ParsedQuery& q, Database* db) {
   BoundQuery out;
   out.from = q.from;
   out.select_star = q.select_star;
+  out.explain_analyze = q.explain_analyze;
   out.limit = q.limit;
 
   // Collect the available attributes from the FROM sources.

@@ -39,6 +39,8 @@ struct BoundHaving {
 struct BoundQuery {
   std::vector<std::string> from;
   bool select_star = false;
+  /// Carried through from ParsedQuery: attach an execution trace.
+  bool explain_analyze = false;
   /// True when the query needs set semantics on a projection (DISTINCT, a
   /// plain-column subset selection, or GROUP BY without aggregates).
   bool distinct_projection = false;

@@ -159,6 +159,11 @@ class Parser {
 
   ParsedQuery Parse() {
     ParsedQuery q;
+    if (PeekKeyword("explain")) {
+      Take();
+      ExpectKeyword("analyze");
+      q.explain_analyze = true;
+    }
     ExpectKeyword("select");
     if (PeekKeyword("distinct")) {
       Take();

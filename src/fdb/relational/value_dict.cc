@@ -9,8 +9,30 @@
 #include <ostream>
 #include <shared_mutex>
 
+#include "fdb/obs/metrics.h"
+
 namespace fdb {
 namespace {
+
+obs::Counter& InternsCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter(
+      "dict.interns", "strings", "new strings added to the value dictionary");
+  return c;
+}
+
+obs::Counter& OutOfOrderCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter(
+      "dict.interns_out_of_order", "strings",
+      "interns that had to splice the rank permutation");
+  return c;
+}
+
+obs::Counter& ExclusiveLockCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter(
+      "dict.lock_exclusive", "acquisitions",
+      "exclusive (writer) acquisitions of the dictionary lock");
+  return c;
+}
 
 std::strong_ordering OrderDoubles(double a, double b) {
   if (a < b) return std::strong_ordering::less;
@@ -69,6 +91,7 @@ uint32_t ValueDict::Intern(std::string_view s) {
     auto it = index_.find(s);
     if (it != index_.end()) return it->second;
   }
+  ExclusiveLockCounter().Inc();
   std::unique_lock<std::shared_mutex> lk(mu_);
   auto it = index_.find(s);  // re-check: another writer may have won
   if (it != index_.end()) return it->second;
@@ -76,6 +99,7 @@ uint32_t ValueDict::Intern(std::string_view s) {
 }
 
 uint32_t ValueDict::InternInOrder(std::string_view s) {
+  InternsCounter().Inc();
   uint32_t code = static_cast<uint32_t>(strings_.size());
   const std::string& stored = strings_.emplace_back(s.data(), s.size());
   index_.emplace(stored, code);
@@ -89,6 +113,7 @@ uint32_t ValueDict::InternInOrder(std::string_view s) {
   // of everything after the insertion point. The seqlock generation goes
   // odd for the duration so concurrent CompareStringRanks readers retry
   // instead of observing a half-shifted permutation.
+  OutOfOrderCounter().Inc();
   auto pos = std::lower_bound(
       by_rank_.begin(), by_rank_.end(), s,
       [this](uint32_t c, std::string_view v) { return strings_[c] < v; });
@@ -109,6 +134,7 @@ uint32_t ValueDict::InternInOrder(std::string_view s) {
 void ValueDict::InternBulk(std::vector<std::string_view> strs) {
   std::sort(strs.begin(), strs.end());
   strs.erase(std::unique(strs.begin(), strs.end()), strs.end());
+  ExclusiveLockCounter().Inc();
   std::unique_lock<std::shared_mutex> lk(mu_);
   // Append all new strings first, then rebuild the rank permutation once:
   // a single O(old + new) merge instead of one O(#strings) rank shift per
@@ -123,6 +149,7 @@ void ValueDict::InternBulk(std::vector<std::string_view> strs) {
     fresh.push_back(code);  // sorted by string, since strs is
   }
   if (fresh.empty()) return;
+  InternsCounter().Inc(fresh.size());
   std::vector<uint32_t> merged;
   merged.reserve(by_rank_.size() + fresh.size());
   std::merge(by_rank_.begin(), by_rank_.end(), fresh.begin(), fresh.end(),
@@ -146,6 +173,7 @@ uint32_t ValueDict::InternBigInt(int64_t v) {
     auto it = big_index_.find(v);
     if (it != big_index_.end()) return it->second;
   }
+  ExclusiveLockCounter().Inc();
   std::unique_lock<std::shared_mutex> lk(mu_);
   auto it = big_index_.find(v);
   if (it != big_index_.end()) return it->second;

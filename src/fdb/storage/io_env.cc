@@ -13,6 +13,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "fdb/obs/metrics.h"
+
 namespace fdb {
 namespace storage {
 namespace {
@@ -64,6 +66,18 @@ std::vector<Failpoint> ParseSpec(const std::string& spec) {
   return points;
 }
 
+obs::Histogram& FsyncHist() {
+  static obs::Histogram& h = obs::Registry::Instance().GetHistogram(
+      "io.fsync_ns", "ns", "wall time of shimmed fsync calls");
+  return h;
+}
+
+obs::Counter& WriteBytesCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter(
+      "io.write_bytes", "bytes", "bytes written through the I/O shim");
+  return c;
+}
+
 }  // namespace
 
 struct IoEnv::Impl {
@@ -72,8 +86,22 @@ struct IoEnv::Impl {
   bool dead = false;  ///< a sticky fault fired; everything fails now
   std::map<std::string, uint64_t> counts;
   uint64_t total = 0;
+  // Registry mirrors of the per-site counters ("io.<site>"), cached so
+  // the registry lookup happens once per site name. Only touched under mu.
+  std::map<std::string, obs::Counter*> site_counters;
   // Lock-free fast path: production runs never take mu on I/O calls.
   std::atomic<bool> armed{false};
+
+  /// Mirrors the site count into the registry. Caller holds mu.
+  void BumpRegistryLocked(const char* site) {
+    if (!obs::MetricsEnabled()) return;
+    obs::Counter*& c = site_counters[site];
+    if (c == nullptr) {
+      c = &obs::Registry::Instance().GetCounter(std::string("io.") + site,
+                                                "calls", "shimmed I/O calls");
+    }
+    c->Inc();
+  }
 
   /// Counts the call and decides its fate. Returns the triggered mode,
   /// or nullopt to proceed normally.
@@ -83,6 +111,7 @@ struct IoEnv::Impl {
     std::lock_guard<std::mutex> g(mu);
     ++counts[site];
     ++total;
+    BumpRegistryLocked(site);
     if (dead) return Fate::kFail;
     for (Failpoint& fp : points) {
       if (fp.site != "any" && fp.site != site) continue;
@@ -107,6 +136,7 @@ struct IoEnv::Impl {
     std::lock_guard<std::mutex> g(mu);
     ++counts[site];
     ++total;
+    BumpRegistryLocked(site);
   }
 };
 
@@ -143,6 +173,17 @@ void IoEnv::ResetCounts() {
   std::lock_guard<std::mutex> g(impl_->mu);
   impl_->counts.clear();
   impl_->total = 0;
+}
+
+std::map<std::string, uint64_t> IoEnv::SnapshotCounts(bool reset) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  std::map<std::string, uint64_t> out = impl_->counts;
+  out["any"] = impl_->total;
+  if (reset) {
+    impl_->counts.clear();
+    impl_->total = 0;
+  }
+  return out;
 }
 
 int IoEnv::Open(const char* site, const char* path, int flags, int mode) {
@@ -183,7 +224,9 @@ ssize_t IoEnv::Write(const char* site, int fd, const void* buf, size_t n) {
       return ::write(fd, copy.data(), copy.size());
     }
   }
-  return ::write(fd, buf, n);
+  ssize_t w = ::write(fd, buf, n);
+  if (w > 0) WriteBytesCounter().Inc(static_cast<uint64_t>(w));
+  return w;
 }
 
 ssize_t IoEnv::Pwrite(const char* site, int fd, const void* buf, size_t n,
@@ -210,7 +253,9 @@ ssize_t IoEnv::Pwrite(const char* site, int fd, const void* buf, size_t n,
       return ::pwrite(fd, copy.data(), copy.size(), static_cast<off_t>(off));
     }
   }
-  return ::pwrite(fd, buf, n, static_cast<off_t>(off));
+  ssize_t w = ::pwrite(fd, buf, n, static_cast<off_t>(off));
+  if (w > 0) WriteBytesCounter().Inc(static_cast<uint64_t>(w));
+  return w;
 }
 
 int IoEnv::Fsync(const char* site, int fd) {
@@ -223,6 +268,7 @@ int IoEnv::Fsync(const char* site, int fd) {
       errno = EIO;
       return -1;
   }
+  obs::ScopedLatency latency(FsyncHist());
   return ::fsync(fd);
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <sys/types.h>
 
@@ -62,6 +63,13 @@ class IoEnv {
   /// included). Site "any" returns the global total.
   uint64_t Count(const std::string& site) const;
   void ResetCounts();
+
+  /// Atomically snapshots every per-site counter (plus the global total
+  /// under key "any") and, when `reset`, zeroes them in the same critical
+  /// section. Unlike a Count()-then-ResetCounts() pair, no concurrent
+  /// writer can slip a call between the read and the reset, so summing
+  /// successive snapshots always equals the true call count.
+  std::map<std::string, uint64_t> SnapshotCounts(bool reset = false);
 
   // --- instrumented operations; semantics mirror the raw syscalls ---------
   int Open(const char* site, const char* path, int flags, int mode);

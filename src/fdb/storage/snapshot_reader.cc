@@ -10,6 +10,7 @@
 #include "fdb/core/factorisation.h"
 #include "fdb/core/update.h"
 #include "fdb/engine/database.h"
+#include "fdb/obs/metrics.h"
 #include "fdb/storage/format.h"
 #include "fdb/storage/snapshot.h"
 #include "fdb/storage/wal.h"
@@ -740,6 +741,16 @@ Database Database::OpenSnapshot(
 }
 
 Database Database::Open(const std::string& path) {
+  static obs::Histogram& open_hist = obs::Registry::Instance().GetHistogram(
+      "storage.open_ns", "ns", "Database::Open wall time (chain + WAL)");
+  static obs::Counter& deltas_replayed = obs::Registry::Instance().GetCounter(
+      "storage.open_deltas_replayed", "deltas",
+      "checkpoint deltas replayed during Open");
+  static obs::Counter& wal_groups_replayed =
+      obs::Registry::Instance().GetCounter(
+          "storage.open_wal_groups_replayed", "groups",
+          "WAL commit groups replayed during Open");
+  obs::ScopedLatency latency(open_hist);
   Database db = OpenSnapshot(storage::SnapshotMapping::FromFile(path));
   // Replay the delta chain, stopping at the first gap or stale epoch
   // (leftovers of a crashed fold are skipped, never misapplied).
@@ -751,6 +762,7 @@ Database Database::Open(const std::string& path) {
                                      db.snapshot_.get(), seq)) {
       break;
     }
+    deltas_replayed.Inc();
   }
   // Finally the write-ahead log: committed groups only (ReadWal dropped
   // any torn tail), applied in commit order, and only when the log's
@@ -760,6 +772,7 @@ Database Database::Open(const std::string& path) {
       path, db.snapshot_->epoch, db.snapshot_->deltas_replayed);
   if (rec.has_value()) {
     for (const std::vector<storage::WalOp>& group : rec->groups) {
+      wal_groups_replayed.Inc();
       std::map<std::string, std::vector<BatchOp>> per_view;
       for (const storage::WalOp& op : group) {
         per_view[op.view].push_back(

@@ -17,6 +17,7 @@
 
 #include "fdb/core/factorisation.h"
 #include "fdb/engine/database.h"
+#include "fdb/obs/metrics.h"
 #include "fdb/storage/format.h"
 #include "fdb/storage/io_env.h"
 #include "fdb/storage/snapshot.h"
@@ -872,17 +873,50 @@ CheckpointInfo AppendCheckpoint(const Database& db, PersistState* st,
 // the chain durably holds everything the log did.
 
 void Database::Save(const std::string& raw_path) const {
+  static obs::Histogram& save_hist = obs::Registry::Instance().GetHistogram(
+      "storage.save_ns", "ns", "Database::Save wall time");
+  static obs::Counter& save_bytes = obs::Registry::Instance().GetCounter(
+      "storage.save_bytes", "bytes", "snapshot bytes written by Save");
+  obs::ScopedLatency latency(save_hist);
   std::string path = storage::CanonicalSnapshotPath(raw_path);
   std::lock_guard<std::mutex> t(txn_mu_);
-  SaveLocked(path);
+  storage::SaveStats stats;
+  SaveLocked(path, &stats);
+  save_bytes.Inc(stats.bytes_written);
   ResetWalAfterFoldLocked(path);
 }
 
 storage::CheckpointInfo Database::Checkpoint(
     const std::string& raw_path) const {
+  static obs::Histogram& ckpt_hist = obs::Registry::Instance().GetHistogram(
+      "storage.checkpoint_ns", "ns", "Database::Checkpoint wall time");
+  static obs::Histogram& ckpt_bytes = obs::Registry::Instance().GetHistogram(
+      "storage.checkpoint_bytes", "bytes",
+      "bytes written per checkpoint (base or delta)");
+  static obs::Counter& ckpt_base = obs::Registry::Instance().GetCounter(
+      "storage.checkpoint_base", "checkpoints", "base snapshots written");
+  static obs::Counter& ckpt_delta = obs::Registry::Instance().GetCounter(
+      "storage.checkpoint_delta", "checkpoints", "delta appends written");
+  static obs::Counter& ckpt_noop = obs::Registry::Instance().GetCounter(
+      "storage.checkpoint_noop", "checkpoints",
+      "checkpoints skipped (no changes)");
+  obs::ScopedLatency latency(ckpt_hist);
   std::string path = storage::CanonicalSnapshotPath(raw_path);
   std::lock_guard<std::mutex> t(txn_mu_);
   storage::CheckpointInfo info = CheckpointLocked(path);
+  switch (info.kind) {
+    case storage::CheckpointInfo::kBase:
+      ckpt_base.Inc();
+      ckpt_bytes.Record(info.bytes);
+      break;
+    case storage::CheckpointInfo::kDelta:
+      ckpt_delta.Inc();
+      ckpt_bytes.Record(info.bytes);
+      break;
+    case storage::CheckpointInfo::kNoop:
+      ckpt_noop.Inc();
+      break;
+  }
   // On kNoop the log is necessarily empty and still correctly stamped
   // (every committed group makes HasChangesSince true until folded), so
   // only an actual write needs the reset.
@@ -915,7 +949,8 @@ void Database::ResetWalAfterFoldLocked(const std::string& path) const {
   }
 }
 
-void Database::SaveLocked(const std::string& path) const {
+void Database::SaveLocked(const std::string& path,
+                          storage::SaveStats* stats) const {
   std::lock_guard<std::mutex> g(persist_mu_);
   if ((persist_ != nullptr && persist_->path == path) ||
       (wal_ != nullptr && wal_base_ == path)) {
@@ -924,10 +959,10 @@ void Database::SaveLocked(const std::string& path) const {
     // are removed), so the caller can re-stamp the log.
     auto fresh = std::make_shared<storage::PersistState>();
     persist_.reset();
-    storage::SaveSnapshot(*this, path, nullptr, fresh.get());
+    storage::SaveSnapshot(*this, path, stats, fresh.get());
     persist_ = std::move(fresh);
   } else {
-    storage::SaveSnapshot(*this, path);
+    storage::SaveSnapshot(*this, path, stats);
   }
 }
 

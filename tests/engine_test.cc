@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "fdb/engine/rdb_engine.h"
+#include "fdb/obs/trace.h"
 #include "test_util.h"
 
 namespace fdb {
@@ -243,6 +244,63 @@ TEST(EngineTest, StatsArePopulatedOnRequest) {
   FdbResult quiet = fdb.ExecuteSql(
       "SELECT customer, sum(price) FROM R GROUP BY customer");
   EXPECT_TRUE(quiet.op_stats.empty());
+}
+
+// EXPLAIN ANALYZE golden shape: the trace exists, the report names every
+// phase in order, carries the factorisation size stats, and the query
+// itself still executes and returns its rows.
+TEST(EngineTest, ExplainAnalyzeShape) {
+  Pizzeria p = MakePizzeria();
+  FdbEngine fdb(p.db.get());
+  FdbResult r = fdb.ExecuteSql(
+      "EXPLAIN ANALYZE SELECT customer, sum(price) AS revenue FROM R "
+      "GROUP BY customer");
+  ASSERT_NE(r.trace, nullptr);
+  ASSERT_EQ(r.flat.size(), 3);  // the query ran, not just the explain
+
+  std::string report = obs::ExplainReport(*r.trace);
+  // Phases appear in execution order.
+  std::vector<std::string> phases = {"parse", "bind",      "input",
+                                     "optimise", "ops",    "aggregate"};
+  size_t pos = 0;
+  for (const std::string& phase : phases) {
+    size_t at = report.find(phase + ":", pos);
+    ASSERT_NE(at, std::string::npos) << "missing phase '" << phase
+                                     << "' in:\n" << report;
+    pos = at;
+  }
+  // Factorisation stats on the input span (the paper's size gap).
+  EXPECT_NE(report.find("unions="), std::string::npos) << report;
+  EXPECT_NE(report.find("singletons="), std::string::npos) << report;
+  EXPECT_NE(report.find("flat_values="), std::string::npos) << report;
+  EXPECT_NE(report.find("compression="), std::string::npos) << report;
+  EXPECT_NE(report.find("rows=3"), std::string::npos) << report;
+  // Per-op child spans were reconstructed from the operator stats.
+  EXPECT_EQ(r.op_stats.size(), r.plan.size());
+
+  // The Chrome exporter emits a well-formed trace-event envelope.
+  std::string chrome = r.trace->ToChromeJson();
+  EXPECT_EQ(chrome.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+
+  // Plain queries carry no trace.
+  FdbResult quiet = fdb.ExecuteSql(
+      "SELECT customer, sum(price) FROM R GROUP BY customer");
+  EXPECT_EQ(quiet.trace, nullptr);
+}
+
+TEST(EngineTest, ExplainAnalyzeRdb) {
+  Pizzeria p = MakePizzeria();
+  RdbEngine rdb(p.db.get());
+  RdbResult r = rdb.ExecuteSql(
+      "EXPLAIN ANALYZE SELECT customer, sum(price) FROM R GROUP BY "
+      "customer");
+  ASSERT_NE(r.trace, nullptr);
+  EXPECT_EQ(r.flat.size(), 3);
+  std::string report = obs::ExplainReport(*r.trace);
+  EXPECT_NE(report.find("materialise-inputs:"), std::string::npos) << report;
+  EXPECT_NE(report.find("join:"), std::string::npos) << report;
+  EXPECT_NE(report.find("aggregate:"), std::string::npos) << report;
 }
 
 }  // namespace

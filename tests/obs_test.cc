@@ -1,0 +1,299 @@
+#include "fdb/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <thread>
+#include <vector>
+
+#include "fdb/obs/trace.h"
+#include "fdb/storage/io_env.h"
+
+// Global allocation counter for the zero-allocation assertions: this test
+// binary replaces operator new/delete so a test can prove a code path
+// performed no heap allocation at all.
+static std::atomic<int64_t> g_allocs{0};
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace fdb {
+namespace obs {
+namespace {
+
+TEST(HistogramTest, BucketIndexBoundaries) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11);
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX), 64);
+  // Every bucket's bounds invert its index.
+  for (int i = 0; i < detail::kHistBuckets; ++i) {
+    EXPECT_EQ(Histogram::BucketIndex(HistogramSnapshot::BucketLo(i)), i);
+    EXPECT_EQ(Histogram::BucketIndex(HistogramSnapshot::BucketHi(i)), i);
+  }
+}
+
+TEST(HistogramTest, PercentilesOnKnownDistribution) {
+  SetMetricsEnabled(true);
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) h.Record(v);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_EQ(s.sum, 500500u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 500.5);
+  // Linear interpolation inside power-of-two buckets: p50 lands within a
+  // few percent of the true median; the tail percentiles stay inside the
+  // bucket that truly contains them.
+  EXPECT_NEAR(s.Percentile(0.50), 500.0, 55.0);
+  EXPECT_GE(s.Percentile(0.95), 512.0);
+  EXPECT_LE(s.Percentile(0.95), 1023.0);
+  EXPECT_GE(s.Percentile(0.99), s.Percentile(0.95));
+  EXPECT_GE(s.Percentile(0.95), s.Percentile(0.50));
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 1.0);
+  SetMetricsEnabled(false);
+}
+
+TEST(HistogramTest, BimodalDistribution) {
+  SetMetricsEnabled(true);
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.Record(10);
+  for (int i = 0; i < 100; ++i) h.Record(1000);
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 200u);
+  // p25 sits in the low mode's bucket [8,15], p75 in the high mode's
+  // [512,1023].
+  EXPECT_GE(s.Percentile(0.25), 8.0);
+  EXPECT_LE(s.Percentile(0.25), 15.0);
+  EXPECT_GE(s.Percentile(0.75), 512.0);
+  EXPECT_LE(s.Percentile(0.75), 1023.0);
+  SetMetricsEnabled(false);
+}
+
+TEST(HistogramTest, EmptySnapshot) {
+  Histogram h;
+  HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+}
+
+TEST(CounterTest, ShardMergeUnderHammer) {
+  SetMetricsEnabled(true);
+  Counter c;
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kOps = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h] {
+      for (int i = 0; i < kOps; ++i) {
+        c.Inc();
+        h.Record(static_cast<uint64_t>(i & 1023));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(h.Snapshot().count, static_cast<uint64_t>(kThreads) * kOps);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+  SetMetricsEnabled(false);
+}
+
+TEST(GaugeTest, SetAddUpdateMax) {
+  SetMetricsEnabled(true);
+  Gauge g;
+  g.Set(7);
+  EXPECT_EQ(g.Value(), 7);
+  g.Add(3);
+  EXPECT_EQ(g.Value(), 10);
+  g.UpdateMax(5);  // smaller: no change
+  EXPECT_EQ(g.Value(), 10);
+  g.UpdateMax(42);
+  EXPECT_EQ(g.Value(), 42);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0);
+  SetMetricsEnabled(false);
+}
+
+TEST(RegistryTest, RegistrationAndRender) {
+  SetMetricsEnabled(true);
+  Registry& reg = Registry::Instance();
+  Counter& c = reg.GetCounter("obs_test.counter", "ops", "test counter");
+  // Same name returns the same object (stable addresses).
+  EXPECT_EQ(&c, &reg.GetCounter("obs_test.counter"));
+  c.Inc(5);
+  reg.GetGauge("obs_test.gauge", "items").Set(11);
+  reg.GetHistogram("obs_test.hist", "ns").Record(100);
+
+  std::string text = reg.RenderText();
+  EXPECT_NE(text.find("obs_test.counter"), std::string::npos);
+  EXPECT_NE(text.find("obs_test.gauge"), std::string::npos);
+  EXPECT_NE(text.find("obs_test.hist"), std::string::npos);
+
+  std::string json = reg.RenderJson();
+  EXPECT_NE(json.find("\"name\":\"obs_test.counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"counter\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"histogram\""), std::string::npos);
+
+  bool found = false;
+  for (const MetricRow& row : reg.Snapshot()) {
+    if (row.name == "obs_test.counter") {
+      found = true;
+      EXPECT_GE(row.value, 5);
+      EXPECT_EQ(row.unit, "ops");
+    }
+  }
+  EXPECT_TRUE(found);
+  SetMetricsEnabled(false);
+}
+
+TEST(TraceTest, SpanNestingAndOrdering) {
+  Trace tr;
+  int a = tr.Begin("outer");
+  tr.NoteInt(a, "k", 1);
+  int b = tr.Begin("inner");
+  tr.NoteStr(b, "what", "leaf");
+  tr.End(b);
+  int c = tr.AddComplete("retro", NowNs() - 1000, 500);
+  tr.End(a);
+
+  std::vector<TraceSpan> spans = tr.Spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent, -1);
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent, a);
+  EXPECT_EQ(spans[1].depth, 1);
+  // AddComplete while `outer` was open parents under it.
+  EXPECT_EQ(spans[2].name, "retro");
+  EXPECT_EQ(spans[2].parent, a);
+  // Every span closed, outer covers inner.
+  EXPECT_GE(spans[0].dur_ns, spans[1].dur_ns);
+  EXPECT_GE(spans[1].dur_ns, 0);
+
+  std::string report = ExplainReport(tr);
+  size_t outer_at = report.find("outer:");
+  size_t inner_at = report.find("  inner:");
+  ASSERT_NE(outer_at, std::string::npos);
+  ASSERT_NE(inner_at, std::string::npos);
+  EXPECT_LT(outer_at, inner_at);  // parent precedes indented child
+  EXPECT_NE(report.find("k=1"), std::string::npos);
+  EXPECT_NE(report.find("what=leaf"), std::string::npos);
+
+  std::string chrome = tr.ToChromeJson();
+  EXPECT_EQ(chrome.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(chrome.find("\"name\":\"outer\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"args\":{\"what\":\"leaf\"}"), std::string::npos);
+}
+
+TEST(TraceTest, EndClosesAbandonedChildren) {
+  Trace tr;
+  int a = tr.Begin("outer");
+  tr.Begin("abandoned");  // never explicitly ended (exception unwind)
+  tr.End(a);
+  for (const TraceSpan& s : tr.Spans()) {
+    EXPECT_GE(s.dur_ns, 0) << s.name;
+  }
+}
+
+TEST(ObsFastPathTest, DisabledPathsDoNotAllocate) {
+  SetMetricsEnabled(false);
+  Registry& reg = Registry::Instance();
+  // Warm up: registration itself allocates, the hot path must not.
+  Counter& c = reg.GetCounter("obs_test.fastpath");
+  Histogram& h = reg.GetHistogram("obs_test.fastpath_ns");
+  c.Inc();
+  h.Record(1);
+
+  int64_t before = g_allocs.load();
+  for (int i = 0; i < 10000; ++i) {
+    c.Inc();
+    h.Record(static_cast<uint64_t>(i));
+    SpanScope span(nullptr, "not-traced");
+    span.NoteInt("k", i);
+  }
+  int64_t after = g_allocs.load();
+  EXPECT_EQ(after - before, 0) << "disabled metrics/tracing fast path "
+                                  "allocated on the heap";
+}
+
+TEST(ObsFastPathTest, DisabledMetricsRecordNothing) {
+  SetMetricsEnabled(false);
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.Inc(100);
+  g.Set(5);
+  h.Record(42);
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(g.Value(), 0);
+  EXPECT_EQ(h.Snapshot().count, 0u);
+}
+
+// The satellite fix: snapshot+reset is one critical section, so summing
+// successive snapshots under concurrent writers never loses a call.
+TEST(IoEnvTest, SnapshotCountsIsAtomicUnderWriters) {
+  storage::IoEnv& env = storage::IoEnv::Instance();
+  env.ResetCounts();
+  constexpr int kThreads = 4;
+  constexpr int kOps = 2000;
+  std::atomic<bool> done{false};
+  uint64_t harvested = 0;
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&env] {
+      for (int i = 0; i < kOps; ++i) {
+        // A failing rename still counts the site before touching the fs.
+        env.Rename("obs_test_site", "/nonexistent/a", "/nonexistent/b");
+      }
+    });
+  }
+  std::thread reaper([&] {
+    while (!done.load()) {
+      harvested += env.SnapshotCounts(/*reset=*/true)["obs_test_site"];
+    }
+  });
+  for (std::thread& t : writers) t.join();
+  done.store(true);
+  reaper.join();
+  harvested += env.SnapshotCounts(/*reset=*/true)["obs_test_site"];
+  EXPECT_EQ(harvested, static_cast<uint64_t>(kThreads) * kOps);
+}
+
+TEST(ScopedLatencyTest, RecordsWhenEnabled) {
+  SetMetricsEnabled(true);
+  Histogram h;
+  { ScopedLatency lat(h); }
+  EXPECT_EQ(h.Snapshot().count, 1u);
+  SetMetricsEnabled(false);
+  { ScopedLatency lat(h); }
+  EXPECT_EQ(h.Snapshot().count, 1u);  // disabled: nothing recorded
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace fdb
