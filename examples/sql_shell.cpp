@@ -32,6 +32,17 @@
 //            \metrics       dump the metrics registry (counters, gauges,
 //                           latency histograms with p50/p95/p99)
 //            \metrics-json  the same, machine-readable
+//            \metrics-reset zero every counter/gauge/histogram and drop
+//                           the statement store (fresh measurement window)
+//            \statements    per-statement aggregates (pg_stat_statements
+//                           style): calls, errors, latency, rows, engine
+//                           split — same data as SELECT ... FROM
+//                           fdb.statements
+//            \log [N]       the last N structured events (slow queries,
+//                           recovery, checkpoints, WAL stalls; default 20)
+//            \history [start [ms] | stop]
+//                           control the background metrics sampler and
+//                           show windowed rates / percentile history
 //            \profile <path>
 //                           write the last traced query (EXPLAIN ANALYZE)
 //                           as a chrome://tracing JSON file
@@ -40,8 +51,10 @@
 // Prefix any query with EXPLAIN ANALYZE to run it and print the per-phase
 // trace: wall time, cardinalities, and the factorised-vs-flat size gap.
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -51,7 +64,10 @@
 #include "fdb/engine/fdb_engine.h"
 #include "fdb/engine/rdb_engine.h"
 #include "fdb/exec/task_pool.h"
+#include "fdb/obs/log.h"
 #include "fdb/obs/metrics.h"
+#include "fdb/obs/sampler.h"
+#include "fdb/obs/statements.h"
 #include "fdb/obs/trace.h"
 #include "fdb/workload/generator.h"
 
@@ -87,6 +103,13 @@ int main(int argc, char** argv) {
   const char* menv = std::getenv("FDB_METRICS");
   if (menv == nullptr || std::string(menv) != "0") {
     obs::SetMetricsEnabled(true);
+  }
+  // Same for the structured event log: \log (and fdb.events) should have
+  // something to show. FDB_LOG=0 keeps it off; FDB_LOG=<path> (handled by
+  // EventLog itself) additionally appends JSONL to <path>.
+  const char* lenv = std::getenv("FDB_LOG");
+  if (lenv == nullptr || std::string(lenv) != "0") {
+    obs::SetLogEnabled(true);
   }
   int scale = argc > 1 ? std::atoi(argv[1]) : 2;
   Database db;
@@ -139,6 +162,126 @@ int main(int argc, char** argv) {
     }
     if (line == "\\metrics-json") {
       std::cout << obs::Registry::Instance().RenderJson() << "\n";
+      continue;
+    }
+    if (line == "\\metrics-reset") {
+      obs::Registry::Instance().ResetAll();
+      obs::StatementStore::Instance().Clear();
+      std::cout << "metrics registry and statement store reset\n";
+      continue;
+    }
+    if (line == "\\statements") {
+      std::vector<obs::StatementRow> rows =
+          obs::StatementStore::Instance().Snapshot();
+      if (rows.empty()) {
+        std::cout << "no statements recorded yet (metrics "
+                  << (obs::MetricsEnabled() ? "on" : "OFF — enable with "
+                                                     "FDB_METRICS=1")
+                  << ")\n";
+        continue;
+      }
+      std::cout << rows.size() << " statement"
+                << (rows.size() == 1 ? "" : "s")
+                << " (by total time; also: SELECT ... FROM fdb.statements)\n";
+      size_t shown = 0;
+      for (const obs::StatementRow& r : rows) {
+        if (++shown > 25) {
+          std::cout << "  ... " << rows.size() - 25 << " more\n";
+          break;
+        }
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "  calls=%llu (fdb=%llu rdb=%llu err=%llu) "
+                      "total=%.3fms mean=%.1fus p99=%.1fus rows=%llu",
+                      static_cast<unsigned long long>(r.calls),
+                      static_cast<unsigned long long>(r.calls_fdb),
+                      static_cast<unsigned long long>(r.calls_rdb),
+                      static_cast<unsigned long long>(r.errors),
+                      static_cast<double>(r.total_ns) / 1e6,
+                      r.calls == 0
+                          ? 0.0
+                          : static_cast<double>(r.total_ns) /
+                                static_cast<double>(r.calls) / 1e3,
+                      r.latency.Percentile(0.99) / 1e3,
+                      static_cast<unsigned long long>(r.rows));
+        std::cout << buf << "\n    " << r.text << "\n";
+      }
+      continue;
+    }
+    if (line == "\\log" || line.rfind("\\log ", 0) == 0) {
+      if (!obs::LogEnabled()) {
+        std::cout << "event log is OFF (it was disabled with FDB_LOG=0)\n";
+        continue;
+      }
+      size_t want = 20;
+      if (line.size() > 5) {
+        int n = std::atoi(line.c_str() + 5);
+        if (n > 0) want = static_cast<size_t>(n);
+      }
+      std::vector<obs::Event> events = obs::EventLog::Instance().Snapshot();
+      uint64_t dropped = obs::EventLog::Instance().dropped();
+      if (events.empty()) {
+        std::cout << "no events yet (slow-query threshold: "
+                  << obs::EventLog::Instance().slow_query_ns() / 1000000
+                  << " ms — FDB_SLOW_QUERY_MS to change)\n";
+        continue;
+      }
+      size_t start = events.size() > want ? events.size() - want : 0;
+      std::cout << "events " << events[start].seq << ".."
+                << events.back().seq << " of " << events.back().seq
+                << " emitted";
+      if (dropped > 0) std::cout << " (" << dropped << " rotated out)";
+      std::cout << "\n";
+      for (size_t i = start; i < events.size(); ++i) {
+        const obs::Event& e = events[i];
+        std::cout << "  #" << e.seq << " " << obs::EventTypeName(e.type)
+                  << " " << e.DetailString() << "\n";
+      }
+      continue;
+    }
+    if (line == "\\history" || line.rfind("\\history ", 0) == 0) {
+      std::string arg = line.size() > 9 ? line.substr(9) : "";
+      if (arg.rfind("start", 0) == 0) {
+        int64_t ms = 1000;
+        if (arg.size() > 6) {
+          int64_t n = std::atoll(arg.c_str() + 6);
+          if (n >= 1) ms = n;
+        }
+        db.StartMetricsSampler(ms);
+        std::cout << "metrics sampler started (every " << ms << " ms)\n";
+        continue;
+      }
+      if (arg == "stop") {
+        db.StopMetricsSampler();
+        std::cout << "metrics sampler stopped\n";
+        continue;
+      }
+      std::shared_ptr<obs::MetricsSampler> sampler = db.metrics_sampler();
+      if (sampler == nullptr) {
+        std::cout << "sampler not running (usage: \\history [start [ms] | "
+                     "stop]; query with SELECT ... FROM fdb.metrics_history)"
+                     "\n";
+        continue;
+      }
+      std::vector<obs::MetricsSampler::Window> windows = sampler->Windows();
+      std::cout << sampler->ticks() << " tick"
+                << (sampler->ticks() == 1 ? "" : "s") << ", "
+                << windows.size() << " metrics\n";
+      for (const obs::MetricsSampler::Window& w : windows) {
+        char buf[160];
+        if (w.is_hist) {
+          std::snprintf(buf, sizeof(buf),
+                        "  %-28s points=%zu p50=%.1fus p99=%.1fus",
+                        w.metric.c_str(), w.points, w.last_p50 / 1e3,
+                        w.last_p99 / 1e3);
+        } else {
+          std::snprintf(buf, sizeof(buf),
+                        "  %-28s points=%zu last=%.0f rate=%.1f/s",
+                        w.metric.c_str(), w.points, w.last_value,
+                        w.rate_per_s);
+        }
+        std::cout << buf << "\n";
+      }
       continue;
     }
     if (line.rfind("\\profile ", 0) == 0) {

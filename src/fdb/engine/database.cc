@@ -8,7 +8,9 @@
 #include <utility>
 
 #include "fdb/core/update.h"
+#include "fdb/obs/log.h"
 #include "fdb/obs/metrics.h"
+#include "fdb/obs/sampler.h"
 #include "fdb/storage/snapshot.h"
 #include "fdb/storage/wal.h"
 
@@ -87,6 +89,10 @@ Database::Database(Database&& other) noexcept
     pending_ = std::move(other.pending_);
     other.pending_.clear();
   }
+  {
+    std::lock_guard<std::mutex> g(other.sampler_mu_);
+    sampler_ = std::move(other.sampler_);
+  }
   std::lock_guard<std::mutex> g(other.mu_);
   views_ = std::exchange(other.views_,
                          std::make_shared<const ViewMap>());
@@ -127,6 +133,15 @@ Database& Database::operator=(Database&& other) noexcept {
     pending_ = std::move(pending);
   }
   snapshot_ = std::move(other.snapshot_);
+  {
+    std::shared_ptr<obs::MetricsSampler> s;
+    {
+      std::lock_guard<std::mutex> g(other.sampler_mu_);
+      s = std::move(other.sampler_);
+    }
+    std::lock_guard<std::mutex> g(sampler_mu_);
+    sampler_ = std::move(s);
+  }
   std::shared_ptr<const ViewMap> v;
   {
     std::lock_guard<std::mutex> g(other.mu_);
@@ -354,8 +369,23 @@ uint64_t Database::CommitGroupLocked(std::vector<storage::WalOp>* ops) {
   // fsync'd. A log failure throws here, before any in-memory change.
   uint64_t seq = 0;
   if (wal_ != nullptr) {
-    obs::ScopedLatency latency(append_hist);
-    seq = wal_->Append(*ops);
+    // Timed only when the event log is live — the latency histogram has
+    // its own clock reads inside ScopedLatency, and the common disabled
+    // path must stay clock-free beyond those.
+    int64_t t0 = obs::LogEnabled() ? obs::NowNs() : -1;
+    {
+      obs::ScopedLatency latency(append_hist);
+      seq = wal_->Append(*ops);
+    }
+    if (t0 >= 0) {
+      int64_t dur = obs::NowNs() - t0;
+      obs::EventLog& log = obs::EventLog::Instance();
+      if (dur >= log.wal_stall_ns()) {
+        log.Emit(obs::EventType::kWalStall,
+                 {obs::F("seq", seq), obs::F("ops", ops->size()),
+                  obs::F("stall_ms", static_cast<double>(dur) / 1e6)});
+      }
+    }
   }
   // Apply, one batch per affected view: each union along the touched
   // paths is rebuilt once per group, not once per tuple, and the delta
@@ -370,6 +400,34 @@ uint64_t Database::CommitGroupLocked(std::vector<storage::WalOp>* ops) {
   }
   ops->clear();
   return seq;
+}
+
+void Database::StartMetricsSampler(int64_t interval_ms) {
+  obs::MetricsSampler::Options opts;
+  opts.interval_ms = interval_ms;
+  auto sampler = std::make_shared<obs::MetricsSampler>(opts);
+  sampler->Start();
+  std::shared_ptr<obs::MetricsSampler> old;
+  {
+    std::lock_guard<std::mutex> g(sampler_mu_);
+    old = std::exchange(sampler_, std::move(sampler));
+  }
+  // The old sampler (if any) stops and joins here, outside the lock.
+  if (old != nullptr) old->Stop();
+}
+
+void Database::StopMetricsSampler() {
+  std::shared_ptr<obs::MetricsSampler> s;
+  {
+    std::lock_guard<std::mutex> g(sampler_mu_);
+    s = std::move(sampler_);
+  }
+  if (s != nullptr) s->Stop();
+}
+
+std::shared_ptr<obs::MetricsSampler> Database::metrics_sampler() const {
+  std::lock_guard<std::mutex> g(sampler_mu_);
+  return sampler_;
 }
 
 std::vector<std::string> Database::RelationNames() const {

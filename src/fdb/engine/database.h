@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include <optional>
+
 #include "fdb/core/factorisation.h"
 #include "fdb/relational/relation.h"
 #include "fdb/relational/value_dict.h"
@@ -15,6 +17,10 @@
 #include "fdb/storage/wal.h"
 
 namespace fdb {
+
+namespace obs {
+class MetricsSampler;
+}  // namespace obs
 
 namespace storage {
 class SnapshotMapping;
@@ -196,6 +202,31 @@ class Database {
   Relation MakeRelation(const std::vector<std::string>& attrs,
                         const std::vector<std::vector<int64_t>>& rows);
 
+  // --- queryable introspection -------------------------------------------
+  //
+  // Virtual system tables under the reserved "fdb." prefix surface the
+  // process-wide observability state (statement statistics, the event
+  // log, sampled metrics history) to ordinary SELECTs on either engine.
+  // Each table is materialised fresh per query — a consistent snapshot
+  // of the store at resolution time, never a live reference.
+
+  /// True when `name` names a system table (fdb.statements, fdb.events,
+  /// fdb.metrics_history).
+  static bool IsSystemTable(const std::string& name);
+  /// Materialises the named system table (interning its column names in
+  /// this database's registry), or nullopt if `name` is not one.
+  std::optional<Relation> SystemTable(const std::string& name);
+
+  /// Starts the background metrics-history sampler feeding
+  /// fdb.metrics_history (idempotent; restarts with the new interval if
+  /// already running). The sampler is owned by this Database and joined
+  /// on destruction — no leaked thread.
+  void StartMetricsSampler(int64_t interval_ms = 1000);
+  /// Stops and joins the sampler (no-op when not running).
+  void StopMetricsSampler();
+  /// The sampler, if one was started (shared so shell/tests can poke it).
+  std::shared_ptr<obs::MetricsSampler> metrics_sampler() const;
+
  private:
   // One epoch of the versioned view map: an immutable name → version
   // mapping. Epochs share the Factorisation objects of untouched views.
@@ -264,6 +295,12 @@ class Database {
   std::string wal_base_;  ///< canonical snapshot path the log is bound to
   bool in_txn_ = false;
   std::vector<storage::WalOp> pending_;
+  // Metrics-history sampler (StartMetricsSampler). The shared_ptr's
+  // destructor stops and joins the thread, so dropping the last owner —
+  // including Database destruction — shuts it down cleanly. Not copied
+  // (a copy can start its own); moves transfer it.
+  mutable std::mutex sampler_mu_;
+  std::shared_ptr<obs::MetricsSampler> sampler_;
 };
 
 /// Chooses an f-tree for the natural join of `relations` (used when a query

@@ -10,7 +10,9 @@
 #include "fdb/core/order.h"
 #include "fdb/core/ops/project.h"
 #include "fdb/core/stats.h"
+#include "fdb/obs/log.h"
 #include "fdb/obs/metrics.h"
+#include "fdb/obs/statements.h"
 #include "fdb/obs/trace.h"
 #include "fdb/query/parser.h"
 #include "fdb/relational/rdb_ops.h"
@@ -42,11 +44,10 @@ const char* FOpKindName(FOpKind k) {
   return "?";
 }
 
-// Attaches the factorisation's size summary to a trace span — the paper's
+// Attaches a factorisation size summary to a trace span — the paper's
 // per-query size gap (factorised vs. flat), visible in EXPLAIN ANALYZE.
-void NoteFootprint(obs::SpanScope& span, const Factorisation& f) {
+void NoteFootprint(obs::SpanScope& span, const FactFootprint& fp) {
   if (span.trace() == nullptr) return;
-  FactFootprint fp = ComputeFootprint(f);
   span.NoteInt("unions", fp.unions);
   span.NoteInt("singletons", fp.singletons);
   span.NoteInt("flat_tuples", fp.tuples);
@@ -135,12 +136,20 @@ Factorisation FdbEngine::InputFactorisation(const BoundQuery& q) {
     }
   }
   std::vector<const Relation*> rels;
+  // System tables materialise fresh per query; FactoriseJoin copies their
+  // data into its own arena, so the owned relations may die on return.
+  std::vector<std::unique_ptr<Relation>> owned;
   for (const std::string& name : q.from) {
     const Relation* r = db_->relation(name);
     if (r == nullptr) {
       if (db_->ViewSnapshot(name) != nullptr) {
         throw std::invalid_argument(
             "FdbEngine: views can only be queried alone: '" + name + "'");
+      }
+      if (std::optional<Relation> sys = db_->SystemTable(name)) {
+        owned.push_back(std::make_unique<Relation>(std::move(*sys)));
+        rels.push_back(owned.back().get());
+        continue;
       }
       throw std::invalid_argument("FdbEngine: unknown relation '" + name +
                                   "'");
@@ -184,6 +193,50 @@ FdbResult FdbEngine::Execute(const BoundQuery& q, const FdbOptions& options) {
       "engine.query_ns", "ns", "FDB query end-to-end latency");
   obs::ScopedLatency query_latency(query_hist);
 
+  // Statement-store / slow-query reporting. Queries over the system
+  // tables are excluded: introspecting the store must not mutate it (and
+  // both engines must see identical system-table contents).
+  bool track = (obs::MetricsEnabled() || obs::LogEnabled()) &&
+               q.fingerprint != 0;
+  if (track) {
+    for (const std::string& name : q.from) {
+      if (Database::IsSystemTable(name)) {
+        track = false;
+        break;
+      }
+    }
+  }
+  if (!track) return ExecuteImpl(q, options);
+
+  int64_t t0 = obs::NowNs();
+  try {
+    FdbResult result = ExecuteImpl(q, options);
+    uint64_t dur = static_cast<uint64_t>(obs::NowNs() - t0);
+    obs::StatementFootprint fp;
+    if (result.input_footprint.has_value()) {
+      fp.valid = true;
+      fp.singletons = result.input_footprint->singletons;
+      fp.flat_values = result.input_footprint->flat_values;
+      fp.compression = result.input_footprint->CompressionRatio();
+    }
+    uint64_t rows = result.factorised.has_value()
+                        ? static_cast<uint64_t>(result.result_singletons)
+                        : result.flat.size();
+    obs::ReportQueryCompletion(q.fingerprint, q.normalized_sql,
+                               /*via_fdb=*/true, dur, rows, /*error=*/false,
+                               fp);
+    return result;
+  } catch (...) {
+    obs::ReportQueryCompletion(q.fingerprint, q.normalized_sql,
+                               /*via_fdb=*/true,
+                               static_cast<uint64_t>(obs::NowNs() - t0),
+                               /*rows=*/0, /*error=*/true);
+    throw;
+  }
+}
+
+FdbResult FdbEngine::ExecuteImpl(const BoundQuery& q,
+                                 const FdbOptions& options) {
   obs::Trace* tr = options.trace;
   std::shared_ptr<obs::Trace> owned;
   if (q.explain_analyze && tr == nullptr) {
@@ -203,7 +256,10 @@ FdbResult FdbEngine::Execute(const BoundQuery& q, const FdbOptions& options) {
         from += name;
       }
       span.NoteStr("from", from);
-      NoteFootprint(span, fact);
+      // ComputeFootprint walks the whole DAG, so it runs only on traced
+      // queries; the sample doubles as the statement store's footprint.
+      result.input_footprint = ComputeFootprint(fact);
+      NoteFootprint(span, *result.input_footprint);
     }
   }
   AttributeRegistry* reg = &db_->registry();
@@ -287,7 +343,7 @@ FdbResult FdbEngine::Execute(const BoundQuery& q, const FdbOptions& options) {
     }
     if (tr != nullptr) {
       span.NoteInt("result_singletons", result.result_singletons);
-      NoteFootprint(span, fact);
+      NoteFootprint(span, ComputeFootprint(fact));
     }
     result.factorised = std::move(fact);
     if (owned != nullptr) result.trace = std::move(owned);

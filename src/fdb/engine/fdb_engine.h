@@ -6,6 +6,7 @@
 #include <string>
 
 #include "fdb/core/enumerate.h"
+#include "fdb/core/stats.h"
 #include "fdb/engine/database.h"
 #include "fdb/optimizer/exhaustive.h"
 #include "fdb/optimizer/greedy.h"
@@ -57,6 +58,10 @@ struct FdbResult {
   /// The execution trace for EXPLAIN ANALYZE queries (null otherwise).
   /// Render with obs::ExplainReport or obs::Trace::ToChromeJson.
   std::shared_ptr<obs::Trace> trace;
+  /// Footprint of the input factorisation. Captured only on traced runs
+  /// (ComputeFootprint walks the whole DAG); also sampled into the
+  /// statement store.
+  std::optional<FactFootprint> input_footprint;
 };
 
 /// The FDB query engine (paper §1–§5): evaluates bound queries over
@@ -66,14 +71,17 @@ class FdbEngine {
  public:
   explicit FdbEngine(Database* db) : db_(db) {}
 
-  /// Evaluates `q`. FROM must name either a single factorised view or a set
-  /// of base relations.
+  /// Evaluates `q`. FROM must name either a single factorised view, a set
+  /// of base relations, or a system table (fdb.statements, ...). Reports
+  /// the completion (latency, rows, errors) to the statement store when
+  /// metrics are enabled.
   FdbResult Execute(const BoundQuery& q, const FdbOptions& options = {});
 
   /// Convenience: parse + bind + execute.
   FdbResult ExecuteSql(const std::string& sql, const FdbOptions& options = {});
 
  private:
+  FdbResult ExecuteImpl(const BoundQuery& q, const FdbOptions& options);
   Factorisation InputFactorisation(const BoundQuery& q);
 
   Database* db_;

@@ -5,7 +5,9 @@
 #include <memory>
 #include <stdexcept>
 
+#include "fdb/obs/log.h"
 #include "fdb/obs/metrics.h"
+#include "fdb/obs/statements.h"
 #include "fdb/obs/trace.h"
 #include "fdb/query/parser.h"
 #include "fdb/relational/eager.h"
@@ -44,6 +46,39 @@ RdbResult RdbEngine::Execute(const BoundQuery& q, const RdbOptions& options) {
       "engine.rdb_query_ns", "ns", "RDB baseline query end-to-end latency");
   obs::ScopedLatency query_latency(query_hist);
 
+  // Statement-store / slow-query reporting, mirroring FdbEngine::Execute
+  // (system-table queries excluded: introspection must not self-pollute).
+  bool track = (obs::MetricsEnabled() || obs::LogEnabled()) &&
+               q.fingerprint != 0;
+  if (track) {
+    for (const std::string& name : q.from) {
+      if (Database::IsSystemTable(name)) {
+        track = false;
+        break;
+      }
+    }
+  }
+  if (!track) return ExecuteImpl(q, options);
+
+  int64_t t0 = obs::NowNs();
+  try {
+    RdbResult result = ExecuteImpl(q, options);
+    obs::ReportQueryCompletion(q.fingerprint, q.normalized_sql,
+                               /*via_fdb=*/false,
+                               static_cast<uint64_t>(obs::NowNs() - t0),
+                               result.flat.size(), /*error=*/false);
+    return result;
+  } catch (...) {
+    obs::ReportQueryCompletion(q.fingerprint, q.normalized_sql,
+                               /*via_fdb=*/false,
+                               static_cast<uint64_t>(obs::NowNs() - t0),
+                               /*rows=*/0, /*error=*/true);
+    throw;
+  }
+}
+
+RdbResult RdbEngine::ExecuteImpl(const BoundQuery& q,
+                                 const RdbOptions& options) {
   obs::Trace* tr = options.trace;
   std::shared_ptr<obs::Trace> owned;
   if (q.explain_analyze && tr == nullptr) {
@@ -65,6 +100,8 @@ RdbResult RdbEngine::Execute(const BoundQuery& q, const RdbOptions& options) {
         // Snapshot held across Flatten: concurrent view swaps cannot
         // retire this version mid-enumeration.
         inputs.push_back(v->Flatten());
+      } else if (std::optional<Relation> sys = db_->SystemTable(name)) {
+        inputs.push_back(std::move(*sys));
       } else {
         throw std::invalid_argument("RdbEngine: unknown relation '" + name +
                                     "'");

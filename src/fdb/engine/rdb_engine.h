@@ -42,12 +42,16 @@ class RdbEngine {
  public:
   explicit RdbEngine(Database* db) : db_(db) {}
 
+  /// Evaluates `q`. Reports the completion (latency, rows, errors) to the
+  /// statement store when metrics are enabled, mirroring FdbEngine.
   RdbResult Execute(const BoundQuery& q, const RdbOptions& options = {});
 
   /// Convenience: parse + bind + execute.
   RdbResult ExecuteSql(const std::string& sql, const RdbOptions& options = {});
 
  private:
+  RdbResult ExecuteImpl(const BoundQuery& q, const RdbOptions& options);
+
   Database* db_;
 };
 

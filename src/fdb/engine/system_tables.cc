@@ -1,0 +1,145 @@
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "fdb/engine/database.h"
+#include "fdb/obs/log.h"
+#include "fdb/obs/sampler.h"
+#include "fdb/obs/statements.h"
+
+namespace fdb {
+
+// Virtual system tables: process-wide observability state served to
+// ordinary SELECTs under the reserved "fdb." prefix. Each builder
+// materialises a fresh Relation from a consistent snapshot of its store;
+// rows carry a unique key column (fingerprint / seq / metric+tick), so
+// the factorised engine's set semantics and the flat engine's bag
+// semantics agree on every projection of them.
+
+namespace {
+
+std::string HexFingerprint(uint64_t fp) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, fp);
+  return buf;
+}
+
+// Round nanoseconds to whole microseconds-as-double so the value both
+// survives the NaN-boxed double encoding exactly and stays readable.
+double NsToUs(uint64_t ns) {
+  return static_cast<double>(ns / 1000);
+}
+
+Relation StatementsTable(Database& db) {
+  AttributeRegistry& reg = db.registry();
+  std::vector<AttrId> attrs = {
+      reg.Intern("fingerprint"),   reg.Intern("query"),
+      reg.Intern("calls"),         reg.Intern("errors"),
+      reg.Intern("calls_fdb"),     reg.Intern("calls_rdb"),
+      reg.Intern("rows_returned"), reg.Intern("total_us"),
+      reg.Intern("min_us"),        reg.Intern("max_us"),
+      reg.Intern("mean_us"),       reg.Intern("p50_us"),
+      reg.Intern("p99_us"),        reg.Intern("footprint_samples"),
+      reg.Intern("fp_singletons"), reg.Intern("fp_flat_values"),
+      reg.Intern("fp_compression")};
+  Relation out{RelSchema(std::move(attrs))};
+  for (const obs::StatementRow& s : obs::StatementStore::Instance().Snapshot()) {
+    Tuple t;
+    t.reserve(17);
+    t.push_back(Value(HexFingerprint(s.fingerprint)));
+    t.push_back(Value(s.text));
+    t.push_back(Value(static_cast<int64_t>(s.calls)));
+    t.push_back(Value(static_cast<int64_t>(s.errors)));
+    t.push_back(Value(static_cast<int64_t>(s.calls_fdb)));
+    t.push_back(Value(static_cast<int64_t>(s.calls_rdb)));
+    t.push_back(Value(static_cast<int64_t>(s.rows)));
+    t.push_back(Value(NsToUs(s.total_ns)));
+    t.push_back(Value(NsToUs(s.min_ns)));
+    t.push_back(Value(NsToUs(s.max_ns)));
+    t.push_back(Value(NsToUs(static_cast<uint64_t>(s.latency.Mean()))));
+    t.push_back(Value(NsToUs(static_cast<uint64_t>(s.latency.Percentile(0.50)))));
+    t.push_back(Value(NsToUs(static_cast<uint64_t>(s.latency.Percentile(0.99)))));
+    t.push_back(Value(static_cast<int64_t>(s.footprint_samples)));
+    t.push_back(Value(static_cast<int64_t>(s.last_singletons)));
+    t.push_back(Value(static_cast<int64_t>(s.last_flat_values)));
+    t.push_back(Value(s.last_compression));
+    out.Add(std::move(t));
+  }
+  return out;
+}
+
+Relation EventsTable(Database& db) {
+  AttributeRegistry& reg = db.registry();
+  std::vector<AttrId> attrs = {reg.Intern("seq"), reg.Intern("wall_us"),
+                               reg.Intern("event_type"),
+                               reg.Intern("detail")};
+  Relation out{RelSchema(std::move(attrs))};
+  for (const obs::Event& e : obs::EventLog::Instance().Snapshot()) {
+    Tuple t;
+    t.reserve(4);
+    t.push_back(Value(static_cast<int64_t>(e.seq)));
+    t.push_back(Value(e.wall_us));
+    t.push_back(Value(obs::EventTypeName(e.type)));
+    t.push_back(Value(e.DetailString()));
+    out.Add(std::move(t));
+  }
+  return out;
+}
+
+Relation MetricsHistoryTable(Database& db) {
+  AttributeRegistry& reg = db.registry();
+  std::vector<AttrId> attrs = {
+      reg.Intern("metric"),     reg.Intern("tick"),
+      reg.Intern("ts_ns"),      reg.Intern("metric_kind"),
+      reg.Intern("value"),      reg.Intern("hist_count"),
+      reg.Intern("p50"),        reg.Intern("p99")};
+  Relation out{RelSchema(std::move(attrs))};
+  std::shared_ptr<obs::MetricsSampler> sampler = db.metrics_sampler();
+  if (sampler == nullptr) return out;  // empty, with schema
+  for (const auto& [name, points] : sampler->History()) {
+    for (const obs::MetricsSampler::Point& p : points) {
+      Tuple t;
+      t.reserve(8);
+      t.push_back(Value(name));
+      t.push_back(Value(static_cast<int64_t>(p.tick)));
+      t.push_back(Value(p.ts_ns));
+      t.push_back(Value(p.is_hist ? "histogram" : "scalar"));
+      t.push_back(Value(p.value));
+      t.push_back(Value(static_cast<int64_t>(p.hist_count)));
+      t.push_back(Value(p.p50));
+      t.push_back(Value(p.p99));
+      out.Add(std::move(t));
+    }
+  }
+  return out;
+}
+
+struct SysTab {
+  const char* name;
+  Relation (*build)(Database&);
+};
+
+constexpr SysTab kSystemTables[] = {
+    {"fdb.statements", &StatementsTable},
+    {"fdb.events", &EventsTable},
+    {"fdb.metrics_history", &MetricsHistoryTable},
+};
+
+}  // namespace
+
+bool Database::IsSystemTable(const std::string& name) {
+  for (const SysTab& t : kSystemTables) {
+    if (name == t.name) return true;
+  }
+  return false;
+}
+
+std::optional<Relation> Database::SystemTable(const std::string& name) {
+  for (const SysTab& t : kSystemTables) {
+    if (name == t.name) return t.build(*this);
+  }
+  return std::nullopt;
+}
+
+}  // namespace fdb

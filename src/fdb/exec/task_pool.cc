@@ -5,11 +5,16 @@
 #include <cstdlib>
 #include <exception>
 
+#include "fdb/obs/log.h"
 #include "fdb/obs/metrics.h"
 
 namespace fdb {
 namespace exec {
 namespace {
+
+// A single worker deque this deep marks the pool as saturated (the
+// kPoolSaturation event's trigger).
+constexpr size_t kSaturationDepth = 64;
 
 // Pool-wide metrics (shared across Default() pool rebuilds — the registry
 // outlives every pool instance).
@@ -149,10 +154,29 @@ void TaskPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> g(sleep_mu_);
     w = next_queue_++ % static_cast<unsigned>(workers_.size());
   }
+  size_t depth;
   {
     std::lock_guard<std::mutex> g(workers_[w]->mu);
     workers_[w]->tasks.push_back(std::move(task));
-    QueueDepthHwm().UpdateMax(static_cast<int64_t>(workers_[w]->tasks.size()));
+    depth = workers_[w]->tasks.size();
+    QueueDepthHwm().UpdateMax(static_cast<int64_t>(depth));
+  }
+  // Saturation event: a worker queue this deep means submitters are
+  // outrunning the pool (the network-service admission layer's signal).
+  // Rate-limited to one event per second so a saturated burst cannot
+  // flood the ring.
+  if (depth >= kSaturationDepth && obs::LogEnabled()) {
+    static std::atomic<int64_t> last_emit_ns{0};
+    int64_t now = obs::NowNs();
+    int64_t last = last_emit_ns.load(std::memory_order_relaxed);
+    if (now - last >= 1'000'000'000 &&
+        last_emit_ns.compare_exchange_strong(last, now,
+                                             std::memory_order_relaxed)) {
+      obs::EventLog::Instance().Emit(
+          obs::EventType::kPoolSaturation,
+          {obs::F("queue_depth", depth),
+           obs::F("workers", workers_.size())});
+    }
   }
   {
     // Publish under the sleep lock: a worker between a failed sweep and

@@ -1,0 +1,212 @@
+#include "fdb/obs/log.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+#include "fdb/obs/metrics.h"
+
+namespace fdb {
+namespace obs {
+
+namespace detail {
+
+std::atomic<bool> g_log_enabled{false};
+
+}  // namespace detail
+
+void SetLogEnabled(bool on) {
+  // Make sure the singleton exists (and has read FDB_LOG) before anyone
+  // relies on the switch, so Emit never races construction.
+  EventLog::Instance();
+  detail::g_log_enabled.store(on, std::memory_order_relaxed);
+}
+
+const char* EventTypeName(EventType t) {
+  switch (t) {
+    case EventType::kSlowQuery:
+      return "slow_query";
+    case EventType::kRecovery:
+      return "recovery";
+    case EventType::kSave:
+      return "save";
+    case EventType::kCheckpoint:
+      return "checkpoint";
+    case EventType::kWalStall:
+      return "wal_stall";
+    case EventType::kPoolSaturation:
+      return "pool_saturation";
+  }
+  return "?";
+}
+
+namespace {
+
+int64_t WallMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string NumberToString(const EventField& f) {
+  if (f.is_integer) {
+    return std::to_string(static_cast<int64_t>(f.number));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", f.number);
+  return buf;
+}
+
+}  // namespace
+
+std::string Event::DetailString() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const EventField& f : fields) {
+    if (!first) out << " ";
+    first = false;
+    out << f.key << "=";
+    if (f.is_number) {
+      out << NumberToString(f);
+    } else {
+      out << f.str;
+    }
+  }
+  return out.str();
+}
+
+std::string Event::ToJson() const {
+  std::ostringstream out;
+  out << "{\"seq\":" << seq << ",\"wall_us\":" << wall_us << ",\"type\":\""
+      << EventTypeName(type) << "\"";
+  for (const EventField& f : fields) {
+    out << ",\"" << JsonEscape(f.key) << "\":";
+    if (f.is_number) {
+      out << NumberToString(f);
+    } else {
+      out << "\"" << JsonEscape(f.str) << "\"";
+    }
+  }
+  out << "}";
+  return out.str();
+}
+
+struct EventLog::Impl {
+  mutable std::mutex mu;
+  std::deque<Event> ring;
+  uint64_t next_seq = 1;
+  uint64_t dropped = 0;
+  std::string sink_path;
+  std::FILE* sink = nullptr;
+
+  std::atomic<int64_t> slow_query_ns{100 * 1000 * 1000};  // 100 ms
+  std::atomic<int64_t> wal_stall_ns{50 * 1000 * 1000};    // 50 ms
+};
+
+EventLog::EventLog() : impl_(new Impl) {
+  const char* env = std::getenv("FDB_LOG");
+  if (env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0) {
+    // FDB_LOG=1 enables the ring; any other value is a JSONL sink path.
+    if (std::strcmp(env, "1") != 0) {
+      impl_->sink_path = env;
+      impl_->sink = std::fopen(env, "a");
+    }
+    detail::g_log_enabled.store(true, std::memory_order_relaxed);
+  }
+  if (const char* ms = std::getenv("FDB_SLOW_QUERY_MS")) {
+    impl_->slow_query_ns.store(std::atoll(ms) * 1000000,
+                               std::memory_order_relaxed);
+  }
+  if (const char* ms = std::getenv("FDB_WAL_STALL_MS")) {
+    impl_->wal_stall_ns.store(std::atoll(ms) * 1000000,
+                              std::memory_order_relaxed);
+  }
+}
+
+EventLog& EventLog::Instance() {
+  static EventLog* log = new EventLog;  // immortal
+  return *log;
+}
+
+namespace {
+// Touch the singleton during static init so FDB_LOG takes effect without
+// any call site having to ask for Instance() first.
+const bool g_log_env_applied = (EventLog::Instance(), true);
+}  // namespace
+
+void EventLog::Emit(EventType type, std::vector<EventField> fields) {
+  if (!LogEnabled()) return;
+  Event e;
+  e.wall_us = WallMicros();
+  e.type = type;
+  e.fields = std::move(fields);
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  e.seq = impl_->next_seq++;
+  if (impl_->ring.size() >= kRingCapacity) {
+    impl_->ring.pop_front();
+    ++impl_->dropped;
+  }
+  if (impl_->sink != nullptr) {
+    std::string line = e.ToJson();
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), impl_->sink);
+    std::fflush(impl_->sink);
+  }
+  impl_->ring.push_back(std::move(e));
+}
+
+std::vector<Event> EventLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return std::vector<Event>(impl_->ring.begin(), impl_->ring.end());
+}
+
+void EventLog::Clear() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->ring.clear();
+}
+
+uint64_t EventLog::total_emitted() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->next_seq - 1;
+}
+
+uint64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->dropped;
+}
+
+int64_t EventLog::slow_query_ns() const {
+  return impl_->slow_query_ns.load(std::memory_order_relaxed);
+}
+
+void EventLog::set_slow_query_ns(int64_t ns) {
+  impl_->slow_query_ns.store(ns, std::memory_order_relaxed);
+}
+
+int64_t EventLog::wal_stall_ns() const {
+  return impl_->wal_stall_ns.load(std::memory_order_relaxed);
+}
+
+void EventLog::set_wal_stall_ns(int64_t ns) {
+  impl_->wal_stall_ns.store(ns, std::memory_order_relaxed);
+}
+
+void EventLog::SetSinkPath(const std::string& path) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->sink != nullptr) {
+    std::fclose(impl_->sink);
+    impl_->sink = nullptr;
+  }
+  impl_->sink_path = path;
+  if (!path.empty()) {
+    impl_->sink = std::fopen(path.c_str(), "a");
+  }
+}
+
+}  // namespace obs
+}  // namespace fdb

@@ -65,6 +65,13 @@ void SetMetricsEnabled(bool on);
 /// recording so spans and histograms agree).
 int64_t NowNs();
 
+/// Escapes `s` for embedding inside a JSON string literal: quotes,
+/// backslashes, and every control character below 0x20 (named escapes
+/// for \n \t \r \b \f, \u00XX for the rest). View and attribute names
+/// are user-controlled strings, so every JSON exporter (metrics, Chrome
+/// traces, the event log sink) must go through this.
+std::string JsonEscape(const std::string& s);
+
 /// A monotonic counter. Inc is wait-free: one enabled-check load plus one
 /// relaxed fetch_add on the caller's shard.
 class Counter {

@@ -1,0 +1,141 @@
+#include "fdb/obs/sampler.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace fdb {
+namespace obs {
+
+namespace {
+
+Counter& TicksCounter() {
+  static Counter& c = Registry::Instance().GetCounter(
+      "sampler.ticks", "ops", "metrics-history samples taken");
+  return c;
+}
+
+}  // namespace
+
+MetricsSampler::MetricsSampler() : MetricsSampler(Options()) {}
+
+MetricsSampler::MetricsSampler(Options opts) : opts_(std::move(opts)) {
+  if (opts_.interval_ms < 1) opts_.interval_ms = 1;
+  if (opts_.capacity < 2) opts_.capacity = 2;
+}
+
+MetricsSampler::~MetricsSampler() { Stop(); }
+
+void MetricsSampler::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_running_) return;
+  stop_ = false;
+  thread_running_ = true;
+  // Assigned under the lock so a racing Stop() always sees a joinable
+  // thread; Loop() blocks on the same lock until we return.
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void MetricsSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  thread_running_ = false;
+}
+
+bool MetricsSampler::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return thread_running_;
+}
+
+void MetricsSampler::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, std::chrono::milliseconds(opts_.interval_ms),
+                     [this] { return stop_; })) {
+      break;
+    }
+    // Snapshot outside the lock: the registry read can contend with hot
+    // paths and must not serialise against our readers.
+    lock.unlock();
+    SampleOnce();
+    lock.lock();
+  }
+}
+
+void MetricsSampler::SampleOnce() {
+  std::vector<MetricRow> rows = Registry::Instance().Snapshot();
+  int64_t now = NowNs();
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t tick = ++ticks_;
+  for (const MetricRow& row : rows) {
+    if (!opts_.metrics.empty() &&
+        std::find(opts_.metrics.begin(), opts_.metrics.end(), row.name) ==
+            opts_.metrics.end()) {
+      continue;
+    }
+    Point p;
+    p.ts_ns = now;
+    p.tick = tick;
+    if (row.type == MetricRow::Type::kHistogram) {
+      p.is_hist = true;
+      p.value = static_cast<double>(row.hist.sum);
+      p.hist_count = row.hist.count;
+      p.p50 = row.hist.Percentile(0.50);
+      p.p99 = row.hist.Percentile(0.99);
+    } else {
+      p.value = static_cast<double>(row.value);
+    }
+    std::deque<Point>& ring = history_[row.name];
+    if (ring.size() >= opts_.capacity) ring.pop_front();
+    ring.push_back(p);
+  }
+  TicksCounter().Inc();
+}
+
+uint64_t MetricsSampler::ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ticks_;
+}
+
+std::map<std::string, std::vector<MetricsSampler::Point>>
+MetricsSampler::History() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::vector<Point>> out;
+  for (const auto& [name, ring] : history_) {
+    out.emplace(name, std::vector<Point>(ring.begin(), ring.end()));
+  }
+  return out;
+}
+
+std::vector<MetricsSampler::Window> MetricsSampler::Windows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Window> out;
+  out.reserve(history_.size());
+  for (const auto& [name, ring] : history_) {
+    if (ring.empty()) continue;
+    Window w;
+    w.metric = name;
+    w.points = ring.size();
+    const Point& first = ring.front();
+    const Point& last = ring.back();
+    w.first_value = first.value;
+    w.last_value = last.value;
+    w.is_hist = last.is_hist;
+    w.last_p50 = last.p50;
+    w.last_p99 = last.p99;
+    if (ring.size() >= 2 && last.ts_ns > first.ts_ns) {
+      w.rate_per_s = (last.value - first.value) /
+                     (static_cast<double>(last.ts_ns - first.ts_ns) / 1e9);
+    }
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace fdb

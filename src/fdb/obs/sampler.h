@@ -1,0 +1,107 @@
+#ifndef FDB_OBS_SAMPLER_H_
+#define FDB_OBS_SAMPLER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fdb/obs/metrics.h"
+
+namespace fdb {
+namespace obs {
+
+/// A metrics history sampler: a background thread that snapshots
+/// registry metrics at a fixed interval into bounded per-metric rings,
+/// so instantaneous counters become time series — windowed rates for
+/// counters, p50/p99-over-time for histograms. This is the data the
+/// `fdb.metrics_history` system table serves.
+///
+/// Threading: one mutex guards the rings; the sampler thread takes it
+/// only while appending a tick's points, readers only while copying.
+/// Start/Stop are idempotent; the destructor stops and joins, so an
+/// owner's destruction never leaks the thread. `SampleOnce()` takes a
+/// sample synchronously (deterministic tests; also works while the
+/// background thread runs).
+class MetricsSampler {
+ public:
+  struct Options {
+    int64_t interval_ms = 1000;  ///< background sampling period
+    size_t capacity = 512;       ///< points retained per metric
+    /// Metric names to sample; empty means every registered metric.
+    std::vector<std::string> metrics;
+  };
+
+  /// One sampled point. For counters/gauges `value` is the reading; for
+  /// histograms `value` is the merged sum and the percentile fields are
+  /// interpolated from the merged buckets at sample time.
+  struct Point {
+    int64_t ts_ns = 0;  ///< steady-clock timestamp (NowNs)
+    uint64_t tick = 0;  ///< dense per-sampler tick, starts at 1
+    double value = 0.0;
+    uint64_t hist_count = 0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+    bool is_hist = false;
+  };
+
+  /// Windowed view over one metric's ring: the change across the window
+  /// divided by its wall time (counters), or the latest percentiles.
+  struct Window {
+    std::string metric;
+    size_t points = 0;
+    double first_value = 0.0;
+    double last_value = 0.0;
+    double rate_per_s = 0.0;  ///< (last-first)/(t_last-t_first), counters
+    double last_p50 = 0.0;
+    double last_p99 = 0.0;
+    bool is_hist = false;
+  };
+
+  MetricsSampler();  ///< default options
+  explicit MetricsSampler(Options opts);
+  ~MetricsSampler();
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  /// Launches the background thread (no-op if already running).
+  void Start();
+  /// Stops and joins the background thread (no-op if not running).
+  void Stop();
+  bool running() const;
+
+  /// Takes one sample synchronously on the calling thread.
+  void SampleOnce();
+
+  /// Ticks taken so far (background + synchronous).
+  uint64_t ticks() const;
+
+  /// Full history, metric name → points oldest-first.
+  std::map<std::string, std::vector<Point>> History() const;
+
+  /// One summary row per sampled metric (shell \history).
+  std::vector<Window> Windows() const;
+
+  const Options& options() const { return opts_; }
+
+ private:
+  void Loop();
+
+  Options opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool thread_running_ = false;
+  uint64_t ticks_ = 0;
+  std::map<std::string, std::deque<Point>> history_;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace fdb
+
+#endif  // FDB_OBS_SAMPLER_H_

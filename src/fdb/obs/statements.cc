@@ -1,0 +1,204 @@
+#include "fdb/obs/statements.h"
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+#include <unordered_map>
+
+#include "fdb/obs/log.h"
+
+namespace fdb {
+namespace obs {
+
+namespace {
+
+constexpr int kShards = 8;  // power of two
+
+// Registry-side instruments for the store itself. Lazily fetched so the
+// registry exists before first use; references are immortal.
+Counter& RecordedCounter() {
+  static Counter& c = Registry::Instance().GetCounter(
+      "statements.recorded", "ops", "statement completions aggregated");
+  return c;
+}
+Counter& EvictedCounter() {
+  static Counter& c = Registry::Instance().GetCounter(
+      "statements.evicted", "ops",
+      "statement entries evicted by the LRU bound");
+  return c;
+}
+Gauge& EntriesGauge() {
+  static Gauge& g = Registry::Instance().GetGauge(
+      "statements.entries", "", "distinct statement fingerprints live");
+  return g;
+}
+
+// Global recency tick: one relaxed fetch_add per recorded completion.
+// Cheap, monotone, and close enough to true LRU for an eviction policy.
+std::atomic<uint64_t> g_tick{1};
+
+struct Entry {
+  std::string text;
+  uint64_t calls = 0;
+  uint64_t errors = 0;
+  uint64_t calls_fdb = 0;
+  uint64_t calls_rdb = 0;
+  uint64_t rows = 0;
+  uint64_t total_ns = 0;
+  uint64_t min_ns = std::numeric_limits<uint64_t>::max();
+  uint64_t max_ns = 0;
+  uint64_t buckets[detail::kHistBuckets] = {};
+  uint64_t footprint_samples = 0;
+  uint64_t last_singletons = 0;
+  uint64_t last_flat_values = 0;
+  double last_compression = 0.0;
+  uint64_t last_used = 0;
+};
+
+}  // namespace
+
+struct StatementStore::Impl {
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, Entry> entries;
+  };
+  Shard shards[kShards];
+  // Per-shard slice of the global entry budget.
+  static constexpr size_t kShardCap = StatementStore::kMaxEntries / kShards;
+};
+
+StatementStore::StatementStore() : impl_(new Impl) {}
+
+StatementStore& StatementStore::Instance() {
+  static StatementStore* s = new StatementStore;  // immortal
+  return *s;
+}
+
+void StatementStore::Record(uint64_t fingerprint, const std::string& text,
+                            bool via_fdb, uint64_t latency_ns, uint64_t rows,
+                            bool error, const StatementFootprint& fp) {
+  if (!MetricsEnabled() || fingerprint == 0) return;
+  Impl::Shard& shard = impl_->shards[fingerprint & (kShards - 1)];
+  uint64_t tick = g_tick.fetch_add(1, std::memory_order_relaxed);
+  bool inserted = false;
+  bool evicted = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.entries.find(fingerprint);
+    if (it == shard.entries.end()) {
+      if (shard.entries.size() >= Impl::kShardCap) {
+        // Full shard: evict the least-recently-used entry (linear scan —
+        // only runs when a *new* fingerprint arrives at a full shard, so
+        // steady-state workloads never pay it).
+        auto victim = shard.entries.begin();
+        for (auto jt = shard.entries.begin(); jt != shard.entries.end();
+             ++jt) {
+          if (jt->second.last_used < victim->second.last_used) victim = jt;
+        }
+        shard.entries.erase(victim);
+        evicted = true;
+      }
+      it = shard.entries.emplace(fingerprint, Entry{}).first;
+      it->second.text = text;
+      inserted = true;
+    }
+    Entry& e = it->second;
+    e.calls++;
+    if (error) e.errors++;
+    if (via_fdb) {
+      e.calls_fdb++;
+    } else {
+      e.calls_rdb++;
+    }
+    e.rows += rows;
+    e.total_ns += latency_ns;
+    e.min_ns = std::min(e.min_ns, latency_ns);
+    e.max_ns = std::max(e.max_ns, latency_ns);
+    e.buckets[Histogram::BucketIndex(latency_ns)]++;
+    if (fp.valid) {
+      e.footprint_samples++;
+      e.last_singletons = fp.singletons;
+      e.last_flat_values = fp.flat_values;
+      e.last_compression = fp.compression;
+    }
+    e.last_used = tick;
+  }
+  RecordedCounter().Inc();
+  if (evicted) EvictedCounter().Inc();
+  if (inserted && !evicted) EntriesGauge().Add(1);
+}
+
+std::vector<StatementRow> StatementStore::Snapshot() const {
+  std::vector<StatementRow> rows;
+  for (int s = 0; s < kShards; ++s) {
+    const Impl::Shard& shard = impl_->shards[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [fp, e] : shard.entries) {
+      StatementRow row;
+      row.fingerprint = fp;
+      row.text = e.text;
+      row.calls = e.calls;
+      row.errors = e.errors;
+      row.calls_fdb = e.calls_fdb;
+      row.calls_rdb = e.calls_rdb;
+      row.rows = e.rows;
+      row.total_ns = e.total_ns;
+      row.min_ns = e.min_ns == std::numeric_limits<uint64_t>::max()
+                       ? 0
+                       : e.min_ns;
+      row.max_ns = e.max_ns;
+      row.latency.count = e.calls;
+      row.latency.sum = e.total_ns;
+      for (int i = 0; i < detail::kHistBuckets; ++i) {
+        row.latency.buckets[i] = e.buckets[i];
+      }
+      row.footprint_samples = e.footprint_samples;
+      row.last_singletons = e.last_singletons;
+      row.last_flat_values = e.last_flat_values;
+      row.last_compression = e.last_compression;
+      rows.push_back(std::move(row));
+    }
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const StatementRow& a, const StatementRow& b) {
+              if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+              return a.fingerprint < b.fingerprint;
+            });
+  return rows;
+}
+
+void StatementStore::Clear() {
+  for (int s = 0; s < kShards; ++s) {
+    std::lock_guard<std::mutex> lock(impl_->shards[s].mu);
+    impl_->shards[s].entries.clear();
+  }
+  EntriesGauge().Reset();
+}
+
+size_t StatementStore::size() const {
+  size_t n = 0;
+  for (int s = 0; s < kShards; ++s) {
+    std::lock_guard<std::mutex> lock(impl_->shards[s].mu);
+    n += impl_->shards[s].entries.size();
+  }
+  return n;
+}
+
+void ReportQueryCompletion(uint64_t fingerprint, const std::string& text,
+                           bool via_fdb, uint64_t latency_ns, uint64_t rows,
+                           bool error, const StatementFootprint& fp) {
+  StatementStore::Instance().Record(fingerprint, text, via_fdb, latency_ns,
+                                    rows, error, fp);
+  if (LogEnabled()) {
+    EventLog& log = EventLog::Instance();
+    if (static_cast<int64_t>(latency_ns) >= log.slow_query_ns()) {
+      log.Emit(EventType::kSlowQuery,
+               {F("query", text), F("engine", via_fdb ? "fdb" : "rdb"),
+                F("latency_ms", static_cast<double>(latency_ns) / 1e6),
+                F("rows", rows), F("error", error)});
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace fdb

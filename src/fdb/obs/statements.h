@@ -1,0 +1,99 @@
+#ifndef FDB_OBS_STATEMENTS_H_
+#define FDB_OBS_STATEMENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fdb/obs/metrics.h"
+
+namespace fdb {
+namespace obs {
+
+/// Per-statement aggregate statistics, pg_stat_statements style.
+///
+/// The binder fingerprints every query by hashing its *normalized bound
+/// form*: attribute ids and relation names are canonicalised, constants
+/// are stripped (`price < 10` and `price < 99` share a fingerprint), and
+/// EXPLAIN ANALYZE is transparent (the analyzed run aggregates under the
+/// plain statement). Both engines report completions here, tagged with
+/// which engine ran the query, so `fdb.statements` answers "which shapes
+/// are hot, how slow, and on which path" across the whole process.
+///
+/// Recording is gated on `MetricsEnabled()` (same switch, same overhead
+/// discipline as the registry: one relaxed load when disabled, no
+/// allocation). The store is bounded: at most `kMaxEntries` distinct
+/// fingerprints, sharded 8 ways; a full shard evicts its least-recently
+/// used entry (tracked by a global relaxed tick) and bumps the
+/// `statements.evicted` counter, so sustained distinct-query load cannot
+/// grow memory without bound.
+
+/// Factorised footprint sample attached to a completion (captured only
+/// on traced runs, where `ComputeFootprint` already walked the DAG — the
+/// untraced hot path never pays for it).
+struct StatementFootprint {
+  uint64_t singletons = 0;
+  uint64_t flat_values = 0;
+  double compression = 0.0;
+  bool valid = false;
+};
+
+/// A merged, immutable view of one statement's aggregates.
+struct StatementRow {
+  uint64_t fingerprint = 0;
+  std::string text;  ///< normalized statement text ("?" for constants)
+  uint64_t calls = 0;
+  uint64_t errors = 0;
+  uint64_t calls_fdb = 0;  ///< completions via the factorised engine
+  uint64_t calls_rdb = 0;  ///< completions via the flat engine
+  uint64_t rows = 0;       ///< total result rows returned
+  uint64_t total_ns = 0;
+  uint64_t min_ns = 0;
+  uint64_t max_ns = 0;
+  HistogramSnapshot latency;  ///< log2-bucket latency histogram (ns)
+  /// Footprint: how many traced completions sampled it, and the most
+  /// recent sample's factorised-vs-flat numbers.
+  uint64_t footprint_samples = 0;
+  uint64_t last_singletons = 0;
+  uint64_t last_flat_values = 0;
+  double last_compression = 0.0;
+};
+
+/// The process-wide statement store, created on first use and immortal.
+class StatementStore {
+ public:
+  static constexpr size_t kMaxEntries = 5000;
+
+  static StatementStore& Instance();
+
+  /// Records one completion for `fingerprint` (no-op when metrics are
+  /// disabled or fingerprint is 0). `text` is stored on first sight.
+  void Record(uint64_t fingerprint, const std::string& text, bool via_fdb,
+              uint64_t latency_ns, uint64_t rows, bool error,
+              const StatementFootprint& fp = {});
+
+  /// All entries, sorted by total latency descending.
+  std::vector<StatementRow> Snapshot() const;
+
+  /// Drops every entry (tests, shell \metrics-reset).
+  void Clear();
+
+  size_t size() const;
+
+ private:
+  StatementStore();
+  struct Impl;
+  Impl* impl_;  // immortal
+};
+
+/// The completion hook both engines call: records into the statement
+/// store and, when the event log is enabled and `latency_ns` exceeds the
+/// slow-query threshold, emits a kSlowQuery event.
+void ReportQueryCompletion(uint64_t fingerprint, const std::string& text,
+                           bool via_fdb, uint64_t latency_ns, uint64_t rows,
+                           bool error, const StatementFootprint& fp = {});
+
+}  // namespace obs
+}  // namespace fdb
+
+#endif  // FDB_OBS_STATEMENTS_H_

@@ -17,27 +17,6 @@ uint64_t CurrentTid() {
   return std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0xffff;
 }
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += c;
-    }
-  }
-  return out;
-}
-
 std::string NumberToString(const TraceNote& n) {
   if (n.is_integer) {
     return std::to_string(static_cast<int64_t>(n.number));

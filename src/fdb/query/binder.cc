@@ -49,6 +49,140 @@ AggFn ToAggFn(ParseAggFn fn) {
   throw std::logic_error("ToAggFn: avg must be expanded by the caller");
 }
 
+// FNV-1a over a tagged byte stream: every clause writes a distinct tag
+// byte before its payload, so reordered clauses and empty-vs-missing
+// clauses cannot collide.
+struct Fingerprinter {
+  uint64_t h = 14695981039346656037ull;
+
+  void Byte(uint8_t b) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  void Tag(char t) { Byte(static_cast<uint8_t>(t)); }
+  void I64(int64_t v) {
+    for (int i = 0; i < 8; ++i) Byte(static_cast<uint8_t>(v >> (i * 8)));
+  }
+  void Str(const std::string& s) {
+    I64(static_cast<int64_t>(s.size()));
+    for (char c : s) Byte(static_cast<uint8_t>(c));
+  }
+};
+
+// Computes the statement fingerprint and normalized text from the bound
+// form. Constants are excluded from the hash and rendered as `?`, so
+// `price < 10` and `price < 99` aggregate together; `explain_analyze` is
+// excluded so an analyzed run lands on the plain statement's entry.
+void ComputeFingerprint(BoundQuery* q, const AttributeRegistry& reg) {
+  Fingerprinter fp;
+  std::string text = "SELECT ";
+  if (q->select_star) {
+    text += "*";
+  } else {
+    for (size_t i = 0; i < q->outputs.size(); ++i) {
+      if (i > 0) text += ", ";
+      text += reg.Name(q->outputs[i].attr);
+    }
+  }
+  text += " FROM ";
+  fp.Tag('f');
+  for (size_t i = 0; i < q->from.size(); ++i) {
+    if (i > 0) text += ", ";
+    text += q->from[i];
+    fp.Str(q->from[i]);
+  }
+  fp.Tag('s');
+  fp.Byte(q->select_star ? 1 : 0);
+  fp.Byte(q->distinct_projection ? 1 : 0);
+  if (!q->eq_selections.empty() || !q->const_selections.empty()) {
+    text += " WHERE ";
+    bool first = true;
+    fp.Tag('w');
+    for (const auto& [a, b] : q->eq_selections) {
+      if (!first) text += " AND ";
+      first = false;
+      text += reg.Name(a) + " = " + reg.Name(b);
+      fp.I64(a);
+      fp.I64(b);
+    }
+    for (const auto& [a, op, v] : q->const_selections) {
+      if (!first) text += " AND ";
+      first = false;
+      text += reg.Name(a) + " " + CmpOpName(op) + " ?";
+      fp.Tag('c');
+      fp.I64(a);
+      fp.Byte(static_cast<uint8_t>(op));
+      // The constant's value deliberately does not feed the hash.
+    }
+  }
+  fp.Tag('g');
+  // Plain projections carry their columns in `group` too; the clause is
+  // rendered only for genuine GROUP BY shapes, but the ids always feed
+  // the hash (they distinguish projections).
+  if (!q->group.empty() && q->has_aggregates()) {
+    text += " GROUP BY ";
+    for (size_t i = 0; i < q->group.size(); ++i) {
+      if (i > 0) text += ", ";
+      text += reg.Name(q->group[i]);
+    }
+  }
+  for (AttrId a : q->group) fp.I64(a);
+  fp.Tag('t');
+  for (size_t i = 0; i < q->tasks.size(); ++i) {
+    fp.Byte(static_cast<uint8_t>(q->tasks[i].fn));
+    fp.I64(q->tasks[i].source);
+    fp.I64(q->task_ids[i]);
+  }
+  fp.Tag('o');
+  for (const OutputColumn& c : q->outputs) {
+    fp.Byte(static_cast<uint8_t>(c.kind));
+    fp.I64(c.attr);
+    fp.I64(c.task);
+    fp.I64(c.task2);
+  }
+  if (!q->having.empty()) {
+    text += " HAVING ";
+    fp.Tag('h');
+    for (size_t i = 0; i < q->having.size(); ++i) {
+      const BoundHaving& b = q->having[i];
+      if (i > 0) text += " AND ";
+      switch (b.kind) {
+        case BoundHaving::Kind::kGroupCol:
+          text += reg.Name(b.attr);
+          break;
+        case BoundHaving::Kind::kTask:
+        case BoundHaving::Kind::kAvg:
+          text += reg.Name(q->task_ids[b.task]);
+          break;
+      }
+      text += " " + CmpOpName(b.op) + " ?";
+      fp.Byte(static_cast<uint8_t>(b.kind));
+      fp.I64(b.attr);
+      fp.I64(b.task);
+      fp.I64(b.task2);
+      fp.Byte(static_cast<uint8_t>(b.op));
+      // b.rhs (the constant) stays out of the hash.
+    }
+  }
+  if (!q->order_by.empty()) {
+    text += " ORDER BY ";
+    fp.Tag('r');
+    for (size_t i = 0; i < q->order_by.size(); ++i) {
+      if (i > 0) text += ", ";
+      text += reg.Name(q->order_by[i].attr);
+      if (q->order_by[i].dir == SortDir::kDesc) text += " DESC";
+      fp.I64(q->order_by[i].attr);
+      fp.Byte(q->order_by[i].dir == SortDir::kDesc ? 1 : 0);
+    }
+  }
+  if (q->limit.has_value()) {
+    text += " LIMIT ?";
+    fp.Tag('l');  // presence only; the limit value is a constant
+  }
+  q->normalized_sql = std::move(text);
+  q->fingerprint = fp.h == 0 ? 1 : fp.h;  // reserve 0 for "none"
+}
+
 }  // namespace
 
 BoundQuery Bind(const ParsedQuery& q, Database* db) {
@@ -68,6 +202,10 @@ BoundQuery Bind(const ParsedQuery& q, Database* db) {
                    db->ViewSnapshot(name)) {
       // Snapshot held across the schema read (concurrent swap safety).
       attrs = v->OutputSchema().attrs();
+    } else if (std::optional<Relation> sys = db->SystemTable(name)) {
+      // Virtual introspection tables (fdb.statements, fdb.events, ...):
+      // materialised fresh at execution time; here only the schema counts.
+      attrs = sys->schema().attrs();
     } else {
       BindError("unknown relation or view '" + name + "'");
     }
@@ -254,6 +392,8 @@ BoundQuery Bind(const ParsedQuery& q, Database* db) {
     }
     out.order_by.push_back({*id, o.dir});
   }
+
+  ComputeFingerprint(&out, db->registry());
   return out;
 }
 

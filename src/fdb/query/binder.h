@@ -57,6 +57,16 @@ struct BoundQuery {
   std::vector<SortKey> order_by;  ///< group attrs or task output ids
   std::optional<int64_t> limit;
 
+  /// Statement fingerprint: an FNV-1a hash of the normalized bound form
+  /// (names canonicalised to attribute ids, constants stripped, EXPLAIN
+  /// ANALYZE transparent). Two queries differing only in literal values
+  /// share a fingerprint; the statement store aggregates on it. 0 means
+  /// "not fingerprinted".
+  uint64_t fingerprint = 0;
+  /// Normalized statement text matching the fingerprint: registry names,
+  /// `?` in place of every constant.
+  std::string normalized_sql;
+
   bool has_aggregates() const { return !tasks.empty(); }
 };
 

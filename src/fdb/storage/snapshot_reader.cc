@@ -10,6 +10,7 @@
 #include "fdb/core/factorisation.h"
 #include "fdb/core/update.h"
 #include "fdb/engine/database.h"
+#include "fdb/obs/log.h"
 #include "fdb/obs/metrics.h"
 #include "fdb/storage/format.h"
 #include "fdb/storage/snapshot.h"
@@ -752,6 +753,9 @@ Database Database::Open(const std::string& path) {
           "WAL commit groups replayed during Open");
   obs::ScopedLatency latency(open_hist);
   Database db = OpenSnapshot(storage::SnapshotMapping::FromFile(path));
+  // Counted locally as well as via the (process-wide) registry counters,
+  // so the recovery event describes *this* Open.
+  uint64_t my_deltas = 0;
   // Replay the delta chain, stopping at the first gap or stale epoch
   // (leftovers of a crashed fold are skipped, never misapplied).
   for (uint64_t seq = 1;; ++seq) {
@@ -763,6 +767,7 @@ Database Database::Open(const std::string& path) {
       break;
     }
     deltas_replayed.Inc();
+    ++my_deltas;
   }
   // Finally the write-ahead log: committed groups only (ReadWal dropped
   // any torn tail), applied in commit order, and only when the log's
@@ -770,7 +775,9 @@ Database Database::Open(const std::string& path) {
   // mismatched log predates a fold that already captured it.
   std::optional<storage::WalRecovery> rec = storage::ReadWal(
       path, db.snapshot_->epoch, db.snapshot_->deltas_replayed);
+  uint64_t my_groups = 0;
   if (rec.has_value()) {
+    my_groups = rec->groups.size();
     for (const std::vector<storage::WalOp>& group : rec->groups) {
       wal_groups_replayed.Inc();
       std::map<std::string, std::vector<BatchOp>> per_view;
@@ -790,6 +797,19 @@ Database Database::Open(const std::string& path) {
         }
       }
     }
+  }
+  if (obs::LogEnabled()) {
+    // Post-crash forensics: what this Open actually replayed, including
+    // whether a torn WAL tail was truncated and at which byte offset.
+    obs::EventLog::Instance().Emit(
+        obs::EventType::kRecovery,
+        {obs::F("path", path), obs::F("epoch", db.snapshot_->epoch),
+         obs::F("deltas_replayed", my_deltas),
+         obs::F("wal_groups_replayed", my_groups),
+         obs::F("wal_valid_bytes",
+                rec.has_value() ? rec->valid_bytes : uint64_t{0}),
+         obs::F("wal_truncated_tail",
+                rec.has_value() ? rec->truncated_tail : false)});
   }
   return db;
 }

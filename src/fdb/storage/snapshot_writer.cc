@@ -17,6 +17,7 @@
 
 #include "fdb/core/factorisation.h"
 #include "fdb/engine/database.h"
+#include "fdb/obs/log.h"
 #include "fdb/obs/metrics.h"
 #include "fdb/storage/format.h"
 #include "fdb/storage/io_env.h"
@@ -883,6 +884,11 @@ void Database::Save(const std::string& raw_path) const {
   storage::SaveStats stats;
   SaveLocked(path, &stats);
   save_bytes.Inc(stats.bytes_written);
+  if (obs::LogEnabled()) {
+    obs::EventLog::Instance().Emit(
+        obs::EventType::kSave,
+        {obs::F("path", path), obs::F("bytes", stats.bytes_written)});
+  }
   ResetWalAfterFoldLocked(path);
 }
 
@@ -916,6 +922,16 @@ storage::CheckpointInfo Database::Checkpoint(
     case storage::CheckpointInfo::kNoop:
       ckpt_noop.Inc();
       break;
+  }
+  if (obs::LogEnabled()) {
+    const char* kind = info.kind == storage::CheckpointInfo::kBase ? "base"
+                       : info.kind == storage::CheckpointInfo::kDelta
+                           ? "delta"
+                           : "noop";
+    obs::EventLog::Instance().Emit(
+        obs::EventType::kCheckpoint,
+        {obs::F("path", path), obs::F("kind", kind),
+         obs::F("bytes", info.bytes), obs::F("seq", info.seq)});
   }
   // On kNoop the log is necessarily empty and still correctly stamped
   // (every committed group makes HasChangesSince true until folded), so

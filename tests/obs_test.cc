@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "fdb/obs/log.h"
+#include "fdb/obs/statements.h"
 #include "fdb/obs/trace.h"
 #include "fdb/storage/io_env.h"
 
@@ -282,6 +284,91 @@ TEST(IoEnvTest, SnapshotCountsIsAtomicUnderWriters) {
   reaper.join();
   harvested += env.SnapshotCounts(/*reset=*/true)["obs_test_site"];
   EXPECT_EQ(harvested, static_cast<uint64_t>(kThreads) * kOps);
+}
+
+TEST(JsonEscapeTest, QuotesBackslashesAndControlChars) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(JsonEscape("C:\\temp\\x"), "C:\\\\temp\\\\x");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape("a\tb"), "a\\tb");
+  EXPECT_EQ(JsonEscape("a\rb"), "a\\rb");
+  EXPECT_EQ(JsonEscape(std::string("a\bb\fc")), "a\\bb\\fc");
+  // Control characters without a short form take the \u00XX spelling.
+  EXPECT_EQ(JsonEscape(std::string("a\x01z")), "a\\u0001z");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x1f')), "\\u001f");
+  // Embedded NUL must not truncate the string.
+  std::string nul("x");
+  nul.push_back('\0');
+  nul.push_back('y');
+  EXPECT_EQ(JsonEscape(nul), "x\\u0000y");
+  // Non-ASCII bytes (UTF-8 payload) pass through untouched.
+  EXPECT_EQ(JsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(TraceTest, ChromeJsonEscapesHostileNamesAndNotes) {
+  Trace tr;
+  int a = tr.Begin("outer \"quoted\"\\path");
+  tr.NoteStr(a, "note", "line1\nline2\ttabbed");
+  tr.NoteStr(a, "ctrl", std::string("bell\x07!"));
+  tr.End(a);
+  std::string chrome = tr.ToChromeJson();
+  // Escaped forms present...
+  EXPECT_NE(chrome.find("outer \\\"quoted\\\"\\\\path"), std::string::npos);
+  EXPECT_NE(chrome.find("line1\\nline2\\ttabbed"), std::string::npos);
+  EXPECT_NE(chrome.find("bell\\u0007!"), std::string::npos);
+  // ...and no raw control characters survive anywhere in the output.
+  for (char c : chrome) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u)
+        << "raw control character in Chrome-trace JSON";
+  }
+  // Quote parity: every '"' is a delimiter or properly escaped, so the
+  // count of unescaped quotes must be even.
+  size_t quotes = 0;
+  for (size_t i = 0; i < chrome.size(); ++i) {
+    if (chrome[i] == '"' && (i == 0 || chrome[i - 1] != '\\')) ++quotes;
+  }
+  EXPECT_EQ(quotes % 2, 0u);
+}
+
+TEST(EventLogTest, ToJsonEscapesFields) {
+  Event e;
+  e.seq = 7;
+  e.wall_us = 123;
+  e.type = EventType::kSave;
+  e.fields.push_back(F("path", "/tmp/\"odd\"\\dir\nname"));
+  std::string json = e.ToJson();
+  EXPECT_NE(json.find("\\\"odd\\\"\\\\dir\\nname"), std::string::npos);
+  for (char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+}
+
+TEST(ObsFastPathTest, DisabledStatementAndLogPathsDoNotAllocate) {
+  SetMetricsEnabled(false);
+  SetLogEnabled(false);
+  // Warm up the immortal singletons: first use registers/allocates.
+  StatementStore& store = StatementStore::Instance();
+  EventLog& log = EventLog::Instance();
+  const std::string text = "SELECT a FROM r";
+  store.Record(0x1234, text, true, 100, 1, false);
+  log.Clear();
+
+  int64_t before = g_allocs.load();
+  for (int i = 0; i < 10000; ++i) {
+    // Disabled metrics: Record must bail before touching any shard.
+    store.Record(0x1234, text, true, static_cast<uint64_t>(i), 1, false);
+    // Emission sites gate on LogEnabled() before assembling fields, so
+    // the disabled path is one relaxed load.
+    if (LogEnabled()) {
+      log.Emit(EventType::kSlowQuery, {F("latency_ms", i)});
+    }
+    ReportQueryCompletion(0x1234, text, true, static_cast<uint64_t>(i), 1,
+                          false);
+  }
+  int64_t after = g_allocs.load();
+  EXPECT_EQ(after - before, 0) << "disabled statement/log fast path "
+                                  "allocated on the heap";
 }
 
 TEST(ScopedLatencyTest, RecordsWhenEnabled) {

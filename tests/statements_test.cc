@@ -1,0 +1,249 @@
+#include "fdb/obs/statements.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fdb/engine/fdb_engine.h"
+#include "fdb/engine/rdb_engine.h"
+#include "fdb/obs/log.h"
+#include "fdb/obs/trace.h"
+#include "fdb/query/binder.h"
+#include "fdb/query/parser.h"
+#include "test_util.h"
+
+namespace fdb {
+namespace {
+
+using testing::MakePizzeria;
+using testing::Pizzeria;
+
+// Fresh observability state per test: the store and switches are
+// process-wide.
+class StatementsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SetMetricsEnabled(true);
+    obs::SetLogEnabled(false);
+    obs::StatementStore::Instance().Clear();
+  }
+  void TearDown() override {
+    obs::StatementStore::Instance().Clear();
+    obs::SetMetricsEnabled(false);
+  }
+};
+
+uint64_t Fingerprint(Database* db, const std::string& sql) {
+  return Bind(ParseSql(sql), db).fingerprint;
+}
+
+TEST_F(StatementsTest, FingerprintIgnoresConstants) {
+  Pizzeria p = MakePizzeria();
+  uint64_t a = Fingerprint(
+      p.db.get(), "SELECT customer FROM R WHERE price < 5");
+  uint64_t b = Fingerprint(
+      p.db.get(), "SELECT customer FROM R WHERE price < 99");
+  EXPECT_NE(a, 0u);
+  EXPECT_EQ(a, b) << "constant values must not change the fingerprint";
+
+  uint64_t lim1 = Fingerprint(
+      p.db.get(), "SELECT customer, sum(price) FROM R GROUP BY customer "
+                  "LIMIT 1");
+  uint64_t lim9 = Fingerprint(
+      p.db.get(), "SELECT customer, sum(price) FROM R GROUP BY customer "
+                  "LIMIT 9");
+  EXPECT_EQ(lim1, lim9);
+}
+
+TEST_F(StatementsTest, FingerprintSeparatesShapes) {
+  Pizzeria p = MakePizzeria();
+  uint64_t base = Fingerprint(p.db.get(), "SELECT customer FROM R");
+  // Different output column.
+  EXPECT_NE(base, Fingerprint(p.db.get(), "SELECT pizza FROM R"));
+  // Added predicate (same output).
+  EXPECT_NE(base, Fingerprint(
+                      p.db.get(), "SELECT customer FROM R WHERE price < 5"));
+  // Different comparison operator, same attribute and constant arity.
+  EXPECT_NE(
+      Fingerprint(p.db.get(), "SELECT customer FROM R WHERE price < 5"),
+      Fingerprint(p.db.get(), "SELECT customer FROM R WHERE price > 5"));
+  // Aggregate vs plain projection.
+  EXPECT_NE(base, Fingerprint(p.db.get(),
+                              "SELECT customer, sum(price) FROM R "
+                              "GROUP BY customer"));
+  // ORDER BY direction.
+  EXPECT_NE(
+      Fingerprint(p.db.get(), "SELECT customer, sum(price) AS s FROM R "
+                              "GROUP BY customer ORDER BY s"),
+      Fingerprint(p.db.get(), "SELECT customer, sum(price) AS s FROM R "
+                              "GROUP BY customer ORDER BY s DESC"));
+  // LIMIT present vs absent.
+  EXPECT_NE(base, Fingerprint(p.db.get(), "SELECT customer FROM R LIMIT 2"));
+}
+
+TEST_F(StatementsTest, ExplainAnalyzeSharesFingerprint) {
+  Pizzeria p = MakePizzeria();
+  uint64_t plain = Fingerprint(
+      p.db.get(), "SELECT customer, sum(price) FROM R GROUP BY customer");
+  uint64_t analyzed = Fingerprint(
+      p.db.get(),
+      "EXPLAIN ANALYZE SELECT customer, sum(price) FROM R GROUP BY customer");
+  EXPECT_EQ(plain, analyzed);
+}
+
+TEST_F(StatementsTest, NormalizedTextMasksConstants) {
+  Pizzeria p = MakePizzeria();
+  BoundQuery q = Bind(
+      ParseSql("SELECT customer FROM R WHERE price < 5 LIMIT 2"),
+      p.db.get());
+  EXPECT_EQ(q.normalized_sql.find("5"), std::string::npos);
+  EXPECT_EQ(q.normalized_sql.find("2"), std::string::npos);
+  EXPECT_NE(q.normalized_sql.find("?"), std::string::npos);
+  EXPECT_NE(q.normalized_sql.find("customer"), std::string::npos);
+}
+
+TEST_F(StatementsTest, AggregatesAcrossEnginesAndConstants) {
+  Pizzeria p = MakePizzeria();
+  FdbEngine fdb(p.db.get());
+  RdbEngine rdb(p.db.get());
+  // Three fdb runs with different constants, two rdb runs: one entry.
+  fdb.ExecuteSql("SELECT customer FROM R WHERE price < 2");
+  fdb.ExecuteSql("SELECT customer FROM R WHERE price < 5");
+  fdb.ExecuteSql("SELECT customer FROM R WHERE price < 9");
+  rdb.ExecuteSql("SELECT customer FROM R WHERE price < 5");
+  rdb.ExecuteSql("SELECT customer FROM R WHERE price < 7");
+
+  std::vector<obs::StatementRow> rows =
+      obs::StatementStore::Instance().Snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  const obs::StatementRow& r = rows[0];
+  EXPECT_EQ(r.calls, 5u);
+  EXPECT_EQ(r.calls_fdb, 3u);
+  EXPECT_EQ(r.calls_rdb, 2u);
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_GT(r.total_ns, 0u);
+  EXPECT_GE(r.max_ns, r.min_ns);
+  EXPECT_GE(r.total_ns, r.max_ns);
+  EXPECT_EQ(r.latency.count, 5u);
+  EXPECT_EQ(r.latency.sum, r.total_ns);
+  EXPECT_NE(r.text.find("?"), std::string::npos);
+}
+
+TEST_F(StatementsTest, MatchesExplainAnalyzeTimings) {
+  Pizzeria p = MakePizzeria();
+  FdbEngine fdb(p.db.get());
+  FdbResult res = fdb.ExecuteSql(
+      "EXPLAIN ANALYZE SELECT customer, sum(price) FROM R "
+      "GROUP BY customer");
+  ASSERT_NE(res.trace, nullptr);
+
+  std::vector<obs::StatementRow> rows =
+      obs::StatementStore::Instance().Snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  const obs::StatementRow& r = rows[0];
+  EXPECT_EQ(r.calls, 1u);
+  // One call: total == min == max, all equal to the measured latency.
+  EXPECT_EQ(r.total_ns, r.min_ns);
+  EXPECT_EQ(r.total_ns, r.max_ns);
+  // The statement latency wraps ExecuteImpl, which contains every
+  // engine-side trace span (input/optimise/ops/aggregate) — so it must
+  // dominate each of them (same steady clock).
+  for (const obs::TraceSpan& s : res.trace->Spans()) {
+    if (s.name == "parse" || s.name == "bind") continue;  // outside Execute
+    EXPECT_GE(r.total_ns, static_cast<uint64_t>(s.dur_ns)) << s.name;
+  }
+  // Traced run: the factorised-input footprint was sampled.
+  EXPECT_EQ(r.footprint_samples, 1u);
+  EXPECT_GT(r.last_singletons, 0u);
+  EXPECT_GT(r.last_flat_values, 0u);
+  EXPECT_GT(r.last_compression, 0.0);
+  EXPECT_EQ(r.rows, 3u);  // three customers
+}
+
+TEST_F(StatementsTest, RecordsErrors) {
+  Pizzeria p = MakePizzeria();
+  FdbEngine fdb(p.db.get());
+  // Bind against a real relation, then point FROM at a missing one: the
+  // failure happens inside Execute, which must record it and rethrow.
+  BoundQuery q = Bind(ParseSql("SELECT customer FROM Orders"), p.db.get());
+  q.from = {"NoSuchRelation"};
+  EXPECT_THROW(fdb.Execute(q), std::exception);
+
+  std::vector<obs::StatementRow> rows =
+      obs::StatementStore::Instance().Snapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].calls, 1u);
+  EXPECT_EQ(rows[0].errors, 1u);
+  EXPECT_EQ(rows[0].rows, 0u);
+}
+
+TEST_F(StatementsTest, DisabledMetricsRecordNothing) {
+  obs::SetMetricsEnabled(false);
+  Pizzeria p = MakePizzeria();
+  FdbEngine fdb(p.db.get());
+  fdb.ExecuteSql("SELECT customer FROM R");
+  EXPECT_EQ(obs::StatementStore::Instance().size(), 0u);
+}
+
+TEST_F(StatementsTest, CapAndLruEviction) {
+  obs::StatementStore& store = obs::StatementStore::Instance();
+  obs::Registry& reg = obs::Registry::Instance();
+  uint64_t evicted_before = reg.GetCounter("statements.evicted").Value();
+
+  // A small set of "hot" fingerprints recorded first...
+  std::vector<uint64_t> hot;
+  for (uint64_t i = 1; i <= 16; ++i) hot.push_back(i * 0x9E3779B97F4A7C15ull);
+  for (uint64_t fp : hot) store.Record(fp, "hot", true, 100, 1, false);
+
+  // ...then a flood of 20k distinct statements, with the hot set
+  // re-touched throughout so its recency stays fresh.
+  for (uint64_t i = 1; i <= 20000; ++i) {
+    store.Record(0x5851F42D4C957F2Dull * i + 12345, "cold", false, 50, 0,
+                 false);
+    if (i % 1000 == 0) {
+      for (uint64_t fp : hot) store.Record(fp, "hot", true, 100, 1, false);
+    }
+  }
+
+  EXPECT_LE(store.size(), obs::StatementStore::kMaxEntries);
+  uint64_t evicted = reg.GetCounter("statements.evicted").Value();
+  EXPECT_GT(evicted, evicted_before) << "a 20k flood must evict";
+
+  // LRU, not random: every re-touched hot statement survived the flood.
+  std::vector<obs::StatementRow> rows = store.Snapshot();
+  size_t hot_alive = 0;
+  for (const obs::StatementRow& r : rows) {
+    for (uint64_t fp : hot) {
+      if (r.fingerprint == fp) ++hot_alive;
+    }
+  }
+  EXPECT_EQ(hot_alive, hot.size());
+}
+
+TEST_F(StatementsTest, SlowQueryEventEmitted) {
+  obs::SetLogEnabled(true);
+  obs::EventLog& log = obs::EventLog::Instance();
+  log.Clear();
+  int64_t saved = log.slow_query_ns();
+  log.set_slow_query_ns(0);  // everything is slow
+
+  Pizzeria p = MakePizzeria();
+  FdbEngine fdb(p.db.get());
+  fdb.ExecuteSql("SELECT customer FROM R");
+
+  bool found = false;
+  for (const obs::Event& e : log.Snapshot()) {
+    if (e.type == obs::EventType::kSlowQuery) {
+      found = true;
+      EXPECT_NE(e.DetailString().find("customer"), std::string::npos);
+      EXPECT_NE(e.DetailString().find("engine=fdb"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+  log.set_slow_query_ns(saved);
+  obs::SetLogEnabled(false);
+}
+
+}  // namespace
+}  // namespace fdb

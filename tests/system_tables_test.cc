@@ -1,0 +1,175 @@
+#include "fdb/engine/database.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fdb/engine/fdb_engine.h"
+#include "fdb/engine/rdb_engine.h"
+#include "fdb/obs/log.h"
+#include "fdb/obs/sampler.h"
+#include "fdb/obs/statements.h"
+#include "test_util.h"
+
+namespace fdb {
+namespace {
+
+using testing::MakePizzeria;
+using testing::Pizzeria;
+using testing::SameBag;
+
+// Runs `sql` through both engines and asserts identical results — the
+// acceptance bar for every system table (they are ordinary relations to
+// the planner, so both paths must serve the same snapshot).
+void ExpectEnginesAgree(Pizzeria& p, const std::string& sql) {
+  FdbEngine fdb(p.db.get());
+  RdbEngine rdb(p.db.get());
+  FdbResult fr = fdb.ExecuteSql(sql);
+  RdbResult rr = rdb.ExecuteSql(sql);
+  EXPECT_TRUE(SameBag(fr.flat, rr.flat, p.db->registry())) << sql;
+}
+
+class SystemTablesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SetMetricsEnabled(true);
+    obs::SetLogEnabled(true);
+    obs::StatementStore::Instance().Clear();
+    obs::EventLog::Instance().Clear();
+  }
+  void TearDown() override {
+    obs::StatementStore::Instance().Clear();
+    obs::EventLog::Instance().Clear();
+    obs::SetLogEnabled(false);
+    obs::SetMetricsEnabled(false);
+  }
+};
+
+TEST_F(SystemTablesTest, StatementsTableServedIdenticallyByBothEngines) {
+  Pizzeria p = MakePizzeria();
+  FdbEngine fdb(p.db.get());
+  RdbEngine rdb(p.db.get());
+  fdb.ExecuteSql("SELECT customer, sum(price) FROM R GROUP BY customer");
+  fdb.ExecuteSql("SELECT customer, sum(price) FROM R GROUP BY customer");
+  rdb.ExecuteSql("SELECT pizza FROM R WHERE price < 5");
+
+  FdbResult fr = fdb.ExecuteSql("SELECT * FROM fdb.statements");
+  RdbResult rr = rdb.ExecuteSql("SELECT * FROM fdb.statements");
+  EXPECT_EQ(fr.flat.size(), 2u);  // two distinct statement shapes
+  EXPECT_TRUE(SameBag(fr.flat, rr.flat, p.db->registry()));
+
+  ExpectEnginesAgree(p, "SELECT fingerprint, calls, errors FROM "
+                        "fdb.statements");
+  ExpectEnginesAgree(p, "SELECT query, calls FROM fdb.statements "
+                        "ORDER BY query");
+  ExpectEnginesAgree(p, "SELECT fingerprint FROM fdb.statements "
+                        "WHERE calls > 1");
+}
+
+TEST_F(SystemTablesTest, StatementsTableReflectsRecordedAggregates) {
+  Pizzeria p = MakePizzeria();
+  FdbEngine fdb(p.db.get());
+  RdbEngine rdb(p.db.get());
+  fdb.ExecuteSql("SELECT customer FROM R WHERE price < 3");
+  fdb.ExecuteSql("SELECT customer FROM R WHERE price < 7");
+  rdb.ExecuteSql("SELECT customer FROM R WHERE price < 5");
+
+  FdbResult r = fdb.ExecuteSql(
+      "SELECT calls, calls_fdb, calls_rdb, errors FROM fdb.statements");
+  ASSERT_EQ(r.flat.size(), 1u);
+  const Tuple& row = r.flat.rows()[0];
+  EXPECT_EQ(row[0].as_int(), 3);
+  EXPECT_EQ(row[1].as_int(), 2);
+  EXPECT_EQ(row[2].as_int(), 1);
+  EXPECT_EQ(row[3].as_int(), 0);
+}
+
+TEST_F(SystemTablesTest, IntrospectionDoesNotRecordItself) {
+  Pizzeria p = MakePizzeria();
+  FdbEngine fdb(p.db.get());
+  for (int i = 0; i < 3; ++i) {
+    fdb.ExecuteSql("SELECT calls FROM fdb.statements");
+    fdb.ExecuteSql("SELECT seq FROM fdb.events");
+  }
+  EXPECT_EQ(obs::StatementStore::Instance().size(), 0u)
+      << "system-table queries must not pollute the statement store";
+}
+
+TEST_F(SystemTablesTest, EventsTableServedIdenticallyByBothEngines) {
+  Pizzeria p = MakePizzeria();
+  obs::EventLog::Instance().Emit(
+      obs::EventType::kSave,
+      {obs::F("path", "/tmp/a.fdbs"), obs::F("bytes", int64_t{123})});
+  obs::EventLog::Instance().Emit(
+      obs::EventType::kCheckpoint,
+      {obs::F("path", "/tmp/b.fdbs"), obs::F("kind", "base")});
+
+  FdbEngine fdb(p.db.get());
+  FdbResult r = fdb.ExecuteSql("SELECT * FROM fdb.events");
+  EXPECT_EQ(r.flat.size(), 2u);
+
+  ExpectEnginesAgree(p, "SELECT * FROM fdb.events");
+  ExpectEnginesAgree(p, "SELECT seq, event_type FROM fdb.events "
+                        "ORDER BY seq DESC");
+  ExpectEnginesAgree(p, "SELECT event_type, count(*) FROM fdb.events "
+                        "GROUP BY event_type");
+}
+
+TEST_F(SystemTablesTest, MetricsHistoryEmptyWithoutSampler) {
+  Pizzeria p = MakePizzeria();
+  FdbEngine fdb(p.db.get());
+  FdbResult r = fdb.ExecuteSql("SELECT * FROM fdb.metrics_history");
+  EXPECT_EQ(r.flat.size(), 0u);  // schema-only, not an error
+  ExpectEnginesAgree(p, "SELECT * FROM fdb.metrics_history");
+}
+
+TEST_F(SystemTablesTest, MetricsHistoryServedIdenticallyByBothEngines) {
+  Pizzeria p = MakePizzeria();
+  // Deterministic history: synchronous samples, no background thread.
+  p.db->StartMetricsSampler(/*interval_ms=*/3600 * 1000);
+  // Three synchronous samples: "sampler.ticks" itself only registers at
+  // the end of the first one, so its history starts at tick 2.
+  p.db->metrics_sampler()->SampleOnce();
+  p.db->metrics_sampler()->SampleOnce();
+  p.db->metrics_sampler()->SampleOnce();
+
+  FdbEngine fdb(p.db.get());
+  FdbResult r = fdb.ExecuteSql(
+      "SELECT metric, tick FROM fdb.metrics_history WHERE metric = "
+      "'sampler.ticks'");
+  EXPECT_GE(r.flat.size(), 2u);
+
+  ExpectEnginesAgree(p, "SELECT * FROM fdb.metrics_history");
+  ExpectEnginesAgree(p, "SELECT metric, value FROM fdb.metrics_history "
+                        "WHERE tick = 1");
+  ExpectEnginesAgree(p, "SELECT metric, count(*) FROM fdb.metrics_history "
+                        "GROUP BY metric ORDER BY metric LIMIT 5");
+  p.db->StopMetricsSampler();
+}
+
+TEST_F(SystemTablesTest, UnknownSystemTableErrors) {
+  Pizzeria p = MakePizzeria();
+  FdbEngine fdb(p.db.get());
+  RdbEngine rdb(p.db.get());
+  EXPECT_THROW(fdb.ExecuteSql("SELECT * FROM fdb.nope"), std::exception);
+  EXPECT_THROW(rdb.ExecuteSql("SELECT * FROM fdb.nope"), std::exception);
+  EXPECT_FALSE(Database::IsSystemTable("fdb.nope"));
+  EXPECT_TRUE(Database::IsSystemTable("fdb.statements"));
+  EXPECT_TRUE(Database::IsSystemTable("fdb.events"));
+  EXPECT_TRUE(Database::IsSystemTable("fdb.metrics_history"));
+}
+
+TEST_F(SystemTablesTest, SystemTablesJoinRegularPlanning) {
+  Pizzeria p = MakePizzeria();
+  FdbEngine fdb(p.db.get());
+  fdb.ExecuteSql("SELECT customer FROM R");
+  // Aggregates, HAVING, and LIMIT all work over a system table.
+  ExpectEnginesAgree(p, "SELECT query FROM fdb.statements LIMIT 1");
+  ExpectEnginesAgree(p,
+                     "SELECT event_type, count(*) AS n FROM fdb.events "
+                     "GROUP BY event_type HAVING n > 0");
+}
+
+}  // namespace
+}  // namespace fdb
