@@ -46,10 +46,19 @@
 //            \profile <path>
 //                           write the last traced query (EXPLAIN ANALYZE)
 //                           as a chrome://tracing JSON file
-//            \q             quit
+//            \connect host:port
+//                           client mode: speak the wire protocol to a
+//                           running fdb_server. SQL lines and \insert /
+//                           \delete / \begin / \commit / \rollback are
+//                           sent over the wire; other verbs stay local
+//            \disconnect    leave client mode
+//            \q             quit (stops the sampler and flushes the
+//                           FDB_LOG sink; Ctrl-C does the same)
 //
 // Prefix any query with EXPLAIN ANALYZE to run it and print the per-phase
 // trace: wall time, cardinalities, and the factorised-vs-flat size gap.
+
+#include <signal.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -69,9 +78,15 @@
 #include "fdb/obs/sampler.h"
 #include "fdb/obs/statements.h"
 #include "fdb/obs/trace.h"
+#include "fdb/serve/client.h"
 #include "fdb/workload/generator.h"
 
 using namespace fdb;
+
+// Ctrl-C: note it and let the interrupted getline() fall out of the main
+// loop, so the shell always leaves through the cleanup path below.
+static volatile sig_atomic_t g_interrupted = 0;
+static void OnInterrupt(int) { g_interrupted = 1; }
 
 // Parses "V 1,2,foo" into a view name and a tuple (integers where the
 // whole cell parses as one, strings otherwise).
@@ -95,6 +110,67 @@ static bool ParseTupleArg(const std::string& arg, std::string* view,
     tuple->push_back(Value(cell));
   }
   return !tuple->empty();
+}
+
+// Renders a tuple as a VALUES(...) literal list for the wire protocol's
+// SQL write syntax (\insert V 1,foo → INSERT INTO V VALUES (1, 'foo')).
+static std::string TupleToValuesList(const Tuple& tuple) {
+  std::string out = "(";
+  for (size_t i = 0; i < tuple.size(); ++i) {
+    if (i > 0) out += ", ";
+    const Value& v = tuple[i];
+    if (v.is_string()) {
+      out += '\'';
+      for (char c : v.as_string()) {
+        out += c;
+        if (c == '\'') out += '\'';  // '' escape
+      }
+      out += '\'';
+    } else {
+      out += v.ToString();
+    }
+  }
+  out += ")";
+  return out;
+}
+
+// Prints one wire-protocol statement outcome the way the local engines
+// print theirs: header, up to 25 rows, then the server-side stats line.
+static void PrintWireResult(const serve::Client::Result& res) {
+  if (res.retry) {
+    std::cout << "server busy: retry in " << res.retry_info.retry_after_ms
+              << " ms (" << res.retry_info.message << ")\n";
+    return;
+  }
+  if (!res.ok) {
+    std::cout << "error [" << serve::ErrorCodeName(res.error.code)
+              << "]: " << res.error.message << "\n";
+    return;
+  }
+  for (size_t i = 0; i < res.columns.size(); ++i) {
+    std::cout << (i > 0 ? " | " : "") << res.columns[i];
+  }
+  if (!res.columns.empty()) std::cout << "\n";
+  size_t shown = 0;
+  for (const std::vector<Value>& row : res.rows) {
+    if (++shown > 25) {
+      std::cout << "  ... " << res.rows.size() - 25 << " more rows\n";
+      break;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::cout << (i > 0 ? " | " : "") << row[i].ToString();
+    }
+    std::cout << "\n";
+  }
+  std::cout << "(" << res.stats.rows << " row"
+            << (res.stats.rows == 1 ? "" : "s") << ", "
+            << static_cast<double>(res.stats.elapsed_ns) / 1e6
+            << " ms server";
+  if (res.stats.queue_wait_ns > 0) {
+    std::cout << " + " << static_cast<double>(res.stats.queue_wait_ns) / 1e6
+              << " ms queued";
+  }
+  std::cout << ")\n";
 }
 
 int main(int argc, char** argv) {
@@ -127,12 +203,90 @@ int main(int argc, char** argv) {
   bool show_plan = false;
   bool timing = false;
   std::shared_ptr<obs::Trace> last_trace;
+  serve::Client client;
+
+  // No SA_RESTART: Ctrl-C interrupts the blocking read under getline so
+  // the loop exits and the cleanup below (sampler, log sink) still runs.
+  struct sigaction sa {};
+  sa.sa_handler = OnInterrupt;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGINT, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);  // a dead server must not kill the shell
 
   std::string line;
-  while (std::cout << (use_rdb ? "rdb> " : "fdb> ") && std::cout.flush() &&
-         std::getline(std::cin, line)) {
+  while (std::cout << (client.connected() ? "srv> "
+                       : use_rdb          ? "rdb> "
+                                          : "fdb> ") &&
+         std::cout.flush() && std::getline(std::cin, line)) {
     if (line.empty()) continue;
     if (line == "\\q") break;
+    if (line.rfind("\\connect ", 0) == 0) {
+      std::string target = line.substr(9);
+      size_t colon = target.rfind(':');
+      if (colon == std::string::npos) {
+        std::cout << "usage: \\connect host:port\n";
+        continue;
+      }
+      try {
+        client.Connect(target.substr(0, colon),
+                       std::atoi(target.c_str() + colon + 1));
+        std::cout << "connected to " << target
+                  << " — statements now run server-side (\\disconnect to "
+                     "return)\n";
+      } catch (const std::exception& e) {
+        std::cout << "error: " << e.what() << "\n";
+      }
+      continue;
+    }
+    if (line == "\\disconnect") {
+      if (client.connected()) {
+        client.Close();
+        std::cout << "disconnected — statements run locally again\n";
+      } else {
+        std::cout << "not connected\n";
+      }
+      continue;
+    }
+    if (client.connected()) {
+      // Client mode: SQL and the write/txn verbs go over the wire; the
+      // remaining backslash verbs fall through to the local handlers.
+      std::string stmt;
+      if (line[0] != '\\') {
+        stmt = line;
+      } else if (line == "\\begin" || line == "\\commit" ||
+                 line == "\\rollback") {
+        stmt = line == "\\begin"    ? "BEGIN"
+               : line == "\\commit" ? "COMMIT"
+                                    : "ROLLBACK";
+      } else if (line.rfind("\\insert ", 0) == 0 ||
+                 line.rfind("\\delete ", 0) == 0) {
+        std::string view;
+        Tuple tuple;
+        if (!ParseTupleArg(line.substr(8), &view, &tuple)) {
+          std::cout << "usage: " << line.substr(0, 7)
+                    << " <view> v1,v2,...\n";
+          continue;
+        }
+        stmt = (line[1] == 'i' ? "INSERT INTO " : "DELETE FROM ") + view +
+               " VALUES " + TupleToValuesList(tuple);
+      }
+      if (!stmt.empty()) {
+        try {
+          int64_t t0 = obs::NowNs();
+          serve::Client::Result res = client.Query(stmt);
+          PrintWireResult(res);
+          if (timing && res.ok) {
+            std::cout << "Time: "
+                      << static_cast<double>(obs::NowNs() - t0) / 1e6
+                      << " ms round trip\n";
+          }
+        } catch (const std::exception& e) {
+          std::cout << "connection lost: " << e.what() << "\n";
+        }
+        continue;
+      }
+    }
     if (line == "\\rdb") {
       use_rdb = !use_rdb;
       continue;
@@ -468,5 +622,13 @@ int main(int argc, char** argv) {
       std::cout << "error: " << e.what() << "\n";
     }
   }
+  // Orderly exit for \q, EOF, and Ctrl-C alike: close the wire session,
+  // stop the background sampler thread, and flush the FDB_LOG JSONL sink
+  // so no buffered events are lost.
+  if (g_interrupted) std::cout << "\n";
+  client.Close();
+  db.StopMetricsSampler();
+  obs::EventLog::Instance().SetSinkPath("");
+  std::cout << "bye\n";
   return 0;
 }

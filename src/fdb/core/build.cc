@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "fdb/core/fact_arena.h"
+#include "fdb/exec/cancel.h"
 #include "fdb/exec/task_pool.h"
 
 namespace fdb {
@@ -55,6 +56,7 @@ class TrieBuilder {
     }
     FactArena* arena;
     std::vector<Frame> frames;
+    uint32_t cancel_poll = 0;  // PollCancel counter for BuildNode's loop
   };
 
   std::vector<FactPtr> BuildRoots(FactArena& arena) {
@@ -397,6 +399,9 @@ class TrieBuilder {
     // Leapfrog-style sorted intersection over the participants.
     ValueRef cand;
     while (NextAgreedValue(fr.here, &cand, fr.ends)) {
+      // Time/cancel poll for the serving layer's limits: this loop is the
+      // build hot path (arena memory is charged separately in Allocate).
+      exec::PollCancel(&ctx.cancel_poll);
       // Matched value `cand`: recurse into children with narrowed ranges.
       bool all_ok = true;
       for (int c = 0; c < k && all_ok; ++c) {

@@ -5,9 +5,37 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "fdb/exec/cancel.h"
 #include "fdb/exec/task_pool.h"
 
 namespace fdb {
+
+namespace {
+
+// Cooperative limit hook for the enumeration output loops. Output rows
+// are plain Tuples, not arena nodes, so a flattening blow-up (huge
+// cross-product) escapes FactArena's charge hook — charge the row
+// footprint here, every 256 rows, alongside the time/cancel poll. With
+// no token armed each call is a counter bump and (rarely) one
+// thread-local load.
+class EnumLimiter {
+ public:
+  explicit EnumLimiter(int arity) : arity_(arity) {}
+  void Row() {
+    if ((++poll_ & 255u) != 0) return;
+    if (exec::CancelToken* t = exec::CurrentCancelToken()) {
+      t->ChargeMemory(256 * static_cast<int64_t>(arity_) *
+                      static_cast<int64_t>(sizeof(Value)));
+      t->Check();
+    }
+  }
+
+ private:
+  uint32_t poll_ = 0;
+  int arity_;
+};
+
+}  // namespace
 
 Enumerator::Enumerator(const Factorisation& f, std::vector<int> visit_order,
                        std::vector<SortDir> dirs)
@@ -286,7 +314,9 @@ Relation EnumerateToRelation(const Factorisation& f,
           Enumerator& ce = lo == 0 ? e : *local;
           ce.RestrictRoot(lo, hi);
           Tuple row(ce.schema().arity());
+          EnumLimiter lim(ce.schema().arity());
           while (ce.Next()) {
+            lim.Row();
             ce.FillFrom(&row, ce.ChangedFrom());
             dst->push_back(row);
           }
@@ -300,8 +330,10 @@ Relation EnumerateToRelation(const Factorisation& f,
       static_cast<size_t>(std::min(std::max<int64_t>(expect, 0),
                                    kMaxReserve)));
   Tuple row(e.schema().arity());
+  EnumLimiter lim(e.schema().arity());
   int64_t n = 0;
   while (e.Next()) {
+    lim.Row();
     if (limit.has_value() && n >= *limit) break;
     // Only the columns of the changed visit-order suffix need rewriting.
     e.FillFrom(&row, e.ChangedFrom());
@@ -333,7 +365,9 @@ Relation GroupAggToRelation(const Factorisation& f,
           GroupAggEnumerator& ce = lo == 0 ? e : *local;
           ce.RestrictRoot(lo, hi);
           Tuple row(ce.schema().arity());
+          EnumLimiter lim(ce.schema().arity());
           while (ce.Next()) {
+            lim.Row();
             ce.Fill(&row);
             dst->push_back(row);
           }
@@ -341,7 +375,9 @@ Relation GroupAggToRelation(const Factorisation& f,
     return out;
   }
   Tuple row(e.schema().arity());
+  EnumLimiter lim(e.schema().arity());
   while (e.Next()) {
+    lim.Row();
     if (limit.has_value() &&
         static_cast<int64_t>(out.size()) >= *limit) {
       break;

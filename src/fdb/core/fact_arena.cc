@@ -5,6 +5,8 @@
 #include <cstring>
 #include <new>
 
+#include "fdb/exec/cancel.h"
+
 namespace fdb {
 
 namespace {
@@ -26,6 +28,12 @@ const std::shared_ptr<FactArena>& FactArena::Scratch() {
 
 void* FactArena::Allocate(size_t bytes) {
   bytes = (bytes + 7) & ~size_t{7};
+  // Arena allocation is the single choke point for factorisation memory:
+  // charge it against the serving layer's per-query budget when one is
+  // armed on this thread (one thread-local load when not).
+  if (exec::CancelToken* t = exec::CurrentCancelToken()) {
+    t->ChargeMemory(static_cast<int64_t>(bytes));
+  }
   if (used_ + bytes > cap_) {
     size_t want = chunks_.empty()
                       ? kFirstChunk

@@ -1,3 +1,4 @@
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <string>
@@ -5,8 +6,10 @@
 
 #include "fdb/engine/database.h"
 #include "fdb/obs/log.h"
+#include "fdb/obs/metrics.h"
 #include "fdb/obs/sampler.h"
 #include "fdb/obs/statements.h"
+#include "fdb/serve/session_registry.h"
 
 namespace fdb {
 
@@ -115,6 +118,43 @@ Relation MetricsHistoryTable(Database& db) {
   return out;
 }
 
+Relation SessionsTable(Database& db) {
+  AttributeRegistry& reg = db.registry();
+  std::vector<AttrId> attrs = {
+      reg.Intern("session_id"), reg.Intern("peer"),
+      reg.Intern("age_us"),     reg.Intern("active"),
+      reg.Intern("queries"),    reg.Intern("rows_sent"),
+      reg.Intern("errors"),     reg.Intern("killed"),
+      reg.Intern("rejected"),   reg.Intern("writes"),
+      reg.Intern("commits"),    reg.Intern("rollbacks"),
+      reg.Intern("in_txn"),     reg.Intern("txn_ops")};
+  Relation out{RelSchema(std::move(attrs))};
+  int64_t now = obs::NowNs();
+  for (const auto& s : serve::SessionRegistry::Instance().Snapshot()) {
+    Tuple t;
+    t.reserve(14);
+    t.push_back(Value(static_cast<int64_t>(s->id)));
+    t.push_back(Value(s->peer));
+    t.push_back(Value(NsToUs(static_cast<uint64_t>(
+        std::max<int64_t>(0, now - s->opened_ns)))));
+    t.push_back(Value(static_cast<int64_t>(
+        s->active.load(std::memory_order_relaxed) ? 1 : 0)));
+    t.push_back(Value(s->queries.load(std::memory_order_relaxed)));
+    t.push_back(Value(s->rows_sent.load(std::memory_order_relaxed)));
+    t.push_back(Value(s->errors.load(std::memory_order_relaxed)));
+    t.push_back(Value(s->killed.load(std::memory_order_relaxed)));
+    t.push_back(Value(s->rejected.load(std::memory_order_relaxed)));
+    t.push_back(Value(s->writes.load(std::memory_order_relaxed)));
+    t.push_back(Value(s->commits.load(std::memory_order_relaxed)));
+    t.push_back(Value(s->rollbacks.load(std::memory_order_relaxed)));
+    t.push_back(Value(static_cast<int64_t>(
+        s->in_txn.load(std::memory_order_relaxed) ? 1 : 0)));
+    t.push_back(Value(s->txn_ops.load(std::memory_order_relaxed)));
+    out.Add(std::move(t));
+  }
+  return out;
+}
+
 struct SysTab {
   const char* name;
   Relation (*build)(Database&);
@@ -124,6 +164,7 @@ constexpr SysTab kSystemTables[] = {
     {"fdb.statements", &StatementsTable},
     {"fdb.events", &EventsTable},
     {"fdb.metrics_history", &MetricsHistoryTable},
+    {"fdb.sessions", &SessionsTable},
 };
 
 }  // namespace

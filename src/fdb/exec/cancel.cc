@@ -1,0 +1,91 @@
+#include "fdb/exec/cancel.h"
+
+#include "fdb/obs/metrics.h"
+
+namespace fdb {
+namespace exec {
+namespace {
+
+thread_local CancelToken* t_current = nullptr;
+
+}  // namespace
+
+const char* CancelReasonName(CancelReason r) {
+  switch (r) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kCancelled:
+      return "cancelled";
+    case CancelReason::kTimeout:
+      return "timeout";
+    case CancelReason::kMemory:
+      return "memory";
+  }
+  return "?";
+}
+
+void CancelToken::Arm(int64_t deadline_ns, int64_t mem_limit_bytes) {
+  deadline_ns_.store(deadline_ns > 0 ? deadline_ns : 0,
+                     std::memory_order_relaxed);
+  mem_limit_.store(mem_limit_bytes > 0 ? mem_limit_bytes : 0,
+                   std::memory_order_relaxed);
+  mem_used_.store(0, std::memory_order_relaxed);
+  reason_.store(static_cast<uint8_t>(CancelReason::kNone),
+                std::memory_order_relaxed);
+}
+
+void CancelToken::Trip(CancelReason r) {
+  uint8_t expected = static_cast<uint8_t>(CancelReason::kNone);
+  // First trip wins; later conditions keep the original reason.
+  reason_.compare_exchange_strong(expected, static_cast<uint8_t>(r),
+                                  std::memory_order_relaxed);
+}
+
+void CancelToken::Cancel() { Trip(CancelReason::kCancelled); }
+
+void CancelToken::ThrowTripped() {
+  CancelReason r = reason();
+  switch (r) {
+    case CancelReason::kTimeout:
+      throw QueryCancelled(r, "query cancelled: wall-time limit exceeded");
+    case CancelReason::kMemory:
+      throw QueryCancelled(
+          r, "query cancelled: arena-memory limit exceeded (" +
+                 std::to_string(memory_used()) + " bytes charged)");
+    default:
+      throw QueryCancelled(CancelReason::kCancelled,
+                           "query cancelled: server shutting down or "
+                           "connection closed");
+  }
+}
+
+void CancelToken::Check() {
+  if (cancelled()) ThrowTripped();
+  int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline > 0 && obs::NowNs() > deadline) {
+    Trip(CancelReason::kTimeout);
+    ThrowTripped();
+  }
+}
+
+void CancelToken::ChargeMemory(int64_t bytes) {
+  int64_t used = mem_used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  int64_t limit = mem_limit_.load(std::memory_order_relaxed);
+  if (limit > 0 && used > limit) {
+    Trip(CancelReason::kMemory);
+    // Throw only for the memory trip itself: an earlier external cancel
+    // or timeout surfaces at the next poll, not mid-allocation.
+    if (reason() == CancelReason::kMemory) ThrowTripped();
+  }
+}
+
+CancelToken* CurrentCancelToken() { return t_current; }
+
+CancelScope::CancelScope(CancelToken* token) : prev_(t_current) {
+  t_current = token;
+}
+
+CancelScope::~CancelScope() { t_current = prev_; }
+
+}  // namespace exec
+}  // namespace fdb

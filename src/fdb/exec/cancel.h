@@ -1,0 +1,133 @@
+#ifndef FDB_EXEC_CANCEL_H_
+#define FDB_EXEC_CANCEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace fdb {
+namespace exec {
+
+/// Cooperative per-query cancellation and resource limits.
+///
+/// A CancelToken carries three independent trip conditions — an external
+/// Cancel() (shutdown, client disconnect), a wall-clock deadline, and an
+/// arena-memory budget — and is checked *cooperatively*: the enumeration
+/// and build loops poll it every few hundred iterations, and FactArena
+/// charges every allocation against it. When a condition trips, the next
+/// poll throws QueryCancelled, which unwinds the query (through
+/// ParallelFor's first-exception rethrow on parallel paths) while leaving
+/// the Database, the session and every other in-flight query untouched.
+///
+/// Threading: the current token is a thread-local pointer installed by
+/// CancelScope. TaskPool::ParallelFor captures the caller's token and
+/// re-installs it inside every chunk execution, so a limit armed on the
+/// serving thread is enforced on every worker that runs part of the
+/// query. One token may be shared by any number of threads: all state is
+/// relaxed atomics, and tripping is idempotent.
+///
+/// Cost discipline: with no token installed (every non-served code path)
+/// a poll is one thread-local load and a predicted-taken branch; the
+/// arena charge hook is the same. Deadline checks read the clock only
+/// once per poll interval, never per row.
+
+/// Why a query was cancelled.
+enum class CancelReason : uint8_t {
+  kNone = 0,
+  kCancelled,  ///< external Cancel() — shutdown or client disconnect
+  kTimeout,    ///< wall-clock deadline exceeded
+  kMemory,     ///< arena-memory budget exceeded
+};
+
+/// Stable lowercase name ("cancelled", "timeout", "memory").
+const char* CancelReasonName(CancelReason r);
+
+/// Thrown by CancelToken::Check (and ChargeMemory) when a token trips.
+class QueryCancelled : public std::runtime_error {
+ public:
+  QueryCancelled(CancelReason reason, const std::string& what)
+      : std::runtime_error(what), reason_(reason) {}
+  CancelReason reason() const { return reason_; }
+
+ private:
+  CancelReason reason_;
+};
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Re-arms the token for one query: clears any previous trip and
+  /// installs the limits. `deadline_ns` is an absolute obs::NowNs()
+  /// timestamp (<= 0 = no deadline); `mem_limit_bytes` caps the arena
+  /// bytes charged while armed (<= 0 = no cap).
+  void Arm(int64_t deadline_ns, int64_t mem_limit_bytes);
+
+  /// Trips the token externally (graceful shutdown, disconnect).
+  /// Idempotent; never overrides an earlier trip reason.
+  void Cancel();
+
+  /// True once any condition tripped (one relaxed load).
+  bool cancelled() const {
+    return reason_.load(std::memory_order_relaxed) !=
+           static_cast<uint8_t>(CancelReason::kNone);
+  }
+  CancelReason reason() const {
+    return static_cast<CancelReason>(reason_.load(std::memory_order_relaxed));
+  }
+
+  /// Arena bytes charged since the last Arm().
+  int64_t memory_used() const {
+    return mem_used_.load(std::memory_order_relaxed);
+  }
+
+  /// Throws QueryCancelled if tripped; otherwise reads the clock and
+  /// trips (then throws) when past the deadline. The poll primitive.
+  void Check();
+
+  /// Accounts `bytes` of arena allocation against the budget; trips and
+  /// throws when the budget is newly exceeded. Called from
+  /// FactArena::Allocate via the current-token hook.
+  void ChargeMemory(int64_t bytes);
+
+ private:
+  void Trip(CancelReason r);
+  [[noreturn]] void ThrowTripped();
+
+  std::atomic<uint8_t> reason_{static_cast<uint8_t>(CancelReason::kNone)};
+  std::atomic<int64_t> deadline_ns_{0};
+  std::atomic<int64_t> mem_limit_{0};
+  std::atomic<int64_t> mem_used_{0};
+};
+
+/// The calling thread's current token (null = nothing to enforce).
+CancelToken* CurrentCancelToken();
+
+/// Installs `token` as the current token for this scope; restores the
+/// previous one on destruction (scopes nest).
+class CancelScope {
+ public:
+  explicit CancelScope(CancelToken* token);
+  ~CancelScope();
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+ private:
+  CancelToken* prev_;
+};
+
+/// The hot-loop poll: bumps `*counter` and, every `mask + 1` calls,
+/// checks the current token (if any). `mask` must be 2^k - 1. With no
+/// token installed the periodic check is one thread-local load.
+inline void PollCancel(uint32_t* counter, uint32_t mask = 255) {
+  if ((++*counter & mask) != 0) return;
+  if (CancelToken* t = CurrentCancelToken()) t->Check();
+}
+
+}  // namespace exec
+}  // namespace fdb
+
+#endif  // FDB_EXEC_CANCEL_H_

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <exception>
 
+#include "fdb/exec/cancel.h"
 #include "fdb/obs/log.h"
 #include "fdb/obs/metrics.h"
 
@@ -71,6 +72,7 @@ std::unique_ptr<TaskPool>& DefaultPoolSlot() {
 // a claimed chunk, which the caller's completion wait covers.
 struct ForJob {
   const std::function<void(int, int64_t, int64_t)>* body = nullptr;
+  CancelToken* token = nullptr;  // caller's token, re-installed per chunk
   int64_t n = 0;
   int64_t grain = 1;
   int64_t num_chunks = 0;
@@ -90,11 +92,17 @@ struct ForJob {
       if (part < 0) part = next_part.fetch_add(1, std::memory_order_relaxed);
       int64_t lo = c * grain;
       int64_t hi = std::min(n, lo + grain);
-      try {
-        (*body)(part, lo, hi);
-      } catch (...) {
-        std::lock_guard<std::mutex> g(mu);
-        if (error == nullptr) error = std::current_exception();
+      // A tripped token short-circuits remaining chunks: they are still
+      // claimed and counted (the completion wait needs every chunk
+      // accounted for) but their bodies never run.
+      if (token == nullptr || !token->cancelled()) {
+        try {
+          CancelScope scope(token);
+          (*body)(part, lo, hi);
+        } catch (...) {
+          std::lock_guard<std::mutex> g(mu);
+          if (error == nullptr) error = std::current_exception();
+        }
       }
       if (done_chunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           num_chunks) {
@@ -244,6 +252,7 @@ void TaskPool::ParallelFor(
   grain = std::max<int64_t>(1, grain);
   auto job = std::make_shared<ForJob>();
   job->body = &body;
+  job->token = CurrentCancelToken();
   job->n = n;
   job->grain = grain;
   job->num_chunks = (n + grain - 1) / grain;
@@ -258,6 +267,11 @@ void TaskPool::ParallelFor(
     job->cv.wait(lk, [&] { return job->all_done; });
     if (job->error != nullptr) std::rethrow_exception(job->error);
   }
+}
+
+int64_t TaskPool::ApproxPendingTasks() const {
+  std::lock_guard<std::mutex> g(sleep_mu_);
+  return pending_;
 }
 
 int ParallelForOrSerial(

@@ -65,9 +65,19 @@ class TaskPool {
   /// caller after all chunks drain. Nested calls are safe: the inner
   /// caller participates in its own range, so progress never depends on
   /// the pool having idle workers.
+  ///
+  /// Cancellation: the caller's current exec::CancelToken (if any) is
+  /// captured and installed around every chunk execution, so cooperative
+  /// limit polls inside `body` see it on whichever worker runs the
+  /// chunk; once the token trips, remaining unclaimed chunks are skipped.
   void ParallelFor(int64_t n, int64_t grain,
                    const std::function<void(int part, int64_t lo, int64_t hi)>&
                        body);
+
+  /// Queued-but-unclaimed task count — the admission layer's
+  /// backpressure probe. Approximate by nature (tasks land and drain
+  /// concurrently), exact at any quiescent moment.
+  int64_t ApproxPendingTasks() const;
 
  private:
   struct Worker {
@@ -80,7 +90,7 @@ class TaskPool {
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
-  std::mutex sleep_mu_;
+  mutable std::mutex sleep_mu_;
   std::condition_variable wake_;
   bool stop_ = false;
   int64_t pending_ = 0;      // queued-but-unclaimed tasks (sleep_mu_)

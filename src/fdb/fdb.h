@@ -30,6 +30,8 @@
 #include "fdb/optimizer/greedy.h"    // IWYU pragma: export
 #include "fdb/query/parser.h"        // IWYU pragma: export
 #include "fdb/relational/rdb_ops.h"  // IWYU pragma: export
+#include "fdb/serve/client.h"        // IWYU pragma: export
+#include "fdb/serve/server.h"        // IWYU pragma: export
 #include "fdb/workload/generator.h"  // IWYU pragma: export
 #include "fdb/workload/random_db.h"  // IWYU pragma: export
 

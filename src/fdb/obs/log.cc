@@ -41,6 +41,16 @@ const char* EventTypeName(EventType t) {
       return "wal_stall";
     case EventType::kPoolSaturation:
       return "pool_saturation";
+    case EventType::kSessionOpen:
+      return "session_open";
+    case EventType::kSessionClose:
+      return "session_close";
+    case EventType::kQueryKilled:
+      return "query_killed";
+    case EventType::kAdmissionReject:
+      return "admission_reject";
+    case EventType::kServerDrain:
+      return "server_drain";
   }
   return "?";
 }

@@ -50,6 +50,11 @@ enum class EventType : uint8_t {
   kCheckpoint,      ///< Database::Checkpoint (kind: base fold / delta / noop)
   kWalStall,        ///< a WAL commit-group append exceeded the threshold
   kPoolSaturation,  ///< TaskPool queue depth crossed the saturation mark
+  kSessionOpen,     ///< a serve session was accepted
+  kSessionClose,    ///< a serve session ended (carries per-session totals)
+  kQueryKilled,     ///< a served query hit its time/memory limit
+  kAdmissionReject, ///< admission queue full: statement rejected with retry
+  kServerDrain,     ///< the server began graceful shutdown
 };
 
 /// Stable lowercase name ("slow_query", "recovery", ...).

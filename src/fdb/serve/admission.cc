@@ -1,0 +1,129 @@
+#include "fdb/serve/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "fdb/obs/log.h"
+#include "fdb/obs/metrics.h"
+
+namespace fdb {
+namespace serve {
+namespace {
+
+obs::Counter& RejectsCounter() {
+  static obs::Counter& c = obs::Registry::Instance().GetCounter(
+      "serve.admission_rejects", "stmts",
+      "statements rejected by admission control with a retry hint");
+  return c;
+}
+
+obs::Histogram& WaitHistogram() {
+  static obs::Histogram& h = obs::Registry::Instance().GetHistogram(
+      "serve.admission_wait_ns", "ns",
+      "time admitted statements spent queued for an execution slot");
+  return h;
+}
+
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& g = obs::Registry::Instance().GetGauge(
+      "serve.admission_queue_depth", "stmts",
+      "high-water mark of the admission wait queue");
+  return g;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(const AdmissionConfig& cfg)
+    : cfg_(cfg) {
+  cfg_.max_concurrent = std::max(1, cfg_.max_concurrent);
+  cfg_.max_queue = std::max(0, cfg_.max_queue);
+  cfg_.queue_wait_ms = std::max<int64_t>(1, cfg_.queue_wait_ms);
+}
+
+uint64_t AdmissionController::EstimateRetryMs(int ahead) const {
+  // Live backlog estimate: mean served-query latency × queue position,
+  // spread over the concurrency width. Falls back to a small constant
+  // before any query has been recorded (or with metrics disabled).
+  obs::HistogramSnapshot s = obs::Registry::Instance()
+                                 .GetHistogram("engine.query_ns")
+                                 .Snapshot();
+  double mean_ms = s.count > 0 ? s.Mean() / 1e6 : 20.0;
+  if (mean_ms <= 0.0) mean_ms = 20.0;
+  double est = mean_ms * (ahead + 1) / cfg_.max_concurrent;
+  return static_cast<uint64_t>(std::clamp(est, 10.0, 5000.0));
+}
+
+AdmissionController::Ticket AdmissionController::Admit() {
+  Ticket t;
+  int64_t t0 = obs::NowNs();
+  std::unique_lock<std::mutex> lk(mu_);
+  if (closed_ ||
+      (active_ >= cfg_.max_concurrent && queued_ >= cfg_.max_queue)) {
+    int active_now = active_, queued_now = queued_;
+    t.retry_after_ms = EstimateRetryMs(active_now + queued_now);
+    lk.unlock();
+    RejectsCounter().Inc();
+    // Rejections are individually rare (the common overload path parks in
+    // the bounded queue first), so each one is worth an event.
+    if (obs::LogEnabled()) {
+      obs::EventLog::Instance().Emit(
+          obs::EventType::kAdmissionReject,
+          {obs::F("retry_after_ms", static_cast<int64_t>(t.retry_after_ms)),
+           obs::F("active", active_now), obs::F("queued", queued_now)});
+    }
+    return t;
+  }
+  ++queued_;
+  QueueDepthGauge().UpdateMax(queued_);
+  bool got = cv_.wait_for(lk, std::chrono::milliseconds(cfg_.queue_wait_ms),
+                          [&] { return closed_ || active_ < cfg_.max_concurrent; });
+  --queued_;
+  if (!got || closed_) {
+    t.retry_after_ms = EstimateRetryMs(active_ + queued_);
+    t.queue_wait_ns = static_cast<uint64_t>(obs::NowNs() - t0);
+    lk.unlock();
+    RejectsCounter().Inc();
+    if (obs::LogEnabled()) {
+      obs::EventLog::Instance().Emit(
+          obs::EventType::kAdmissionReject,
+          {obs::F("retry_after_ms", static_cast<int64_t>(t.retry_after_ms)),
+           obs::F("timed_out", true)});
+    }
+    return t;
+  }
+  ++active_;
+  t.admitted = true;
+  t.queue_wait_ns = static_cast<uint64_t>(obs::NowNs() - t0);
+  lk.unlock();
+  WaitHistogram().Record(t.queue_wait_ns);
+  return t;
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    --active_;
+  }
+  cv_.notify_one();
+}
+
+void AdmissionController::Close() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+int AdmissionController::active() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return active_;
+}
+
+int AdmissionController::queued() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return queued_;
+}
+
+}  // namespace serve
+}  // namespace fdb

@@ -1,0 +1,74 @@
+#ifndef FDB_SERVE_ADMISSION_H_
+#define FDB_SERVE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace fdb {
+namespace serve {
+
+/// Admission limits for one server. Zero means "unlimited" for the
+/// per-query limits; the queue bounds must be positive.
+struct AdmissionConfig {
+  int max_concurrent = 4;        ///< statements executing at once
+  int max_queue = 16;            ///< statements allowed to wait for a slot
+  int64_t queue_wait_ms = 2000;  ///< longest a statement may wait
+  int64_t query_timeout_ms = 0;  ///< per-query wall-time limit (0 = none)
+  int64_t query_mem_bytes = 0;   ///< per-query arena budget (0 = none)
+};
+
+/// A bounded run queue in front of execution: up to `max_concurrent`
+/// statements run, up to `max_queue` more wait (briefly — the pool drains
+/// in query-latency units), and everything beyond that is rejected
+/// immediately with a retry-after hint instead of queueing unboundedly.
+/// The hint is computed from live latency data: the mean of the
+/// `engine.query_ns` histogram (PR 8's per-statement record) times the
+/// number of statements ahead of the caller — so a saturated server tells
+/// clients how long the backlog actually is, not a constant.
+///
+/// Rejections and saturation emit `serve.admission_rejects` and the
+/// existing `pool_saturation` event, so the shell's `\log` shows overload
+/// the same way for in-process and served workloads.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& cfg);
+
+  struct Ticket {
+    bool admitted = false;
+    uint64_t queue_wait_ns = 0;    ///< time spent waiting for the slot
+    uint64_t retry_after_ms = 0;   ///< backoff hint when rejected
+  };
+
+  /// Blocks until a slot frees (bounded by queue_wait_ms) or rejects.
+  /// Rejects immediately when the wait queue is full or the controller
+  /// is closed. A ticket with admitted=true must be paired with
+  /// Release().
+  Ticket Admit();
+  void Release();
+
+  /// Wakes every waiter with a rejection and rejects all future Admit()s
+  /// (graceful shutdown). Idempotent.
+  void Close();
+
+  int active() const;
+  int queued() const;
+  const AdmissionConfig& config() const { return cfg_; }
+
+  /// The retry-after estimate for a caller with `ahead` statements ahead
+  /// of it (exposed for tests; Admit() fills tickets with it).
+  uint64_t EstimateRetryMs(int ahead) const;
+
+ private:
+  AdmissionConfig cfg_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int active_ = 0;
+  int queued_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace serve
+}  // namespace fdb
+
+#endif  // FDB_SERVE_ADMISSION_H_

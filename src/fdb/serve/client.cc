@@ -1,0 +1,146 @@
+#include "fdb/serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace fdb {
+namespace serve {
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& o) noexcept
+    : fd_(std::exchange(o.fd_, -1)), dec_(std::move(o.dec_)) {}
+
+Client& Client::operator=(Client&& o) noexcept {
+  if (this != &o) {
+    Close();
+    fd_ = std::exchange(o.fd_, -1);
+    dec_ = std::move(o.dec_);
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  dec_ = FrameDecoder();
+}
+
+void Client::Connect(const std::string& host, int port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    throw std::runtime_error("bad server address " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    std::string err = std::strerror(errno);
+    Close();
+    throw std::runtime_error("connect " + host + ":" + std::to_string(port) +
+                             ": " + err);
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  WriteFrame(FrameType::kHello, EncodeHello());
+  Frame f = ReadFrame();
+  if (f.type == FrameType::kRetry) {
+    RetryInfo info = DecodeRetry(f.payload);
+    Close();
+    throw std::runtime_error("server refused session: " + info.message);
+  }
+  if (f.type != FrameType::kHello) {
+    Close();
+    throw WireError("handshake: expected Hello, got another frame");
+  }
+  DecodeHello(f.payload);
+}
+
+void Client::WriteFrame(FrameType type, const std::vector<uint8_t>& payload) {
+  std::vector<uint8_t> out;
+  AppendFrame(&out, type, payload.data(), payload.size());
+  size_t off = 0;
+  while (off < out.size()) {
+    ssize_t w = ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      std::string err = std::strerror(errno);
+      Close();
+      throw std::runtime_error("send: " + err);
+    }
+    off += static_cast<size_t>(w);
+  }
+}
+
+Frame Client::ReadFrame() {
+  Frame f;
+  uint8_t buf[16 * 1024];
+  while (!dec_.Next(&f)) {
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) {
+      Close();
+      throw std::runtime_error("server closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      std::string err = std::strerror(errno);
+      Close();
+      throw std::runtime_error("recv: " + err);
+    }
+    dec_.Feed(buf, static_cast<size_t>(n));
+  }
+  return f;
+}
+
+Client::Result Client::Query(const std::string& statement) {
+  if (fd_ < 0) throw std::runtime_error("not connected");
+  WriteFrame(FrameType::kQuery, std::vector<uint8_t>(statement.begin(),
+                                                     statement.end()));
+  Result res;
+  for (;;) {
+    Frame f = ReadFrame();
+    switch (f.type) {
+      case FrameType::kSchema:
+        res.columns = DecodeSchema(f.payload);
+        break;
+      case FrameType::kRow:
+        res.rows.push_back(
+            DecodeRow(f.payload, static_cast<int>(res.columns.size())));
+        break;
+      case FrameType::kDone:
+        res.ok = true;
+        res.stats = DecodeDone(f.payload);
+        return res;
+      case FrameType::kError:
+        res.error = DecodeError(f.payload);
+        // A protocol error means the server is dropping us.
+        if (res.error.code == kErrProtocol) Close();
+        return res;
+      case FrameType::kRetry:
+        res.retry = true;
+        res.retry_info = DecodeRetry(f.payload);
+        return res;
+      default:
+        Close();
+        throw WireError("unexpected server frame");
+    }
+  }
+}
+
+}  // namespace serve
+}  // namespace fdb

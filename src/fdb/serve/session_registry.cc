@@ -1,0 +1,60 @@
+#include "fdb/serve/session_registry.h"
+
+#include <map>
+#include <mutex>
+
+#include "fdb/obs/metrics.h"
+
+namespace fdb {
+namespace serve {
+
+struct SessionRegistry::Impl {
+  mutable std::mutex mu;
+  std::map<uint64_t, std::shared_ptr<SessionStats>> live;
+  uint64_t next_id = 1;
+  uint64_t total_opened = 0;
+};
+
+SessionRegistry::SessionRegistry() : impl_(new Impl()) {}
+
+SessionRegistry& SessionRegistry::Instance() {
+  static SessionRegistry* r = new SessionRegistry();
+  return *r;
+}
+
+std::shared_ptr<SessionStats> SessionRegistry::Open(const std::string& peer) {
+  auto stats = std::make_shared<SessionStats>();
+  stats->peer = peer;
+  stats->opened_ns = obs::NowNs();
+  std::lock_guard<std::mutex> g(impl_->mu);
+  stats->id = impl_->next_id++;
+  ++impl_->total_opened;
+  impl_->live[stats->id] = stats;
+  return stats;
+}
+
+void SessionRegistry::Close(uint64_t id) {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  impl_->live.erase(id);
+}
+
+std::vector<std::shared_ptr<SessionStats>> SessionRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  std::vector<std::shared_ptr<SessionStats>> out;
+  out.reserve(impl_->live.size());
+  for (const auto& [id, s] : impl_->live) out.push_back(s);
+  return out;
+}
+
+uint64_t SessionRegistry::total_opened() const {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  return impl_->total_opened;
+}
+
+size_t SessionRegistry::live() const {
+  std::lock_guard<std::mutex> g(impl_->mu);
+  return impl_->live.size();
+}
+
+}  // namespace serve
+}  // namespace fdb

@@ -1,0 +1,62 @@
+#ifndef FDB_SERVE_SESSION_REGISTRY_H_
+#define FDB_SERVE_SESSION_REGISTRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fdb {
+namespace serve {
+
+/// Live per-session counters, updated lock-free by the owning session
+/// thread and read by the `fdb.sessions` system table. One instance per
+/// connection, owned jointly by the Session and the registry (shared_ptr,
+/// so a snapshot taken mid-disconnect stays valid).
+struct SessionStats {
+  uint64_t id = 0;
+  std::string peer;              ///< "host:port" of the client
+  int64_t opened_ns = 0;         ///< obs::NowNs() at accept
+  std::atomic<int64_t> queries{0};
+  std::atomic<int64_t> rows_sent{0};
+  std::atomic<int64_t> errors{0};
+  std::atomic<int64_t> killed{0};     ///< queries stopped at a limit
+  std::atomic<int64_t> rejected{0};   ///< admission rejections
+  std::atomic<int64_t> writes{0};     ///< inserts + deletes applied
+  std::atomic<int64_t> commits{0};
+  std::atomic<int64_t> rollbacks{0};
+  std::atomic<bool> in_txn{false};
+  std::atomic<int64_t> txn_ops{0};    ///< ops buffered in the open txn
+  std::atomic<bool> active{false};    ///< a statement is executing now
+};
+
+/// Process-wide registry of live serve sessions. Deliberately free of any
+/// socket dependency: `engine/system_tables.cc` reads it to build
+/// `fdb.sessions` without pulling the network layer into the engine.
+class SessionRegistry {
+ public:
+  static SessionRegistry& Instance();
+
+  /// Registers a new session and returns its stats block (id assigned).
+  std::shared_ptr<SessionStats> Open(const std::string& peer);
+  /// Removes a session (its stats block stays valid for live snapshots).
+  void Close(uint64_t id);
+
+  /// The live sessions, ordered by id.
+  std::vector<std::shared_ptr<SessionStats>> Snapshot() const;
+
+  /// Sessions ever opened / currently live.
+  uint64_t total_opened() const;
+  size_t live() const;
+
+ private:
+  SessionRegistry();
+  struct Impl;
+  Impl* impl_;  // immortal
+};
+
+}  // namespace serve
+}  // namespace fdb
+
+#endif  // FDB_SERVE_SESSION_REGISTRY_H_

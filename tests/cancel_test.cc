@@ -1,0 +1,187 @@
+#include "fdb/exec/cancel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "fdb/engine/database.h"
+#include "fdb/engine/fdb_engine.h"
+#include "fdb/exec/task_pool.h"
+#include "fdb/obs/metrics.h"
+#include "fdb/workload/generator.h"
+
+// Cooperative cancellation: token semantics, propagation into ParallelFor
+// workers, and end-to-end enforcement against real engine queries.
+
+namespace fdb {
+namespace {
+
+TEST(CancelTokenTest, UntrippedTokenIsTransparent) {
+  exec::CancelToken t;
+  t.Arm(0, 0);  // no deadline, no memory cap
+  EXPECT_FALSE(t.cancelled());
+  EXPECT_NO_THROW(t.Check());
+  EXPECT_NO_THROW(t.ChargeMemory(1 << 30));
+  EXPECT_EQ(t.reason(), exec::CancelReason::kNone);
+}
+
+TEST(CancelTokenTest, ExternalCancelTripsOnceAndSticks) {
+  exec::CancelToken t;
+  t.Arm(0, 0);
+  t.Cancel();
+  ASSERT_TRUE(t.cancelled());
+  EXPECT_EQ(t.reason(), exec::CancelReason::kCancelled);
+  try {
+    t.Check();
+    FAIL() << "Check must throw after Cancel";
+  } catch (const exec::QueryCancelled& e) {
+    EXPECT_EQ(e.reason(), exec::CancelReason::kCancelled);
+  }
+  // A later deadline trip must not override the first reason.
+  t.Cancel();
+  EXPECT_EQ(t.reason(), exec::CancelReason::kCancelled);
+}
+
+TEST(CancelTokenTest, DeadlineTripsAsTimeout) {
+  exec::CancelToken t;
+  t.Arm(obs::NowNs() - 1, 0);  // already in the past
+  EXPECT_THROW(t.Check(), exec::QueryCancelled);
+  EXPECT_EQ(t.reason(), exec::CancelReason::kTimeout);
+}
+
+TEST(CancelTokenTest, MemoryBudgetTripsAtTheBoundary) {
+  exec::CancelToken t;
+  t.Arm(0, 1000);
+  EXPECT_NO_THROW(t.ChargeMemory(600));
+  EXPECT_EQ(t.memory_used(), 600);
+  EXPECT_THROW(t.ChargeMemory(600), exec::QueryCancelled);
+  EXPECT_EQ(t.reason(), exec::CancelReason::kMemory);
+}
+
+TEST(CancelTokenTest, RearmClearsThePreviousTrip) {
+  exec::CancelToken t;
+  t.Arm(0, 10);
+  EXPECT_THROW(t.ChargeMemory(100), exec::QueryCancelled);
+  t.Arm(0, 0);
+  EXPECT_FALSE(t.cancelled());
+  EXPECT_EQ(t.memory_used(), 0);
+  EXPECT_NO_THROW(t.Check());
+}
+
+TEST(CancelTokenTest, ScopeInstallsAndRestores) {
+  EXPECT_EQ(exec::CurrentCancelToken(), nullptr);
+  exec::CancelToken outer, inner;
+  {
+    exec::CancelScope a(&outer);
+    EXPECT_EQ(exec::CurrentCancelToken(), &outer);
+    {
+      exec::CancelScope b(&inner);
+      EXPECT_EQ(exec::CurrentCancelToken(), &inner);
+    }
+    EXPECT_EQ(exec::CurrentCancelToken(), &outer);
+  }
+  EXPECT_EQ(exec::CurrentCancelToken(), nullptr);
+}
+
+TEST(CancelTokenTest, PollCancelHonoursTheMask) {
+  exec::CancelToken t;
+  t.Arm(0, 0);
+  t.Cancel();
+  exec::CancelScope scope(&t);
+  uint32_t counter = 0;
+  // Counter goes 1..255 without a check, throws on the 256th call.
+  for (int i = 0; i < 255; ++i) {
+    EXPECT_NO_THROW(exec::PollCancel(&counter));
+  }
+  EXPECT_THROW(exec::PollCancel(&counter), exec::QueryCancelled);
+}
+
+TEST(CancelTokenTest, ParallelForWorkersSeeTheCallersToken) {
+  exec::TaskPool pool(4);
+  exec::CancelToken t;
+  t.Arm(0, 0);
+  exec::CancelScope scope(&t);
+  std::atomic<int> token_seen{0};
+  pool.ParallelFor(64, 1, [&](int, int64_t, int64_t) {
+    if (exec::CurrentCancelToken() == &t) {
+      token_seen.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(token_seen.load(), 64);
+}
+
+TEST(CancelTokenTest, CancelledTokenSkipsRemainingChunksWithoutHanging) {
+  exec::TaskPool pool(4);
+  exec::CancelToken t;
+  t.Arm(0, 0);
+  exec::CancelScope scope(&t);
+  std::atomic<int> ran{0};
+  // Trip the token from inside the first chunks; ParallelFor must still
+  // complete (skipped chunks are counted) and most chunks never run.
+  pool.ParallelFor(1000, 1, [&](int, int64_t lo, int64_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+    if (lo == 0) t.Cancel();
+  });
+  EXPECT_TRUE(t.cancelled());
+  EXPECT_LT(ran.load(), 1000);
+}
+
+// --- end-to-end enforcement against the real engine ---------------------
+
+class CancelEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    InstallWorkload(&db_, SmallParams(4), "R1");
+    db_.AddRelation("R1flat", db_.view("R1")->Flatten());
+  }
+  Database db_;
+};
+
+TEST_F(CancelEngineTest, ExpiredDeadlineKillsAQueryCleanly) {
+  FdbEngine engine(&db_);
+  exec::CancelToken t;
+  t.Arm(obs::NowNs() - 1, 0);
+  exec::CancelScope scope(&t);
+  bool threw = false;
+  try {
+    // A wide projection: thousands of output rows, so the enumeration
+    // poll (every 256 rows) fires many times.
+    engine.ExecuteSql("SELECT customer, item FROM R1");
+  } catch (const exec::QueryCancelled& e) {
+    threw = true;
+    EXPECT_EQ(e.reason(), exec::CancelReason::kTimeout);
+  }
+  EXPECT_TRUE(threw);
+  // The database is untouched: the same query runs fine without a token.
+  exec::CancelScope clear(nullptr);
+  EXPECT_NO_THROW(engine.ExecuteSql("SELECT customer FROM R1"));
+}
+
+TEST_F(CancelEngineTest, TinyMemoryBudgetKillsABuildingQuery) {
+  FdbEngine engine(&db_);
+  exec::CancelToken t;
+  t.Arm(0, 512);  // no real query fits in half a KiB of arena
+  exec::CancelScope scope(&t);
+  bool threw = false;
+  try {
+    engine.ExecuteSql(
+        "SELECT customer, item FROM R1 ORDER BY customer");
+  } catch (const exec::QueryCancelled& e) {
+    threw = true;
+    EXPECT_EQ(e.reason(), exec::CancelReason::kMemory);
+    EXPECT_GT(t.memory_used(), 512);
+  }
+  EXPECT_TRUE(threw);
+}
+
+TEST_F(CancelEngineTest, NoTokenMeansNoLimits) {
+  ASSERT_EQ(exec::CurrentCancelToken(), nullptr);
+  FdbEngine engine(&db_);
+  EXPECT_NO_THROW(engine.ExecuteSql(
+      "SELECT customer, sum(price) AS revenue FROM R1 GROUP BY customer"));
+}
+
+}  // namespace
+}  // namespace fdb

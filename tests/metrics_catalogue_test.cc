@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -14,6 +16,10 @@
 #include "fdb/obs/metrics.h"
 #include "fdb/obs/sampler.h"
 #include "fdb/obs/statements.h"
+#include "fdb/serve/admission.h"
+#include "fdb/serve/client.h"
+#include "fdb/serve/server.h"
+#include "fdb/serve/session.h"
 #include "test_util.h"
 
 // Drift check for README.md's metrics catalogue: exercise every
@@ -63,6 +69,41 @@ void ExerciseSubsystems() {
   // Sampler (sampler.ticks).
   obs::MetricsSampler sampler;
   sampler.SampleOnce();
+
+  // Serve path (serve.*): a live server with one read + one write over
+  // the wire, a rejected admission, and a memory-killed statement.
+  {
+    serve::Server server(&db, serve::ServerConfig{});
+    server.Start();
+    serve::Client c;
+    c.Connect("127.0.0.1", server.port());
+    c.Query("SELECT cat_a, cat_b FROM V");
+    c.Query("INSERT INTO V VALUES (200, 2000)");
+    c.Close();
+    server.Shutdown();
+
+    serve::AdmissionConfig tight;
+    tight.max_concurrent = 1;
+    tight.max_queue = 0;
+    serve::AdmissionController adm(tight);
+    adm.Admit();
+    adm.Admit();  // saturated: rejected (serve.admission_rejects)
+    adm.Release();
+
+    serve::AdmissionConfig limited;
+    limited.query_mem_bytes = 1;  // every query dies (serve.queries_killed)
+    serve::AdmissionController adm2(limited);
+    std::mutex write_mu;
+    std::atomic<bool> draining{false};
+    serve::ServeContext ctx;
+    ctx.db = &db;
+    ctx.admission = &adm2;
+    ctx.write_mu = &write_mu;
+    ctx.draining = &draining;
+    serve::Session session(ctx, -1, "catalogue");
+    std::vector<uint8_t> out;
+    session.HandleStatement("SELECT cat_a, cat_b FROM V", &out);
+  }
 }
 
 TEST(MetricsCatalogueTest, ReadmeDocumentsEveryRegisteredMetric) {

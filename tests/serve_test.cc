@@ -1,0 +1,505 @@
+#include "fdb/serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fdb/core/build.h"
+#include "fdb/engine/database.h"
+#include "fdb/obs/metrics.h"
+#include "fdb/serve/admission.h"
+#include "fdb/serve/client.h"
+#include "fdb/serve/session.h"
+#include "fdb/serve/session_registry.h"
+#include "fdb/workload/generator.h"
+#include "test_util.h"
+
+// The serve path end to end: real sockets, concurrent sessions,
+// transactions over the wire, admission backpressure, per-query limits
+// and graceful shutdown. Servers bind ephemeral loopback ports so tests
+// never collide.
+
+namespace fdb {
+namespace serve {
+namespace {
+
+using testing::Row;
+
+/// The shell's demo workload plus a small updatable view "V" for writes.
+void FillDb(Database* db, int scale) {
+  InstallWorkload(db, SmallParams(scale), "R1");
+  AttrId a = db->Attr("va"), b = db->Attr("vb");
+  Relation r{RelSchema({a, b})};
+  for (int64_t x = 0; x < 50; ++x) r.Add({Value(x / 10), Value(x)});
+  db->AddView("V", FactoriseRelation(r, {a, b}));
+}
+
+int64_t CountV(Client* c) {
+  Client::Result res = c->Query("SELECT va, vb FROM V");
+  EXPECT_TRUE(res.ok) << res.error.message;
+  return static_cast<int64_t>(res.rows.size());
+}
+
+// --- admission controller (no sockets) ----------------------------------
+
+TEST(AdmissionTest, AdmitsUpToTheConcurrencyLimit) {
+  AdmissionConfig cfg;
+  cfg.max_concurrent = 2;
+  cfg.max_queue = 0;
+  AdmissionController adm(cfg);
+  AdmissionController::Ticket t1 = adm.Admit();
+  AdmissionController::Ticket t2 = adm.Admit();
+  EXPECT_TRUE(t1.admitted);
+  EXPECT_TRUE(t2.admitted);
+  EXPECT_EQ(adm.active(), 2);
+
+  // Saturated with no queue: the third caller is rejected immediately
+  // with a positive backoff hint — never blocked.
+  AdmissionController::Ticket t3 = adm.Admit();
+  EXPECT_FALSE(t3.admitted);
+  EXPECT_GT(t3.retry_after_ms, 0u);
+
+  adm.Release();
+  adm.Release();
+  EXPECT_EQ(adm.active(), 0);
+  EXPECT_TRUE(adm.Admit().admitted);
+  adm.Release();
+}
+
+TEST(AdmissionTest, QueuedCallerGetsTheSlotWhenReleased) {
+  AdmissionConfig cfg;
+  cfg.max_concurrent = 1;
+  cfg.max_queue = 1;
+  cfg.queue_wait_ms = 10000;  // far longer than the test
+  AdmissionController adm(cfg);
+  ASSERT_TRUE(adm.Admit().admitted);
+
+  std::atomic<bool> admitted{false};
+  std::thread waiter([&] {
+    AdmissionController::Ticket t = adm.Admit();
+    admitted.store(t.admitted);
+    if (t.admitted) adm.Release();
+  });
+  // Give the waiter time to enqueue, then free the slot.
+  while (adm.queued() == 0) std::this_thread::yield();
+  adm.Release();
+  waiter.join();
+  EXPECT_TRUE(admitted.load());
+}
+
+TEST(AdmissionTest, QueueWaitDeadlineRejectsInsteadOfHanging) {
+  AdmissionConfig cfg;
+  cfg.max_concurrent = 1;
+  cfg.max_queue = 1;
+  cfg.queue_wait_ms = 50;
+  AdmissionController adm(cfg);
+  ASSERT_TRUE(adm.Admit().admitted);
+  AdmissionController::Ticket t = adm.Admit();  // waits 50 ms, then rejects
+  EXPECT_FALSE(t.admitted);
+  EXPECT_GE(t.queue_wait_ns, 40ull * 1000 * 1000);
+  adm.Release();
+}
+
+TEST(AdmissionTest, CloseWakesWaitersAndRejectsEveryoneAfter) {
+  AdmissionConfig cfg;
+  cfg.max_concurrent = 1;
+  cfg.max_queue = 4;
+  cfg.queue_wait_ms = 60000;
+  AdmissionController adm(cfg);
+  ASSERT_TRUE(adm.Admit().admitted);
+  std::atomic<int> rejected{0};
+  std::thread waiter([&] {
+    if (!adm.Admit().admitted) rejected.fetch_add(1);
+  });
+  while (adm.queued() == 0) std::this_thread::yield();
+  adm.Close();
+  waiter.join();
+  EXPECT_EQ(rejected.load(), 1);
+  EXPECT_FALSE(adm.Admit().admitted);
+}
+
+// --- statement layer without sockets ------------------------------------
+
+std::vector<Frame> DecodeAll(const std::vector<uint8_t>& bytes) {
+  FrameDecoder dec;
+  dec.Feed(bytes.data(), bytes.size());
+  std::vector<Frame> frames;
+  Frame f;
+  while (dec.Next(&f)) frames.push_back(f);
+  return frames;
+}
+
+class SessionLimitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FillDb(&db_, 4);
+    write_mu_ = std::make_unique<std::mutex>();
+  }
+
+  std::unique_ptr<Session> MakeSession(const AdmissionConfig& cfg) {
+    admission_ = std::make_unique<AdmissionController>(cfg);
+    ServeContext ctx;
+    ctx.db = &db_;
+    ctx.admission = admission_.get();
+    ctx.write_mu = write_mu_.get();
+    ctx.draining = &draining_;
+    return std::make_unique<Session>(ctx, -1, "test");
+  }
+
+  Database db_;
+  std::unique_ptr<AdmissionController> admission_;
+  std::unique_ptr<std::mutex> write_mu_;
+  std::atomic<bool> draining_{false};
+};
+
+TEST_F(SessionLimitTest, MemoryCapKillsTheQueryWithATypedError) {
+  AdmissionConfig cfg;
+  cfg.query_mem_bytes = 256 << 10;  // far below the big join's footprint
+  std::unique_ptr<Session> s = MakeSession(cfg);
+
+  std::vector<uint8_t> out;
+  s->HandleStatement("SELECT customer, date, package, item, price FROM R1",
+                     &out);
+  std::vector<Frame> frames = DecodeAll(out);
+  ASSERT_FALSE(frames.empty());
+  ASSERT_EQ(frames.back().type, FrameType::kError);
+  ErrorInfo err = DecodeError(frames.back().payload);
+  EXPECT_EQ(err.code, kErrMemory);
+  EXPECT_EQ(s->stats()->killed.load(), 1);
+
+  // The session survives the kill: a small statement runs fine after it.
+  out.clear();
+  s->HandleStatement("SELECT va, vb FROM V", &out);
+  frames = DecodeAll(out);
+  ASSERT_FALSE(frames.empty());
+  EXPECT_EQ(frames.back().type, FrameType::kDone)
+      << (frames.back().type == FrameType::kError
+              ? DecodeError(frames.back().payload).message
+              : "");
+}
+
+TEST_F(SessionLimitTest, WallTimeCapKillsTheQueryWithATypedError) {
+  AdmissionConfig cfg;
+  cfg.query_timeout_ms = 1;  // no full-join statement finishes in 1 ms
+  std::unique_ptr<Session> s = MakeSession(cfg);
+
+  std::vector<uint8_t> out;
+  s->HandleStatement(
+      "SELECT customer, date, package, item, price FROM R1 ORDER BY price",
+      &out);
+  std::vector<Frame> frames = DecodeAll(out);
+  ASSERT_FALSE(frames.empty());
+  ASSERT_EQ(frames.back().type, FrameType::kError);
+  EXPECT_EQ(DecodeError(frames.back().payload).code, kErrTimeout);
+
+  out.clear();
+  s->HandleStatement("SELECT va, vb FROM V", &out);
+  frames = DecodeAll(out);
+  ASSERT_FALSE(frames.empty());
+  EXPECT_EQ(frames.back().type, FrameType::kDone);
+}
+
+TEST_F(SessionLimitTest, ParseAndTxnErrorsAreTypedAndNonFatal) {
+  std::unique_ptr<Session> s = MakeSession(AdmissionConfig{});
+
+  std::vector<uint8_t> out;
+  s->HandleStatement("SELEKT nonsense", &out);
+  std::vector<Frame> frames = DecodeAll(out);
+  ASSERT_EQ(frames.size(), 1u);
+  ASSERT_EQ(frames[0].type, FrameType::kError);
+  EXPECT_EQ(DecodeError(frames[0].payload).code, kErrParse);
+
+  out.clear();
+  s->HandleStatement("COMMIT", &out);  // no BEGIN
+  frames = DecodeAll(out);
+  ASSERT_EQ(frames.size(), 1u);
+  ASSERT_EQ(frames[0].type, FrameType::kError);
+  EXPECT_EQ(DecodeError(frames[0].payload).code, kErrTxn);
+
+  out.clear();
+  s->HandleStatement("SELECT va, vb FROM V", &out);
+  frames = DecodeAll(out);
+  EXPECT_EQ(frames.back().type, FrameType::kDone);
+}
+
+TEST(ParseWriteTest, RecognisesWritesAndRejectsMalformedOnes) {
+  bool is_insert = false;
+  std::string view;
+  Tuple tuple;
+  ASSERT_TRUE(ParseWriteStatement("INSERT INTO V VALUES (1, 2.5, 'a''b', NULL);",
+                                  &is_insert, &view, &tuple));
+  EXPECT_TRUE(is_insert);
+  EXPECT_EQ(view, "V");
+  ASSERT_EQ(tuple.size(), 4u);
+  EXPECT_EQ(tuple[0].as_int(), 1);
+  EXPECT_EQ(tuple[1].as_double(), 2.5);
+  EXPECT_EQ(tuple[2].as_string(), "a'b");
+  EXPECT_TRUE(tuple[3].is_null());
+
+  tuple.clear();
+  ASSERT_TRUE(ParseWriteStatement("delete from V values (7, 8)", &is_insert,
+                                  &view, &tuple));
+  EXPECT_FALSE(is_insert);
+
+  // Not writes at all.
+  EXPECT_FALSE(ParseWriteStatement("SELECT 1", &is_insert, &view, &tuple));
+  EXPECT_FALSE(ParseWriteStatement("BEGIN", &is_insert, &view, &tuple));
+
+  // Writes, but malformed: typed parse failure, not a crash.
+  EXPECT_THROW(ParseWriteStatement("INSERT INTO V", &is_insert, &view, &tuple),
+               std::invalid_argument);
+  EXPECT_THROW(ParseWriteStatement("INSERT INTO V VALUES (1", &is_insert,
+                                   &view, &tuple),
+               std::invalid_argument);
+  EXPECT_THROW(ParseWriteStatement("INSERT INTO V VALUES (1) trailing",
+                                   &is_insert, &view, &tuple),
+               std::invalid_argument);
+}
+
+// --- full server over real sockets --------------------------------------
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerConfig cfg, int scale = 3) {
+    FillDb(&db_, scale);
+    server_ = std::make_unique<Server>(&db_, cfg);
+    server_->Start();
+    ASSERT_GT(server_->port(), 0);
+  }
+
+  Client Connect() {
+    Client c;
+    c.Connect("127.0.0.1", server_->port());
+    return c;
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Shutdown();
+  }
+
+  Database db_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(ServerTest, QueryOverTheWireMatchesLocalExecution) {
+  StartServer(ServerConfig{});
+  Client c = Connect();
+  Client::Result res = c.Query(
+      "SELECT customer, sum(price) AS revenue FROM R1 GROUP BY customer");
+  ASSERT_TRUE(res.ok) << res.error.message;
+  ASSERT_EQ(res.columns.size(), 2u);
+  EXPECT_EQ(res.columns[0], "customer");
+  EXPECT_EQ(res.rows.size(), res.stats.rows);
+  EXPECT_GT(res.rows.size(), 0u);
+  EXPECT_GT(res.stats.elapsed_ns, 0u);
+}
+
+TEST_F(ServerTest, ManyConcurrentClientsMixedReadWrite) {
+  ServerConfig cfg;
+  cfg.admission.max_concurrent = 4;
+  cfg.admission.max_queue = 64;
+  cfg.admission.queue_wait_ms = 30000;
+  StartServer(cfg);
+
+  constexpr int kClients = 8;
+  constexpr int kStatements = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int ci = 0; ci < kClients; ++ci) {
+    threads.emplace_back([&, ci] {
+      try {
+        Client c;
+        c.Connect("127.0.0.1", server_->port());
+        for (int q = 0; q < kStatements; ++q) {
+          Client::Result res;
+          if (q % 3 == 2) {
+            // Distinct tuple per (client, statement): no-op-free inserts.
+            res = c.Query("INSERT INTO V VALUES (" + std::to_string(100 + ci) +
+                          ", " + std::to_string(1000 + ci * 100 + q) + ")");
+          } else {
+            res = c.Query(
+                "SELECT customer, sum(price) AS revenue FROM R1 "
+                "GROUP BY customer");
+          }
+          if (!res.ok && !res.retry) failures.fetch_add(1);
+        }
+        c.Close();
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Every insert landed exactly once (distinct tuples, atomic writes).
+  Client c = Connect();
+  EXPECT_EQ(CountV(&c), 50 + kClients * (kStatements / 3));
+  c.Close();
+}
+
+TEST_F(ServerTest, TransactionsOverTheWire) {
+  StartServer(ServerConfig{});
+  Client writer = Connect();
+  Client reader = Connect();
+  int64_t before = CountV(&reader);
+
+  ASSERT_TRUE(writer.Query("BEGIN").ok);
+  ASSERT_TRUE(writer.Query("INSERT INTO V VALUES (900, 9000)").ok);
+  ASSERT_TRUE(writer.Query("INSERT INTO V VALUES (900, 9001)").ok);
+  // Buffered writes are session-local until COMMIT.
+  EXPECT_EQ(CountV(&reader), before);
+  ASSERT_TRUE(writer.Query("COMMIT").ok);
+  EXPECT_EQ(CountV(&reader), before + 2);
+
+  // ROLLBACK drops the buffer.
+  ASSERT_TRUE(writer.Query("BEGIN").ok);
+  ASSERT_TRUE(writer.Query("INSERT INTO V VALUES (901, 9100)").ok);
+  ASSERT_TRUE(writer.Query("ROLLBACK").ok);
+  EXPECT_EQ(CountV(&reader), before + 2);
+
+  // A session closing with an open transaction must not leak it into the
+  // database: the buffer dies with the session.
+  ASSERT_TRUE(writer.Query("BEGIN").ok);
+  ASSERT_TRUE(writer.Query("INSERT INTO V VALUES (902, 9200)").ok);
+  writer.Close();
+  EXPECT_EQ(CountV(&reader), before + 2);
+  reader.Close();
+}
+
+TEST_F(ServerTest, SessionsSystemTableSeesLiveSessions) {
+  StartServer(ServerConfig{});
+  Client c = Connect();
+  ASSERT_TRUE(c.Query("SELECT customer FROM R1 GROUP BY customer").ok);
+  Client::Result res = c.Query(
+      "SELECT session_id, peer, queries, rows_sent FROM fdb.sessions");
+  ASSERT_TRUE(res.ok) << res.error.message;
+  // At least this session, with at least one completed query.
+  ASSERT_GE(res.rows.size(), 1u);
+  bool found = false;
+  for (const std::vector<Value>& row : res.rows) {
+    if (row[2].as_int() >= 1) found = true;
+  }
+  EXPECT_TRUE(found);
+  c.Close();
+}
+
+TEST_F(ServerTest, SaturationYieldsTypedRetriesNotHangs) {
+  obs::SetMetricsEnabled(true);
+  ServerConfig cfg;
+  cfg.admission.max_concurrent = 1;
+  cfg.admission.max_queue = 0;  // reject instantly when busy
+  StartServer(cfg, /*scale=*/4);
+
+  constexpr int kClients = 6;
+  std::atomic<int> retries{0}, oks{0}, hard_failures{0};
+  std::vector<std::thread> threads;
+  for (int ci = 0; ci < kClients; ++ci) {
+    threads.emplace_back([&] {
+      try {
+        Client c;
+        c.Connect("127.0.0.1", server_->port());
+        for (int q = 0; q < 10; ++q) {
+          Client::Result res = c.Query(
+              "SELECT customer, item FROM R1 ORDER BY customer");
+          if (res.retry) {
+            retries.fetch_add(1);
+            EXPECT_GT(res.retry_info.retry_after_ms, 0u);
+          } else if (res.ok) {
+            oks.fetch_add(1);
+          } else {
+            hard_failures.fetch_add(1);
+          }
+        }
+        c.Close();
+      } catch (const std::exception&) {
+        hard_failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(hard_failures.load(), 0);
+  EXPECT_GT(oks.load(), 0);
+  // Six clients hammering a single slot with no queue: rejections are
+  // effectively certain; the bound being tested is "reject, don't hang".
+  EXPECT_GT(retries.load(), 0);
+
+  // The server still serves once the burst is over.
+  Client c = Connect();
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    Client::Result res = c.Query("SELECT va, vb FROM V");
+    if (res.ok) break;
+    ASSERT_TRUE(res.retry);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  c.Close();
+}
+
+TEST_F(ServerTest, SessionCapRefusesExtraConnections) {
+  ServerConfig cfg;
+  cfg.max_sessions = 1;
+  StartServer(cfg);
+  Client first = Connect();
+  EXPECT_THROW(
+      {
+        Client second;
+        second.Connect("127.0.0.1", server_->port());
+      },
+      std::runtime_error);
+  first.Close();
+}
+
+TEST_F(ServerTest, GracefulShutdownDisconnectsIdleSessions) {
+  StartServer(ServerConfig{});
+  Client c = Connect();
+  ASSERT_TRUE(c.Query("SELECT va, vb FROM V").ok);
+
+  server_->Shutdown();
+  EXPECT_TRUE(server_->draining());
+
+  // The drained session is gone: the next statement fails cleanly.
+  EXPECT_THROW((void)c.Query("SELECT va, vb FROM V"), std::runtime_error);
+  // And the listener is closed: new connections are refused.
+  EXPECT_THROW(
+      {
+        Client again;
+        again.Connect("127.0.0.1", server_->port());
+      },
+      std::runtime_error);
+
+  EXPECT_EQ(SessionRegistry::Instance().live(), 0);
+  server_->Shutdown();  // idempotent
+}
+
+TEST_F(ServerTest, ShutdownKillsARunawayStatement) {
+  ServerConfig cfg;
+  cfg.drain_ms = 200;  // short grace period, then the token trips
+  StartServer(cfg, /*scale=*/4);
+
+  Client c = Connect();
+  std::atomic<bool> got_response{false};
+  std::thread runner([&] {
+    try {
+      // Heavy statement: likely still executing when Shutdown() fires.
+      (void)c.Query(
+          "SELECT customer, date, package, item, price FROM R1 "
+          "ORDER BY price");
+    } catch (const std::exception&) {
+    }
+    got_response.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server_->Shutdown();  // must return despite the in-flight statement
+  runner.join();
+  EXPECT_TRUE(got_response.load());
+  EXPECT_EQ(SessionRegistry::Instance().live(), 0);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace fdb
