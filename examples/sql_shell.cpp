@@ -12,6 +12,9 @@
 //            \save <path>   snapshot the whole database to a *.fdbs file
 //            \open <path>   replace the database with a saved snapshot
 //                           (views reopen lazily, zero-copy via mmap)
+//            \check         run the deep invariant checker (fdb/check)
+//                           over every view, the dictionary, and the
+//                           on-disk chain; prints each issue found
 //            \checkpoint <path>
 //                           incremental persistence: the first call (or a
 //                           fold) writes a base snapshot, later calls
@@ -69,6 +72,7 @@
 #include <string>
 #include <vector>
 
+#include "fdb/check/check.h"
 #include "fdb/core/stats.h"
 #include "fdb/engine/fdb_engine.h"
 #include "fdb/engine/rdb_engine.h"
@@ -476,6 +480,14 @@ int main(int argc, char** argv) {
         std::cout << FactStatsToString(*r1, db.registry());
       } else {
         std::cout << "error: no view R1 in the current database\n";
+      }
+      continue;
+    }
+    if (line == "\\check") {
+      try {
+        std::cout << check::ValidateDatabase(db).ToString();
+      } catch (const std::exception& e) {
+        std::cout << "error: " << e.what() << "\n";
       }
       continue;
     }

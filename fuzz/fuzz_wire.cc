@@ -1,0 +1,47 @@
+// Fuzz target: the wire-protocol FrameDecoder plus every typed payload
+// decoder behind it (promoted from wire_test's ad-hoc mutation loop).
+// Invariant: arbitrary bytes either decode cleanly or throw WireError —
+// no crash, no wild read, no unbounded allocation.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "fdb/serve/wire.h"
+#include "fuzz_driver.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace fdb::serve;
+  FrameDecoder dec;
+  try {
+    dec.Feed(data, size);
+    Frame f;
+    while (dec.Next(&f)) {
+      switch (f.type) {
+        case FrameType::kHello:
+          DecodeHello(f.payload);
+          break;
+        case FrameType::kSchema:
+          (void)DecodeSchema(f.payload);
+          break;
+        case FrameType::kRow:
+          (void)DecodeRow(f.payload, 4);
+          break;
+        case FrameType::kDone:
+          (void)DecodeDone(f.payload);
+          break;
+        case FrameType::kError:
+          (void)DecodeError(f.payload);
+          break;
+        case FrameType::kRetry:
+          (void)DecodeRetry(f.payload);
+          break;
+        case FrameType::kQuery:
+          // Query payloads are free-form statement text.
+          break;
+      }
+    }
+  } catch (const WireError&) {
+    // Malformed input rejected cleanly — the invariant holds.
+  }
+  return 0;
+}

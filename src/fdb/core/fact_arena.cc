@@ -40,6 +40,7 @@ void* FactArena::Allocate(size_t bytes) {
                       : std::min(cap_ * 2, kMaxChunk);
     want = std::max(want, bytes);
     chunks_.push_back(std::make_unique<std::byte[]>(want));
+    chunk_sizes_.push_back(want);
     cap_ = want;
     used_ = 0;
   }
@@ -71,6 +72,26 @@ bool FactArena::KeepsAlive(const FactArena* other) const {
   if (other == this) return true;
   for (const auto& p : parents_) {
     if (p.get() == other) return true;
+  }
+  return false;
+}
+
+bool FactArena::OwnsNodeMemory(const FactNode* node) const {
+  const std::byte* p = reinterpret_cast<const std::byte*>(node);
+  for (size_t i = 0; i < chunks_.size(); ++i) {
+    const std::byte* lo = chunks_[i].get();
+    if (p >= lo && p + sizeof(FactNode) <= lo + chunk_sizes_[i]) return true;
+  }
+  return false;
+}
+
+bool FactArena::ChainOwnsNode(FactPtr node) const {
+  if (node == EmptyNode()) return true;
+  if (OwnsNodeMemory(node)) return true;
+  for (const auto& p : parents_) {
+    // Parents are flattened to depth one, but a parent may itself be a
+    // MappedArena whose override must run — hence the virtual probe.
+    if (p->OwnsNodeMemory(node)) return true;
   }
   return false;
 }

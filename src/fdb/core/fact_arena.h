@@ -98,6 +98,18 @@ class FactArena {
   /// node (ABA).
   bool KeepsAlive(const FactArena* other) const;
 
+  /// True if `node`'s header lies inside memory this arena itself
+  /// allocated (not its adopted parents). Subclasses with out-of-chunk
+  /// node storage (MappedArena) extend the test to it. An O(#chunks)
+  /// probe for the invariant checker, not a hot path.
+  virtual bool OwnsNodeMemory(const FactNode* node) const;
+
+  /// True if `node` is the canonical empty union, owned by this arena,
+  /// or owned by any arena this one keeps alive — i.e. the node cannot
+  /// dangle while this arena lives. The checker's reachability test for
+  /// cross-arena leaks.
+  bool ChainOwnsNode(FactPtr node) const;
+
   /// The canonical empty union (static storage; never in any arena).
   static FactPtr EmptyNode();
 
@@ -130,6 +142,7 @@ class FactArena {
 
   const uint64_t generation_ = NextGeneration();
   std::vector<std::unique_ptr<std::byte[]>> chunks_;
+  std::vector<size_t> chunk_sizes_;  ///< capacity of each chunk
   std::vector<std::shared_ptr<const FactArena>> parents_;
   size_t used_ = 0;
   size_t cap_ = 0;

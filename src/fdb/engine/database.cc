@@ -27,7 +27,7 @@ Database::Database(const Database& other)
       relations_(other.relations_),
       relation_versions_(other.relation_versions_),
       snapshot_(other.snapshot_) {
-  std::lock_guard<std::mutex> g(other.mu_);
+  base::MutexLock g(&other.mu_);
   views_ = other.views_;
 }
 
@@ -38,13 +38,13 @@ Database& Database::operator=(const Database& other) {
   relations_ = other.relations_;
   relation_versions_ = other.relation_versions_;
   {
-    std::lock_guard<std::mutex> g(persist_mu_);
+    base::MutexLock g(&persist_mu_);
     persist_.reset();
   }
   {
     // The old logical state is being replaced wholesale: a log bound to
     // it must not keep recording on behalf of the new one.
-    std::lock_guard<std::mutex> g(txn_mu_);
+    base::MutexLock g(&txn_mu_);
     wal_.reset();
     wal_base_.clear();
     in_txn_ = false;
@@ -53,10 +53,10 @@ Database& Database::operator=(const Database& other) {
   snapshot_ = other.snapshot_;
   std::shared_ptr<const ViewMap> v;
   {
-    std::lock_guard<std::mutex> g(other.mu_);
+    base::MutexLock g(&other.mu_);
     v = other.views_;
   }
-  std::lock_guard<std::mutex> g(mu_);
+  base::MutexLock g(&mu_);
   views_ = std::move(v);
   return *this;
 }
@@ -78,11 +78,11 @@ Database::Database(Database&& other) noexcept
       relation_versions_(std::move(other.relation_versions_)),
       snapshot_(std::move(other.snapshot_)) {
   {
-    std::lock_guard<std::mutex> g(other.persist_mu_);
+    base::MutexLock g(&other.persist_mu_);
     persist_ = std::move(other.persist_);
   }
   {
-    std::lock_guard<std::mutex> g(other.txn_mu_);
+    base::MutexLock g(&other.txn_mu_);
     wal_ = std::move(other.wal_);
     wal_base_ = std::exchange(other.wal_base_, {});
     in_txn_ = std::exchange(other.in_txn_, false);
@@ -90,10 +90,10 @@ Database::Database(Database&& other) noexcept
     other.pending_.clear();
   }
   {
-    std::lock_guard<std::mutex> g(other.sampler_mu_);
+    base::MutexLock g(&other.sampler_mu_);
     sampler_ = std::move(other.sampler_);
   }
-  std::lock_guard<std::mutex> g(other.mu_);
+  base::MutexLock g(&other.mu_);
   views_ = std::exchange(other.views_,
                          std::make_shared<const ViewMap>());
 }
@@ -107,10 +107,10 @@ Database& Database::operator=(Database&& other) noexcept {
   {
     std::shared_ptr<storage::PersistState> p;
     {
-      std::lock_guard<std::mutex> g(other.persist_mu_);
+      base::MutexLock g(&other.persist_mu_);
       p = std::move(other.persist_);
     }
-    std::lock_guard<std::mutex> g(persist_mu_);
+    base::MutexLock g(&persist_mu_);
     persist_ = std::move(p);
   }
   {
@@ -119,14 +119,14 @@ Database& Database::operator=(Database&& other) noexcept {
     bool in_txn = false;
     std::vector<storage::WalOp> pending;
     {
-      std::lock_guard<std::mutex> g(other.txn_mu_);
+      base::MutexLock g(&other.txn_mu_);
       w = std::move(other.wal_);
       base = std::exchange(other.wal_base_, {});
       in_txn = std::exchange(other.in_txn_, false);
       pending = std::move(other.pending_);
       other.pending_.clear();
     }
-    std::lock_guard<std::mutex> g(txn_mu_);
+    base::MutexLock g(&txn_mu_);
     wal_ = std::move(w);
     wal_base_ = std::move(base);
     in_txn_ = in_txn;
@@ -136,20 +136,20 @@ Database& Database::operator=(Database&& other) noexcept {
   {
     std::shared_ptr<obs::MetricsSampler> s;
     {
-      std::lock_guard<std::mutex> g(other.sampler_mu_);
+      base::MutexLock g(&other.sampler_mu_);
       s = std::move(other.sampler_);
     }
-    std::lock_guard<std::mutex> g(sampler_mu_);
+    base::MutexLock g(&sampler_mu_);
     sampler_ = std::move(s);
   }
   std::shared_ptr<const ViewMap> v;
   {
-    std::lock_guard<std::mutex> g(other.mu_);
+    base::MutexLock g(&other.mu_);
     // Leave the moved-from database as a valid empty one (views_ is
     // dereferenced unconditionally by every accessor).
     v = std::exchange(other.views_, std::make_shared<const ViewMap>());
   }
-  std::lock_guard<std::mutex> g(mu_);
+  base::MutexLock g(&mu_);
   views_ = std::move(v);
   return *this;
 }
@@ -180,7 +180,7 @@ uint64_t Database::relation_version(const std::string& name) const {
 
 void Database::PublishView(const std::string& name,
                            std::shared_ptr<const Factorisation> fp) {
-  std::lock_guard<std::mutex> g(mu_);
+  base::MutexLock g(&mu_);
   auto next = std::make_shared<ViewMap>(*views_);
   (*next)[name] = std::move(fp);
   views_ = std::move(next);
@@ -190,7 +190,7 @@ void Database::AddView(const std::string& name, Factorisation f) {
   auto fp = std::make_shared<const Factorisation>(std::move(f));
   // Serialised with UpdateView: a direct AddView must not land inside
   // another writer's read-modify-publish window and get overwritten.
-  std::lock_guard<std::mutex> wg(writer_mu_);
+  base::MutexLock wg(&writer_mu_);
   PublishView(name, std::move(fp));
 }
 
@@ -198,7 +198,7 @@ std::shared_ptr<const Factorisation> Database::FindOrAdmit(
     const std::string& name) const {
   std::shared_ptr<const ViewMap> epoch;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    base::MutexLock g(&mu_);
     epoch = views_;
   }
   auto it = epoch->find(name);
@@ -212,7 +212,7 @@ std::shared_ptr<const Factorisation> Database::FindOrAdmit(
       storage::MaterialiseSnapshotView(*snapshot_, name);
   if (!f.has_value()) return nullptr;
   auto fp = std::make_shared<const Factorisation>(*std::move(f));
-  std::lock_guard<std::mutex> g(mu_);
+  base::MutexLock g(&mu_);
   it = views_->find(name);
   if (it != views_->end()) return it->second;
   auto next = std::make_shared<ViewMap>(*views_);
@@ -232,7 +232,7 @@ std::shared_ptr<const Factorisation> Database::ViewSnapshot(
 
 bool Database::UpdateView(const std::string& name,
                           const std::function<void(Factorisation*)>& mutate) {
-  std::lock_guard<std::mutex> wg(writer_mu_);
+  base::MutexLock wg(&writer_mu_);
   std::shared_ptr<const Factorisation> cur = FindOrAdmit(name);
   if (cur == nullptr) return false;
   // Build off-line on a private copy: the copy shares the current arenas,
@@ -248,7 +248,7 @@ bool Database::UpdateView(const std::string& name,
 
 void Database::EnableWal(const std::string& raw_path) {
   std::string path = storage::CanonicalSnapshotPath(raw_path);
-  std::lock_guard<std::mutex> t(txn_mu_);
+  base::MutexLock t(&txn_mu_);
   if (in_txn_) {
     throw std::invalid_argument(
         "txn: cannot enable the WAL inside an open transaction");
@@ -260,7 +260,7 @@ void Database::EnableWal(const std::string& raw_path) {
   uint64_t epoch = 0;
   uint64_t chain_pos = 0;
   {
-    std::lock_guard<std::mutex> g(persist_mu_);
+    base::MutexLock g(&persist_mu_);
     epoch = persist_->epoch;
     chain_pos = persist_->next_seq - 1;
   }
@@ -269,7 +269,7 @@ void Database::EnableWal(const std::string& raw_path) {
 }
 
 void Database::DisableWal() {
-  std::lock_guard<std::mutex> t(txn_mu_);
+  base::MutexLock t(&txn_mu_);
   if (in_txn_) {
     throw std::invalid_argument(
         "txn: cannot disable the WAL inside an open transaction");
@@ -285,12 +285,12 @@ void Database::DisableWal() {
 }
 
 bool Database::wal_enabled() const {
-  std::lock_guard<std::mutex> t(txn_mu_);
+  base::MutexLock t(&txn_mu_);
   return wal_ != nullptr;
 }
 
 storage::WalStatus Database::WalStatus() const {
-  std::lock_guard<std::mutex> t(txn_mu_);
+  base::MutexLock t(&txn_mu_);
   storage::WalStatus s;
   s.enabled = wal_ != nullptr;
   s.in_txn = in_txn_;
@@ -305,8 +305,14 @@ storage::WalStatus Database::WalStatus() const {
   return s;
 }
 
+std::optional<storage::PersistState> Database::PersistSnapshot() const {
+  base::MutexLock g(&persist_mu_);
+  if (persist_ == nullptr) return std::nullopt;
+  return *persist_;
+}
+
 void Database::Begin() {
-  std::lock_guard<std::mutex> t(txn_mu_);
+  base::MutexLock t(&txn_mu_);
   if (in_txn_) {
     throw std::invalid_argument("txn: a transaction is already open");
   }
@@ -314,7 +320,7 @@ void Database::Begin() {
 }
 
 uint64_t Database::Commit() {
-  std::lock_guard<std::mutex> t(txn_mu_);
+  base::MutexLock t(&txn_mu_);
   if (!in_txn_) throw std::invalid_argument("txn: no open transaction");
   uint64_t seq = CommitGroupLocked(&pending_);  // throws → txn stays open
   in_txn_ = false;
@@ -322,19 +328,19 @@ uint64_t Database::Commit() {
 }
 
 void Database::Rollback() {
-  std::lock_guard<std::mutex> t(txn_mu_);
+  base::MutexLock t(&txn_mu_);
   if (!in_txn_) throw std::invalid_argument("txn: no open transaction");
   pending_.clear();
   in_txn_ = false;
 }
 
 void Database::Insert(const std::string& view, const Tuple& tuple) {
-  std::lock_guard<std::mutex> t(txn_mu_);
+  base::MutexLock t(&txn_mu_);
   BufferOpLocked(storage::WalOp{storage::WalOp::kInsert, view, tuple});
 }
 
 void Database::Delete(const std::string& view, const Tuple& tuple) {
-  std::lock_guard<std::mutex> t(txn_mu_);
+  base::MutexLock t(&txn_mu_);
   BufferOpLocked(storage::WalOp{storage::WalOp::kDelete, view, tuple});
 }
 
@@ -409,7 +415,7 @@ void Database::StartMetricsSampler(int64_t interval_ms) {
   sampler->Start();
   std::shared_ptr<obs::MetricsSampler> old;
   {
-    std::lock_guard<std::mutex> g(sampler_mu_);
+    base::MutexLock g(&sampler_mu_);
     old = std::exchange(sampler_, std::move(sampler));
   }
   // The old sampler (if any) stops and joins here, outside the lock.
@@ -419,14 +425,14 @@ void Database::StartMetricsSampler(int64_t interval_ms) {
 void Database::StopMetricsSampler() {
   std::shared_ptr<obs::MetricsSampler> s;
   {
-    std::lock_guard<std::mutex> g(sampler_mu_);
+    base::MutexLock g(&sampler_mu_);
     s = std::move(sampler_);
   }
   if (s != nullptr) s->Stop();
 }
 
 std::shared_ptr<obs::MetricsSampler> Database::metrics_sampler() const {
-  std::lock_guard<std::mutex> g(sampler_mu_);
+  base::MutexLock g(&sampler_mu_);
   return sampler_;
 }
 
@@ -439,7 +445,7 @@ std::vector<std::string> Database::RelationNames() const {
 std::vector<std::string> Database::ViewNames() const {
   std::shared_ptr<const ViewMap> epoch;
   {
-    std::lock_guard<std::mutex> g(mu_);
+    base::MutexLock g(&mu_);
     epoch = views_;
   }
   std::vector<std::string> out;

@@ -4,12 +4,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include <optional>
 
+#include "fdb/base/thread_annotations.h"
 #include "fdb/core/factorisation.h"
 #include "fdb/relational/relation.h"
 #include "fdb/relational/value_dict.h"
@@ -202,6 +202,12 @@ class Database {
   Relation MakeRelation(const std::vector<std::string>& attrs,
                         const std::vector<std::vector<int64_t>>& rows);
 
+  /// A copy of the incremental-checkpoint retention state, or nullopt
+  /// before any Save/Checkpoint. The deep invariant checker (fdb/check)
+  /// validates it against the live database and the on-disk chain.
+  std::optional<storage::PersistState> PersistSnapshot() const
+      EXCLUDES(persist_mu_);
+
   // --- queryable introspection -------------------------------------------
   //
   // Virtual system tables under the reserved "fdb." prefix surface the
@@ -244,22 +250,25 @@ class Database {
                    std::shared_ptr<const Factorisation> fp);
 
   // Validates `op` against the live view (throws), then buffers it into
-  // the open transaction or autocommits it as a one-op group. Requires
-  // txn_mu_.
-  void BufferOpLocked(storage::WalOp op);
+  // the open transaction or autocommits it as a one-op group.
+  void BufferOpLocked(storage::WalOp op) REQUIRES(txn_mu_);
   // Appends `ops` as one WAL frame (when a log is bound) and applies
-  // them, one ApplyBatch per affected view; clears `ops`. Requires
-  // txn_mu_. Throws without applying if the log append fails.
-  uint64_t CommitGroupLocked(std::vector<storage::WalOp>* ops);
+  // them, one ApplyBatch per affected view; clears `ops`. Throws without
+  // applying if the log append fails.
+  uint64_t CommitGroupLocked(std::vector<storage::WalOp>* ops)
+      REQUIRES(txn_mu_);
   // Save/Checkpoint internals, callable with txn_mu_ already held
   // (EnableWal checkpoints under it). Lock order: txn_mu_ → persist_mu_,
   // txn_mu_ → writer_mu_.
   void SaveLocked(const std::string& path,
-                  storage::SaveStats* stats = nullptr) const;
-  storage::CheckpointInfo CheckpointLocked(const std::string& path) const;
+                  storage::SaveStats* stats = nullptr) const
+      REQUIRES(txn_mu_) EXCLUDES(persist_mu_);
+  storage::CheckpointInfo CheckpointLocked(const std::string& path) const
+      REQUIRES(txn_mu_) EXCLUDES(persist_mu_);
   // Re-stamps a WAL bound to `path` after a fold made its contents
-  // durable in the chain. Requires txn_mu_.
-  void ResetWalAfterFoldLocked(const std::string& path) const;
+  // durable in the chain.
+  void ResetWalAfterFoldLocked(const std::string& path) const
+      REQUIRES(txn_mu_);
 
   AttributeRegistry reg_;
   // Non-owning alias of the immortal process-default dictionary.
@@ -269,11 +278,11 @@ class Database {
   std::map<std::string, uint64_t> relation_versions_;
   // Guards the views_ pointer (epoch swaps, snapshot admissions). Held
   // only for pointer copies and map clones — never across query work.
-  mutable std::mutex mu_;
+  mutable base::Mutex mu_ ACQUIRED_AFTER(writer_mu_);
   // Serialises UpdateView writers (their off-line build phases).
-  std::mutex writer_mu_;
+  base::Mutex writer_mu_;
   // Current epoch; mutable so view() can lazily admit snapshot views.
-  mutable std::shared_ptr<const ViewMap> views_ =
+  mutable std::shared_ptr<const ViewMap> views_ GUARDED_BY(mu_) =
       std::make_shared<const ViewMap>();
   // Set when this database was opened from a snapshot; shared with copies.
   std::shared_ptr<storage::SnapshotState> snapshot_;
@@ -281,8 +290,9 @@ class Database {
   // index and pinned versions of the last base/delta written. Mutable
   // cache — the logical database is untouched. Not shared with copies
   // (each Database owns its own checkpoint chain).
-  mutable std::mutex persist_mu_;
-  mutable std::shared_ptr<storage::PersistState> persist_;
+  mutable base::Mutex persist_mu_;
+  mutable std::shared_ptr<storage::PersistState> persist_
+      GUARDED_BY(persist_mu_);
   // Transaction/WAL state. txn_mu_ serialises Begin/Commit/Rollback,
   // autocommits, EnableWal/DisableWal and the public Save/Checkpoint (a
   // fold must not interleave with a commit's log append). The log itself
@@ -290,17 +300,18 @@ class Database {
   // — like persist_, it is durability bookkeeping, not logical state.
   // Not copied (two databases appending to one log would corrupt it);
   // moves transfer it.
-  mutable std::mutex txn_mu_;
-  mutable std::unique_ptr<storage::Wal> wal_;
-  std::string wal_base_;  ///< canonical snapshot path the log is bound to
-  bool in_txn_ = false;
-  std::vector<storage::WalOp> pending_;
+  mutable base::Mutex txn_mu_ ACQUIRED_BEFORE(persist_mu_, writer_mu_);
+  mutable std::unique_ptr<storage::Wal> wal_ GUARDED_BY(txn_mu_);
+  /// Canonical snapshot path the log is bound to.
+  std::string wal_base_ GUARDED_BY(txn_mu_);
+  bool in_txn_ GUARDED_BY(txn_mu_) = false;
+  std::vector<storage::WalOp> pending_ GUARDED_BY(txn_mu_);
   // Metrics-history sampler (StartMetricsSampler). The shared_ptr's
   // destructor stops and joins the thread, so dropping the last owner —
   // including Database destruction — shuts it down cleanly. Not copied
   // (a copy can start its own); moves transfer it.
-  mutable std::mutex sampler_mu_;
-  std::shared_ptr<obs::MetricsSampler> sampler_;
+  mutable base::Mutex sampler_mu_;
+  std::shared_ptr<obs::MetricsSampler> sampler_ GUARDED_BY(sampler_mu_);
 };
 
 /// Chooses an f-tree for the natural join of `relations` (used when a query

@@ -130,10 +130,10 @@ TaskPool::TaskPool(int threads) {
 
 TaskPool::~TaskPool() {
   {
-    std::lock_guard<std::mutex> g(sleep_mu_);
+    base::MutexLock g(&sleep_mu_);
     stop_ = true;
   }
-  wake_.notify_all();
+  wake_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -159,12 +159,12 @@ void TaskPool::Submit(std::function<void()> task) {
   }
   unsigned w;
   {
-    std::lock_guard<std::mutex> g(sleep_mu_);
+    base::MutexLock g(&sleep_mu_);
     w = next_queue_++ % static_cast<unsigned>(workers_.size());
   }
   size_t depth;
   {
-    std::lock_guard<std::mutex> g(workers_[w]->mu);
+    base::MutexLock g(&workers_[w]->mu);
     workers_[w]->tasks.push_back(std::move(task));
     depth = workers_[w]->tasks.size();
     QueueDepthHwm().UpdateMax(static_cast<int64_t>(depth));
@@ -189,10 +189,10 @@ void TaskPool::Submit(std::function<void()> task) {
   {
     // Publish under the sleep lock: a worker between a failed sweep and
     // its wait re-evaluates pending_ there, so the wakeup cannot be lost.
-    std::lock_guard<std::mutex> g(sleep_mu_);
+    base::MutexLock g(&sleep_mu_);
     ++pending_;
   }
-  wake_.notify_one();
+  wake_.NotifyOne();
 }
 
 bool TaskPool::RunOneTask(int self) {
@@ -204,7 +204,7 @@ bool TaskPool::RunOneTask(int self) {
   // remaining work first).
   for (int i = 0; i < w && task == nullptr; ++i) {
     Worker& v = *workers_[(self + i) % w];
-    std::lock_guard<std::mutex> g(v.mu);
+    base::MutexLock g(&v.mu);
     if (v.tasks.empty()) continue;
     if (i == 0) {
       task = std::move(v.tasks.back());
@@ -219,7 +219,7 @@ bool TaskPool::RunOneTask(int self) {
   TasksRunCounter().Inc();
   if (stolen) StealsCounter().Inc();
   {
-    std::lock_guard<std::mutex> g(sleep_mu_);
+    base::MutexLock g(&sleep_mu_);
     --pending_;
   }
   task();
@@ -231,12 +231,12 @@ void TaskPool::WorkerLoop(int self) {
     if (RunOneTask(self)) continue;
     int64_t idle_t0 = obs::MetricsEnabled() ? obs::NowNs() : -1;
     {
-      std::unique_lock<std::mutex> lk(sleep_mu_);
+      base::MutexLock lk(&sleep_mu_);
       // pending_ > 0 covers the race where a task landed after our failed
       // sweep: the predicate is re-evaluated under the lock Submit
       // publishes under, so sleeps never miss work and idle workers wake
       // only on notify (no polling).
-      wake_.wait(lk, [&] { return stop_ || pending_ > 0; });
+      while (!stop_ && pending_ <= 0) wake_.Wait(sleep_mu_);
       if (stop_) return;
     }
     if (idle_t0 >= 0) {
@@ -270,7 +270,7 @@ void TaskPool::ParallelFor(
 }
 
 int64_t TaskPool::ApproxPendingTasks() const {
-  std::lock_guard<std::mutex> g(sleep_mu_);
+  base::MutexLock g(&sleep_mu_);
   return pending_;
 }
 

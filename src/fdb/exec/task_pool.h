@@ -1,14 +1,14 @@
 #ifndef FDB_EXEC_TASK_POOL_H_
 #define FDB_EXEC_TASK_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "fdb/base/thread_annotations.h"
 
 namespace fdb {
 namespace exec {
@@ -81,8 +81,8 @@ class TaskPool {
 
  private:
   struct Worker {
-    std::deque<std::function<void()>> tasks;
-    std::mutex mu;
+    base::Mutex mu;
+    std::deque<std::function<void()>> tasks GUARDED_BY(mu);
   };
 
   void WorkerLoop(int self);
@@ -90,11 +90,13 @@ class TaskPool {
 
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
-  mutable std::mutex sleep_mu_;
-  std::condition_variable wake_;
-  bool stop_ = false;
-  int64_t pending_ = 0;      // queued-but-unclaimed tasks (sleep_mu_)
-  unsigned next_queue_ = 0;  // round-robin Submit target
+  mutable base::Mutex sleep_mu_;
+  base::CondVar wake_;
+  bool stop_ GUARDED_BY(sleep_mu_) = false;
+  /// Queued-but-unclaimed tasks.
+  int64_t pending_ GUARDED_BY(sleep_mu_) = 0;
+  /// Round-robin Submit target.
+  unsigned next_queue_ GUARDED_BY(sleep_mu_) = 0;
 };
 
 /// Convenience wrapper over TaskPool::Default() for the common reduction

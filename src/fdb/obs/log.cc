@@ -1,3 +1,4 @@
+#include "fdb/base/thread_annotations.h"
 #include "fdb/obs/log.h"
 
 #include <chrono>
@@ -5,7 +6,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <deque>
-#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -107,12 +107,12 @@ std::string Event::ToJson() const {
 }
 
 struct EventLog::Impl {
-  mutable std::mutex mu;
-  std::deque<Event> ring;
-  uint64_t next_seq = 1;
-  uint64_t dropped = 0;
-  std::string sink_path;
-  std::FILE* sink = nullptr;
+  mutable base::Mutex mu;
+  std::deque<Event> ring GUARDED_BY(mu);
+  uint64_t next_seq GUARDED_BY(mu) = 1;
+  uint64_t dropped GUARDED_BY(mu) = 0;
+  std::string sink_path GUARDED_BY(mu);
+  std::FILE* sink GUARDED_BY(mu) = nullptr;
 
   std::atomic<int64_t> slow_query_ns{100 * 1000 * 1000};  // 100 ms
   std::atomic<int64_t> wal_stall_ns{50 * 1000 * 1000};    // 50 ms
@@ -123,6 +123,7 @@ EventLog::EventLog() : impl_(new Impl) {
   if (env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0) {
     // FDB_LOG=1 enables the ring; any other value is a JSONL sink path.
     if (std::strcmp(env, "1") != 0) {
+      base::MutexLock lock(&impl_->mu);
       impl_->sink_path = env;
       impl_->sink = std::fopen(env, "a");
     }
@@ -155,7 +156,7 @@ void EventLog::Emit(EventType type, std::vector<EventField> fields) {
   e.wall_us = WallMicros();
   e.type = type;
   e.fields = std::move(fields);
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  base::MutexLock lock(&impl_->mu);
   e.seq = impl_->next_seq++;
   if (impl_->ring.size() >= kRingCapacity) {
     impl_->ring.pop_front();
@@ -171,22 +172,22 @@ void EventLog::Emit(EventType type, std::vector<EventField> fields) {
 }
 
 std::vector<Event> EventLog::Snapshot() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  base::MutexLock lock(&impl_->mu);
   return std::vector<Event>(impl_->ring.begin(), impl_->ring.end());
 }
 
 void EventLog::Clear() {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  base::MutexLock lock(&impl_->mu);
   impl_->ring.clear();
 }
 
 uint64_t EventLog::total_emitted() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  base::MutexLock lock(&impl_->mu);
   return impl_->next_seq - 1;
 }
 
 uint64_t EventLog::dropped() const {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  base::MutexLock lock(&impl_->mu);
   return impl_->dropped;
 }
 
@@ -207,7 +208,7 @@ void EventLog::set_wal_stall_ns(int64_t ns) {
 }
 
 void EventLog::SetSinkPath(const std::string& path) {
-  std::lock_guard<std::mutex> lock(impl_->mu);
+  base::MutexLock lock(&impl_->mu);
   if (impl_->sink != nullptr) {
     std::fclose(impl_->sink);
     impl_->sink = nullptr;

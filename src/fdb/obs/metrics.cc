@@ -1,3 +1,4 @@
+#include "fdb/base/thread_annotations.h"
 #include "fdb/obs/metrics.h"
 
 #include <bit>
@@ -7,8 +8,6 @@
 #include <cstring>
 #include <map>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <sstream>
 
 namespace fdb {
@@ -156,7 +155,7 @@ double HistogramSnapshot::Percentile(double q) const {
 // --------------------------------------------------------------- Registry
 
 struct Registry::Impl {
-  mutable std::shared_mutex mu;
+  mutable base::SharedMutex mu;
   // Name → metric. unique_ptr keeps addresses stable across rehashing so
   // call sites can cache references forever; std::map keeps Snapshot()
   // sorted for free.
@@ -167,7 +166,7 @@ struct Registry::Impl {
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> hist;
   };
-  std::map<std::string, Entry> metrics;
+  std::map<std::string, Entry> metrics GUARDED_BY(mu);
 };
 
 Registry::Registry() : impl_(new Impl) {
@@ -185,13 +184,13 @@ Registry& Registry::Instance() {
 Counter& Registry::GetCounter(const std::string& name, const std::string& unit,
                               const std::string& help) {
   {
-    std::shared_lock lock(impl_->mu);
+    base::ReaderMutexLock lock(&impl_->mu);
     auto it = impl_->metrics.find(name);
     if (it != impl_->metrics.end() && it->second.counter) {
       return *it->second.counter;
     }
   }
-  std::unique_lock lock(impl_->mu);
+  base::WriterMutexLock lock(&impl_->mu);
   Impl::Entry& e = impl_->metrics[name];
   if (!e.counter) {
     e.type = MetricRow::Type::kCounter;
@@ -205,13 +204,13 @@ Counter& Registry::GetCounter(const std::string& name, const std::string& unit,
 Gauge& Registry::GetGauge(const std::string& name, const std::string& unit,
                           const std::string& help) {
   {
-    std::shared_lock lock(impl_->mu);
+    base::ReaderMutexLock lock(&impl_->mu);
     auto it = impl_->metrics.find(name);
     if (it != impl_->metrics.end() && it->second.gauge) {
       return *it->second.gauge;
     }
   }
-  std::unique_lock lock(impl_->mu);
+  base::WriterMutexLock lock(&impl_->mu);
   Impl::Entry& e = impl_->metrics[name];
   if (!e.gauge) {
     e.type = MetricRow::Type::kGauge;
@@ -226,13 +225,13 @@ Histogram& Registry::GetHistogram(const std::string& name,
                                   const std::string& unit,
                                   const std::string& help) {
   {
-    std::shared_lock lock(impl_->mu);
+    base::ReaderMutexLock lock(&impl_->mu);
     auto it = impl_->metrics.find(name);
     if (it != impl_->metrics.end() && it->second.hist) {
       return *it->second.hist;
     }
   }
-  std::unique_lock lock(impl_->mu);
+  base::WriterMutexLock lock(&impl_->mu);
   Impl::Entry& e = impl_->metrics[name];
   if (!e.hist) {
     e.type = MetricRow::Type::kHistogram;
@@ -244,7 +243,7 @@ Histogram& Registry::GetHistogram(const std::string& name,
 }
 
 std::vector<MetricRow> Registry::Snapshot() const {
-  std::shared_lock lock(impl_->mu);
+  base::ReaderMutexLock lock(&impl_->mu);
   std::vector<MetricRow> rows;
   rows.reserve(impl_->metrics.size());
   for (const auto& [name, e] : impl_->metrics) {
@@ -339,7 +338,7 @@ std::string Registry::RenderJson() const {
 }
 
 void Registry::ResetAll() {
-  std::shared_lock lock(impl_->mu);
+  base::ReaderMutexLock lock(&impl_->mu);
   for (auto& [name, e] : impl_->metrics) {
     if (e.counter) e.counter->Reset();
     if (e.gauge) e.gauge->Reset();

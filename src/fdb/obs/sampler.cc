@@ -26,7 +26,7 @@ MetricsSampler::MetricsSampler(Options opts) : opts_(std::move(opts)) {
 MetricsSampler::~MetricsSampler() { Stop(); }
 
 void MetricsSampler::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   if (thread_running_) return;
   stop_ = false;
   thread_running_ = true;
@@ -37,40 +37,45 @@ void MetricsSampler::Start() {
 
 void MetricsSampler::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    base::MutexLock lock(&mu_);
     if (!thread_running_) return;
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (thread_.joinable()) thread_.join();
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   thread_running_ = false;
 }
 
 bool MetricsSampler::running() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   return thread_running_;
 }
 
 void MetricsSampler::Loop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  mu_.Lock();
   while (!stop_) {
-    if (cv_.wait_for(lock, std::chrono::milliseconds(opts_.interval_ms),
-                     [this] { return stop_; })) {
-      break;
+    // Sleep one interval, waking early only for Stop()'s notify.
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(opts_.interval_ms);
+    bool interval_over = false;
+    while (!stop_ && !interval_over) {
+      interval_over = !cv_.WaitUntil(mu_, deadline);
     }
+    if (stop_) break;
     // Snapshot outside the lock: the registry read can contend with hot
     // paths and must not serialise against our readers.
-    lock.unlock();
+    mu_.Unlock();
     SampleOnce();
-    lock.lock();
+    mu_.Lock();
   }
+  mu_.Unlock();
 }
 
 void MetricsSampler::SampleOnce() {
   std::vector<MetricRow> rows = Registry::Instance().Snapshot();
   int64_t now = NowNs();
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   uint64_t tick = ++ticks_;
   for (const MetricRow& row : rows) {
     if (!opts_.metrics.empty() &&
@@ -98,13 +103,13 @@ void MetricsSampler::SampleOnce() {
 }
 
 uint64_t MetricsSampler::ticks() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   return ticks_;
 }
 
 std::map<std::string, std::vector<MetricsSampler::Point>>
 MetricsSampler::History() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   std::map<std::string, std::vector<Point>> out;
   for (const auto& [name, ring] : history_) {
     out.emplace(name, std::vector<Point>(ring.begin(), ring.end()));
@@ -113,7 +118,7 @@ MetricsSampler::History() const {
 }
 
 std::vector<MetricsSampler::Window> MetricsSampler::Windows() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   std::vector<Window> out;
   out.reserve(history_.size());
   for (const auto& [name, ring] : history_) {

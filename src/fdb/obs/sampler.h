@@ -1,15 +1,14 @@
 #ifndef FDB_OBS_SAMPLER_H_
 #define FDB_OBS_SAMPLER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "fdb/base/thread_annotations.h"
 #include "fdb/obs/metrics.h"
 
 namespace fdb {
@@ -69,35 +68,35 @@ class MetricsSampler {
   MetricsSampler& operator=(const MetricsSampler&) = delete;
 
   /// Launches the background thread (no-op if already running).
-  void Start();
+  void Start() EXCLUDES(mu_);
   /// Stops and joins the background thread (no-op if not running).
-  void Stop();
-  bool running() const;
+  void Stop() EXCLUDES(mu_);
+  bool running() const EXCLUDES(mu_);
 
   /// Takes one sample synchronously on the calling thread.
-  void SampleOnce();
+  void SampleOnce() EXCLUDES(mu_);
 
   /// Ticks taken so far (background + synchronous).
-  uint64_t ticks() const;
+  uint64_t ticks() const EXCLUDES(mu_);
 
   /// Full history, metric name → points oldest-first.
-  std::map<std::string, std::vector<Point>> History() const;
+  std::map<std::string, std::vector<Point>> History() const EXCLUDES(mu_);
 
   /// One summary row per sampled metric (shell \history).
-  std::vector<Window> Windows() const;
+  std::vector<Window> Windows() const EXCLUDES(mu_);
 
   const Options& options() const { return opts_; }
 
  private:
-  void Loop();
+  void Loop() EXCLUDES(mu_);
 
   Options opts_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  bool thread_running_ = false;
-  uint64_t ticks_ = 0;
-  std::map<std::string, std::deque<Point>> history_;
+  mutable base::Mutex mu_;
+  base::CondVar cv_;
+  bool stop_ GUARDED_BY(mu_) = false;
+  bool thread_running_ GUARDED_BY(mu_) = false;
+  uint64_t ticks_ GUARDED_BY(mu_) = 0;
+  std::map<std::string, std::deque<Point>> history_ GUARDED_BY(mu_);
   std::thread thread_;
 };
 

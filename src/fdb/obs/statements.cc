@@ -1,8 +1,8 @@
+#include "fdb/base/thread_annotations.h"
 #include "fdb/obs/statements.h"
 
 #include <algorithm>
 #include <limits>
-#include <mutex>
 #include <unordered_map>
 
 #include "fdb/obs/log.h"
@@ -59,8 +59,8 @@ struct Entry {
 
 struct StatementStore::Impl {
   struct alignas(64) Shard {
-    mutable std::mutex mu;
-    std::unordered_map<uint64_t, Entry> entries;
+    mutable base::Mutex mu;
+    std::unordered_map<uint64_t, Entry> entries GUARDED_BY(mu);
   };
   Shard shards[kShards];
   // Per-shard slice of the global entry budget.
@@ -83,7 +83,7 @@ void StatementStore::Record(uint64_t fingerprint, const std::string& text,
   bool inserted = false;
   bool evicted = false;
   {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    base::MutexLock lock(&shard.mu);
     auto it = shard.entries.find(fingerprint);
     if (it == shard.entries.end()) {
       if (shard.entries.size() >= Impl::kShardCap) {
@@ -132,7 +132,7 @@ std::vector<StatementRow> StatementStore::Snapshot() const {
   std::vector<StatementRow> rows;
   for (int s = 0; s < kShards; ++s) {
     const Impl::Shard& shard = impl_->shards[s];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    base::MutexLock lock(&shard.mu);
     for (const auto& [fp, e] : shard.entries) {
       StatementRow row;
       row.fingerprint = fp;
@@ -169,7 +169,7 @@ std::vector<StatementRow> StatementStore::Snapshot() const {
 
 void StatementStore::Clear() {
   for (int s = 0; s < kShards; ++s) {
-    std::lock_guard<std::mutex> lock(impl_->shards[s].mu);
+    base::MutexLock lock(&impl_->shards[s].mu);
     impl_->shards[s].entries.clear();
   }
   EntriesGauge().Reset();
@@ -178,7 +178,7 @@ void StatementStore::Clear() {
 size_t StatementStore::size() const {
   size_t n = 0;
   for (int s = 0; s < kShards; ++s) {
-    std::lock_guard<std::mutex> lock(impl_->shards[s].mu);
+    base::MutexLock lock(&impl_->shards[s].mu);
     n += impl_->shards[s].entries.size();
   }
   return n;

@@ -35,7 +35,7 @@ std::string FormatMs(int64_t dur_ns) {
 }  // namespace
 
 int Trace::Begin(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   TraceSpan s;
   s.name = name;
   s.start_ns = NowNs();
@@ -51,7 +51,7 @@ int Trace::Begin(const std::string& name) {
 }
 
 void Trace::End(int id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   if (id < 0 || id >= static_cast<int>(spans_.size())) return;
   int64_t now = NowNs();
   // Close anything left open inside `id` too, so an exception unwinding
@@ -65,7 +65,7 @@ void Trace::End(int id) {
 }
 
 void Trace::NoteStr(int id, const std::string& key, const std::string& value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   if (id < 0 || id >= static_cast<int>(spans_.size())) return;
   TraceNote n;
   n.key = key;
@@ -74,7 +74,7 @@ void Trace::NoteStr(int id, const std::string& key, const std::string& value) {
 }
 
 void Trace::NoteInt(int id, const std::string& key, int64_t value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   if (id < 0 || id >= static_cast<int>(spans_.size())) return;
   TraceNote n;
   n.key = key;
@@ -85,7 +85,7 @@ void Trace::NoteInt(int id, const std::string& key, int64_t value) {
 }
 
 void Trace::NoteDouble(int id, const std::string& key, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   if (id < 0 || id >= static_cast<int>(spans_.size())) return;
   TraceNote n;
   n.key = key;
@@ -96,7 +96,7 @@ void Trace::NoteDouble(int id, const std::string& key, double value) {
 
 int Trace::AddComplete(const std::string& name, int64_t start_ns,
                        int64_t dur_ns) {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   TraceSpan s;
   s.name = name;
   s.start_ns = start_ns;
@@ -112,12 +112,12 @@ int Trace::AddComplete(const std::string& name, int64_t start_ns,
 }
 
 std::vector<TraceSpan> Trace::Spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   return spans_;
 }
 
 double Trace::TotalSeconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  base::MutexLock lock(&mu_);
   double total = 0.0;
   for (const TraceSpan& s : spans_) {
     if (s.parent == -1 && s.dur_ns > 0) {

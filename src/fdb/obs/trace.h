@@ -2,9 +2,10 @@
 #define FDB_OBS_TRACE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "fdb/base/thread_annotations.h"
 
 namespace fdb {
 namespace obs {
@@ -76,9 +77,10 @@ class Trace {
   std::string ToChromeJson() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<TraceSpan> spans_;
-  std::vector<int> open_;  ///< stack of open span ids (coordinator thread)
+  mutable base::Mutex mu_;
+  std::vector<TraceSpan> spans_ GUARDED_BY(mu_);
+  /// Stack of open span ids (coordinator thread).
+  std::vector<int> open_ GUARDED_BY(mu_);
 };
 
 /// RAII span that is a complete no-op (no clock read, no allocation) when

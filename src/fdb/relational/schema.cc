@@ -1,11 +1,9 @@
 #include "fdb/relational/schema.h"
 
-#include <mutex>
-
 namespace fdb {
 
 AttributeRegistry::AttributeRegistry(const AttributeRegistry& other) {
-  std::shared_lock<std::shared_mutex> lk(other.mu_);
+  base::ReaderMutexLock lk(&other.mu_);
   names_ = other.names_;
   ids_ = other.ids_;
 }
@@ -16,18 +14,18 @@ AttributeRegistry& AttributeRegistry::operator=(
   std::deque<std::string> names;
   std::unordered_map<std::string, AttrId> ids;
   {
-    std::shared_lock<std::shared_mutex> lk(other.mu_);
+    base::ReaderMutexLock lk(&other.mu_);
     names = other.names_;
     ids = other.ids_;
   }
-  std::unique_lock<std::shared_mutex> lk(mu_);
+  base::WriterMutexLock lk(&mu_);
   names_ = std::move(names);
   ids_ = std::move(ids);
   return *this;
 }
 
 AttributeRegistry::AttributeRegistry(AttributeRegistry&& other) noexcept {
-  std::unique_lock<std::shared_mutex> lk(other.mu_);
+  base::WriterMutexLock lk(&other.mu_);
   names_ = std::move(other.names_);
   ids_ = std::move(other.ids_);
   other.names_.clear();
@@ -40,13 +38,13 @@ AttributeRegistry& AttributeRegistry::operator=(
   std::deque<std::string> names;
   std::unordered_map<std::string, AttrId> ids;
   {
-    std::unique_lock<std::shared_mutex> lk(other.mu_);
+    base::WriterMutexLock lk(&other.mu_);
     names = std::move(other.names_);
     ids = std::move(other.ids_);
     other.names_.clear();
     other.ids_.clear();
   }
-  std::unique_lock<std::shared_mutex> lk(mu_);
+  base::WriterMutexLock lk(&mu_);
   names_ = std::move(names);
   ids_ = std::move(ids);
   return *this;
@@ -55,11 +53,11 @@ AttributeRegistry& AttributeRegistry::operator=(
 AttrId AttributeRegistry::Intern(const std::string& name) {
   {
     // Fast path: already interned (the common case when binding).
-    std::shared_lock<std::shared_mutex> lk(mu_);
+    base::ReaderMutexLock lk(&mu_);
     auto it = ids_.find(name);
     if (it != ids_.end()) return it->second;
   }
-  std::unique_lock<std::shared_mutex> lk(mu_);
+  base::WriterMutexLock lk(&mu_);
   auto it = ids_.find(name);  // re-check: another binder may have won
   if (it != ids_.end()) return it->second;
   AttrId id = static_cast<AttrId>(names_.size());
@@ -69,7 +67,7 @@ AttrId AttributeRegistry::Intern(const std::string& name) {
 }
 
 std::optional<AttrId> AttributeRegistry::Find(const std::string& name) const {
-  std::shared_lock<std::shared_mutex> lk(mu_);
+  base::ReaderMutexLock lk(&mu_);
   auto it = ids_.find(name);
   if (it == ids_.end()) return std::nullopt;
   return it->second;

@@ -4,10 +4,11 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "fdb/base/thread_annotations.h"
 
 namespace fdb {
 
@@ -39,20 +40,20 @@ class AttributeRegistry {
 
   /// Name of an interned attribute id.
   const std::string& Name(AttrId id) const {
-    std::shared_lock<std::shared_mutex> lk(mu_);
+    base::ReaderMutexLock lk(&mu_);
     return names_.at(id);
   }
 
   int size() const {
-    std::shared_lock<std::shared_mutex> lk(mu_);
+    base::ReaderMutexLock lk(&mu_);
     return static_cast<int>(names_.size());
   }
 
  private:
-  mutable std::shared_mutex mu_;
+  mutable base::SharedMutex mu_;
   // Stable element addresses (deque): Name() references never dangle.
-  std::deque<std::string> names_;
-  std::unordered_map<std::string, AttrId> ids_;
+  std::deque<std::string> names_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, AttrId> ids_ GUARDED_BY(mu_);
 };
 
 /// An ordered list of attributes, the schema of a relation or tuple.

@@ -5,9 +5,7 @@
 #include <cmath>
 #include <functional>
 #include <limits>
-#include <mutex>
 #include <ostream>
-#include <shared_mutex>
 
 #include "fdb/obs/metrics.h"
 
@@ -78,7 +76,7 @@ bool EvalCmpRef(const ValueRef& a, CmpOp op, const ValueRef& b) {
 // --- ValueDict -------------------------------------------------------------
 
 std::optional<uint32_t> ValueDict::Find(std::string_view s) const {
-  std::shared_lock<std::shared_mutex> lk(mu_);
+  base::ReaderMutexLock lk(&mu_);
   auto it = index_.find(s);
   if (it == index_.end()) return std::nullopt;
   return it->second;
@@ -87,12 +85,12 @@ std::optional<uint32_t> ValueDict::Find(std::string_view s) const {
 uint32_t ValueDict::Intern(std::string_view s) {
   {
     // Fast path: already interned (the common case on query paths).
-    std::shared_lock<std::shared_mutex> lk(mu_);
+    base::ReaderMutexLock lk(&mu_);
     auto it = index_.find(s);
     if (it != index_.end()) return it->second;
   }
   ExclusiveLockCounter().Inc();
-  std::unique_lock<std::shared_mutex> lk(mu_);
+  base::WriterMutexLock lk(&mu_);
   auto it = index_.find(s);  // re-check: another writer may have won
   if (it != index_.end()) return it->second;
   return InternInOrder(s);
@@ -135,7 +133,7 @@ void ValueDict::InternBulk(std::vector<std::string_view> strs) {
   std::sort(strs.begin(), strs.end());
   strs.erase(std::unique(strs.begin(), strs.end()), strs.end());
   ExclusiveLockCounter().Inc();
-  std::unique_lock<std::shared_mutex> lk(mu_);
+  base::WriterMutexLock lk(&mu_);
   // Append all new strings first, then rebuild the rank permutation once:
   // a single O(old + new) merge instead of one O(#strings) rank shift per
   // out-of-order insertion.
@@ -169,12 +167,12 @@ void ValueDict::InternBulk(std::vector<std::string_view> strs) {
 
 uint32_t ValueDict::InternBigInt(int64_t v) {
   {
-    std::shared_lock<std::shared_mutex> lk(mu_);
+    base::ReaderMutexLock lk(&mu_);
     auto it = big_index_.find(v);
     if (it != big_index_.end()) return it->second;
   }
   ExclusiveLockCounter().Inc();
-  std::unique_lock<std::shared_mutex> lk(mu_);
+  base::WriterMutexLock lk(&mu_);
   auto it = big_index_.find(v);
   if (it != big_index_.end()) return it->second;
   uint32_t slot = static_cast<uint32_t>(big_ints_.size());
@@ -208,7 +206,7 @@ std::optional<ValueRef> ValueDict::TryEncode(const Value& v) const {
     if (i >= ValueRef::kInlineIntMin && i <= ValueRef::kInlineIntMax) {
       return ValueRef::Boxed(ValueRef::kTagInt, static_cast<uint64_t>(i));
     }
-    std::shared_lock<std::shared_mutex> lk(mu_);
+    base::ReaderMutexLock lk(&mu_);
     auto it = big_index_.find(i);
     if (it == big_index_.end()) return std::nullopt;
     return ValueRef::Boxed(ValueRef::kTagBigInt, it->second);
@@ -219,7 +217,7 @@ std::optional<ValueRef> ValueDict::TryEncode(const Value& v) const {
     if (d == 0.0) d = 0.0;  // canonicalise -0.0 (equal values, equal bits)
     return ValueRef::FromBits(std::bit_cast<uint64_t>(d));
   }
-  std::shared_lock<std::shared_mutex> lk(mu_);
+  base::ReaderMutexLock lk(&mu_);
   auto it = index_.find(v.as_string());
   if (it == index_.end()) return std::nullopt;
   return ValueRef::Boxed(ValueRef::kTagStr, it->second);

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "fdb/base/thread_annotations.h"
 #include "fdb/exec/stable_vector.h"
 #include "fdb/relational/value.h"
 
@@ -202,9 +203,17 @@ class ValueDict {
   /// consistent even while concurrent updates intern new strings. The
   /// holder must not intern through this dictionary (self-deadlock).
   std::shared_lock<std::shared_mutex> FreezeRanks() const {
-    return std::shared_lock<std::shared_mutex>(mu_);
+    return std::shared_lock<std::shared_mutex>(mu_.native());
   }
   size_t num_strings() const { return strings_.size(); }
+
+  /// Overwrites one code's rank without touching by_rank_, deliberately
+  /// desynchronising the permutation. Only for corruption-seeding in
+  /// tests of the deep invariant checker (fdb/check).
+  void TestOnlyCorruptRank(uint32_t code, uint32_t rank) {
+    base::WriterMutexLock lk(&mu_);
+    rank_[code].store(rank, std::memory_order_relaxed);
+  }
 
   // --- big integer pool ---------------------------------------------------
 
@@ -227,24 +236,23 @@ class ValueDict {
   std::strong_ordering Compare(const ValueRef& a, const ValueRef& b) const;
 
  private:
-  // Callers hold mu_ exclusively.
-  uint32_t InternInOrder(std::string_view s);
+  uint32_t InternInOrder(std::string_view s) REQUIRES(mu_);
 
   // Guards the hash indexes and by_rank_, and serialises writers. The
   // stable vectors are written only under exclusive mu_ but read without
   // it (see the class comment).
-  mutable std::shared_mutex mu_;
+  mutable base::SharedMutex mu_;
   // Element addresses are stable, so index_ keys can view into it and
   // readers resolve published codes lock-free.
   exec::StableVector<std::string> strings_;
-  std::unordered_map<std::string_view, uint32_t> index_;
+  std::unordered_map<std::string_view, uint32_t> index_ GUARDED_BY(mu_);
   exec::StableVector<std::atomic<uint32_t>> rank_;  // code -> rank
-  std::vector<uint32_t> by_rank_;                   // rank -> code
+  std::vector<uint32_t> by_rank_ GUARDED_BY(mu_);   // rank -> code
   // Seqlock generation for rank shifts: odd while a writer (holding mu_
   // exclusively) is rewriting existing rank entries.
   std::atomic<uint32_t> rank_gen_{0};
   exec::StableVector<int64_t> big_ints_;
-  std::unordered_map<int64_t, uint32_t> big_index_;
+  std::unordered_map<int64_t, uint32_t> big_index_ GUARDED_BY(mu_);
 };
 
 // --- hot-path inline definitions (ValueRef needs ValueDict) ----------------
@@ -261,7 +269,7 @@ inline std::strong_ordering ValueDict::CompareStringRanks(uint32_t a,
   }
   // A shift writer persists (e.g. preempted mid-rebuild): wait it out on
   // the lock instead of spinning.
-  std::shared_lock<std::shared_mutex> lk(mu_);
+  std::shared_lock<std::shared_mutex> lk(mu_.native());
   return rank_[a].load(std::memory_order_relaxed) <=>
          rank_[b].load(std::memory_order_relaxed);
 }

@@ -56,12 +56,12 @@ uint64_t AdmissionController::EstimateRetryMs(int ahead) const {
 AdmissionController::Ticket AdmissionController::Admit() {
   Ticket t;
   int64_t t0 = obs::NowNs();
-  std::unique_lock<std::mutex> lk(mu_);
+  mu_.Lock();
   if (closed_ ||
       (active_ >= cfg_.max_concurrent && queued_ >= cfg_.max_queue)) {
     int active_now = active_, queued_now = queued_;
     t.retry_after_ms = EstimateRetryMs(active_now + queued_now);
-    lk.unlock();
+    mu_.Unlock();
     RejectsCounter().Inc();
     // Rejections are individually rare (the common overload path parks in
     // the bounded queue first), so each one is worth an event.
@@ -75,13 +75,22 @@ AdmissionController::Ticket AdmissionController::Admit() {
   }
   ++queued_;
   QueueDepthGauge().UpdateMax(queued_);
-  bool got = cv_.wait_for(lk, std::chrono::milliseconds(cfg_.queue_wait_ms),
-                          [&] { return closed_ || active_ < cfg_.max_concurrent; });
+  // The waiting loop is spelled out (rather than a predicate lambda) so
+  // the analysis sees every guarded read under mu_.
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(cfg_.queue_wait_ms);
+  bool got = true;
+  while (!closed_ && active_ >= cfg_.max_concurrent) {
+    if (!cv_.WaitUntil(mu_, deadline)) {
+      got = closed_ || active_ < cfg_.max_concurrent;
+      break;
+    }
+  }
   --queued_;
   if (!got || closed_) {
     t.retry_after_ms = EstimateRetryMs(active_ + queued_);
     t.queue_wait_ns = static_cast<uint64_t>(obs::NowNs() - t0);
-    lk.unlock();
+    mu_.Unlock();
     RejectsCounter().Inc();
     if (obs::LogEnabled()) {
       obs::EventLog::Instance().Emit(
@@ -94,34 +103,34 @@ AdmissionController::Ticket AdmissionController::Admit() {
   ++active_;
   t.admitted = true;
   t.queue_wait_ns = static_cast<uint64_t>(obs::NowNs() - t0);
-  lk.unlock();
+  mu_.Unlock();
   WaitHistogram().Record(t.queue_wait_ns);
   return t;
 }
 
 void AdmissionController::Release() {
   {
-    std::lock_guard<std::mutex> g(mu_);
+    base::MutexLock g(&mu_);
     --active_;
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void AdmissionController::Close() {
   {
-    std::lock_guard<std::mutex> g(mu_);
+    base::MutexLock g(&mu_);
     closed_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 int AdmissionController::active() const {
-  std::lock_guard<std::mutex> g(mu_);
+  base::MutexLock g(&mu_);
   return active_;
 }
 
 int AdmissionController::queued() const {
-  std::lock_guard<std::mutex> g(mu_);
+  base::MutexLock g(&mu_);
   return queued_;
 }
 

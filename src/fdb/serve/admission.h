@@ -1,9 +1,9 @@
 #ifndef FDB_SERVE_ADMISSION_H_
 #define FDB_SERVE_ADMISSION_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
+
+#include "fdb/base/thread_annotations.h"
 
 namespace fdb {
 namespace serve {
@@ -44,15 +44,15 @@ class AdmissionController {
   /// Rejects immediately when the wait queue is full or the controller
   /// is closed. A ticket with admitted=true must be paired with
   /// Release().
-  Ticket Admit();
-  void Release();
+  Ticket Admit() EXCLUDES(mu_);
+  void Release() EXCLUDES(mu_);
 
   /// Wakes every waiter with a rejection and rejects all future Admit()s
   /// (graceful shutdown). Idempotent.
-  void Close();
+  void Close() EXCLUDES(mu_);
 
-  int active() const;
-  int queued() const;
+  int active() const EXCLUDES(mu_);
+  int queued() const EXCLUDES(mu_);
   const AdmissionConfig& config() const { return cfg_; }
 
   /// The retry-after estimate for a caller with `ahead` statements ahead
@@ -61,11 +61,11 @@ class AdmissionController {
 
  private:
   AdmissionConfig cfg_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  int active_ = 0;
-  int queued_ = 0;
-  bool closed_ = false;
+  mutable base::Mutex mu_;
+  base::CondVar cv_;
+  int active_ GUARDED_BY(mu_) = 0;
+  int queued_ GUARDED_BY(mu_) = 0;
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace serve

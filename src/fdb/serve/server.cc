@@ -73,7 +73,7 @@ void Server::Start() {
 }
 
 void Server::ReapFinished() {
-  std::lock_guard<std::mutex> g(conns_mu_);
+  base::MutexLock g(&conns_mu_);
   for (auto it = conns_.begin(); it != conns_.end();) {
     Conn& c = **it;
     // Only join threads that marked themselves done (join on a running
@@ -112,7 +112,7 @@ void Server::AcceptLoop() {
         std::string(ip) + ":" + std::to_string(ntohs(peer.sin_port));
     ReapFinished();
     {
-      std::lock_guard<std::mutex> g(conns_mu_);
+      base::MutexLock g(&conns_mu_);
       if (static_cast<int>(conns_.size()) >= cfg_.max_sessions) {
         // Connection-level backpressure: same typed rejection the
         // admission queue uses, then close.
@@ -146,7 +146,7 @@ void Server::Shutdown() {
   if (!started_.load(std::memory_order_relaxed)) return;
   // One shutdown at a time; a second caller blocks until the first
   // finishes, then returns immediately.
-  std::lock_guard<std::mutex> shutdown_guard(shutdown_mu_);
+  base::MutexLock shutdown_guard(&shutdown_mu_);
   if (draining_.exchange(true)) return;
   if (obs::LogEnabled()) {
     obs::EventLog::Instance().Emit(obs::EventType::kServerDrain,
@@ -164,7 +164,7 @@ void Server::Shutdown() {
   // Phase 1: stop reading new statements; in-flight ones finish and ship
   // their responses.
   {
-    std::lock_guard<std::mutex> g(conns_mu_);
+    base::MutexLock g(&conns_mu_);
     for (auto& c : conns_) c->session->BeginDrain();
   }
   auto deadline = std::chrono::steady_clock::now() +
@@ -172,7 +172,7 @@ void Server::Shutdown() {
   for (;;) {
     bool all_done = true;
     {
-      std::lock_guard<std::mutex> g(conns_mu_);
+      base::MutexLock g(&conns_mu_);
       for (auto& c : conns_) {
         if (!c->done_flag->load(std::memory_order_acquire)) all_done = false;
       }
@@ -183,7 +183,7 @@ void Server::Shutdown() {
   // Phase 2: anything still running is past the grace period — trip its
   // token (the next cooperative poll unwinds the query) and close hard.
   {
-    std::lock_guard<std::mutex> g(conns_mu_);
+    base::MutexLock g(&conns_mu_);
     for (auto& c : conns_) {
       if (!c->done_flag->load(std::memory_order_acquire)) c->session->Kill();
     }

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "fdb/base/thread_annotations.h"
 #include "fdb/engine/database.h"
 #include "fdb/serve/admission.h"
 #include "fdb/serve/session.h"
@@ -66,20 +66,23 @@ class Server {
     std::shared_ptr<std::atomic<bool>> done_flag;
   };
 
-  void AcceptLoop();
-  void ReapFinished();  // joins threads whose sessions returned
+  void AcceptLoop() EXCLUDES(conns_mu_);
+  /// Joins threads whose sessions returned.
+  void ReapFinished() EXCLUDES(conns_mu_);
 
   Database* db_;
   ServerConfig cfg_;
   AdmissionController admission_;
-  std::mutex write_mu_;
+  /// Serialises all session-issued Database writes (see ServeContext).
+  base::Mutex write_mu_;
   std::atomic<bool> draining_{false};
   int listen_fd_ = -1;
   int port_ = 0;
   std::thread accept_thread_;
-  std::mutex conns_mu_;
-  std::vector<std::unique_ptr<Conn>> conns_;
-  std::mutex shutdown_mu_;
+  base::Mutex conns_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_ GUARDED_BY(conns_mu_);
+  /// Serialises Shutdown() callers (not a data guard).
+  base::Mutex shutdown_mu_;
   std::atomic<bool> started_{false};
 };
 

@@ -431,7 +431,7 @@ void Session::HandleWrite(bool is_insert, const std::string& view, Tuple tuple,
     return;
   }
   {
-    std::lock_guard<std::mutex> g(*ctx_.write_mu);
+    base::MutexLock g(ctx_.write_mu);
     if (is_insert) {
       ctx_.db->Insert(view, tuple);
     } else {
@@ -465,7 +465,7 @@ void Session::HandleCommit(std::vector<uint8_t>* out) {
     // One Database transaction per wire COMMIT: the write mutex keeps
     // other sessions' writes out of this open transaction, and the WAL
     // makes the whole group one durable commit (one fsync).
-    std::lock_guard<std::mutex> g(*ctx_.write_mu);
+    base::MutexLock g(ctx_.write_mu);
     ctx_.db->Begin();
     try {
       for (const TxnOp& op : txn_ops_) {

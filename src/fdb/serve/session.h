@@ -3,11 +3,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "fdb/base/thread_annotations.h"
 #include "fdb/engine/database.h"
 #include "fdb/exec/cancel.h"
 #include "fdb/serve/admission.h"
@@ -26,7 +26,7 @@ struct ServeContext {
   /// (Begin → ops → Commit) must be atomic against other sessions'
   /// autocommit writes — an interleaved Insert would be swallowed into
   /// the open transaction.
-  std::mutex* write_mu = nullptr;
+  base::Mutex* write_mu = nullptr;
   std::atomic<bool>* draining = nullptr;
 };
 

@@ -1,7 +1,7 @@
+#include "fdb/base/thread_annotations.h"
 #include "fdb/serve/session_registry.h"
 
 #include <map>
-#include <mutex>
 
 #include "fdb/obs/metrics.h"
 
@@ -9,10 +9,10 @@ namespace fdb {
 namespace serve {
 
 struct SessionRegistry::Impl {
-  mutable std::mutex mu;
-  std::map<uint64_t, std::shared_ptr<SessionStats>> live;
-  uint64_t next_id = 1;
-  uint64_t total_opened = 0;
+  mutable base::Mutex mu;
+  std::map<uint64_t, std::shared_ptr<SessionStats>> live GUARDED_BY(mu);
+  uint64_t next_id GUARDED_BY(mu) = 1;
+  uint64_t total_opened GUARDED_BY(mu) = 0;
 };
 
 SessionRegistry::SessionRegistry() : impl_(new Impl()) {}
@@ -26,7 +26,7 @@ std::shared_ptr<SessionStats> SessionRegistry::Open(const std::string& peer) {
   auto stats = std::make_shared<SessionStats>();
   stats->peer = peer;
   stats->opened_ns = obs::NowNs();
-  std::lock_guard<std::mutex> g(impl_->mu);
+  base::MutexLock g(&impl_->mu);
   stats->id = impl_->next_id++;
   ++impl_->total_opened;
   impl_->live[stats->id] = stats;
@@ -34,12 +34,12 @@ std::shared_ptr<SessionStats> SessionRegistry::Open(const std::string& peer) {
 }
 
 void SessionRegistry::Close(uint64_t id) {
-  std::lock_guard<std::mutex> g(impl_->mu);
+  base::MutexLock g(&impl_->mu);
   impl_->live.erase(id);
 }
 
 std::vector<std::shared_ptr<SessionStats>> SessionRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> g(impl_->mu);
+  base::MutexLock g(&impl_->mu);
   std::vector<std::shared_ptr<SessionStats>> out;
   out.reserve(impl_->live.size());
   for (const auto& [id, s] : impl_->live) out.push_back(s);
@@ -47,12 +47,12 @@ std::vector<std::shared_ptr<SessionStats>> SessionRegistry::Snapshot() const {
 }
 
 uint64_t SessionRegistry::total_opened() const {
-  std::lock_guard<std::mutex> g(impl_->mu);
+  base::MutexLock g(&impl_->mu);
   return impl_->total_opened;
 }
 
 size_t SessionRegistry::live() const {
-  std::lock_guard<std::mutex> g(impl_->mu);
+  base::MutexLock g(&impl_->mu);
   return impl_->live.size();
 }
 

@@ -76,11 +76,15 @@ namespace storage {
 /// snapshot, the pools' pages stay clean and page in on demand.
 ///
 /// Version compatibility: version-1 files (the original five-section
-/// layout, no meta, no deltas) are still read; the current writer emits
-/// version 2. A version-1 reader rejects version-2 files up front.
+/// layout, no meta, no deltas) are still read; version 2 added the meta
+/// section and delta files. The current writer emits version 3, which is
+/// byte-identical to version 2 except that each SectionEntry's `crc32`
+/// field (formerly `reserved`, always written 0) carries the CRC32 of
+/// the section's payload bytes; readers verify every section up front on
+/// version >= 3 and accept older files unverified.
 
 inline constexpr char kMagic[8] = {'F', 'D', 'B', 'S', 'N', 'A', 'P', '1'};
-inline constexpr uint32_t kVersion = 2;
+inline constexpr uint32_t kVersion = 3;
 inline constexpr uint32_t kMinVersion = 1;  ///< oldest readable version
 inline constexpr uint32_t kEndianProbe = 0x01020304;
 
@@ -111,8 +115,8 @@ struct FileHeader {
 };
 
 struct SectionEntry {
-  uint32_t kind;  ///< SectionKind
-  uint32_t reserved;
+  uint32_t kind;   ///< SectionKind
+  uint32_t crc32;  ///< payload CRC (version >= 3; 0 in older files)
   uint64_t offset;  ///< absolute file offset, 8-aligned
   uint64_t size;    ///< bytes
 };

@@ -1,3 +1,4 @@
+#include "fdb/base/thread_annotations.h"
 #include "fdb/storage/io_env.h"
 
 #include <fcntl.h>
@@ -9,7 +10,6 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 #include <vector>
 
@@ -36,7 +36,7 @@ FaultMode ParseMode(const std::string& m) {
 }
 
 std::vector<Failpoint> ParseSpec(const std::string& spec) {
-  std::vector<Failpoint> points;
+  std::vector<Failpoint> points GUARDED_BY(mu);
   size_t pos = 0;
   while (pos < spec.size()) {
     size_t end = spec.find(',', pos);
@@ -81,19 +81,19 @@ obs::Counter& WriteBytesCounter() {
 }  // namespace
 
 struct IoEnv::Impl {
-  mutable std::mutex mu;
-  std::vector<Failpoint> points;
-  bool dead = false;  ///< a sticky fault fired; everything fails now
-  std::map<std::string, uint64_t> counts;
-  uint64_t total = 0;
+  mutable base::Mutex mu;
+  std::vector<Failpoint> points GUARDED_BY(mu);
+  bool dead GUARDED_BY(mu) = false;  ///< a sticky fault fired; everything fails now
+  std::map<std::string, uint64_t> counts GUARDED_BY(mu);
+  uint64_t total GUARDED_BY(mu) = 0;
   // Registry mirrors of the per-site counters ("io.<site>"), cached so
   // the registry lookup happens once per site name. Only touched under mu.
-  std::map<std::string, obs::Counter*> site_counters;
+  std::map<std::string, obs::Counter*> site_counters GUARDED_BY(mu);
   // Lock-free fast path: production runs never take mu on I/O calls.
   std::atomic<bool> armed{false};
 
   /// Mirrors the site count into the registry. Caller holds mu.
-  void BumpRegistryLocked(const char* site) {
+  void BumpRegistryLocked(const char* site) REQUIRES(mu) {
     if (!obs::MetricsEnabled()) return;
     obs::Counter*& c = site_counters[site];
     if (c == nullptr) {
@@ -108,7 +108,7 @@ struct IoEnv::Impl {
   enum class Fate { kOk, kFail, kShort, kFlip };
   Fate Enter(const char* site) {
     if (!armed.load(std::memory_order_relaxed)) return Fate::kOk;
-    std::lock_guard<std::mutex> g(mu);
+    base::MutexLock g(&mu);
     ++counts[site];
     ++total;
     BumpRegistryLocked(site);
@@ -133,7 +133,7 @@ struct IoEnv::Impl {
   void Bump(const char* site) {
     // Counter-only path when armed (Enter already bumped) vs unarmed.
     if (armed.load(std::memory_order_relaxed)) return;
-    std::lock_guard<std::mutex> g(mu);
+    base::MutexLock g(&mu);
     ++counts[site];
     ++total;
     BumpRegistryLocked(site);
@@ -152,7 +152,7 @@ IoEnv& IoEnv::Instance() {
 
 void IoEnv::SetFailpoints(const std::string& spec) {
   std::vector<Failpoint> points = ParseSpec(spec);  // may throw; parse first
-  std::lock_guard<std::mutex> g(impl_->mu);
+  base::MutexLock g(&impl_->mu);
   impl_->points = std::move(points);
   impl_->dead = false;
   impl_->armed.store(!impl_->points.empty(), std::memory_order_relaxed);
@@ -163,20 +163,20 @@ bool IoEnv::armed() const {
 }
 
 uint64_t IoEnv::Count(const std::string& site) const {
-  std::lock_guard<std::mutex> g(impl_->mu);
+  base::MutexLock g(&impl_->mu);
   if (site == "any") return impl_->total;
   auto it = impl_->counts.find(site);
   return it == impl_->counts.end() ? 0 : it->second;
 }
 
 void IoEnv::ResetCounts() {
-  std::lock_guard<std::mutex> g(impl_->mu);
+  base::MutexLock g(&impl_->mu);
   impl_->counts.clear();
   impl_->total = 0;
 }
 
 std::map<std::string, uint64_t> IoEnv::SnapshotCounts(bool reset) {
-  std::lock_guard<std::mutex> g(impl_->mu);
+  base::MutexLock g(&impl_->mu);
   std::map<std::string, uint64_t> out = impl_->counts;
   out["any"] = impl_->total;
   if (reset) {
@@ -256,6 +256,32 @@ ssize_t IoEnv::Pwrite(const char* site, int fd, const void* buf, size_t n,
   ssize_t w = ::pwrite(fd, buf, n, static_cast<off_t>(off));
   if (w > 0) WriteBytesCounter().Inc(static_cast<uint64_t>(w));
   return w;
+}
+
+ssize_t IoEnv::Pread(const char* site, int fd, void* buf, size_t n,
+                     int64_t off) {
+  impl_->Bump(site);
+  switch (impl_->Enter(site)) {
+    case Impl::Fate::kOk:
+      break;
+    case Impl::Fate::kFail:
+      errno = EIO;
+      return -1;
+    case Impl::Fate::kShort: {
+      size_t half = n / 2;
+      if (half == 0) {
+        errno = EIO;
+        return -1;
+      }
+      return ::pread(fd, buf, half, static_cast<off_t>(off));
+    }
+    case Impl::Fate::kFlip: {
+      ssize_t r = ::pread(fd, buf, n, static_cast<off_t>(off));
+      if (r > 0) static_cast<char*>(buf)[r / 2] ^= 0x10;
+      return r;
+    }
+  }
+  return ::pread(fd, buf, n, static_cast<off_t>(off));
 }
 
 int IoEnv::Fsync(const char* site, int fd) {

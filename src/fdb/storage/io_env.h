@@ -76,6 +76,7 @@ class IoEnv {
   ssize_t Write(const char* site, int fd, const void* buf, size_t n);
   ssize_t Pwrite(const char* site, int fd, const void* buf, size_t n,
                  int64_t off);
+  ssize_t Pread(const char* site, int fd, void* buf, size_t n, int64_t off);
   int Fsync(const char* site, int fd);
   int Ftruncate(const char* site, int fd, int64_t len);
   int Rename(const char* site, const char* from, const char* to);

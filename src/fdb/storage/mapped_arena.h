@@ -69,7 +69,8 @@ class MappedArena : public FactArena {
               std::unique_ptr<FactPtr[]> children, int64_t mapped_bytes)
       : mappings_(std::move(mappings)),
         nodes_mem_(std::move(nodes)),
-        child_mem_(std::move(children)) {
+        child_mem_(std::move(children)),
+        mapped_nodes_(num_nodes) {
     bytes_ = mapped_bytes;
     nodes_ = num_nodes;
   }
@@ -78,10 +79,21 @@ class MappedArena : public FactArena {
   const SnapshotMapping& mapping() const { return *mappings_.front(); }
   size_t num_mappings() const { return mappings_.size(); }
 
+  /// Extends the heap-chunk test to the materialised node array (nodes_
+  /// counts heap-allocated nodes too after updates, so the fixed-up
+  /// count is kept separately).
+  bool OwnsNodeMemory(const FactNode* node) const override {
+    if (node >= nodes_mem_.get() && node < nodes_mem_.get() + mapped_nodes_) {
+      return true;
+    }
+    return FactArena::OwnsNodeMemory(node);
+  }
+
  private:
   std::vector<std::shared_ptr<SnapshotMapping>> mappings_;
   std::unique_ptr<FactNode[]> nodes_mem_;
   std::unique_ptr<FactPtr[]> child_mem_;
+  int64_t mapped_nodes_ = 0;
 };
 
 }  // namespace storage

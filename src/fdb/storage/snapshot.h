@@ -4,11 +4,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "fdb/base/thread_annotations.h"
 #include "fdb/core/ftree.h"
 #include "fdb/storage/mapped_arena.h"
 
@@ -189,12 +189,14 @@ struct SnapshotState {
                                 ///< the last segment's roots are current
     bool fixed_up = false;  ///< value pools validated and remapped once
   };
+  // Guarded by `mu` once the state is published (the single-threaded
+  // Parse*Snapshot construction phase writes it lock-free).
   std::map<std::string, ViewDesc> views;
 
   // Serialises MaterialiseSnapshotView across Database copies sharing
   // this state (each copy also admits under its own view-map lock, but
   // the fixed_up remap pass must be once-only process-wide).
-  std::mutex mu;
+  base::Mutex mu;
 };
 
 /// Parses the snapshot in `mapping` eagerly up to the view catalog:

@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "fdb/check/check.h"
 #include "fdb/core/factorisation.h"
 #include "fdb/core/update.h"
 #include "fdb/engine/database.h"
@@ -243,6 +244,14 @@ FileHeader ReadEnvelope(const SnapshotMapping& mapping, uint32_t lo,
     if (sec.present) Corrupt("duplicate section");
     if (e.offset % 8 != 0 || e.offset > size || e.size > size - e.offset) {
       Corrupt("section out of range");
+    }
+    // Version-3 files carry per-section payload CRCs; verify every
+    // section up front, before any value-pool remap dirties the
+    // copy-on-write pages. Untouched pages stay clean and evictable —
+    // this is one extra sequential read of the file, not a copy.
+    if (header.version >= 3 &&
+        Crc32(base + e.offset, e.size) != e.crc32) {
+      Corrupt("section crc mismatch (kind " + std::to_string(e.kind) + ")");
     }
     sec.begin = e.offset;
     sec.end = e.offset + e.size;
@@ -565,7 +574,7 @@ bool ParseDeltaSnapshot(std::shared_ptr<SnapshotMapping> mapping,
 
 std::optional<Factorisation> MaterialiseSnapshotView(SnapshotState& state,
                                                      const std::string& name) {
-  std::lock_guard<std::mutex> g(state.mu);
+  base::MutexLock g(&state.mu);
   auto it = state.views.find(name);
   if (it == state.views.end()) return std::nullopt;
   SnapshotState::ViewDesc& d = it->second;
@@ -811,6 +820,9 @@ Database Database::Open(const std::string& path) {
          obs::F("wal_truncated_tail",
                 rec.has_value() ? rec->truncated_tail : false)});
   }
+  // With FDB_CHECK on, an Open that replayed a corrupt chain or WAL fails
+  // here, before the database is handed to anyone.
+  if (check::Enabled()) check::ValidateDatabaseOrThrow(db);
   return db;
 }
 

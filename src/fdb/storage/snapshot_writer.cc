@@ -15,6 +15,7 @@
 #include <system_error>
 #include <utility>
 
+#include "fdb/check/check.h"
 #include "fdb/core/factorisation.h"
 #include "fdb/engine/database.h"
 #include "fdb/obs/log.h"
@@ -47,6 +48,9 @@ class Sink {
   virtual ~Sink() = default;
   virtual void Write(const void* p, size_t n) = 0;
   virtual void PatchAt(uint64_t off, const void* p, size_t n) = 0;
+  /// Reads back `n` already-written bytes at `off` (the CRC stamping
+  /// pass; sections are streamed, so their bytes only exist here).
+  virtual void ReadBack(uint64_t off, void* p, size_t n) = 0;
   /// Bytes of transient buffering this sink holds (stats).
   virtual uint64_t buffer_bytes() const = 0;
 };
@@ -59,6 +63,9 @@ class BufferSink : public Sink {
   }
   void PatchAt(uint64_t off, const void* p, size_t n) override {
     std::memcpy(b_.data() + off, p, n);
+  }
+  void ReadBack(uint64_t off, void* p, size_t n) override {
+    std::memcpy(p, b_.data() + off, n);
   }
   uint64_t buffer_bytes() const override { return b_.size(); }
   std::string Take() { return std::move(b_); }
@@ -76,7 +83,7 @@ class FileSink : public Sink {
  public:
   explicit FileSink(const std::string& path) : path_(path) {
     fd_ = IoEnv::Instance().Open("snapshot_open", path.c_str(),
-                                 O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                                 O_RDWR | O_CREAT | O_TRUNC | O_CLOEXEC,
                                  0644);
     if (fd_ < 0) {
       throw std::invalid_argument("snapshot: cannot open " + path +
@@ -113,6 +120,24 @@ class FileSink : public Sink {
       c += w;
       off += static_cast<uint64_t>(w);
       n -= static_cast<size_t>(w);
+    }
+  }
+
+  void ReadBack(uint64_t off, void* p, size_t n) override {
+    Flush();
+    IoEnv& io = IoEnv::Instance();
+    char* c = static_cast<char*>(p);
+    while (n > 0) {
+      ssize_t r = io.Pread("snapshot_read", fd_, c, n,
+                           static_cast<int64_t>(off));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        IoError("read back from", path_);
+      }
+      if (r == 0) IoError("short read back from", path_);
+      c += r;
+      off += static_cast<uint64_t>(r);
+      n -= static_cast<size_t>(r);
     }
   }
 
@@ -378,6 +403,31 @@ uint64_t BeginFile(Out* out, uint32_t version, size_t section_count) {
   return table_at;
 }
 
+/// Stamps each entry's CRC32 by re-reading its payload off the sink.
+/// Runs after the last section is written: every payload byte is final
+/// by then (segment headers are back-patched within their section), and
+/// only the header and section table — covered by no section — remain
+/// to patch. Version-2-and-older files keep the field zero.
+void FillSectionCrcs(Out* out, uint32_t version,
+                     std::vector<SectionEntry>* entries) {
+  if (version < 3) return;
+  std::vector<char> buf(size_t{64} << 10);
+  for (SectionEntry& e : *entries) {
+    uint32_t crc = 0;
+    uint64_t off = e.offset;
+    uint64_t left = e.size;
+    while (left > 0) {
+      size_t take = static_cast<size_t>(
+          std::min<uint64_t>(left, buf.size()));
+      out->sink()->ReadBack(off, buf.data(), take);
+      crc = Crc32(buf.data(), take, crc);
+      off += take;
+      left -= take;
+    }
+    e.crc32 = crc;
+  }
+}
+
 /// Patches the section table and the header's file size once all
 /// sections are written.
 void FinishFile(Out* out, uint32_t version, uint64_t table_at,
@@ -512,6 +562,7 @@ void WriteBase(Out* out, const Database& db, uint32_t version,
     }
     entries.push_back(SectionEntry{kind, 0, begin, out->pos() - begin});
   }
+  FillSectionCrcs(out, version, &entries);
   FinishFile(out, version, table_at, entries);
 
   if (stats != nullptr) stats->bytes_written = out->pos();
@@ -849,6 +900,7 @@ CheckpointInfo AppendCheckpoint(const Database& db, PersistState* st,
       }
       entries.push_back(SectionEntry{kind, 0, begin, out->pos() - begin});
     }
+    FillSectionCrcs(out, kVersion, &entries);
     FinishFile(out, kVersion, table_at, entries);
     bytes = out->pos();
   });
@@ -880,16 +932,21 @@ void Database::Save(const std::string& raw_path) const {
       "storage.save_bytes", "bytes", "snapshot bytes written by Save");
   obs::ScopedLatency latency(save_hist);
   std::string path = storage::CanonicalSnapshotPath(raw_path);
-  std::lock_guard<std::mutex> t(txn_mu_);
-  storage::SaveStats stats;
-  SaveLocked(path, &stats);
-  save_bytes.Inc(stats.bytes_written);
-  if (obs::LogEnabled()) {
-    obs::EventLog::Instance().Emit(
-        obs::EventType::kSave,
-        {obs::F("path", path), obs::F("bytes", stats.bytes_written)});
+  {
+    base::MutexLock t(&txn_mu_);
+    storage::SaveStats stats;
+    SaveLocked(path, &stats);
+    save_bytes.Inc(stats.bytes_written);
+    if (obs::LogEnabled()) {
+      obs::EventLog::Instance().Emit(
+          obs::EventType::kSave,
+          {obs::F("path", path), obs::F("bytes", stats.bytes_written)});
+    }
+    ResetWalAfterFoldLocked(path);
   }
-  ResetWalAfterFoldLocked(path);
+  // Deep-validate after the fold, outside txn_mu_ (the checker takes the
+  // view-map and persist locks itself).
+  if (check::Enabled()) check::ValidateDatabaseOrThrow(*this);
 }
 
 storage::CheckpointInfo Database::Checkpoint(
@@ -908,8 +965,19 @@ storage::CheckpointInfo Database::Checkpoint(
       "checkpoints skipped (no changes)");
   obs::ScopedLatency latency(ckpt_hist);
   std::string path = storage::CanonicalSnapshotPath(raw_path);
-  std::lock_guard<std::mutex> t(txn_mu_);
-  storage::CheckpointInfo info = CheckpointLocked(path);
+  storage::CheckpointInfo info;
+  {
+    base::MutexLock t(&txn_mu_);
+    info = CheckpointLocked(path);
+    // On kNoop the log is necessarily empty and still correctly stamped
+    // (every committed group makes HasChangesSince true until folded), so
+    // only an actual write needs the reset. It must happen under the same
+    // txn_mu_ hold as the fold: a commit interleaving between them would
+    // be wiped from the log without ever reaching the chain.
+    if (info.kind != storage::CheckpointInfo::kNoop) {
+      ResetWalAfterFoldLocked(path);
+    }
+  }
   switch (info.kind) {
     case storage::CheckpointInfo::kBase:
       ckpt_base.Inc();
@@ -933,11 +1001,10 @@ storage::CheckpointInfo Database::Checkpoint(
         {obs::F("path", path), obs::F("kind", kind),
          obs::F("bytes", info.bytes), obs::F("seq", info.seq)});
   }
-  // On kNoop the log is necessarily empty and still correctly stamped
-  // (every committed group makes HasChangesSince true until folded), so
-  // only an actual write needs the reset.
-  if (info.kind != storage::CheckpointInfo::kNoop) {
-    ResetWalAfterFoldLocked(path);
+  // On kNoop the chain and the live state were just proven in sync, so
+  // the deep check is only worth its cost when something was written.
+  if (info.kind != storage::CheckpointInfo::kNoop && check::Enabled()) {
+    check::ValidateDatabaseOrThrow(*this);
   }
   return info;
 }
@@ -953,7 +1020,7 @@ void Database::ResetWalAfterFoldLocked(const std::string& path) const {
   uint64_t epoch = 0;
   uint64_t chain_pos = 0;
   {
-    std::lock_guard<std::mutex> g(persist_mu_);
+    base::MutexLock g(&persist_mu_);
     if (persist_ == nullptr) return;  // checkpoint failed; stamp still valid
     epoch = persist_->epoch;
     chain_pos = persist_->next_seq - 1;
@@ -967,7 +1034,7 @@ void Database::ResetWalAfterFoldLocked(const std::string& path) const {
 
 void Database::SaveLocked(const std::string& path,
                           storage::SaveStats* stats) const {
-  std::lock_guard<std::mutex> g(persist_mu_);
+  base::MutexLock g(&persist_mu_);
   if ((persist_ != nullptr && persist_->path == path) ||
       (wal_ != nullptr && wal_base_ == path)) {
     // Rewriting the base a checkpoint chain (or WAL) hangs off: fold —
@@ -984,7 +1051,7 @@ void Database::SaveLocked(const std::string& path,
 
 storage::CheckpointInfo Database::CheckpointLocked(
     const std::string& path) const {
-  std::lock_guard<std::mutex> g(persist_mu_);
+  base::MutexLock g(&persist_mu_);
   if (persist_ != nullptr && persist_->path == path &&
       !storage::HasChangesSince(*this, *persist_)) {
     return {storage::CheckpointInfo::kNoop, 0, 0};

@@ -93,7 +93,7 @@ void ExerciseSubsystems() {
     serve::AdmissionConfig limited;
     limited.query_mem_bytes = 1;  // every query dies (serve.queries_killed)
     serve::AdmissionController adm2(limited);
-    std::mutex write_mu;
+    fdb::base::Mutex write_mu;
     std::atomic<bool> draining{false};
     serve::ServeContext ctx;
     ctx.db = &db;

@@ -137,7 +137,7 @@ class SessionLimitTest : public ::testing::Test {
  protected:
   void SetUp() override {
     FillDb(&db_, 4);
-    write_mu_ = std::make_unique<std::mutex>();
+    write_mu_ = std::make_unique<base::Mutex>();
   }
 
   std::unique_ptr<Session> MakeSession(const AdmissionConfig& cfg) {
@@ -152,7 +152,7 @@ class SessionLimitTest : public ::testing::Test {
 
   Database db_;
   std::unique_ptr<AdmissionController> admission_;
-  std::unique_ptr<std::mutex> write_mu_;
+  std::unique_ptr<base::Mutex> write_mu_;
   std::atomic<bool> draining_{false};
 };
 

@@ -523,17 +523,20 @@ TEST(StorageCheckpointTest, StreamedSaveMatchesBufferSerialisation) {
   std::string streamed = ReadFile(path);
   std::string buffered = storage::SerialiseDatabase(db);
   ASSERT_EQ(streamed.size(), buffered.size());
-  // Zero both epoch payloads (the meta section) before comparing.
+  // Zero both epoch payloads (the meta section) before comparing — and
+  // the meta entry's crc32, which covers the differing epoch bytes.
   auto zero_meta = [](std::string* bytes) {
     storage::FileHeader header;
     std::memcpy(&header, bytes->data(), sizeof(header));
     for (uint64_t s = 0; s < header.section_count; ++s) {
+      char* entry_at =
+          bytes->data() + sizeof(header) + s * sizeof(storage::SectionEntry);
       storage::SectionEntry e;
-      std::memcpy(&e, bytes->data() + sizeof(header) +
-                          s * sizeof(storage::SectionEntry),
-                  sizeof(e));
+      std::memcpy(&e, entry_at, sizeof(e));
       if (e.kind == storage::kSectionMeta) {
         std::memset(bytes->data() + e.offset, 0, e.size);
+        e.crc32 = 0;
+        std::memcpy(entry_at, &e, sizeof(e));
       }
     }
   };

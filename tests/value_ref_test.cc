@@ -49,9 +49,15 @@ TEST(ValueRefTest, RoundTripAllKinds) {
     EXPECT_EQ(r.is_int(), v.is_int());
     EXPECT_EQ(r.is_double(), v.is_double());
     EXPECT_EQ(r.is_string(), v.is_string());
-    if (v.is_int()) EXPECT_EQ(r.as_int(), v.as_int());
-    if (v.is_double()) EXPECT_DOUBLE_EQ(r.as_double(), v.as_double());
-    if (v.is_string()) EXPECT_EQ(r.as_string(), v.as_string());
+    if (v.is_int()) {
+      EXPECT_EQ(r.as_int(), v.as_int());
+    }
+    if (v.is_double()) {
+      EXPECT_DOUBLE_EQ(r.as_double(), v.as_double());
+    }
+    if (v.is_string()) {
+      EXPECT_EQ(r.as_string(), v.as_string());
+    }
   }
 }
 
@@ -207,7 +213,9 @@ TEST(ValueRefTest, OrderKeyIsMonotone) {
         EXPECT_TRUE((a <=> b) == std::strong_ordering::less)
             << a.ToString() << " vs " << b.ToString();
       }
-      if (a == b) EXPECT_EQ(a.OrderKey(), b.OrderKey());
+      if (a == b) {
+        EXPECT_EQ(a.OrderKey(), b.OrderKey());
+      }
     }
   }
 }

@@ -1,0 +1,35 @@
+// Negative compile test for the thread-safety annotations: this file
+// reads and writes a GUARDED_BY field without holding its mutex, so
+//
+//   clang++ -Wthread-safety -Werror -Isrc -c tools/tsa_compile_fail.cc
+//
+// MUST fail. The CI `thread-safety` job builds it expecting a non-zero
+// exit, proving the analysis is actually wired up and would reject
+// misguarded engine code — a green annotation build alone cannot
+// distinguish "no bugs" from "annotations not enforced".
+//
+// Under GCC the annotations are no-ops and the file compiles; the CI
+// step therefore runs it only in the clang job.
+
+#include "fdb/base/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BUG (deliberate): touches value_ with mu_ unheld.
+  void Bump() { ++value_; }
+  int Get() const { return value_; }
+
+ private:
+  mutable fdb::base::Mutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return c.Get();
+}
